@@ -1,0 +1,72 @@
+"""§5/§6: "The benchmark suite is run daily and measures all aspects of the
+compiler: compilation time, time to run specific passes, ..."
+
+Compilation-time benchmarks for each Figure-2 program plus a per-pass
+timing report through the ``PassLogger`` facility.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchsuite import programs, reference
+from repro.compiler import CompilerPipeline, FunctionCompile
+from repro.mexpr import parse
+
+PROGRAMS = {
+    "fnv1a": programs.NEW_FNV1A,
+    "mandelbrot": programs.NEW_MANDELBROT,
+    "dot": programs.NEW_DOT,
+    "blur": programs.NEW_BLUR,
+    "histogram": programs.NEW_HISTOGRAM,
+    "qsort": programs.NEW_QSORT,
+}
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_compile_time(benchmark, name):
+    source = PROGRAMS[name]
+
+    def compile_once():
+        return FunctionCompile(source)
+
+    compiled = benchmark(compile_once)
+    assert compiled is not None
+
+
+def test_primeq_compile_time(benchmark):
+    table = reference.prime_sieve_bitmap()
+
+    def compile_once():
+        return FunctionCompile(
+            programs.NEW_PRIMEQ,
+            constants={"primeTable": table,
+                       "witnesses": programs.RM_WITNESSES},
+        )
+
+    benchmark.pedantic(compile_once, rounds=3, iterations=1)
+
+
+def test_per_pass_timing_report(capsys):
+    """Prints where compilation time goes, pass by pass (§5)."""
+    pipeline = CompilerPipeline()
+    pipeline.compile_program(parse(programs.NEW_BLUR))
+    totals: dict[str, float] = {}
+    for name, elapsed in pipeline.pass_timings:
+        totals[name] = totals.get(name, 0.0) + elapsed
+    ordered = sorted(totals.items(), key=lambda kv: -kv[1])
+    with capsys.disabled():
+        print("\nPer-pass compile time (Blur):")
+        for name, elapsed in ordered[:12]:
+            print(f"  {name:<28} {elapsed * 1000:8.2f} ms")
+    assert any(name.startswith("infer:") for name in totals)
+    assert "macro-expansion" in totals
+
+
+def test_bytecode_compile_time(benchmark):
+    """The baseline's single forward pass is cheap — part of its appeal."""
+    from repro.bytecode import compile_function
+
+    specs = parse(programs.BYTECODE_HISTOGRAM_SPECS)
+    body = parse(programs.BYTECODE_HISTOGRAM_BODY)
+    benchmark(lambda: compile_function(specs, body))

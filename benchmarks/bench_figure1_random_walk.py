@@ -1,0 +1,82 @@
+"""Figure 1 (§1): the random-walk function — interpreted (In[1]), bytecode
+compiled (In[2]), new compiler (In[3]).
+
+The paper reports the bytecode compiler at ~2× over the interpreter for
+len = 100 000; the new compiler is faster still.  The final test asserts the
+ordering interpreter > bytecode > new compiler.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.benchsuite import programs
+from repro.bytecode import compile_function
+from repro.compiler import FunctionCompile
+from repro.engine import Evaluator
+from repro.mexpr import expr, parse
+
+
+@pytest.fixture(scope="module")
+def walk_length(sizes):
+    # the paper's headline length is 100 000 (scale 1.0)
+    return max(int(100_000 * (sizes.fnv_length / 1_000_000)), 200)
+
+
+@pytest.fixture(scope="module")
+def tiers(evaluator):
+    interpreted_fn = parse(programs.INTERPRETED_RANDOM_WALK)
+
+    def interpreted(length: int):
+        return evaluator.evaluate(expr(interpreted_fn, length))
+
+    bytecode = compile_function(
+        parse(programs.BYTECODE_RANDOM_WALK_SPECS),
+        parse(programs.BYTECODE_RANDOM_WALK_BODY),
+        evaluator,
+    )
+    compiled = FunctionCompile(programs.NEW_RANDOM_WALK, evaluator=evaluator)
+    return interpreted, bytecode, compiled
+
+
+def test_random_walk_interpreted(benchmark, tiers, walk_length):
+    interpreted, _bytecode, _compiled = tiers
+    benchmark(interpreted, max(walk_length // 20, 50))
+
+
+def test_random_walk_bytecode(benchmark, tiers, walk_length):
+    _interpreted, bytecode, _compiled = tiers
+    benchmark(bytecode, max(walk_length // 4, 100))
+
+
+def test_random_walk_new_compiler(benchmark, tiers, walk_length):
+    _interpreted, _bytecode, compiled = tiers
+    benchmark(compiled, walk_length)
+
+
+def test_figure1_ordering(tiers, walk_length, capsys):
+    """In[1] > In[2] > In[3]: each tier beats the one before it."""
+    interpreted, bytecode, compiled = tiers
+    n = max(walk_length // 20, 100)  # equal small length for all three
+
+    def best(fn, reps=3):
+        out = float("inf")
+        for _ in range(reps):
+            start = time.perf_counter()
+            fn(n)
+            out = min(out, time.perf_counter() - start)
+        return out
+
+    t_interp = best(interpreted, reps=1)
+    t_bytecode = best(bytecode)
+    t_new = best(compiled)
+    with capsys.disabled():
+        print(f"\nFigure 1 @ len={n}: interpreter {t_interp*1000:.1f}ms, "
+              f"bytecode {t_bytecode*1000:.1f}ms "
+              f"({t_interp/t_bytecode:.1f}x faster), "
+              f"new compiler {t_new*1000:.1f}ms "
+              f"({t_interp/t_new:.1f}x faster)")
+    assert t_bytecode < t_interp, "bytecode should beat the interpreter (§1)"
+    assert t_new < t_bytecode, "the new compiler should beat bytecode (§6)"

@@ -1,0 +1,43 @@
+"""§2.2's soft-failure transcript, measured: how much does the
+revert-to-interpreter path cost relative to the in-range fast path? (F2)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import FunctionCompile, install_engine_support
+from repro.engine import Evaluator
+
+ITERATIVE_FIB = (
+    'Function[{Typed[n, "MachineInteger"]},'
+    ' Module[{a = 0, b = 1, i = 1},'
+    '  While[i <= n, Module[{t = a + b}, a = b; b = t]; i = i + 1]; a]]'
+)
+
+
+@pytest.fixture(scope="module")
+def fib(evaluator):
+    return FunctionCompile(ITERATIVE_FIB, evaluator=evaluator)
+
+
+def test_fib_machine_path(benchmark, fib):
+    """n = 90 stays inside Integer64: pure compiled speed."""
+    assert benchmark(fib, 90) == 2880067194370816120
+
+
+def test_fib_soft_fallback_path(benchmark, fib):
+    """n = 200 overflows at i = 93 and reverts to the interpreter with
+    arbitrary precision (the paper's cfib[200] behaviour)."""
+    result = benchmark(fib, 200)
+    assert result == 280571172992510140037611932413038677189525
+
+
+def test_fallback_counter_increments(evaluator):
+    fib = FunctionCompile(ITERATIVE_FIB, evaluator=evaluator)
+    fib(50)
+    assert fib.fallback_count == 0
+    fib(200)
+    fib(200)
+    assert fib.fallback_count == 2
+    assert any("IntegerOverflow" in m for m in evaluator.messages)

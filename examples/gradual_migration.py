@@ -1,0 +1,89 @@
+"""Gradual compilation (F9, §3/§4.5): intermixing compiled and interpreted
+code with ``KernelFunction``.
+
+"The new compiler must provide a bridge between interpreted and compiled
+code where compiled functions can invoke the interpreter to interpret parts
+of the code.  This feature is analogous to gradual typing."
+
+The scenario: a legacy scoring function defined with pattern-based
+``DownValues`` (interpreter-only) is called from a new compiled hot loop.
+Step by step, more of the pipeline moves into compiled code without ever
+breaking the program.
+
+Run:  python examples/gradual_migration.py
+"""
+
+import time
+
+from repro.compiler import FunctionCompile, install_engine_support
+from repro.engine import Evaluator
+
+
+def main() -> None:
+    session = Evaluator()
+    install_engine_support(session)
+
+    # A legacy, interpreter-only definition (pattern-matched DownValues):
+    session.run("""
+        legacyScore[x_ /; x < 0] := 0;
+        legacyScore[x_ /; EvenQ[x]] := x * 2;
+        legacyScore[x_] := x
+    """)
+    print("interpreted legacyScore[7]  =",
+          session.run("legacyScore[7]").to_python())
+
+    # -- stage 1: compile the loop, escape per element (KernelFunction) --------
+    stage1 = FunctionCompile(
+        'Function[{Typed[n, "MachineInteger"]},'
+        ' Module[{s = 0, i = 0},'
+        '  While[i < n,'
+        '   s = s + Typed[KernelFunction[legacyScore],'
+        '     TypeSpecifier[{"Integer64"} -> "Integer64"]][i];'
+        '   i = i + 1];'
+        '  s]]',
+        evaluator=session,
+    )
+
+    # -- stage 2: the score is ported to compilable form; only the exotic
+    #    cases still escape ----------------------------------------------------
+    stage2 = FunctionCompile(
+        'Function[{Typed[n, "MachineInteger"]},'
+        ' Module[{s = 0, i = 0},'
+        '  While[i < n,'
+        '   If[i >= 0 && EvenQ[i],'
+        '    s = s + i * 2,'
+        '    s = s + Typed[KernelFunction[legacyScore],'
+        '      TypeSpecifier[{"Integer64"} -> "Integer64"]][i]];'
+        '   i = i + 1];'
+        '  s]]',
+        evaluator=session,
+    )
+
+    # -- stage 3: fully compiled ------------------------------------------------
+    stage3 = FunctionCompile(
+        'Function[{Typed[n, "MachineInteger"]},'
+        ' Module[{s = 0, i = 0},'
+        '  While[i < n,'
+        '   If[EvenQ[i], s = s + i * 2, s = s + i];'
+        '   i = i + 1];'
+        '  s]]',
+        evaluator=session,
+    )
+
+    n = 3_000
+    for label, fn in (("stage 1 (all escapes)", stage1),
+                      ("stage 2 (odd-only escapes)", stage2),
+                      ("stage 3 (fully compiled)", stage3)):
+        start = time.perf_counter()
+        result = fn(n)
+        if hasattr(result, "to_python"):
+            result = result.to_python()
+        elapsed = (time.perf_counter() - start) * 1000
+        print(f"{label:<28} sum = {result}   {elapsed:8.1f} ms")
+
+    print("\nAll three stages agree; each migration step only moved code, "
+          "never broke it (F9).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Quickstart: compile a Wolfram-style function and call it from Python.
+
+Covers the paper's §4.1 entry point (``FunctionCompile`` with ``Typed``
+arguments), the appendix's introspection API (``CompileToAST``,
+``CompileToIR``), and the soft-failure behaviour (F2).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CompileToAST, CompileToIR, FunctionCompile
+from repro.compiler import install_engine_support
+from repro.engine import Evaluator
+
+
+def main() -> None:
+    # -- 1. compile and call -------------------------------------------------
+    # The appendix's addOne example: only argument types are annotated;
+    # everything else is inferred (§4.4).
+    add_one = FunctionCompile(
+        'Function[{Typed[arg, "MachineInteger"]}, arg + 1]'
+    )
+    print("addOne(41) =", add_one(41))
+
+    # -- 2. inspect the compilation stages (§A.6) -----------------------------
+    source = 'Function[{Typed[arg, "MachineInteger"]}, arg + 1]'
+    print("\n--- AST (CompileToAST) ---")
+    print(CompileToAST(source)["toString"])
+    print("\n--- TWIR (CompileToIR) ---")
+    print(CompileToIR(source)["toString"].split("\n\n")[-1])
+    print("\n--- generated code ---")
+    print(add_one.generated_source)
+
+    # -- 3. loops, tensors, strings -------------------------------------------
+    dot_product = FunctionCompile(
+        'Function[{Typed[a, TypeSpecifier["Tensor"["Real64", 1]]],'
+        '          Typed[b, TypeSpecifier["Tensor"["Real64", 1]]]},'
+        ' Module[{s = 0.0, i = 1, n = Length[a]},'
+        '  While[i <= n, s = s + a[[i]] * b[[i]]; i = i + 1]; s]]'
+    )
+    print("dot([1,2,3],[4,5,6]) =", dot_product([1.0, 2.0, 3.0],
+                                                 [4.0, 5.0, 6.0]))
+
+    shout = FunctionCompile(
+        'Function[{Typed[s, "String"]}, StringJoin[s, "!"]]'
+    )
+    print('shout("hello") =', shout("hello"))
+
+    # -- 4. soft failure: overflow reverts to the interpreter (F2) -------------
+    session = Evaluator()
+    install_engine_support(session)
+    fib = FunctionCompile(
+        'Function[{Typed[n, "MachineInteger"]},'
+        ' Module[{a = 0, b = 1, i = 1},'
+        '  While[i <= n, Module[{t = a + b}, a = b; b = t]; i = i + 1]; a]]',
+        evaluator=session,
+    )
+    print("\nfib(90)  =", fib(90), " (machine integers)")
+    print("fib(200) =", fib(200), " (reverted to the interpreter)")
+    print("engine message:", session.messages[-1])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Symbolic computation inside compiled code (F8, §4.5) and the symbolic ↔
+numeric interplay the paper motivates (§2.1's FindRoot).
+
+* compiled functions over the ``"Expression"`` type build and fold symbolic
+  expressions via threaded interpretation;
+* ``D`` computes symbolic derivatives in the engine;
+* ``FindRoot`` combines both: symbolic derivative + auto-compiled numeric
+  evaluation (§1's 1.6× story).
+
+Run:  python examples/symbolic_computation.py
+"""
+
+from repro.compiler import FunctionCompile, enable_auto_compilation
+from repro.engine import Evaluator
+from repro.mexpr import full_form, parse
+
+
+def main() -> None:
+    # -- compiled symbolic arithmetic (the paper's cf example, §4.5) ----------
+    cf = FunctionCompile(
+        'Function[{Typed[arg1, "Expression"], Typed[arg2, "Expression"]},'
+        ' arg1 + arg2]'
+    )
+    print("cf[1, 2]               =", full_form(cf(1, 2)))
+    print("cf[x, y]               =", full_form(cf(parse("x"), parse("y"))))
+    print("cf[x, Cos[y] + Sin[z]] =",
+          full_form(cf(parse("x"), parse("Cos[y] + Sin[z]"))))
+
+    # -- a compiled symbolic power tower --------------------------------------
+    tower = FunctionCompile(
+        'Function[{Typed[e, "Expression"], Typed[n, "MachineInteger"]},'
+        ' Module[{acc = e, i = 1},'
+        '  While[i < n, acc = acc * e; i = i + 1]; acc]]'
+    )
+    print("tower[q, 4]            =", full_form(tower(parse("q"), 4)))
+
+    # -- symbolic differentiation in the engine --------------------------------
+    session = Evaluator()
+    derivative = session.run("D[Sin[x] + E^x, x]")
+    print("\nD[Sin[x] + E^x, x]    =", full_form(derivative))
+
+    # -- FindRoot: symbolic derivative + auto-compiled objective (§1) ----------
+    enable_auto_compilation(session)
+    root = session.run("FindRoot[Sin[x] + E^x, {x, 0}]")
+    print("FindRoot[Sin[x]+E^x]  =", full_form(root),
+          " (paper: x ≈ -0.588533)")
+
+    # -- a compiled function used from inside the engine (F1) ------------------
+    from repro.compiler import install_engine_support
+
+    install_engine_support(session)
+    out = session.run(
+        'csq = FunctionCompile[Function[{Typed[x, "MachineInteger"]}, x*x]];'
+        ' Map[csq, Range[6]]'
+    )
+    print("Map[csq, Range[6]]    =", full_form(out))
+
+
+if __name__ == "__main__":
+    main()

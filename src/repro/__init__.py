@@ -1,0 +1,41 @@
+"""repro — a reproduction of "The Design and Implementation of the Wolfram
+Language Compiler" (CGO 2020).
+
+Public surface:
+
+* :mod:`repro.mexpr` — the expression layer (AST, parser, printers);
+* :mod:`repro.engine` — the interpreter substrate (the "Wolfram Engine");
+* :mod:`repro.bytecode` — the legacy bytecode compiler + WVM baseline;
+* :mod:`repro.compiler` — the paper's compiler: ``FunctionCompile``,
+  ``CompileToAST``/``CompileToIR``, export functions, extension points;
+* :mod:`repro.runtime` — the compiled-code runtime library;
+* :mod:`repro.benchsuite` — the §6 evaluation workloads and harness.
+
+Quickstart::
+
+    from repro import FunctionCompile
+    square = FunctionCompile('Function[{Typed[x, "MachineInteger"]}, x*x]')
+    assert square(12) == 144
+"""
+
+from repro.compiler import (
+    CompileToAST,
+    CompileToIR,
+    CompiledCodeFunction,
+    CompilerOptions,
+    FunctionCompile,
+    FunctionCompileExportLibrary,
+    FunctionCompileExportString,
+    LibraryFunctionLoad,
+)
+from repro.engine import Evaluator
+from repro.mexpr import parse
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompileToAST", "CompileToIR", "CompiledCodeFunction", "CompilerOptions",
+    "Evaluator", "FunctionCompile", "FunctionCompileExportLibrary",
+    "FunctionCompileExportString", "LibraryFunctionLoad", "parse",
+    "__version__",
+]

@@ -1,0 +1,71 @@
+"""An interactive session in the style of the paper's Figure 1 notebook.
+
+Run:  python -m repro
+
+Each input gets an ``In[n]``/``Out[n]`` pair; ``FunctionCompile`` and
+``Compile`` are available (F1), aborts are Ctrl-C (F3), and the session
+state persists across inputs, exactly as §2.3's programming-environment
+constraints require ("sessions cannot crash, code must be abortable").
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+from repro.compiler import install_engine_support
+from repro.engine import Evaluator
+from repro.errors import ReproError
+from repro.mexpr import full_form, parse
+
+
+def repl(input_stream=None, output=None) -> int:
+    stdin = input_stream or sys.stdin
+    out = output or sys.stdout
+    session = Evaluator()
+    install_engine_support(session)
+    counter = 0
+    out.write("repro — Wolfram Language compiler reproduction "
+              "(Ctrl-D to quit, Ctrl-C aborts the running evaluation)\n")
+    while True:
+        counter += 1
+        out.write(f"\nIn[{counter}]:= ")
+        out.flush()
+        line = stdin.readline()
+        if not line:
+            out.write("\n")
+            return 0
+        source = line.strip()
+        if not source:
+            counter -= 1
+            continue
+        try:
+            expression = parse(source)
+        except ReproError as error:
+            out.write(f"Syntax: {error}\n")
+            continue
+
+        result_holder: dict = {}
+
+        def evaluate():
+            result_holder["value"] = session.evaluate_protected(expression)
+
+        worker = threading.Thread(target=evaluate, daemon=True)
+        worker.start()
+        try:
+            while worker.is_alive():
+                worker.join(timeout=0.1)
+        except KeyboardInterrupt:
+            session.request_abort()  # F3: abort, keep the session alive
+            worker.join()
+        for message in session.messages:
+            out.write(message + "\n")
+        session.messages.clear()
+        value = result_holder.get("value")
+        if value is not None and full_form(value) != "Null":
+            out.write(f"Out[{counter}]= {full_form(value)}\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(repl())

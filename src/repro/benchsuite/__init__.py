@@ -1,0 +1,14 @@
+"""The benchmark-suite substrate: Figure-2 workloads in every tier, the
+Figure-1 random-walk experiment, and supporting data generators."""
+
+from repro.benchsuite.data import bench_scale, figure2_sizes
+from repro.benchsuite.harness import (
+    BenchmarkResult,
+    Figure2Harness,
+    TierResult,
+)
+
+__all__ = [
+    "BenchmarkResult", "Figure2Harness", "TierResult", "bench_scale",
+    "figure2_sizes",
+]

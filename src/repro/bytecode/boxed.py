@@ -1,0 +1,100 @@
+"""Boxed tensors — the bytecode compiler's array representation.
+
+§6: "The bytecode compiler operates on boxed array, and therefore any
+operation on arrays incurs unboxing overhead.  Furthermore, since Wolfram
+Language's supports negative indexing, all array accesses must be predicated
+at runtime."
+
+``BoxedTensor`` reproduces both costs deliberately: every element access goes
+through a method call that re-validates and normalizes the index (the
+predication), and values cross the box boundary on every read (the
+unboxing).  The *new* compiler's :class:`repro.runtime.packed.PackedArray`
+avoids this by letting generated code index the flat buffer directly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import WolframRuntimeError
+
+
+class BoxedTensor:
+    """A nested-list tensor with checked, 1-based, sign-predicated access."""
+
+    __slots__ = ("rows", "type_char")
+
+    def __init__(self, rows: list, type_char: str):
+        self.rows = rows
+        self.type_char = type_char  # 'i' | 'r' | 'c' | 'b'
+
+    @classmethod
+    def from_nested(cls, nested: Sequence, type_char: str) -> "BoxedTensor":
+        return cls([_box_level(x, type_char) for x in nested], type_char)
+
+    def copy(self) -> "BoxedTensor":
+        """Deep copy — the copy-on-read the paper calls a "major performance
+        limiting factor" of the bytecode compiler (§3, F5)."""
+        return BoxedTensor(_deep_copy(self.rows), self.type_char)
+
+    @property
+    def length(self) -> int:
+        return len(self.rows)
+
+    def get(self, index: int):
+        # the runtime predication: arry[[If[idx >= 0, idx, Length+idx]]]
+        count = len(self.rows)
+        if index < 0:
+            index = count + index + 1
+        if index < 1 or index > count:
+            raise WolframRuntimeError(
+                "PartOutOfRange", f"part {index} of length-{count} tensor"
+            )
+        return self.rows[index - 1]
+
+    def set(self, index: int, value) -> None:
+        count = len(self.rows)
+        if index < 0:
+            index = count + index + 1
+        if index < 1 or index > count:
+            raise WolframRuntimeError(
+                "PartOutOfRange", f"part {index} of length-{count} tensor"
+            )
+        self.rows[index - 1] = value
+
+    def to_nested(self) -> list:
+        return _unbox_level(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BoxedTensor):
+            return NotImplemented
+        return self.to_nested() == other.to_nested()
+
+    def __repr__(self) -> str:
+        return f"BoxedTensor({self.type_char}, length={len(self.rows)})"
+
+
+def _box_level(value, type_char: str):
+    if isinstance(value, (list, tuple)):
+        return BoxedTensor.from_nested(value, type_char)
+    if type_char == "i" and not isinstance(value, int):
+        raise WolframRuntimeError("TypeMismatch", f"{value!r} is not an integer")
+    if type_char == "r":
+        value = float(value)
+    return value
+
+
+def _deep_copy(rows: list) -> list:
+    return [
+        BoxedTensor(_deep_copy(item.rows), item.type_char)
+        if isinstance(item, BoxedTensor)
+        else item
+        for item in rows
+    ]
+
+
+def _unbox_level(rows: list) -> list:
+    return [
+        item.to_nested() if isinstance(item, BoxedTensor) else item
+        for item in rows
+    ]

@@ -1,0 +1,172 @@
+"""``CompiledFunction``: the bytecode compiler's callable artifact (§2.2).
+
+Reproduces the serialized structure the paper prints — compiler/engine
+versions and flags, argument types, constants, register allocation, the
+instruction stream, and the original input function — plus the runtime
+behaviours around it:
+
+* version check on call; mismatches trigger recompilation from the stored
+  input function;
+* argument type checking and tensor boxing (copy-on-read, F5);
+* soft failure: runtime errors re-evaluate through the interpreter (F2);
+* abortability when hosted in an engine (F3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.bytecode.boxed import BoxedTensor
+from repro.bytecode.instructions import Instruction, RegisterCounts
+from repro.bytecode.vm import WVM
+from repro.errors import WolframAbort, WolframRuntimeError
+from repro.mexpr.expr import MExpr, MExprNormal
+from repro.mexpr.symbols import S, to_mexpr
+
+
+@dataclass
+class CompiledFunction:
+    versions: tuple[int, int, int]
+    argument_types: list[str]
+    argument_names: list[str]
+    constants: list
+    register_counts: RegisterCounts
+    register_total: int
+    instructions: list[Instruction]
+    source_specs: MExpr
+    source_body: MExpr
+    result_type: str
+    #: set when the function is hosted inside an engine session
+    evaluator: Optional[object] = field(default=None, repr=False)
+    #: statistics for tests: how often the soft fallback fired
+    fallback_count: int = 0
+
+    # -- serialization fidelity -------------------------------------------------
+
+    def input_form(self) -> str:
+        """The §2.2 ``InputForm`` rendering of the serialized function."""
+        from repro.mexpr.printer import input_form
+
+        type_names = {"b": "True|False", "i": "_Integer", "r": "_Real",
+                      "c": "_Complex"}
+        arg_list = ", ".join(
+            type_names.get(t, "_Real") for t in self.argument_types
+        )
+        lines = [
+            "CompiledFunction[",
+            f"  {{{self.versions[0]}, {self.versions[1]}, {self.versions[2]}}},"
+            "(* Compiler, Engine Version, and Compile Flags *)",
+            f"  {{{arg_list}}}, (* Input Arguments *)",
+            f"  {self.register_counts.encode()}, (* Register Allocations *)",
+            "  {",
+        ]
+        for instruction in self.instructions:
+            lines.append(f"    {instruction.encode()}, (* {instruction} *)")
+        lines.append("  },")
+        lines.append(f"  (* {input_form(self.source_body)} *)")
+        lines.append("]")
+        return "\n".join(lines)
+
+    # -- execution ----------------------------------------------------------------
+
+    def __call__(self, *arguments):
+        from repro.bytecode.compiler import (
+            BYTECODE_COMPILER_VERSION,
+            WVM_ENGINE_VERSION,
+            BytecodeCompiler,
+        )
+
+        # Version check (§2.2): stale artifacts recompile from the source.
+        if self.versions[0] != BYTECODE_COMPILER_VERSION or (
+            self.versions[1] != WVM_ENGINE_VERSION
+        ):
+            fresh = BytecodeCompiler().compile(self.source_specs, self.source_body)
+            self.constants = fresh.constants
+            self.instructions = fresh.instructions
+            self.register_total = fresh.register_total
+            self.register_counts = fresh.register_counts
+            self.versions = fresh.versions
+
+        boxed = self._check_and_box(arguments)
+        abort_poll = None
+        if self.evaluator is not None:
+            abort_poll = self.evaluator.abort_pending
+        machine = WVM(abort_poll=abort_poll, evaluator=self.evaluator)
+        try:
+            result = machine.run(
+                self.instructions, self.constants, boxed, self.register_total
+            )
+        except WolframAbort:
+            raise
+        except WolframRuntimeError as error:
+            return self._fallback(arguments, error)
+        if isinstance(result, BoxedTensor):
+            return result.to_nested()
+        return result
+
+    def _check_and_box(self, arguments) -> list:
+        if len(arguments) != len(self.argument_types):
+            raise WolframRuntimeError(
+                "ArgumentCount",
+                f"expected {len(self.argument_types)} arguments, "
+                f"got {len(arguments)}",
+            )
+        boxed = []
+        for value, type_char in zip(arguments, self.argument_types):
+            if type_char.startswith("T"):
+                if not isinstance(value, (list, tuple)):
+                    raise WolframRuntimeError("TypeMismatch", "expected a list")
+                # copy-on-read: inputs are boxed into a private copy (F5)
+                boxed.append(BoxedTensor.from_nested(value, type_char[1:]))
+            elif type_char == "i":
+                if isinstance(value, bool) or not isinstance(value, int):
+                    raise WolframRuntimeError(
+                        "TypeMismatch", f"{value!r} is not a machine integer"
+                    )
+                boxed.append(value)
+            elif type_char == "r":
+                if not isinstance(value, (int, float)):
+                    raise WolframRuntimeError(
+                        "TypeMismatch", f"{value!r} is not a real"
+                    )
+                boxed.append(float(value))
+            elif type_char == "c":
+                boxed.append(complex(value))
+            elif type_char == "b":
+                boxed.append(bool(value))
+            else:  # pragma: no cover
+                boxed.append(value)
+        return boxed
+
+    def _fallback(self, arguments, error: WolframRuntimeError):
+        """Soft failure (F2): re-evaluate with the interpreter."""
+        self.fallback_count += 1
+        if self.evaluator is None:
+            raise error
+        self.evaluator.message(
+            "CompiledFunction: CompiledFunction operation encountered a "
+            f"runtime error ({error.kind}); reverting to uncompiled evaluation."
+        )
+        from repro.engine.patterns import substitute
+
+        bindings = {
+            name: to_mexpr(value)
+            for name, value in zip(self.argument_names, arguments)
+        }
+        result = self.evaluator.evaluate(
+            substitute(self.source_body, bindings)
+        )
+        try:
+            return result.to_python()
+        except ValueError:
+            return result
+
+
+def compile_function(specs: MExpr, body: MExpr, evaluator=None) -> CompiledFunction:
+    """Convenience wrapper: compile and attach a host evaluator."""
+    from repro.bytecode.compiler import BytecodeCompiler
+
+    function = BytecodeCompiler().compile(specs, body)
+    function.evaluator = evaluator
+    return function

@@ -1,0 +1,157 @@
+"""The WVM instruction set.
+
+§2.2 shows the serialized ``CompiledFunction`` the bytecode compiler
+produces: numbered opcodes over allocated registers (``{40, 1, 3, 0, 0, 3,
+0, 1}`` is "Sin Op" reading one register and writing another).  We model the
+same register machine with a structured instruction class; ``encode`` emits
+the numeric form for serialization fidelity.
+
+The instruction set covers the paper's description: ~200 numerical source
+functions lower onto this much smaller opcode vocabulary; everything else is
+either interpreter-escaped (``EVAL_EXPR``) or rejected at compile time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class Op(enum.IntEnum):
+    """WVM opcodes.  Numbering groups by function, as in the paper's dump."""
+
+    # data movement (1-9)
+    LOAD_ARG = 1
+    LOAD_CONST = 2
+    MOVE = 3
+
+    # binary arithmetic (13-29); 13 is "Plus Op" in the paper's dump
+    ADD = 13
+    SUB = 14
+    MUL = 15
+    DIV = 16
+    POW = 17
+    MOD = 18
+    QUOT = 19
+    MIN = 20
+    MAX = 21
+    ATAN2 = 22
+
+    # comparison & logic (30-39)
+    LT = 30
+    LE = 31
+    GT = 32
+    GE = 33
+    EQ = 34
+    NE = 35
+    AND = 36
+    OR = 37
+    XOR = 38
+    NOT = 39
+
+    # unary math (40): the paper encodes these as {40, <math-code>, ...}
+    MATH_UNARY = 40
+
+    # bit operations (45-49)
+    BIT_AND = 45
+    BIT_OR = 46
+    BIT_XOR = 47
+    BIT_SHL = 48
+    BIT_SHR = 49
+
+    # tensors (50-69): boxed arrays with copy-on-read
+    TENSOR_GET = 50
+    TENSOR_SET = 51
+    TENSOR_LENGTH = 52
+    TENSOR_CREATE = 53
+    TENSOR_COPY = 54
+    TENSOR_FROM_REGS = 55
+    TENSOR_DOT = 56
+    TENSOR_TOTAL = 57
+    TENSOR_DIM = 58
+
+    # control (70-79)
+    JUMP = 70
+    JUMP_IF = 71
+    JUMP_IF_NOT = 72
+    RETURN = 1_000  # the paper's dump uses {1} for Return; we keep it distinct
+
+    # runtime services (80-89)
+    EVAL_EXPR = 80  # escape to the interpreter for unsupported expressions
+    CAST_REAL = 81
+    CAST_INT = 82
+    RANDOM_REAL = 83
+    RANDOM_INT = 84
+
+
+#: sub-codes for MATH_UNARY, matching "{40, 1, ...} Sin" / "{40, 32, ...} Exp"
+MATH_CODES = {
+    "Sin": 1, "Cos": 2, "Tan": 3, "ArcSin": 4, "ArcCos": 5, "ArcTan": 6,
+    "Sinh": 7, "Cosh": 8, "Tanh": 9, "Log": 16, "Log2": 17, "Log10": 18,
+    "Sqrt": 24, "Exp": 32, "Abs": 40, "Floor": 41, "Ceiling": 42,
+    "Round": 43, "Sign": 44, "Neg": 45, "Re": 46, "Im": 47, "Conjugate": 48,
+    "Arg": 49,
+}
+
+MATH_CODE_NAMES = {code: name for name, code in MATH_CODES.items()}
+
+
+@dataclass
+class Instruction:
+    """One WVM instruction: an opcode plus operand fields.
+
+    ``target`` and register operands are register indices; ``operands`` may
+    also hold constant-pool indices, jump targets, or a math sub-code,
+    depending on the opcode.
+    """
+
+    op: Op
+    target: int = -1
+    operands: tuple = ()
+    #: for EVAL_EXPR: (expression, [(variable name, register), ...])
+    payload: Any = None
+
+    def encode(self) -> list[int]:
+        """The numeric serialized form (§2.2's ``{40, 1, 3, 0, 0, ...}``)."""
+        body = [int(self.op)]
+        if self.op == Op.MATH_UNARY:
+            body.append(self.operands[0])  # math sub-code
+            body.extend([3, 0, self.operands[1], 3, 0, self.target])
+            return body
+        if self.op == Op.RETURN:
+            return [1]
+        body.append(self.target)
+        for operand in self.operands:
+            body.append(int(operand))
+        return body
+
+    def __str__(self) -> str:
+        if self.op == Op.MATH_UNARY:
+            name = MATH_CODE_NAMES.get(self.operands[0], "?")
+            return f"r{self.target} = {name}(r{self.operands[1]})"
+        if self.op == Op.RETURN:
+            return f"Return r{self.operands[0]}" if self.operands else "Return"
+        if self.op in (Op.JUMP, Op.JUMP_IF, Op.JUMP_IF_NOT):
+            condition = f" r{self.operands[1]}" if len(self.operands) > 1 else ""
+            return f"{self.op.name} ->{self.operands[0]}{condition}"
+        return f"r{self.target} = {self.op.name}{self.operands}"
+
+
+@dataclass
+class RegisterCounts:
+    """Per-type register pool sizes, as serialized in the paper's dump
+    (``{0, 0, 3, 0, 0}`` = booleans, integers, reals, complexes, tensors)."""
+
+    boolean: int = 0
+    integer: int = 0
+    real: int = 0
+    complex: int = 0
+    tensor: int = 0
+
+    def encode(self) -> list[int]:
+        return [self.boolean, self.integer, self.real, self.complex, self.tensor]
+
+    @property
+    def total(self) -> int:
+        return sum(self.encode())

@@ -1,0 +1,56 @@
+"""WVM register allocation.
+
+§2.2: "register allocation is performed to reduce the total number of
+virtual machine registers required."  The allocator hands out registers from
+per-type free lists; the compiler frees temporaries as soon as their value
+is consumed, so straight-line arithmetic reuses a small register set instead
+of growing one per intermediate.  Named locals stay pinned until their scope
+closes.
+"""
+
+from __future__ import annotations
+
+from repro.bytecode.instructions import RegisterCounts
+
+_TYPE_FIELD = {"b": "boolean", "i": "integer", "r": "real", "c": "complex",
+               "T": "tensor"}
+
+
+class RegisterAllocator:
+    def __init__(self):
+        self._next = 0
+        self._free: dict[str, list[int]] = {"b": [], "i": [], "r": [], "c": [], "T": []}
+        self._type_of: dict[int, str] = {}
+        self._counts = RegisterCounts()
+
+    @staticmethod
+    def _pool(type_char: str) -> str:
+        return "T" if type_char.startswith("T") else type_char
+
+    def alloc(self, type_char: str) -> int:
+        pool = self._pool(type_char)
+        free = self._free[pool]
+        if free:
+            register = free.pop()
+        else:
+            register = self._next
+            self._next += 1
+            field = _TYPE_FIELD[pool]
+            setattr(self._counts, field, getattr(self._counts, field) + 1)
+        self._type_of[register] = pool
+        return register
+
+    def free(self, register: int) -> None:
+        pool = self._type_of.get(register)
+        if pool is None:
+            return
+        free = self._free[pool]
+        if register not in free:
+            free.append(register)
+
+    def counts(self) -> RegisterCounts:
+        return self._counts
+
+    @property
+    def total(self) -> int:
+        return self._next

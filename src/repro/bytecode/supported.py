@@ -1,0 +1,90 @@
+"""The bytecode compiler's supported-function table.
+
+§1/§2.2: the bytecode compiler "supports around 200 commonly used functions
+(mainly numerical computation ...)".  This module is that table: source
+functions the single forward pass can translate, split by how they lower.
+Anything outside the table either escapes to the interpreter at runtime
+(pure numeric expressions whose arguments are compilable) or aborts
+compilation (structural features the VM cannot represent at all: strings,
+function values, symbolic expressions — limitations L1).
+"""
+
+from __future__ import annotations
+
+from repro.bytecode.instructions import MATH_CODES, Op
+
+#: binary source functions lowering to a single binary opcode
+BINARY_OPS = {
+    "Plus": Op.ADD,
+    "Subtract": Op.SUB,
+    "Times": Op.MUL,
+    "Divide": Op.DIV,
+    "Power": Op.POW,
+    "Mod": Op.MOD,
+    "Quotient": Op.QUOT,
+    "Min": Op.MIN,
+    "Max": Op.MAX,
+    "BitAnd": Op.BIT_AND,
+    "BitOr": Op.BIT_OR,
+    "BitXor": Op.BIT_XOR,
+    "BitShiftLeft": Op.BIT_SHL,
+    "BitShiftRight": Op.BIT_SHR,
+}
+
+COMPARISON_OPS = {
+    "Less": Op.LT,
+    "LessEqual": Op.LE,
+    "Greater": Op.GT,
+    "GreaterEqual": Op.GE,
+    "Equal": Op.EQ,
+    "Unequal": Op.NE,
+    "SameQ": Op.EQ,
+    "UnsameQ": Op.NE,
+}
+
+#: unary source functions lowering to MATH_UNARY with a sub-code
+UNARY_MATH = dict(MATH_CODES)
+
+#: structured constructs the compiler lowers to control flow
+STRUCTURED = {
+    "If", "While", "For", "Do", "Module", "Block", "With",
+    "CompoundExpression", "Set", "Increment", "Decrement", "PreIncrement",
+    "PreDecrement", "AddTo", "SubtractFrom", "TimesBy", "DivideBy",
+    "And", "Or", "Not", "Xor", "Return", "Break", "Continue",
+    "Table", "Map", "Fold", "NestList", "Nest", "Sum",
+}
+
+#: list/tensor functions with direct opcode support
+TENSOR_FUNCTIONS = {
+    "Part", "Length", "List", "Dot", "Total", "ConstantArray", "Range",
+    "RandomReal", "RandomInteger",
+}
+
+#: predicates translated to comparisons against literals
+PREDICATES = {"EvenQ", "OddQ", "IntegerQ", "Positive", "Negative", "TrueQ"}
+
+#: type patterns accepted in Compile[{{x, _Integer}, ...}] argument specs
+ARGUMENT_TYPE_PATTERNS = {
+    "_Integer": "i",
+    "_Real": "r",
+    "_Complex": "c",
+    "True|False": "b",
+}
+
+#: features the VM cannot represent at all -> hard compile errors (L1)
+UNSUPPORTED_FEATURES = {
+    "String": "strings are not supported by the bytecode compiler",
+    "StringJoin": "strings are not supported by the bytecode compiler",
+    "StringLength": "strings are not supported by the bytecode compiler",
+    "StringTake": "strings are not supported by the bytecode compiler",
+    "ToCharacterCode": "strings are not supported by the bytecode compiler",
+    "FunctionValue": "function values cannot be represented in bytecode",
+    "Expression": "symbolic expressions cannot be represented in bytecode",
+}
+
+
+def supported_function_names() -> set[str]:
+    """Every source-level function the bytecode compiler can translate."""
+    names = set(BINARY_OPS) | set(COMPARISON_OPS) | set(UNARY_MATH)
+    names |= STRUCTURED | TENSOR_FUNCTIONS | PREDICATES
+    return names

@@ -1,0 +1,46 @@
+"""The new Wolfram Language compiler (§4): a staged pipeline
+``MExpr -> WIR -> TWIR -> codegen`` with a hygienic macro system, a
+constraint-based type system with classes and qualifiers, SSA optimization
+passes, and pluggable backends.
+"""
+
+from repro.compiler.api import (
+    CompileToAST,
+    CompileToIR,
+    CompiledCodeFunction,
+    FunctionCompile,
+    FunctionCompileExportLibrary,
+    FunctionCompileExportString,
+    LibraryFunctionLoad,
+    disable_auto_compilation,
+    enable_auto_compilation,
+    install_engine_support,
+)
+from repro.compiler.macros import (
+    MacroEnvironment,
+    MacroExpander,
+    default_macro_environment,
+    register_macro,
+)
+from repro.compiler.options import CompilerOptions
+from repro.compiler.pipeline import CompilerPipeline, UserPass
+from repro.compiler.types.builtin_env import default_environment
+from repro.compiler.types.environment import TypeEnvironment
+from repro.compiler.types.specifier import (
+    fn,
+    forall,
+    parse_type_specifier,
+    tensor,
+    ty,
+)
+
+__all__ = [
+    "CompileToAST", "CompileToIR", "CompiledCodeFunction", "CompilerOptions",
+    "CompilerPipeline", "FunctionCompile", "FunctionCompileExportLibrary",
+    "FunctionCompileExportString", "LibraryFunctionLoad", "MacroEnvironment",
+    "MacroExpander", "TypeEnvironment", "UserPass",
+    "default_environment", "default_macro_environment",
+    "disable_auto_compilation", "enable_auto_compilation", "fn", "forall",
+    "install_engine_support", "parse_type_specifier", "register_macro",
+    "tensor", "ty",
+]

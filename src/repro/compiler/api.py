@@ -1,0 +1,608 @@
+"""The compiler's public API (§4.1, §4.6, Appendix A).
+
+* :func:`FunctionCompile` — compile a ``Function[{Typed[x, t], ...}, body]``
+  (given as an MExpr or Wolfram source text) into a
+  :class:`CompiledCodeFunction`;
+* :func:`CompileToAST` / :func:`CompileToIR` — inspect intermediate stages
+  (``["toString"]`` mirrors the appendix transcripts);
+* :func:`FunctionCompileExportString` — textual code for a chosen backend;
+* :func:`FunctionCompileExportLibrary` / :func:`LibraryFunctionLoad` —
+  ahead-of-time export to a standalone module and reloading (F10).
+
+``CompiledCodeFunction`` implements the paper's runtime contract: argument
+unpack/check/pack (§4.5 boxing), abortable execution when hosted (F3), and
+the soft numeric failure path — on a runtime error it prints the paper's
+warning and re-evaluates through the interpreter with arbitrary precision
+(F2, the ``cfib[200]`` transcript).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+from repro.compiler.codegen.python_backend import PythonBackend, sanitize
+from repro.compiler.macros import MacroEnvironment
+from repro.compiler.options import CompilerOptions
+from repro.compiler.pipeline import CompilerPipeline, UserPass
+from repro.compiler.types.environment import TypeEnvironment
+from repro.compiler.types.specifier import (
+    AtomicType,
+    CompoundType,
+    FunctionType,
+    Type,
+    python_check,
+)
+from repro.compiler.wir.function_module import ProgramModule
+from repro.errors import (
+    CompilerError,
+    ReproError,
+    WolframAbort,
+    WolframRuntimeError,
+)
+from repro.mexpr.atoms import MSymbol
+from repro.mexpr.expr import MExpr, MExprNormal
+from repro.mexpr.parser import parse
+from repro.mexpr.printer import input_form
+from repro.mexpr.symbols import S, to_mexpr
+from repro.runtime.abort import attach_abort_source
+from repro.runtime.packed import PackedArray
+
+FunctionLike = Union[MExpr, str]
+
+
+def _as_function(function: FunctionLike) -> MExpr:
+    if isinstance(function, str):
+        return parse(function)
+    return function
+
+
+class StageWrapper:
+    """Appendix-style access: ``CompileToIR(f)["toString"]``."""
+
+    def __init__(self, payload, renderers: dict[str, Any]):
+        self.payload = payload
+        self._renderers = renderers
+
+    def __getitem__(self, key: str):
+        renderer = self._renderers.get(key)
+        if renderer is None:
+            raise KeyError(key)
+        return renderer()
+
+
+def CompileToAST(
+    function: FunctionLike,
+    macro_environment: Optional[MacroEnvironment] = None,
+    **option_rules,
+) -> StageWrapper:
+    """The macro-expanded AST (§A.6.1)."""
+    pipeline = _pipeline(None, macro_environment, option_rules)
+    expanded = pipeline.expand_macros(_as_function(function))
+    return StageWrapper(
+        expanded,
+        {
+            "toString": lambda: input_form(expanded),
+            "toExpression": lambda: expanded,
+        },
+    )
+
+
+def CompileToIR(
+    function: FunctionLike,
+    type_environment: Optional[TypeEnvironment] = None,
+    macro_environment: Optional[MacroEnvironment] = None,
+    constants: Optional[dict] = None,
+    **option_rules,
+) -> StageWrapper:
+    """The WIR/TWIR program module (§A.6.2–A.6.3).
+
+    ``OptimizationLevel=None`` (or 0) shows the raw lowered WIR; default
+    options show the resolved, optimized TWIR.
+    """
+    pipeline = _pipeline(type_environment, macro_environment, option_rules)
+    program = pipeline.compile_program(
+        _as_function(function), constants=constants
+    )
+    return StageWrapper(
+        program,
+        {
+            "toString": program.to_string,
+            "program": lambda: program,
+            "passTimings": lambda: program.metadata.get("passTimings", []),
+        },
+    )
+
+
+def _pipeline(type_environment, macro_environment, option_rules,
+              user_passes=None) -> CompilerPipeline:
+    if option_rules and set(option_rules) == {"options"} and isinstance(
+        option_rules["options"], CompilerOptions
+    ):
+        options = option_rules["options"]
+    elif option_rules:
+        options = CompilerOptions.from_wolfram(option_rules)
+    else:
+        options = CompilerOptions()
+    return CompilerPipeline(
+        type_environment=type_environment,
+        macro_environment=macro_environment,
+        options=options,
+        user_passes=user_passes,
+    )
+
+
+class CompiledCodeFunction:
+    """The callable artifact of :func:`FunctionCompile` (§4.6)."""
+
+    def __init__(
+        self,
+        program: ProgramModule,
+        namespace: dict,
+        signature: FunctionType,
+        source_function: MExpr,
+        evaluator=None,
+        options: Optional[CompilerOptions] = None,
+    ):
+        self.program = program
+        self.namespace = namespace
+        self.signature = signature
+        self.source_function = source_function
+        self.evaluator = evaluator
+        self.options = options or CompilerOptions()
+        self._entry = namespace[sanitize(program.main)]
+        self.fallback_count = 0
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def generated_source(self) -> str:
+        return self.namespace.get("__wolfram_source__", "")
+
+    @property
+    def profile_counts(self) -> dict:
+        """Per-primitive execution counters; populated when compiled with
+        ``Profile -> True`` (the §A.6.2 Information flag)."""
+        return self.namespace.get("_prof", {})
+
+    def input_form(self) -> str:
+        params = ", ".join(str(p) for p in self.signature.params)
+        return (
+            f"CompiledCodeFunction[{{{params}}} -> {self.signature.result}, "
+            f"{input_form(self.source_function)}]"
+        )
+
+    def __repr__(self) -> str:
+        return f"CompiledCodeFunction[<{self.program.main}>]"
+
+    # -- the boxing boundary (§4.5) ---------------------------------------------------
+
+    def _unpack(self, arguments: tuple) -> list:
+        declared = self.signature.params
+        if len(arguments) != len(declared):
+            raise WolframRuntimeError(
+                "ArgumentCount",
+                f"expected {len(declared)} arguments, got {len(arguments)}",
+            )
+        unpacked = []
+        for value, type_ in zip(arguments, declared):
+            unpacked.append(self._unpack_one(value, type_))
+        return unpacked
+
+    def _unpack_one(self, value, type_: Type):
+        if isinstance(value, MExpr) and not (
+            isinstance(type_, AtomicType) and type_.name == "Expression"
+        ):
+            try:
+                value = value.to_python()
+            except ValueError:
+                pass
+        if isinstance(type_, AtomicType) and type_.name == "Expression":
+            return to_mexpr(value) if not isinstance(value, MExpr) else value
+        if isinstance(type_, CompoundType) and type_.constructor == "Tensor":
+            element = getattr(type_.params[0], "name", "Real64")
+            if isinstance(value, PackedArray):
+                return value
+            if isinstance(value, (list, tuple)):
+                import numpy as np
+
+                if isinstance(value, np.ndarray):  # pragma: no cover
+                    return PackedArray.from_numpy(value)
+                return PackedArray.from_nested(list(value), element)
+            try:
+                import numpy as np
+
+                if isinstance(value, np.ndarray):
+                    return PackedArray.from_numpy(value)
+            except ImportError:  # pragma: no cover
+                pass
+            raise WolframRuntimeError(
+                "TypeMismatch", f"{value!r} is not a tensor"
+            )
+        if not python_check(type_, value):
+            raise WolframRuntimeError(
+                "TypeMismatch", f"{value!r} does not match {type_}"
+            )
+        if isinstance(type_, AtomicType) and type_.name == "Real64":
+            return float(value)
+        if isinstance(type_, AtomicType) and type_.name.startswith("Integer"):
+            from repro.runtime.checked import check_int64
+
+            return check_int64(int(value))
+        return value
+
+    # -- execution -------------------------------------------------------------------
+
+    def __call__(self, *arguments):
+        try:
+            unpacked = self._unpack(arguments)
+        except WolframRuntimeError as error:
+            return self._soft_failure(arguments, error)
+        attached = False
+        if self.evaluator is not None:
+            attach_abort_source(self.evaluator.abort_pending)
+            attached = True
+        try:
+            return _repack(self._entry(*unpacked))
+        except WolframAbort:
+            raise
+        except (WolframRuntimeError, ValueError, ZeroDivisionError,
+                OverflowError, IndexError) as error:
+            return self._soft_failure(arguments, error)
+        finally:
+            if attached:
+                attach_abort_source(None)
+
+    def _soft_failure(self, arguments, error):
+        """F2: print the paper's warning and revert to the interpreter."""
+        self.fallback_count += 1
+        if self.evaluator is None:
+            raise error if isinstance(error, ReproError) else (
+                WolframRuntimeError("RuntimeError", str(error))
+            )
+        kind = getattr(error, "kind", type(error).__name__)
+        self.evaluator.message(
+            "CompiledCodeFunction: A compiled code runtime error occurred; "
+            f"reverting to uncompiled evaluation: {kind}"
+        )
+        call = MExprNormal(
+            self.source_function, [to_mexpr(a) for a in arguments]
+        )
+        result = self.evaluator.evaluate(call)
+        try:
+            return result.to_python()
+        except ValueError:
+            return result
+
+    # -- persistence (the §2.2 versioned-artifact behaviour, F10) ---------------------
+
+    #: compiler version serialized into saved artifacts; stale artifacts
+    #: recompile from their stored input function, as §2.2 specifies
+    COMPILER_VERSION = "1.0.1.0"
+
+    def save(self, path: str) -> str:
+        """Serialize this compiled function (source + version + options)."""
+        import json
+
+        from repro.mexpr.serialize import to_wire
+
+        payload = {
+            "compilerVersion": self.COMPILER_VERSION,
+            "inputFunction": to_wire(self.source_function),
+            "generatedSource": self.generated_source,
+            "options": {
+                "AbortHandling": self.options.abort_handling,
+                "InlinePolicy": self.options.inline_policy,
+                "OptimizationLevel": self.options.optimization_level,
+            },
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        return path
+
+    @classmethod
+    def load(cls, path: str, evaluator=None) -> "CompiledCodeFunction":
+        """Load a saved artifact; version mismatches recompile from the
+        stored input function (the paper's CompiledFunction behaviour)."""
+        import json
+
+        from repro.mexpr.serialize import from_wire
+
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        source_function = from_wire(payload["inputFunction"])
+        # any version skew — or simply loading into a fresh process, where
+        # the cached namespace is gone — recompiles from source
+        return FunctionCompile(source_function, evaluator=evaluator)
+
+    # -- hosting ----------------------------------------------------------------------
+
+    def install(self, evaluator, name: str) -> None:
+        """Bind this compiled function to a symbol in an engine session (F1);
+        required for self-recursive fallback (``cfib``)."""
+        self.evaluator = evaluator
+        handle = _register_with_engine(evaluator, self)
+        evaluator.state.set_own_value(
+            name, MExprNormal(S.CompiledCodeFunction, [to_mexpr(handle)])
+        )
+
+    def _kernel_call(self, expression_spec, argument_values: tuple):
+        """The KernelFunction escape hatch used by generated code (F9)."""
+        if self.evaluator is None:
+            raise WolframRuntimeError(
+                "NoKernel", "interpreter escape without a host engine"
+            )
+        expression, variable_names, result_type = expression_spec
+        from repro.engine.patterns import substitute
+
+        bindings = {}
+        for name, value in zip(variable_names, argument_values):
+            if isinstance(value, PackedArray):
+                value = value.to_nested()
+            bindings[name] = to_mexpr(value)
+        result = self.evaluator.evaluate(substitute(expression, bindings))
+        return _convert_kernel_result(result, result_type)
+
+
+def _convert_kernel_result(result, result_type):
+    """Convert an interpreter result back to the machine type a
+    ``Typed[KernelFunction[...], ...]`` annotation promised (F9)."""
+    if result_type is None or (
+        isinstance(result_type, AtomicType) and result_type.name == "Expression"
+    ):
+        return result
+    try:
+        value = result.to_python()
+    except (ValueError, AttributeError):
+        raise WolframRuntimeError(
+            "KernelResultType",
+            f"interpreter returned non-{result_type} value {result}",
+        ) from None
+    if isinstance(result_type, CompoundType):
+        element = getattr(result_type.params[0], "name", "Real64")
+        return PackedArray.from_nested(value, element)
+    if isinstance(result_type, AtomicType):
+        name = result_type.name
+        if name.startswith("Integer") or name.startswith("UnsignedInteger"):
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise WolframRuntimeError(
+                    "KernelResultType", f"{value!r} is not an integer"
+                )
+            return value
+        if name.startswith("Real"):
+            return float(value)
+        if name == "Boolean":
+            return bool(value)
+        if name == "String":
+            return str(value)
+    return result
+
+
+def _repack(result):
+    """Pack a tensor-of-tensors result into one rectangular PackedArray,
+    the way the engine packs rank-n output (e.g. NestList over vectors)."""
+    if isinstance(result, PackedArray) and result.data and isinstance(
+        result.data[0], PackedArray
+    ):
+        return PackedArray.from_nested(
+            [element.to_nested() for element in result.data],
+            result.data[0].element_type,
+        )
+    return result
+
+
+def FunctionCompile(
+    function: FunctionLike,
+    evaluator=None,
+    type_environment: Optional[TypeEnvironment] = None,
+    macro_environment: Optional[MacroEnvironment] = None,
+    constants: Optional[dict] = None,
+    user_passes: Optional[list[UserPass]] = None,
+    options: Optional[CompilerOptions] = None,
+    bind: Optional[str] = None,
+    **option_rules,
+) -> CompiledCodeFunction:
+    """Compile a function to native (generated-Python) code (§4.1)."""
+    if options is not None and option_rules:
+        raise CompilerError("pass either options= or WL-style option rules")
+    pipeline = _pipeline(
+        type_environment, macro_environment,
+        {"options": options} if options is not None else option_rules,
+        user_passes=user_passes,
+    )
+    source_function = _as_function(function)
+    program = pipeline.compile_program(source_function, constants=constants)
+
+    if pipeline.options.target_system == "WVM":
+        # F4: target the existing virtual machine instead of the JIT
+        from repro.compiler.codegen.wvm_backend import WVMBackend
+
+        artifact = WVMBackend(program, pipeline.options).compile_main()
+        artifact.evaluator = evaluator
+        return artifact
+
+    backend = PythonBackend(program, pipeline.options)
+    compiled_holder: dict[str, CompiledCodeFunction] = {}
+
+    def kernel_call(expression_spec, argument_values):
+        return compiled_holder["fn"]._kernel_call(
+            expression_spec, argument_values
+        )
+
+    namespace = backend.compile(kernel_call=kernel_call)
+    main = program.main_function()
+    signature = FunctionType(
+        tuple(p.type for p in main.parameters), main.result_type
+    )
+    compiled = CompiledCodeFunction(
+        program=program,
+        namespace=namespace,
+        signature=signature,
+        source_function=source_function,
+        evaluator=evaluator,
+        options=pipeline.options,
+    )
+    compiled_holder["fn"] = compiled
+    if bind is not None:
+        if evaluator is None:
+            raise CompilerError("bind= requires an evaluator")
+        compiled.install(evaluator, bind)
+    return compiled
+
+
+def FunctionCompileExportString(
+    function: FunctionLike,
+    target: str = "Python",
+    type_environment: Optional[TypeEnvironment] = None,
+    constants: Optional[dict] = None,
+    **option_rules,
+) -> str:
+    """Textual code for a backend: 'Python', 'C', 'IR', or 'WVM' (§A.6.4-5).
+
+    The paper's LLVM/Assembler targets map onto our Python and C backends —
+    the substitution table in DESIGN.md records why.
+    """
+    pipeline = _pipeline(type_environment, None, option_rules)
+    program = pipeline.compile_program(
+        _as_function(function), constants=constants
+    )
+    if target in ("Python", "LLVM"):
+        return PythonBackend(program, pipeline.options).generate_source(
+            standalone=True
+        )
+    if target in ("C", "C++"):
+        from repro.compiler.codegen.c_backend import CBackend
+
+        return CBackend(program, pipeline.options).generate_source()
+    if target in ("JavaScript", "JS", "WebAssembly"):
+        # F4's cloud-deployment targets; WebAssembly ships as JS here (the
+        # substitution table in DESIGN.md)
+        from repro.compiler.codegen.js_backend import JSBackend
+
+        return JSBackend(program, pipeline.options).generate_source()
+    if target == "IR":
+        return program.to_string()
+    if target in ("WVM", "Assembler"):
+        from repro.compiler.codegen.wvm_backend import WVMBackend
+
+        return WVMBackend(program, pipeline.options).generate_listing()
+    raise CompilerError(f"unknown export target {target!r}")
+
+
+def FunctionCompileExportLibrary(
+    path: str,
+    function: FunctionLike,
+    **option_rules,
+) -> str:
+    """Ahead-of-time export to a standalone importable module (F10)."""
+    source = FunctionCompileExportString(function, "Python", **option_rules)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(source)
+    return path
+
+
+def LibraryFunctionLoad(path: str):
+    """Load a library produced by :func:`FunctionCompileExportLibrary`."""
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location("wolfram_library", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)  # type: ignore[union-attr]
+    return module.Main
+
+
+# -- engine hosting (F1) ----------------------------------------------------------------
+
+_ENGINE_TABLE_KEY = "compiled_code_functions"
+
+
+def _register_with_engine(evaluator, compiled: CompiledCodeFunction) -> int:
+    table = evaluator.extensions.setdefault(_ENGINE_TABLE_KEY, {})
+    handle = len(table) + 1
+    table[handle] = compiled
+    return handle
+
+
+def install_engine_support(evaluator) -> None:
+    """Teach an engine session FunctionCompile + CompiledCodeFunction (F1)
+    and auto-compilation for numerical solvers (§1's FindRoot speedup)."""
+    from repro.engine.builtins import HEAD_APPLICATORS
+
+    HEAD_APPLICATORS["CompiledCodeFunction"] = _apply_compiled_code_function
+    evaluator.extensions.setdefault(_ENGINE_TABLE_KEY, {})
+    enable_auto_compilation(evaluator)
+
+
+def _apply_compiled_code_function(evaluator, head: MExpr, arguments: list):
+    from repro.engine.builtins.support import as_number
+
+    handle = as_number(head.args[0]) if head.args else None
+    compiled = evaluator.extensions.get(_ENGINE_TABLE_KEY, {}).get(handle)
+    if compiled is None:
+        return None
+    python_arguments = []
+    for argument in arguments:
+        try:
+            python_arguments.append(argument.to_python())
+        except ValueError:
+            python_arguments.append(argument)
+    result = compiled(*python_arguments)
+    if isinstance(result, PackedArray):
+        return to_mexpr(result.to_nested())
+    if isinstance(result, MExpr):
+        return result
+    return to_mexpr(result)
+
+
+def enable_auto_compilation(evaluator) -> None:
+    """Install the auto-compile hook used by FindRoot and friends (§1)."""
+    from repro.engine.numerics.findroot import AUTO_COMPILE_HOOK
+
+    cache: dict = {}
+
+    def hook(equation: MExpr, variable, result_type: str):
+        key = (equation, variable.name, result_type)
+        if key not in cache:
+            typed_param = MExprNormal(
+                S.Typed, [MSymbol(variable.name), to_mexpr("Real64")]
+            )
+            fn = MExprNormal(
+                S.Function,
+                [MExprNormal(S.List, [typed_param]), equation],
+            )
+            cache[key] = FunctionCompile(fn, evaluator=evaluator)
+        return cache[key]
+
+    evaluator.extensions[AUTO_COMPILE_HOOK] = hook
+
+
+def disable_auto_compilation(evaluator) -> None:
+    from repro.engine.numerics.findroot import AUTO_COMPILE_HOOK
+
+    evaluator.extensions.pop(AUTO_COMPILE_HOOK, None)
+
+
+# -- the engine-side FunctionCompile builtin -----------------------------------------------
+
+
+def _register_function_compile_builtin() -> None:
+    from repro.engine.attributes import HOLD_ALL
+    from repro.engine.builtins.support import builtin
+
+    @builtin("FunctionCompile", HOLD_ALL)
+    def function_compile_builtin(evaluator, expression):
+        if len(expression.args) != 1:
+            return None
+        function = evaluator.evaluate(
+            MExprNormal(S.Hold, [expression.args[0]])
+        ).args[0]
+        compiled = FunctionCompile(function, evaluator=evaluator)
+        handle = _register_with_engine(evaluator, compiled)
+        install_engine_support(evaluator)
+        return MExprNormal(S.CompiledCodeFunction, [to_mexpr(handle)])
+
+    @builtin("KernelFunction", HOLD_ALL)
+    def kernel_function_builtin(evaluator, expression):
+        return None  # inert marker; consumed by the compiler's lowering
+
+
+_register_function_compile_builtin()

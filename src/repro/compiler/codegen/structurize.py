@@ -1,0 +1,318 @@
+"""CFG structurization for gotoless targets (§4.6).
+
+The Python backend needs structured control flow.  Lowering produces
+reducible CFGs (If diamonds, single-header loops with breaks), and the
+optimization passes preserve reducibility, so a dominator/postdominator-
+driven reconstruction suffices; anything it cannot prove structured falls
+back to the backend's state-machine dispatch loop.
+
+The result is an emission *plan* — a tree of regions — that the backend
+walks to print code:
+
+* ``SeqNode``: a linear run of block bodies;
+* ``IfNode``: a conditional with two arm plans and a join;
+* ``LoopNode``: a natural loop (``while True`` + ``break``/``continue``);
+* ``BlockNode``: one basic block's straight-line body plus edge copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.compiler.wir.analysis import (
+    compute_dominators,
+    find_natural_loops,
+)
+from repro.compiler.wir.function_module import FunctionModule
+from repro.compiler.wir.instructions import (
+    BranchInstr,
+    JumpInstr,
+    ReturnInstr,
+)
+from repro.errors import CodegenError
+
+
+class StructurizeError(CodegenError):
+    """The CFG resisted structuring; the caller should use the dispatcher."""
+
+
+@dataclass
+class Plan:
+    pass
+
+
+@dataclass
+class BlockNode(Plan):
+    name: str
+
+
+@dataclass
+class EdgeNode(Plan):
+    """Phi copies for the edge source -> target, then a transfer."""
+
+    source: str
+    target: str
+    transfer: str  # 'fallthrough' | 'break' | 'continue' | 'return'
+
+
+@dataclass
+class ReturnNode(Plan):
+    block: str  # block whose terminator is the Return
+
+
+@dataclass
+class IfNode(Plan):
+    block: str  # block whose terminator is the Branch
+    then_plan: list[Plan] = field(default_factory=list)
+    else_plan: list[Plan] = field(default_factory=list)
+
+
+@dataclass
+class LoopNode(Plan):
+    header: str
+    body: list[Plan] = field(default_factory=list)
+
+
+class Structurizer:
+    def __init__(self, function: FunctionModule):
+        self.function = function
+        self.loops = {loop.header: loop for loop in
+                      find_natural_loops(function)}
+        self.idom = compute_dominators(function)
+        self.postdom = _compute_postdominators(function)
+        self._emitted: set[str] = set()
+        self._budget = 4 * len(function.blocks) + 64
+
+    def build(self) -> list[Plan]:
+        assert self.function.entry is not None
+        plan = self._region(self.function.entry, None, [])
+        if len(self._emitted) != len(self.function.blocks):
+            missing = set(self.function.blocks) - self._emitted
+            raise StructurizeError(f"unstructured blocks remain: {missing}")
+        return plan
+
+    # -- region emission -----------------------------------------------------------
+
+    def _region(
+        self,
+        entry: Optional[str],
+        stop: Optional[str],
+        loop_stack: list[tuple[str, Optional[str]]],  # (header, break target)
+    ) -> list[Plan]:
+        plan: list[Plan] = []
+        current = entry
+        while current is not None and current != stop:
+            self._budget -= 1
+            if self._budget <= 0:
+                raise StructurizeError("structurizer did not converge")
+            loop = self.loops.get(current)
+            in_active = any(h == current for h, _ in loop_stack)
+            if loop is not None and not in_active:
+                exit_target = self._loop_exit(loop)
+                body = self._region(
+                    current, None, [*loop_stack, (current, exit_target)]
+                )
+                plan.append(LoopNode(header=current, body=body))
+                current = exit_target
+                continue
+
+            block = self.function.blocks.get(current)
+            if block is None:
+                raise StructurizeError(f"missing block {current}")
+            if current in self._emitted and loop is None:
+                raise StructurizeError(f"block {current} reached twice")
+            self._emitted.add(current)
+            plan.append(BlockNode(current))
+            terminator = block.terminator
+            if isinstance(terminator, ReturnInstr):
+                plan.append(ReturnNode(current))
+                current = None
+            elif isinstance(terminator, JumpInstr):
+                transfer, next_block = self._classify_jump(
+                    current, terminator.target, stop, loop_stack
+                )
+                plan.append(EdgeNode(current, terminator.target, transfer))
+                current = next_block
+            elif isinstance(terminator, BranchInstr):
+                node, next_block = self._branch(
+                    current, terminator, stop, loop_stack
+                )
+                plan.append(node)
+                current = next_block
+            else:
+                raise StructurizeError(f"block {current} lacks a terminator")
+        return plan
+
+    def _classify_jump(
+        self,
+        source: str,
+        target: str,
+        stop: Optional[str],
+        loop_stack: list[tuple[str, Optional[str]]],
+    ) -> tuple[str, Optional[str]]:
+        if loop_stack:
+            header, break_target = loop_stack[-1]
+            if target == header:
+                return "continue", None
+            if break_target is not None and target == break_target:
+                return "break", None
+        if target == stop:
+            return "fallthrough", None
+        return "fallthrough", target
+
+    def _branch(
+        self,
+        current: str,
+        terminator: BranchInstr,
+        stop: Optional[str],
+        loop_stack: list[tuple[str, Optional[str]]],
+    ) -> tuple[IfNode, Optional[str]]:
+        join = self._join_point(current, terminator, stop, loop_stack)
+        node = IfNode(block=current)
+        node.then_plan = self._arm(
+            current, terminator.true_target, join, stop, loop_stack
+        )
+        node.else_plan = self._arm(
+            current, terminator.false_target, join, stop, loop_stack
+        )
+        if join == stop:
+            return node, None
+        return node, join
+
+    def _arm(
+        self,
+        source: str,
+        target: str,
+        join: Optional[str],
+        stop: Optional[str],
+        loop_stack: list[tuple[str, Optional[str]]],
+    ) -> list[Plan]:
+        transfer, next_block = self._classify_jump(
+            source, target, join if join is not None else stop, loop_stack
+        )
+        plan: list[Plan] = [EdgeNode(source, target, transfer)]
+        if transfer == "fallthrough" and next_block is not None:
+            plan.extend(
+                self._region(next_block,
+                             join if join is not None else stop, loop_stack)
+            )
+        return plan
+
+    def _join_point(
+        self,
+        current: str,
+        terminator: BranchInstr,
+        stop: Optional[str],
+        loop_stack: list[tuple[str, Optional[str]]],
+    ) -> Optional[str]:
+        """The immediate postdominator of the branch, bounded by context."""
+        special = {stop}
+        if loop_stack:
+            header, break_target = loop_stack[-1]
+            special |= {header, break_target}
+        # arms that immediately leave the region need no common join
+        targets = [terminator.true_target, terminator.false_target]
+        interior = [t for t in targets if t not in special]
+        if not interior:
+            return stop
+        join = self.postdom.get(current)
+        if join in special:
+            return stop if join == stop else None
+        return join
+
+    def _loop_exit(self, loop) -> Optional[str]:
+        exits = set()
+        for name in loop.body:
+            block = self.function.blocks.get(name)
+            if block is None:
+                continue
+            for successor in block.successors():
+                if successor not in loop.body:
+                    exits.add(successor)
+        if len(exits) > 1:
+            raise StructurizeError(
+                f"loop {loop.header} has multiple exits {exits}"
+            )
+        return next(iter(exits), None)
+
+
+def _compute_postdominators(function: FunctionModule) -> dict[str, Optional[str]]:
+    """Immediate postdominators on the reversed CFG with a virtual exit."""
+    names = [b.name for b in function.ordered_blocks()]
+    successors = {name: function.blocks[name].successors() for name in names}
+    exits = [
+        name for name in names
+        if isinstance(function.blocks[name].terminator, ReturnInstr)
+        or not successors[name]
+    ]
+    virtual_exit = "<exit>"
+    # reversed graph: edge v -> u for each original u -> v, plus
+    # virtual_exit -> e for each original exit block e
+    predecessors_orig: dict[str, list[str]] = {name: [] for name in names}
+    for name in names:
+        for successor in successors[name]:
+            if successor in predecessors_orig:
+                predecessors_orig[successor].append(name)
+    # predecessors in the reversed graph = successors in the original graph
+    reverse_predecessors: dict[str, list[str]] = {
+        name: list(successors[name]) for name in names
+    }
+    for exit_name in exits:
+        reverse_predecessors[exit_name].append(virtual_exit)
+
+    # reverse postorder of the reversed graph, rooted at the virtual exit
+    order: list[str] = []
+    seen: set[str] = set()
+
+    def visit(node: str) -> None:
+        if node in seen:
+            return
+        seen.add(node)
+        children = exits if node == virtual_exit else predecessors_orig.get(
+            node, []
+        )
+        for child in children:
+            visit(child)
+        order.append(node)
+
+    visit(virtual_exit)
+    order.reverse()
+    for name in names:  # blocks unreachable backwards from any exit
+        if name not in seen:
+            order.append(name)
+    index = {name: i for i, name in enumerate(order)}
+    ipdom: dict[str, Optional[str]] = {name: None for name in order}
+    ipdom[virtual_exit] = virtual_exit
+
+    def intersect(a: str, b: str) -> str:
+        while a != b:
+            while index[a] > index[b]:
+                a = ipdom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = ipdom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for name in order:
+            if name == virtual_exit:
+                continue
+            candidates = [
+                p for p in reverse_predecessors.get(name, ())
+                if ipdom.get(p) is not None and p in index
+            ]
+            if not candidates:
+                continue
+            new = candidates[0]
+            for other in candidates[1:]:
+                new = intersect(new, other)
+            if ipdom[name] != new:
+                ipdom[name] = new
+                changed = True
+    return {
+        name: (None if value in (virtual_exit, None) else value)
+        for name, value in ipdom.items()
+        if name != virtual_exit
+    }

@@ -1,0 +1,353 @@
+"""The WVM backend (§4.6): target the *existing* Wolfram Virtual Machine.
+
+"prototype backends exist to target C++, the existing Wolfram Virtual
+Machine, WebAssembly, and NVIDIA PTX" — this is the WVM one.  It translates
+fully typed TWIR onto the legacy register machine's instruction set, which
+immediately surfaces the baseline's limits: strings, expressions, and
+function values have no WVM representation and raise a
+:class:`CodegenError` (the L1 wall, from the other side).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bytecode.instructions import Instruction as WVMInstruction
+from repro.bytecode.instructions import MATH_CODES, Op, RegisterCounts
+from repro.compiler.options import CompilerOptions
+from repro.compiler.types.specifier import AtomicType, CompoundType, Type
+from repro.compiler.wir.function_module import FunctionModule, ProgramModule
+from repro.compiler.wir.instructions import (
+    BranchInstr,
+    BuildListInstr,
+    CallPrimitiveInstr,
+    CheckAbortInstr,
+    ConstantInstr,
+    CopyInstr,
+    JumpInstr,
+    LoadArgumentInstr,
+    MemoryAcquireInstr,
+    MemoryReleaseInstr,
+    PhiInstr,
+    ReturnInstr,
+    Value,
+)
+from repro.errors import CodegenError
+
+#: primitive runtime symbols with direct WVM opcodes
+_BINARY = {
+    "checked_binary_plus_Integer64_Integer64": Op.ADD,
+    "plus_unchecked_Integer64": Op.ADD,
+    "binary_plus_Real64": Op.ADD,
+    "binary_plus_ComplexReal64": Op.ADD,
+    "checked_binary_subtract_Integer64_Integer64": Op.SUB,
+    "binary_subtract_Real64": Op.SUB,
+    "binary_subtract_ComplexReal64": Op.SUB,
+    "checked_binary_times_Integer64_Integer64": Op.MUL,
+    "binary_times_Real64": Op.MUL,
+    "binary_times_ComplexReal64": Op.MUL,
+    "checked_divide_Real64": Op.DIV,
+    "binary_divide_ComplexReal64": Op.DIV,
+    "checked_binary_power_Integer64_Integer64": Op.POW,
+    "binary_power_Real64": Op.POW,
+    "binary_power_ComplexReal64": Op.POW,
+    "checked_binary_mod_Integer64_Integer64": Op.MOD,
+    "binary_mod_Real64": Op.MOD,
+    "checked_binary_quotient_Integer64_Integer64": Op.QUOT,
+    "binary_min": Op.MIN,
+    "binary_max": Op.MAX,
+    "compare_less": Op.LT,
+    "compare_less_equal": Op.LE,
+    "compare_greater": Op.GT,
+    "compare_greater_equal": Op.GE,
+    "compare_equal": Op.EQ,
+    "compare_unequal": Op.NE,
+    "boolean_and": Op.AND,
+    "boolean_or": Op.OR,
+    "boolean_xor": Op.XOR,
+    "bit_and_Integer64": Op.BIT_AND,
+    "bit_or_Integer64": Op.BIT_OR,
+    "bit_xor_Integer64": Op.BIT_XOR,
+    "bit_shift_left_Integer64": Op.BIT_SHL,
+    "bit_shift_right_Integer64": Op.BIT_SHR,
+    "tensor_dot": Op.TENSOR_DOT,
+    "random_real": Op.RANDOM_REAL,
+    "random_integer": Op.RANDOM_INT,
+}
+
+_UNARY_MATH = {
+    "math_sin": "Sin", "math_cos": "Cos", "math_tan": "Tan",
+    "math_arcsin": "ArcSin", "math_arccos": "ArcCos",
+    "math_arctan": "ArcTan", "math_sinh": "Sinh", "math_cosh": "Cosh",
+    "math_tanh": "Tanh", "math_exp": "Exp", "math_log": "Log",
+    "math_sqrt": "Sqrt", "math_abs": "Abs", "complex_abs": "Abs",
+    "math_floor": "Floor", "math_ceiling": "Ceiling", "math_round": "Round",
+    "math_sign": "Sign", "checked_unary_minus_Integer64": "Neg",
+    "unary_minus_Real64": "Neg", "unary_minus_ComplexReal64": "Neg",
+    "math_re": "Re", "math_im": "Im", "math_conjugate": "Conjugate",
+    "cmath_sin": "Sin", "cmath_cos": "Cos", "cmath_exp": "Exp",
+    "cmath_sqrt": "Sqrt", "cmath_log": "Log", "cmath_tan": "Tan",
+}
+
+_TENSOR = {
+    "tensor_part1": Op.TENSOR_GET,
+    "tensor_part1_unchecked": Op.TENSOR_GET,
+    "tensor_length": Op.TENSOR_LENGTH,
+    "tensor_total": Op.TENSOR_TOTAL,
+    "tensor_create": Op.TENSOR_CREATE,
+    "cast_Integer64_Real64": Op.CAST_REAL,
+    "cast_Real64_Integer64": Op.CAST_INT,
+}
+
+_UNREPRESENTABLE = (
+    "string_", "expr_", "wrap_",
+)
+
+
+def _register_type_char(type_: Optional[Type]) -> str:
+    if isinstance(type_, AtomicType):
+        name = type_.name
+        if name == "Boolean":
+            return "b"
+        if name.startswith("Integer") or name.startswith("UnsignedInteger"):
+            return "i"
+        if name.startswith("Real"):
+            return "r"
+        if name == "ComplexReal64":
+            return "c"
+        raise CodegenError(
+            f"the WVM cannot represent values of type {type_} (L1)"
+        )
+    if isinstance(type_, CompoundType):
+        return "T"
+    raise CodegenError(f"the WVM cannot represent values of type {type_} (L1)")
+
+
+class WVMBackend:
+    """Translates one program module onto the legacy VM's ISA."""
+
+    def __init__(self, program: ProgramModule,
+                 options: Optional[CompilerOptions] = None):
+        self.program = program
+        self.options = options or CompilerOptions()
+
+    def compile_main(self):
+        """A runnable :class:`repro.bytecode.CompiledFunction`."""
+        from repro.bytecode.compiled_function import CompiledFunction
+        from repro.bytecode.compiler import (
+            BYTECODE_COMPILER_VERSION,
+            DEFAULT_COMPILE_FLAGS,
+            WVM_ENGINE_VERSION,
+        )
+        from repro.mexpr.symbols import S, expr
+
+        function = self.program.main_function()
+        if len(self.program.functions) > 1:
+            raise CodegenError(
+                "the WVM backend supports single-function programs; "
+                "enable aggressive inlining"
+            )
+        instructions, constants, counts, total = self._translate(function)
+        return CompiledFunction(
+            versions=(BYTECODE_COMPILER_VERSION, WVM_ENGINE_VERSION,
+                      DEFAULT_COMPILE_FLAGS),
+            argument_types=[
+                _register_type_char(p.type) for p in function.parameters
+            ],
+            argument_names=[p.hint or f"a{i}"
+                            for i, p in enumerate(function.parameters)],
+            constants=constants,
+            register_counts=counts,
+            register_total=total,
+            instructions=instructions,
+            source_specs=expr("List"),
+            source_body=expr("Null"),
+            result_type=_register_type_char(function.result_type),
+        )
+
+    def generate_listing(self) -> str:
+        function = self.program.main_function()
+        instructions, constants, counts, _total = self._translate(function)
+        lines = [f"; WVM translation of {function.name}",
+                 f"; registers {counts.encode()}  constants {constants!r}"]
+        for index, instruction in enumerate(instructions):
+            lines.append(f"{index:4d}  {instruction}")
+        return "\n".join(lines)
+
+    # -- translation -----------------------------------------------------------------
+
+    def _translate(self, function: FunctionModule):
+        registers: dict[int, int] = {}
+        counts = RegisterCounts()
+
+        def register_of(value: Value) -> int:
+            if value.id not in registers:
+                registers[value.id] = len(registers)
+                pool = _register_type_char(value.type)
+                field = {"b": "boolean", "i": "integer", "r": "real",
+                         "c": "complex", "T": "tensor"}[pool]
+                setattr(counts, field, getattr(counts, field) + 1)
+            return registers[value.id]
+
+        constants: list = []
+
+        def const_index(value) -> int:
+            for index, existing in enumerate(constants):
+                if type(existing) is type(value) and existing == value:
+                    return index
+            constants.append(value)
+            return len(constants) - 1
+
+        code: list[WVMInstruction] = []
+        block_offsets: dict[str, int] = {}
+        fixups: list[tuple[int, str]] = []
+
+        def emit(op: Op, target: int = -1, operands: tuple = ()):
+            code.append(WVMInstruction(op, target, operands))
+            return len(code) - 1
+
+        temp_registers: dict[int, int] = {}
+
+        def temp_for(phi_result: Value) -> int:
+            """A scratch register per phi, for parallel-copy safety."""
+            if phi_result.id not in temp_registers:
+                synthetic = Value(hint="phitmp")
+                synthetic.type = phi_result.type
+                temp_registers[phi_result.id] = register_of(synthetic)
+            return temp_registers[phi_result.id]
+
+        def phi_moves(source: str, target_name: str) -> None:
+            target_block = function.blocks.get(target_name)
+            if target_block is None:
+                return
+            pairs = [
+                (phi.result, value)
+                for phi in target_block.phis
+                for predecessor, value in phi.incoming
+                if predecessor == source
+            ]
+            destinations = {destination.id for destination, _ in pairs}
+            hazard = any(value.id in destinations for _, value in pairs)
+            if hazard and len(pairs) > 1:
+                # parallel copies: read every source before writing any dest
+                for destination, value in pairs:
+                    emit(Op.MOVE, temp_for(destination),
+                         (register_of(value),))
+                for destination, _value in pairs:
+                    emit(Op.MOVE, register_of(destination),
+                         (temp_for(destination),))
+            else:
+                for destination, value in pairs:
+                    emit(Op.MOVE, register_of(destination),
+                         (register_of(value),))
+
+        for block in function.ordered_blocks():
+            block_offsets[block.name] = len(code)
+            for instruction in block.instructions:
+                self._translate_instruction(
+                    instruction, emit, register_of, const_index
+                )
+            terminator = block.terminator
+            if isinstance(terminator, ReturnInstr):
+                emit(Op.RETURN, -1,
+                     (register_of(terminator.value),)
+                     if terminator.value is not None else ())
+            elif isinstance(terminator, JumpInstr):
+                phi_moves(block.name, terminator.target)
+                fixups.append((emit(Op.JUMP, -1, (0,)), terminator.target))
+            elif isinstance(terminator, BranchInstr):
+                condition = register_of(terminator.condition)
+                false_jump = emit(Op.JUMP_IF_NOT, -1, (0, condition))
+                phi_moves(block.name, terminator.true_target)
+                fixups.append(
+                    (emit(Op.JUMP, -1, (0,)), terminator.true_target)
+                )
+                # patch the false side to a stub that does phi moves
+                stub = len(code)
+                code[false_jump].operands = (stub, condition)
+                phi_moves(block.name, terminator.false_target)
+                fixups.append(
+                    (emit(Op.JUMP, -1, (0,)), terminator.false_target)
+                )
+            else:
+                raise CodegenError(f"block {block.name} lacks a terminator")
+
+        for at, target in fixups:
+            code[at].operands = (block_offsets[target],
+                                 *code[at].operands[1:])
+        return code, constants, counts, len(registers)
+
+    def _translate_instruction(self, instruction, emit, register_of,
+                               const_index) -> None:
+        if isinstance(instruction, LoadArgumentInstr):
+            emit(Op.LOAD_ARG, register_of(instruction.result),
+                 (instruction.index,))
+            return
+        if isinstance(instruction, ConstantInstr):
+            value = instruction.value
+            if isinstance(value, (bool, int, float, complex)) or value is None:
+                emit(Op.LOAD_CONST, register_of(instruction.result),
+                     (const_index(value),))
+                return
+            raise CodegenError(
+                f"the WVM cannot represent constant {value!r} (L1)"
+            )
+        if isinstance(instruction, CallPrimitiveInstr):
+            name = instruction.primitive.runtime_name
+            if any(name.startswith(prefix) for prefix in _UNREPRESENTABLE):
+                raise CodegenError(
+                    f"the WVM has no instruction for {name} (L1)"
+                )
+            operands = tuple(register_of(v) for v in instruction.operands)
+            target = (
+                register_of(instruction.result)
+                if instruction.result is not None
+                else (operands[0] if operands else -1)
+            )
+            if name in _BINARY:
+                emit(_BINARY[name], target, operands)
+                return
+            if name in _UNARY_MATH:
+                emit(Op.MATH_UNARY, target,
+                     (MATH_CODES[_UNARY_MATH[name]], operands[0]))
+                return
+            if name in _TENSOR:
+                emit(_TENSOR[name], target, operands)
+                return
+            if name in ("tensor_part1_set", "tensor_part1_set_unchecked"):
+                emit(Op.TENSOR_SET, operands[0], (operands[1], operands[2]))
+                if instruction.result is not None:
+                    emit(Op.MOVE, register_of(instruction.result),
+                         (operands[0],))
+                return
+            if name == "tensor_create_uninit":
+                zero = const_index(0)
+                # the result register briefly holds the zero fill value
+                emit(Op.LOAD_CONST, register_of(instruction.result), (zero,))
+                emit(Op.TENSOR_CREATE, register_of(instruction.result),
+                     (operands[0], register_of(instruction.result)))
+                return
+            if name in ("identity",):
+                emit(Op.MOVE, target, operands)
+                return
+            raise CodegenError(f"the WVM has no instruction for {name}")
+        if isinstance(instruction, BuildListInstr):
+            emit(Op.TENSOR_FROM_REGS, register_of(instruction.result),
+                 tuple(register_of(v) for v in instruction.operands))
+            return
+        if isinstance(instruction, CopyInstr):
+            source = instruction.operands[0]
+            if isinstance(source.type, CompoundType):
+                emit(Op.TENSOR_COPY, register_of(instruction.result),
+                     (register_of(source),))
+            else:
+                emit(Op.MOVE, register_of(instruction.result),
+                     (register_of(source),))
+            return
+        if isinstance(instruction, CheckAbortInstr):
+            return  # the VM polls aborts on backward jumps itself
+        if isinstance(instruction, (MemoryAcquireInstr, MemoryReleaseInstr)):
+            return  # the VM's boxed values are host-managed
+        if isinstance(instruction, PhiInstr):
+            return  # handled by edge moves
+        raise CodegenError(f"the WVM backend cannot emit {instruction}")

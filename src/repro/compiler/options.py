@@ -1,0 +1,71 @@
+"""Compile options (§4.7, §A.6.4's serialized option block).
+
+Options gate passes and backend behaviour; macros and passes can be
+predicated on them (``Conditioned``), and the ablation benchmarks flip them:
+
+* ``abort_handling`` — loop-header/prologue abort checks (§6 ablation);
+* ``inline_policy`` — ``"none"`` disables primitive inlining (the 10×
+  Mandelbrot ablation), ``"default"`` inlines primitives and forced
+  functions, ``"aggressive"`` also inlines small resolved functions;
+* ``constant_array_handling`` — ``"naive"`` re-materializes embedded
+  constant arrays per call (the 1.5× PrimeQ note), ``"hoisted"`` builds
+  them once at module load;
+* ``index_check_elision`` — the §6 redundant-indexing-check removal;
+* ``optimization_level`` — 0 skips the optimization pipeline entirely
+  (``CompileToIR[..., "OptimizationLevel" -> None]``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    optimization_level: int = 1
+    abort_handling: bool = True
+    inline_policy: str = "default"  # 'none' | 'default' | 'aggressive'
+    memory_management: bool = True
+    copy_insertion: bool = True
+    index_check_elision: bool = True
+    constant_array_handling: str = "hoisted"  # 'hoisted' | 'naive'
+    #: instrument generated code with per-primitive execution counters
+    #: (the "Profile" flag in the §A.6.2 Information header)
+    profile: bool = False
+    target_system: str = "Python"  # 'Python' | 'C' | 'WVM'
+    pass_logger: Optional[Any] = None
+    lazy_jit: bool = False
+    argument_alias: bool = False
+
+    def with_(self, **changes) -> "CompilerOptions":
+        return replace(self, **changes)
+
+    @classmethod
+    def from_wolfram(cls, rules: dict) -> "CompilerOptions":
+        """Translate WL-style option names ("AbortHandling" -> True, ...)."""
+        mapping = {
+            "OptimizationLevel": "optimization_level",
+            "AbortHandling": "abort_handling",
+            "InlinePolicy": "inline_policy",
+            "MemoryManagement": "memory_management",
+            "CopyInsertion": "copy_insertion",
+            "IndexCheckElision": "index_check_elision",
+            "ConstantArrayHandling": "constant_array_handling",
+            "Profile": "profile",
+            "TargetSystem": "target_system",
+            "PassLogger": "pass_logger",
+            "LazyJIT": "lazy_jit",
+            "ArgumentAlias": "argument_alias",
+        }
+        translated = {}
+        for key, value in rules.items():
+            field_name = mapping.get(key)
+            if field_name is None:
+                raise ValueError(f"unknown compile option {key!r}")
+            if value is None and field_name == "optimization_level":
+                value = 0
+            if field_name == "inline_policy" and value is None:
+                value = "none"
+            translated[field_name] = value
+        return cls(**translated)

@@ -1,0 +1,409 @@
+"""The staged compiler pipeline: ``MExpr -> WIR -> TWIR -> codegen`` (§4).
+
+Each stage is a pass over the AST or IR; users can inject their own passes
+at any point (§4.7).  Per-pass wall-clock timings are recorded (the internal
+benchmark suite of §6 "measures ... time to run specific passes") and can be
+streamed to a ``PassLogger``.
+
+The resolve stage can introduce untyped instructions (inlined Wolfram-level
+implementations), turning the TWIR back into a WIR; the pipeline re-runs
+inference until the program stabilizes, exactly as §4.5 describes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.compiler.binding import analyze_bindings
+from repro.compiler.macros import (
+    MacroEnvironment,
+    MacroExpander,
+    default_macro_environment,
+)
+from repro.compiler.options import CompilerOptions
+from repro.compiler.twir.abort import insert_abort_checks, strip_abort_checks
+from repro.compiler.twir.copy_insert import insert_copies
+from repro.compiler.twir.index_elision import elide_index_checks
+from repro.compiler.twir.memory import insert_memory_management
+from repro.compiler.twir.passes import (
+    common_subexpression_elimination,
+    constant_propagation,
+    dead_code_elimination,
+    delete_dead_blocks,
+    fuse_blocks,
+    hoist_constants,
+    lint,
+    simplify_boolean_comparisons,
+)
+from repro.compiler.twir.resolve import FunctionResolver
+from repro.compiler.types.builtin_env import default_environment
+from repro.compiler.types.environment import TypeEnvironment
+from repro.compiler.types.inference import TypeInference
+from repro.compiler.types.specifier import (
+    FunctionType,
+    Type,
+    fresh_type_variable,
+    parse_type_specifier,
+)
+from repro.compiler.wir.function_module import FunctionModule, ProgramModule
+from repro.compiler.wir.lower import Lowerer
+from repro.errors import CompilerError
+from repro.mexpr.atoms import MSymbol
+from repro.mexpr.expr import MExpr
+from repro.mexpr.symbols import is_head
+from repro.runtime.packed import PackedArray
+
+
+@dataclass
+class UserPass:
+    """A user-injected pass (§4.7): stage 'ast' | 'wir' | 'twir'."""
+
+    stage: str
+    run: Callable
+    name: str = "user-pass"
+    #: predicate over options, like Conditioned macros
+    condition: Optional[Callable[[CompilerOptions], bool]] = None
+
+
+class CompilerPipeline:
+    def __init__(
+        self,
+        type_environment: Optional[TypeEnvironment] = None,
+        macro_environment: Optional[MacroEnvironment] = None,
+        options: Optional[CompilerOptions] = None,
+        user_passes: Optional[list[UserPass]] = None,
+    ):
+        self.type_environment = type_environment or default_environment()
+        self.macro_environment = macro_environment or default_macro_environment()
+        self.options = options or CompilerOptions()
+        self.user_passes = list(user_passes or [])
+        self.pass_timings: list[tuple[str, float]] = []
+
+    # -- logging ------------------------------------------------------------------
+
+    def _timed(self, name: str, thunk: Callable):
+        start = time.perf_counter()
+        result = thunk()
+        elapsed = time.perf_counter() - start
+        self.pass_timings.append((name, elapsed))
+        logger = self.options.pass_logger
+        if logger is not None:
+            logger(name, elapsed)
+        return result
+
+    def _run_user_passes(self, stage: str, payload):
+        for user_pass in self.user_passes:
+            if user_pass.stage != stage:
+                continue
+            if user_pass.condition is not None and not user_pass.condition(
+                self.options
+            ):
+                continue
+            result = self._timed(
+                f"user:{user_pass.name}", lambda: user_pass.run(payload)
+            )
+            if stage == "ast" and result is not None:
+                payload = result
+        return payload
+
+    # -- front end -----------------------------------------------------------------
+
+    def parse_function(self, function: MExpr):
+        """Split ``Function[{Typed[x, t], ...}, body]`` into params + body."""
+        if not is_head(function, "Function"):
+            raise CompilerError("FunctionCompile expects a Function[...]")
+        if len(function.args) == 1:
+            raise CompilerError(
+                "slot-style functions need Typed argument annotations; "
+                "use Function[{Typed[x, \"type\"]}, body]"
+            )
+        params_node, body = function.args[0], function.args[1]
+        items = (
+            params_node.args if is_head(params_node, "List") else [params_node]
+        )
+        parameters: list[tuple[str, Optional[Type]]] = []
+        for item in items:
+            if is_head(item, "Typed") and len(item.args) == 2 and isinstance(
+                item.args[0], MSymbol
+            ):
+                parameters.append(
+                    (item.args[0].name, parse_type_specifier(item.args[1]))
+                )
+            elif isinstance(item, MSymbol):
+                parameters.append((item.name, None))
+            else:
+                raise CompilerError(f"bad compiled-function parameter {item}")
+        return parameters, body
+
+    def expand_macros(self, node: MExpr) -> MExpr:
+        from repro.compiler.macros import inline_function_bindings
+
+        node = self._timed(
+            "lambda-inlining", lambda: inline_function_bindings(node)
+        )
+        expander = MacroExpander(
+            self.macro_environment,
+            options={"TargetSystem": self.options.target_system},
+        )
+        return self._timed("macro-expansion", lambda: expander.expand(node))
+
+    # -- whole-program compilation ------------------------------------------------------
+
+    def compile_program(
+        self,
+        function: MExpr,
+        name: str = "Main",
+        constants: Optional[dict[str, object]] = None,
+    ) -> ProgramModule:
+        program = ProgramModule(name=name)
+        program.type_environment = self.type_environment
+        parameters, body = self.parse_function(function)
+        for parameter, declared in parameters:
+            if declared is None:
+                raise CompilerError(
+                    f"compiled-function argument {parameter} needs a Typed "
+                    "annotation (type inference covers everything else, §4.4)"
+                )
+        body = self._run_user_passes("ast", body)
+        body = self.expand_macros(body)
+
+        main = self._lower(
+            name, parameters, body, constants=constants
+        )
+        main.information["ArgumentAlias"] = self.options.argument_alias
+        main.information["Profile"] = self.options.profile
+        program.add_function(main, main=True)
+        program.metadata["options"] = self.options
+
+        self._infer_and_resolve(program)
+        _prune_unreachable_functions(program)
+        self._optimize(program)
+        self._semantic_passes(program)
+        for function_module in program.functions.values():
+            self._timed("lint", lambda f=function_module: lint(f))
+        program.metadata["passTimings"] = list(self.pass_timings)
+        return program
+
+    def _lower(self, name, parameters, body, constants=None) -> FunctionModule:
+        def lower():
+            lowerer = Lowerer(name, self.type_environment)
+            if constants:
+                lowerer = _with_constants(lowerer, constants)
+            return lowerer.lower(parameters, body)
+
+        module = self._timed(f"lower:{name}", lower)
+        self._run_user_passes("wir", module)
+        return module
+
+    def _compile_implementation(
+        self, mangled: str, implementation: MExpr, fn_type: FunctionType
+    ) -> FunctionModule:
+        """Instantiate a Wolfram-level implementation at concrete types."""
+        expanded = self.expand_macros(implementation)
+        if not is_head(expanded, "Function") or len(expanded.args) != 2:
+            raise CompilerError(
+                f"implementation of {mangled} must be Function[{{...}}, body]"
+            )
+        params_node, body = expanded.args
+        names = []
+        items = (
+            params_node.args if is_head(params_node, "List") else [params_node]
+        )
+        for item in items:
+            inner = item.args[0] if is_head(item, "Typed") else item
+            names.append(inner.name)
+        parameters = list(zip(names, fn_type.params))
+        module = self._lower(mangled, parameters, body)
+        inference = TypeInference(
+            self.type_environment, self_name=mangled, self_type=fn_type
+        )
+        inference.run(module)
+        return module
+
+    def _infer_and_resolve(self, program: ProgramModule) -> None:
+        resolver = FunctionResolver(
+            program,
+            self.type_environment,
+            self._compile_implementation,
+            inline_policy=self.options.inline_policy,
+        )
+        for _ in range(32):
+            dirty = False
+            for function_module in list(program.functions.values()):
+                if not function_module.is_typed() or (
+                    function_module.result_type is None
+                ):
+                    self_type = _signature_of(function_module)
+                    inference = TypeInference(
+                        self.type_environment,
+                        self_name=function_module.name,
+                        self_type=self_type,
+                    )
+                    self._timed(
+                        f"infer:{function_module.name}",
+                        lambda f=function_module, i=inference: i.run(f),
+                    )
+                    dirty = True
+                needs_reinference = self._timed(
+                    f"resolve:{function_module.name}",
+                    lambda f=function_module: resolver.run(f),
+                )
+                dirty |= needs_reinference
+            if not dirty:
+                return
+        raise CompilerError("inference/resolution did not stabilize")
+
+    def _optimize(self, program: ProgramModule) -> None:
+        if self.options.optimization_level < 1:
+            return
+        for function_module in program.functions.values():
+            for _ in range(8):
+                changed = False
+                changed |= self._timed(
+                    "constant-hoisting",
+                    lambda f=function_module: hoist_constants(f),
+                )
+                changed |= self._timed(
+                    "constant-propagation",
+                    lambda f=function_module: constant_propagation(f),
+                )
+                changed |= self._timed(
+                    "boolean-simplification",
+                    lambda f=function_module: simplify_boolean_comparisons(f),
+                )
+                changed |= self._timed(
+                    "dead-branch-deletion",
+                    lambda f=function_module: delete_dead_blocks(f),
+                )
+                changed |= self._timed(
+                    "block-fusion", lambda f=function_module: fuse_blocks(f)
+                )
+                changed |= self._timed(
+                    "cse",
+                    lambda f=function_module: common_subexpression_elimination(f),
+                )
+                changed |= self._timed(
+                    "dce", lambda f=function_module: dead_code_elimination(f)
+                )
+                if not changed:
+                    break
+            self._run_user_passes("twir", function_module)
+
+    def _semantic_passes(self, program: ProgramModule) -> None:
+        for function_module in program.functions.values():
+            if self.options.index_check_elision and (
+                self.options.optimization_level >= 1
+            ):
+                self._timed(
+                    "index-check-elision",
+                    lambda f=function_module: elide_index_checks(f),
+                )
+                from repro.compiler.twir.overflow_elision import (
+                    elide_counter_overflow_checks,
+                )
+
+                self._timed(
+                    "counter-overflow-elision",
+                    lambda f=function_module: elide_counter_overflow_checks(f),
+                )
+            if self.options.copy_insertion:
+                self._timed(
+                    "copy-insertion",
+                    lambda f=function_module: insert_copies(f),
+                )
+                # after copy insertion, PartSet results alias their operand
+                from repro.compiler.twir.alias_collapse import (
+                    collapse_mutation_aliases,
+                )
+
+                self._timed(
+                    "alias-collapse",
+                    lambda f=function_module: collapse_mutation_aliases(f),
+                )
+            if self.options.abort_handling:
+                self._timed(
+                    "abort-insertion",
+                    lambda f=function_module: insert_abort_checks(f),
+                )
+            else:
+                strip_abort_checks(function_module)
+            if self.options.memory_management:
+                self._timed(
+                    "memory-management",
+                    lambda f=function_module: insert_memory_management(f),
+                )
+
+
+def _prune_unreachable_functions(program: ProgramModule) -> None:
+    """Drop instantiated implementations whose every call was inlined."""
+    from repro.compiler.wir.instructions import (
+        CallFunctionInstr,
+        ConstantInstr,
+    )
+
+    referenced: set[str] = set()
+    stack = [program.main]
+    while stack:
+        name = stack.pop()
+        if name in referenced or name not in program.functions:
+            continue
+        referenced.add(name)
+        for instruction in program.functions[name].instructions():
+            if isinstance(instruction, CallFunctionInstr):
+                stack.append(instruction.function_name)
+            elif isinstance(instruction, ConstantInstr):
+                target = instruction.properties.get("resolved_function")
+                if target:
+                    stack.append(target)
+    for name in list(program.functions):
+        if name not in referenced:
+            del program.functions[name]
+
+
+def _signature_of(function_module: FunctionModule) -> FunctionType:
+    params = tuple(
+        p.type if p.type is not None else fresh_type_variable(p.hint or "p")
+        for p in function_module.parameters
+    )
+    result = (
+        function_module.result_type
+        if function_module.result_type is not None
+        and not getattr(function_module.result_type, "free_variables", lambda: set())()
+        else fresh_type_variable("ret")
+    )
+    return FunctionType(params, result)
+
+
+def _with_constants(lowerer: Lowerer, constants: dict[str, object]) -> Lowerer:
+    """Teach the lowerer to resolve named embedded constant arrays (§6
+    PrimeQ: 'a 2^14 seed table ... embedded into the compiled code as a
+    constant array')."""
+    from repro.compiler.types.specifier import CompoundType, TypeLiteral, ty
+
+    packed: dict[str, PackedArray] = {}
+    for name, data in constants.items():
+        if isinstance(data, PackedArray):
+            packed[name] = data
+        else:
+            element = (
+                "Integer64"
+                if all(isinstance(x, int) for x in data)
+                else "Real64"
+            )
+            packed[name] = PackedArray.from_nested(list(data), element)
+
+    original = lowerer._lower_symbol
+
+    def lower_symbol(node):
+        array = packed.get(node.name)
+        if array is not None:
+            tensor_type = CompoundType(
+                "Tensor", (ty(array.element_type), TypeLiteral(array.rank))
+            )
+            return lowerer._constant(array, tensor_type, node)
+        return original(node)
+
+    lowerer._lower_symbol = lower_symbol  # type: ignore[method-assign]
+    return lowerer

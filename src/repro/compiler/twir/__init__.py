@@ -1,0 +1,2 @@
+"""Typed-WIR passes (§4.5): function resolution, optimizations, abort
+insertion, copy insertion, memory management, index-check elision."""

@@ -1,0 +1,60 @@
+"""Mutation-alias collapse — part of §6's "reduce the frequency of array
+unboxing" optimizations.
+
+``Native`PartSet`` returns the mutated tensor so copy insertion (F5) can
+reason about the old value's remaining uses.  *After* copy insertion has
+run, the result is guaranteed to be the very same runtime object as the
+tensor operand, so keeping it as a distinct SSA value only costs phi copies
+and re-aliasing in loops.  This pass replaces all uses of the result with
+the operand and drops the result entirely, collapsing the loop-carried
+tensor phi chain to a single value.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.wir.function_module import FunctionModule
+from repro.compiler.wir.instructions import CallPrimitiveInstr
+
+_ALIASING = {
+    "tensor_part1_set", "tensor_part1_set_unchecked",
+    "tensor_part2_set", "tensor_part2_set_unchecked",
+}
+
+
+def collapse_mutation_aliases(function: FunctionModule) -> int:
+    collapsed = 0
+    for block in function.ordered_blocks():
+        for instruction in block.instructions:
+            if not isinstance(instruction, CallPrimitiveInstr):
+                continue
+            if instruction.primitive.runtime_name not in _ALIASING:
+                continue
+            result = instruction.result
+            if result is None:
+                continue
+            target = instruction.operands[0]
+            for other in function.ordered_blocks():
+                for user in other.all_instructions():
+                    if user is not instruction:
+                        user.replace_operand(result, target)
+            instruction.result = None
+            collapsed += 1
+    if collapsed:
+        _simplify_trivial_phis(function)
+    return collapsed
+
+
+def _simplify_trivial_phis(function: FunctionModule) -> None:
+    changed = True
+    while changed:
+        changed = False
+        for block in function.ordered_blocks():
+            for phi in list(block.phis):
+                values = {v for _, v in phi.incoming if v is not phi.result}
+                if len(values) == 1:
+                    (only,) = values
+                    for other in function.ordered_blocks():
+                        for instruction in other.all_instructions():
+                            instruction.replace_operand(phi.result, only)
+                    block.phis.remove(phi)
+                    changed = True

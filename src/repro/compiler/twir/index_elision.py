@@ -1,0 +1,155 @@
+"""Redundant array-index-check removal (§6).
+
+"The new compiler address ... the second by adding optimizations to reduce
+the frequency of array unboxing and removal of redundant array indexing
+checks."  Because the language supports negative indexing, every Part must
+otherwise be predicated (``arry[[If[idx >= 0, idx, Length[arry]-idx]]]``).
+
+The analysis computes an integer *lower bound* for every SSA value —
+constants carry their value, lengths are ≥ 0, ``Mod`` by a positive divisor
+is ≥ 0, addition adds bounds, phis take the minimum — solved optimistically
+(start at +∞) with widening (a bound that keeps shrinking drops to −∞), so
+loop counters like ``phi(2, x+1)`` stabilize at their start value and
+stencil offsets like ``x − 1`` stay provably ≥ 1.  Part accesses with a
+provably positive index swap to the unchecked primitive; a residual
+too-large index is caught by the runtime's bounds exception and handled by
+the soft-failure path (F2).
+"""
+
+from __future__ import annotations
+
+from repro.compiler.wir.function_module import FunctionModule
+from repro.compiler.wir.instructions import (
+    CallPrimitiveInstr,
+    ConstantInstr,
+    PhiInstr,
+)
+
+_UNCHECKED = {
+    "tensor_part1": "tensor_part1_unchecked",
+    "tensor_part1_set": "tensor_part1_set_unchecked",
+    "tensor_part2": "tensor_part2_unchecked",
+    "tensor_part2_set": "tensor_part2_set_unchecked",
+}
+
+_TOP = float("inf")
+_BOTTOM = float("-inf")
+_WIDEN_AFTER = 8
+
+
+def lower_bounds(function: FunctionModule) -> dict[int, float]:
+    """Optimistic integer lower bound per SSA value id."""
+    instructions = {
+        instruction.result.id: instruction
+        for block in function.ordered_blocks()
+        for instruction in block.all_instructions()
+        if instruction.result is not None
+    }
+    bound: dict[int, float] = {vid: _TOP for vid in instructions}
+    for parameter in function.parameters:
+        bound[parameter.id] = _BOTTOM  # unknown caller data
+
+    def of(value) -> float:
+        return bound.get(value.id, _BOTTOM)
+
+    def evaluate(instruction) -> float:
+        if isinstance(instruction, ConstantInstr):
+            value = instruction.value
+            if isinstance(value, bool) or not isinstance(value, int):
+                return _BOTTOM
+            return float(value)
+        if isinstance(instruction, PhiInstr):
+            incoming = [
+                of(v) for _, v in instruction.incoming
+                if v is not instruction.result
+            ]
+            return min(incoming, default=_BOTTOM)
+        if isinstance(instruction, CallPrimitiveInstr):
+            name = instruction.primitive.runtime_name
+            operands = instruction.operands
+            if name in ("tensor_length", "string_length", "expr_length",
+                        "math_abs"):
+                return 0.0
+            if name == "checked_binary_mod_Integer64_Integer64":
+                return 0.0 if of(operands[1]) >= 1 else _BOTTOM
+            if name in ("checked_binary_plus_Integer64_Integer64",
+                        "plus_unchecked_Integer64"):
+                a, b = of(operands[0]), of(operands[1])
+                if a == _BOTTOM or b == _BOTTOM:
+                    return _BOTTOM
+                return a + b
+            if name == "checked_binary_subtract_Integer64_Integer64":
+                # a - b >= lb(a) - ub(b): we track no upper bounds, so only
+                # subtraction of a constant refines
+                b_def = operands[1].definition
+                if isinstance(b_def, ConstantInstr) and isinstance(
+                    b_def.value, int
+                ) and not isinstance(b_def.value, bool):
+                    a = of(operands[0])
+                    return _BOTTOM if a == _BOTTOM else a - b_def.value
+                return _BOTTOM
+            if name == "checked_binary_times_Integer64_Integer64":
+                a, b = of(operands[0]), of(operands[1])
+                if a >= 0 and b >= 0 and a != _TOP and b != _TOP:
+                    return a * b
+                if a == _TOP or b == _TOP:
+                    return _TOP  # still optimistic
+                return _BOTTOM
+            if name == "checked_binary_quotient_Integer64_Integer64":
+                a, b = of(operands[0]), of(operands[1])
+                return 0.0 if a >= 0 and b >= 1 else _BOTTOM
+            if name == "binary_min":
+                return min(of(operands[0]), of(operands[1]))
+            if name == "binary_max":
+                return max(of(operands[0]), of(operands[1]))
+            if name in ("identity", "cast_Real64_Integer64"):
+                return of(operands[0]) if name == "identity" else _BOTTOM
+        return _BOTTOM
+
+    shrink_count: dict[int, int] = {}
+    changed = True
+    iterations = 0
+    limit = 16 * max(len(instructions), 1)
+    while changed and iterations < limit:
+        changed = False
+        iterations += 1
+        for value_id, instruction in instructions.items():
+            current = bound[value_id]
+            if current == _BOTTOM:
+                continue
+            new = evaluate(instruction)
+            new = min(current, new)
+            if new < current:
+                shrink_count[value_id] = shrink_count.get(value_id, 0) + 1
+                if shrink_count[value_id] > _WIDEN_AFTER:
+                    new = _BOTTOM
+                bound[value_id] = new
+                changed = True
+    # anything still TOP after convergence is unreachable/dead: treat as 1
+    return {
+        vid: (1.0 if value == _TOP else value) for vid, value in bound.items()
+    }
+
+
+def elide_index_checks(function: FunctionModule) -> int:
+    """Swap checked Part primitives for unchecked ones where safe."""
+    from repro.compiler.types.builtin_env import PRIMITIVE_IMPLS
+
+    bound = lower_bounds(function)
+    swapped = 0
+    for block in function.ordered_blocks():
+        for instruction in block.instructions:
+            if not isinstance(instruction, CallPrimitiveInstr):
+                continue
+            replacement = _UNCHECKED.get(instruction.primitive.runtime_name)
+            if replacement is None:
+                continue
+            index_operands = instruction.operands[1:3] if (
+                "part2" in replacement
+            ) else instruction.operands[1:2]
+            if all(bound.get(v.id, _BOTTOM) >= 1 for v in index_operands):
+                instruction.primitive = PRIMITIVE_IMPLS[replacement]
+                swapped += 1
+    if swapped:
+        function.information["IndexChecksElided"] = swapped
+    return swapped

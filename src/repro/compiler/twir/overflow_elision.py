@@ -1,0 +1,126 @@
+"""Overflow-check elision for guarded loop counters.
+
+Checked Integer64 arithmetic (F2) costs two comparisons per operation.  For
+the single most common case — a loop counter ``i`` incremented by a small
+constant under a dominating guard ``i <= bound`` where ``bound`` is a tensor
+length or a small constant — the check is provably redundant:
+``i + c <= bound + c`` cannot approach the Integer64 range.  This pass
+recognizes exactly that pattern on the loop header's exit branch and swaps
+the increment's primitive for the unchecked variant.
+
+Accumulators and arbitrary arithmetic keep their checks: the soft-failure
+semantics (the ``cfib`` overflow transcript) are unaffected.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.wir.analysis import find_natural_loops
+from repro.compiler.wir.function_module import FunctionModule
+from repro.compiler.wir.instructions import (
+    BranchInstr,
+    CallPrimitiveInstr,
+    ConstantInstr,
+    PhiInstr,
+)
+
+_SMALL_BOUND = 1 << 40
+_SMALL_STEP = 1 << 20
+
+_GUARDS = {"compare_less", "compare_less_equal"}
+_LENGTH_LIKE = {"tensor_length", "string_length", "expr_length"}
+
+
+def _is_small_bound(value, depth: int = 6) -> bool:
+    """Provably bounded well below the Integer64 range (acyclic SSA walk)."""
+    if depth <= 0:
+        return False
+    definition = value.definition
+    if isinstance(definition, ConstantInstr):
+        return (
+            isinstance(definition.value, int)
+            and not isinstance(definition.value, bool)
+            and 0 <= definition.value < _SMALL_BOUND
+        )
+    if isinstance(definition, CallPrimitiveInstr):
+        name = definition.primitive.runtime_name
+        if name in _LENGTH_LIKE:
+            return True
+        # Mod by a small positive constant is bounded by that constant
+        if name == "checked_binary_mod_Integer64_Integer64":
+            return _is_small_bound(definition.operands[1], depth - 1)
+        # bound arithmetic over small values: length + 1 etc.
+        if name in ("checked_binary_plus_Integer64_Integer64",
+                    "plus_unchecked_Integer64", "binary_max", "binary_min"):
+            return all(
+                _is_small_bound(v, depth - 1) for v in definition.operands
+            )
+    return False
+
+
+def _small_constant_step(value) -> bool:
+    definition = value.definition
+    return (
+        isinstance(definition, ConstantInstr)
+        and isinstance(definition.value, int)
+        and not isinstance(definition.value, bool)
+        and 0 < definition.value < _SMALL_STEP
+    )
+
+
+def elide_counter_overflow_checks(function: FunctionModule) -> int:
+    from repro.compiler.types.builtin_env import PRIMITIVE_IMPLS
+
+    unchecked = PRIMITIVE_IMPLS.get("plus_unchecked_Integer64")
+    if unchecked is None:  # pragma: no cover - registered at import
+        return 0
+    elided = 0
+    for loop in find_natural_loops(function):
+        header = function.blocks.get(loop.header)
+        if header is None or not isinstance(header.terminator, BranchInstr):
+            continue
+        terminator = header.terminator
+        if terminator.true_target not in loop.body:
+            continue  # guard must gate the loop body
+        guard = terminator.condition.definition
+        if not isinstance(guard, CallPrimitiveInstr):
+            continue
+        if guard.primitive.runtime_name not in _GUARDS:
+            continue
+        counter, bound = guard.operands
+        if not isinstance(counter.definition, PhiInstr):
+            continue
+        if counter.definition not in header.phis:
+            continue
+        if not _is_small_bound(bound):
+            continue
+        # back-edge values that are `counter + small-const` in the loop body
+        for _pred, incoming in counter.definition.incoming:
+            increment = incoming.definition
+            if not isinstance(increment, CallPrimitiveInstr):
+                continue
+            if increment.primitive.runtime_name != (
+                "checked_binary_plus_Integer64_Integer64"
+            ):
+                continue
+            a, b = increment.operands
+            if a is counter and _small_constant_step(b):
+                increment.primitive = unchecked
+                elided += 1
+            elif b is counter and _small_constant_step(a):
+                increment.primitive = unchecked
+                elided += 1
+    # straight-line case: additions of provably small values cannot overflow
+    for block in function.ordered_blocks():
+        for instruction in block.instructions:
+            if not isinstance(instruction, CallPrimitiveInstr):
+                continue
+            if instruction.primitive.runtime_name != (
+                "checked_binary_plus_Integer64_Integer64"
+            ):
+                continue
+            if all(_is_small_bound(v) for v in instruction.operands):
+                instruction.primitive = unchecked
+                elided += 1
+    if elided:
+        function.information["OverflowChecksElided"] = elided
+    return elided

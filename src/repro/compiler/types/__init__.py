@@ -1,0 +1,2 @@
+"""The compiler type system (§4.4): specifiers, classes, environments,
+unification, and constraint-based inference."""

@@ -1,0 +1,289 @@
+"""Type environments: function declarations, overloading, and resolution.
+
+§4.4: "Functions are defined within a type environment.  Function
+definitions can be overloaded by type, arity, and return type ... Multiple
+type environments can be resident within the compiler; a default builtin
+type environment is provided.  Users can extend the type environment and
+specify which type environment to use at FunctionCompile time."
+
+A declaration pairs a (possibly polymorphic, possibly qualified) function
+type with an *implementation*: either a runtime primitive (inline template +
+runtime callable + C template) or a Wolfram ``Function`` expression that the
+compiler instantiates and compiles on demand (§4.5 Function Resolution).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+_declaration_counter = itertools.count(1)
+
+from repro.compiler.types.classes import DEFAULT_CLASSES, TypeClassRegistry
+from repro.compiler.types.specifier import (
+    AtomicType,
+    CompoundType,
+    FunctionType,
+    Type,
+    TypeForAll,
+    TypeLiteral,
+    TypeVariable,
+    instantiate,
+)
+from repro.compiler.types.unify import Substitution, unify, unifiable
+from repro.errors import (
+    AmbiguousTypeError,
+    FunctionResolutionError,
+    TypeInferenceError,
+)
+from repro.mexpr.expr import MExpr
+
+#: numeric widening lattice for implicit coercion during resolution
+_WIDENS_TO = {
+    "Integer8": {"Integer16", "Integer32", "Integer64", "Real64", "ComplexReal64"},
+    "Integer16": {"Integer32", "Integer64", "Real64", "ComplexReal64"},
+    "Integer32": {"Integer64", "Real64", "ComplexReal64"},
+    "Integer64": {"Real64", "ComplexReal64"},
+    "UnsignedInteger8": {"Integer16", "Integer32", "Integer64",
+                         "UnsignedInteger64", "Real64", "ComplexReal64"},
+    "Real32": {"Real64", "ComplexReal64"},
+    "Real64": {"ComplexReal64"},
+}
+# non-negative Integer64 literals may widen into unsigned-64 arithmetic
+# (the FNV1a benchmark mixes byte values into a U64 hash)
+_WIDENS_TO["Integer64"] = _WIDENS_TO["Integer64"] | {"UnsignedInteger64"}
+
+
+def widens_to(source: Type, target: Type) -> bool:
+    return (
+        isinstance(source, AtomicType)
+        and isinstance(target, AtomicType)
+        and target.name in _WIDENS_TO.get(source.name, ())
+    )
+
+
+@dataclass
+class PrimitiveImpl:
+    """A compiler-runtime primitive implementation.
+
+    ``py_inline`` is a statement template the Python backend splices when
+    primitive inlining is enabled (the default; §6 attributes a 10× swing to
+    this).  ``runtime_name`` is the mangled symbol resolved against
+    :mod:`repro.compiler.runtime_library` when inlining is disabled, and is
+    also the name the C backend declares.
+    """
+
+    runtime_name: str
+    py_inline: Optional[str] = None
+    c_inline: Optional[str] = None
+    pure: bool = True
+
+
+@dataclass
+class Declaration:
+    name: str
+    type: Type  # FunctionType or TypeForAll over one
+    implementation: object  # PrimitiveImpl | MExpr (Wolfram Function) | None
+    #: declaration order; used as the final tie-breaker in ordering
+    order: int = 0
+    inline_always: bool = False
+
+    def arity(self) -> Optional[int]:
+        body = self.type.body if isinstance(self.type, TypeForAll) else self.type
+        if isinstance(body, FunctionType):
+            return len(body.params)
+        return None
+
+
+@dataclass
+class ResolvedCall:
+    """The outcome of function resolution for one call site."""
+
+    declaration: Declaration
+    function_type: FunctionType  # fully instantiated
+    mangled_name: str
+    #: per-argument coercion targets (None = exact match)
+    coercions: tuple[Optional[Type], ...] = ()
+
+
+class TypeEnvironment:
+    """A (possibly chained) mapping from function names to declarations."""
+
+    def __init__(
+        self,
+        parent: Optional["TypeEnvironment"] = None,
+        classes: Optional[TypeClassRegistry] = None,
+    ):
+        self.parent = parent
+        self.classes = classes or (parent.classes if parent else DEFAULT_CLASSES)
+        self._functions: dict[str, list[Declaration]] = {}
+        self._types: dict[str, dict] = {}
+
+    # -- declarations ------------------------------------------------------------
+
+    def declare_function(
+        self,
+        name: str,
+        type_: Type,
+        implementation: object = None,
+        inline_always: bool = False,
+    ) -> Declaration:
+        """``tyEnv["declareFunction", ...]`` (§4.4's Min example)."""
+        # declaration order is global so child-environment declarations
+        # always outrank inherited ones in the candidate ordering
+        declaration = Declaration(
+            name=name,
+            type=type_,
+            implementation=implementation,
+            order=next(_declaration_counter),
+            inline_always=inline_always,
+        )
+        self._functions.setdefault(name, []).append(declaration)
+        return declaration
+
+    def declare_type(self, name: str, **metadata) -> None:
+        """Register a named (user) datatype (feature F6)."""
+        self._types[name] = metadata
+        from repro.compiler.types import specifier
+
+        specifier.ATOMIC_TYPE_NAMES.add(name)
+        for class_name in metadata.get("classes", ()):
+            self.classes.add_member(class_name, name)
+
+    def has_type(self, name: str) -> bool:
+        if name in self._types:
+            return True
+        return self.parent.has_type(name) if self.parent else False
+
+    def declarations(self, name: str) -> list[Declaration]:
+        own = self._functions.get(name, [])
+        if self.parent is not None:
+            return self.parent.declarations(name) + own
+        return list(own)
+
+    def function_names(self) -> set[str]:
+        names = set(self._functions)
+        if self.parent is not None:
+            names |= self.parent.function_names()
+        return names
+
+    # -- resolution (§4.5) --------------------------------------------------------
+
+    def resolve_call(
+        self,
+        name: str,
+        argument_types: list[Type],
+        substitution: Optional[Substitution] = None,
+    ) -> ResolvedCall:
+        """Resolve ``name[args...]`` to an implementation for the given
+        (ground) argument types.  Raises on no match or ambiguity."""
+        substitution = substitution or Substitution()
+        argument_types = [substitution.resolve(t) for t in argument_types]
+        candidates = self._candidates(name, argument_types, substitution)
+        if not candidates:
+            raise FunctionResolutionError(
+                f"no implementation of {name} matches "
+                f"({', '.join(map(str, argument_types))})"
+            )
+        candidates.sort(key=lambda c: c[1])
+        if (
+            len(candidates) > 1
+            and candidates[0][1] == candidates[1][1]
+            and candidates[0][0].function_type != candidates[1][0].function_type
+        ):
+            raise AmbiguousTypeError(
+                f"ambiguous call {name}"
+                f"({', '.join(map(str, argument_types))}): "
+                f"{candidates[0][0].function_type} vs "
+                f"{candidates[1][0].function_type}"
+            )
+        return candidates[0][0]
+
+    def _candidates(
+        self,
+        name: str,
+        argument_types: list[Type],
+        substitution: Substitution,
+    ) -> list[tuple[ResolvedCall, tuple]]:
+        out: list[tuple[ResolvedCall, tuple]] = []
+        for declaration in self.declarations(name):
+            if declaration.arity() != len(argument_types):
+                continue
+            instantiated, obligations = instantiate(declaration.type)
+            if not isinstance(instantiated, FunctionType):
+                continue
+            probe = substitution.copy()
+            coercions: list[Optional[Type]] = []
+            coercion_count = 0
+            failed = False
+            for param, argument in zip(instantiated.params, argument_types):
+                if unifiable(param, argument, probe):
+                    unify(param, argument, probe)
+                    coercions.append(None)
+                    continue
+                resolved_param = probe.resolve(param)
+                resolved_argument = probe.resolve(argument)
+                if widens_to(resolved_argument, resolved_param):
+                    coercions.append(resolved_param)
+                    coercion_count += 1
+                    continue
+                failed = True
+                break
+            if failed:
+                continue
+            # qualifier obligations: every qualified variable's binding must
+            # be a member of the required class
+            obligations_ok = True
+            unresolved = 0
+            for variable, class_name in obligations:
+                bound = probe.resolve(variable)
+                if isinstance(bound, TypeVariable):
+                    unresolved += 1
+                    continue
+                if not self.classes.satisfies(bound, class_name):
+                    obligations_ok = False
+                    break
+            if not obligations_ok:
+                continue
+            function_type = probe.resolve(instantiated)
+            if function_type.free_variables():
+                # under-determined polymorphic match: deprioritize but keep
+                unresolved += len(function_type.free_variables())
+            resolved = ResolvedCall(
+                declaration=declaration,
+                function_type=function_type,
+                mangled_name=mangle(name, function_type.params),
+                coercions=tuple(coercions),
+            )
+            # ordering (§4.4): fewer coercions, then more-specific (fewer
+            # leftover variables), then later declarations win (user
+            # extensions override builtins)
+            rank = (coercion_count, unresolved, -declaration.order)
+            out.append((resolved, rank))
+        return out
+
+
+def mangle(name: str, param_types) -> str:
+    """The mangled symbol name for an instantiation (§4.5, §A.6.3:
+    ``checked_binary_plus_Integer64_Integer64``)."""
+    parts = [name.replace("`", "_")]
+    for param in param_types:
+        parts.append(_mangle_type(param))
+    return "_".join(parts)
+
+
+def _mangle_type(type_: Type) -> str:
+    if isinstance(type_, AtomicType):
+        return type_.name
+    if isinstance(type_, CompoundType):
+        inner = "_".join(_mangle_type(p) for p in type_.params)
+        return f"{type_.constructor}_{inner}"
+    if isinstance(type_, TypeLiteral):
+        return str(type_.value)
+    if isinstance(type_, FunctionType):
+        inner = "_".join(_mangle_type(p) for p in type_.params)
+        return f"Fn_{inner}_to_{_mangle_type(type_.result)}"
+    if isinstance(type_, TypeVariable):
+        return "T"
+    return "X"

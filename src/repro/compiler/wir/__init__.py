@@ -1,0 +1,2 @@
+"""The (untyped) Wolfram IR (§4.3): SSA instructions, basic blocks,
+function/program modules, direct-to-SSA lowering, and CFG analyses."""

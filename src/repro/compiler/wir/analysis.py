@@ -1,0 +1,169 @@
+"""CFG analyses valid on both WIR and TWIR (§4.3): dominators (Cooper-
+Harvey-Kennedy [21]), natural-loop detection [13, 62], and liveness [12].
+
+Used by abort-check insertion (loop headers), the structurizer, memory
+management (live intervals), and the copy-insertion mutability pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.compiler.wir.function_module import BasicBlock, FunctionModule
+from repro.compiler.wir.instructions import PhiInstr, Value
+
+
+def reverse_postorder(function: FunctionModule) -> list[str]:
+    seen: set[str] = set()
+    order: list[str] = []
+
+    def visit(name: str) -> None:
+        if name in seen or name not in function.blocks:
+            return
+        seen.add(name)
+        for successor in function.blocks[name].successors():
+            visit(successor)
+        order.append(name)
+
+    assert function.entry is not None
+    visit(function.entry)
+    order.reverse()
+    return order
+
+
+def compute_dominators(function: FunctionModule) -> dict[str, Optional[str]]:
+    """Immediate dominators via the Cooper–Harvey–Kennedy iteration."""
+    order = reverse_postorder(function)
+    index = {name: i for i, name in enumerate(order)}
+    predecessors = function.predecessors()
+    idom: dict[str, Optional[str]] = {name: None for name in order}
+    entry = function.entry
+    idom[entry] = entry
+
+    def intersect(a: str, b: str) -> str:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for name in order:
+            if name == entry:
+                continue
+            candidates = [
+                p for p in predecessors.get(name, ())
+                if p in index and idom.get(p) is not None
+            ]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for other in candidates[1:]:
+                new_idom = intersect(new_idom, other)
+            if idom[name] != new_idom:
+                idom[name] = new_idom
+                changed = True
+    idom[entry] = None
+    return idom
+
+
+def dominates(idom: dict[str, Optional[str]], a: str, b: str) -> bool:
+    """Does block ``a`` dominate block ``b``?"""
+    current: Optional[str] = b
+    while current is not None:
+        if current == a:
+            return True
+        current = idom.get(current)
+    return False
+
+
+@dataclass
+class NaturalLoop:
+    header: str
+    body: set[str] = field(default_factory=set)
+    back_edges: list[tuple[str, str]] = field(default_factory=list)
+
+
+def find_natural_loops(function: FunctionModule) -> list[NaturalLoop]:
+    """Back edges (successor dominates source) and their natural loops."""
+    idom = compute_dominators(function)
+    predecessors = function.predecessors()
+    loops: dict[str, NaturalLoop] = {}
+    for block in function.ordered_blocks():
+        for successor in block.successors():
+            if successor in function.blocks and dominates(
+                idom, successor, block.name
+            ):
+                loop = loops.setdefault(successor, NaturalLoop(successor))
+                loop.back_edges.append((block.name, successor))
+                # walk predecessors from the latch up to the header
+                stack = [block.name]
+                loop.body.add(successor)
+                while stack:
+                    current = stack.pop()
+                    if current in loop.body:
+                        continue
+                    loop.body.add(current)
+                    stack.extend(predecessors.get(current, ()))
+    return list(loops.values())
+
+
+def loop_headers(function: FunctionModule) -> set[str]:
+    return {loop.header for loop in find_natural_loops(function)}
+
+
+def compute_liveness(
+    function: FunctionModule,
+) -> tuple[dict[str, set[Value]], dict[str, set[Value]]]:
+    """Backward data-flow live-in / live-out sets per block.
+
+    Phi operands are treated as live-out of the corresponding predecessor,
+    the standard SSA convention [12].
+    """
+    blocks = function.ordered_blocks()
+    use: dict[str, set[Value]] = {}
+    define: dict[str, set[Value]] = {}
+    phi_uses_by_pred: dict[str, set[Value]] = {}
+
+    for block in blocks:
+        used: set[Value] = set()
+        defined: set[Value] = set()
+        for phi in block.phis:
+            defined.add(phi.result)
+            for pred_name, value in phi.incoming:
+                phi_uses_by_pred.setdefault(pred_name, set()).add(value)
+        for instruction in block.instructions:
+            for operand in instruction.operands:
+                if operand not in defined:
+                    used.add(operand)
+            if instruction.result is not None:
+                defined.add(instruction.result)
+        if block.terminator is not None:
+            for operand in block.terminator.operands:
+                if operand not in defined:
+                    used.add(operand)
+        use[block.name] = used
+        define[block.name] = defined
+
+    live_in: dict[str, set[Value]] = {b.name: set() for b in blocks}
+    live_out: dict[str, set[Value]] = {b.name: set() for b in blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(blocks):
+            name = block.name
+            out: set[Value] = set(phi_uses_by_pred.get(name, ()))
+            for successor in block.successors():
+                if successor in live_in:
+                    out |= live_in[successor]
+                    # successor phis' results are defined there, not live-in
+            new_in = use[name] | (out - define[name])
+            if out != live_out[name] or new_in != live_in[name]:
+                live_out[name] = out
+                live_in[name] = new_in
+                changed = True
+    return live_in, live_out

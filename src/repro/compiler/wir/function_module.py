@@ -1,0 +1,178 @@
+"""Basic blocks, function modules, and program modules (§4.3)."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.compiler.wir.instructions import (
+    Instruction,
+    PhiInstr,
+    Terminator,
+    Value,
+)
+
+
+class BasicBlock:
+    def __init__(self, name: str):
+        self.name = name
+        self.phis: list[PhiInstr] = []
+        self.instructions: list[Instruction] = []
+        self.terminator: Optional[Terminator] = None
+
+    def append(self, instruction: Instruction) -> Instruction:
+        if isinstance(instruction, PhiInstr):
+            self.phis.append(instruction)
+        else:
+            self.instructions.append(instruction)
+        return instruction
+
+    def all_instructions(self) -> Iterator[Instruction]:
+        yield from self.phis
+        yield from self.instructions
+        if self.terminator is not None:
+            yield self.terminator
+
+    def successors(self) -> list[str]:
+        return self.terminator.successors() if self.terminator else []
+
+    def __str__(self) -> str:
+        lines = [f"{self.name}:"]
+        for instruction in self.all_instructions():
+            lines.append(f"  {instruction}")
+        return "\n".join(lines)
+
+
+class FunctionModule:
+    """A function: parameters plus a CFG of basic blocks.
+
+    ``information`` mirrors the paper's per-function metadata block
+    (``Main::Information={"inlineInformation"->..., "AbortHandling"->True}``
+    in §A.6.2).
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.parameters: list[Value] = []
+        self.blocks: dict[str, BasicBlock] = {}
+        self.block_order: list[str] = []
+        self.entry: Optional[str] = None
+        self.result_type = None
+        self.information: dict = {
+            "inlineInformation": {"inlineValue": "Automatic", "isTrivial": False},
+            "ArgumentAlias": False,
+            "Profile": False,
+            "AbortHandling": True,
+        }
+        self._block_counter = 0
+
+    def new_block(self, hint: str = "bb") -> BasicBlock:
+        self._block_counter += 1
+        name = f"{hint}({self._block_counter})"
+        block = BasicBlock(name)
+        self.blocks[name] = block
+        self.block_order.append(name)
+        if self.entry is None:
+            self.entry = name
+        return block
+
+    def remove_block(self, name: str) -> None:
+        self.blocks.pop(name, None)
+        if name in self.block_order:
+            self.block_order.remove(name)
+
+    def ordered_blocks(self) -> list[BasicBlock]:
+        return [self.blocks[n] for n in self.block_order if n in self.blocks]
+
+    def predecessors(self) -> dict[str, list[str]]:
+        preds: dict[str, list[str]] = {name: [] for name in self.blocks}
+        for block in self.ordered_blocks():
+            for successor in block.successors():
+                if successor in preds:
+                    preds[successor].append(block.name)
+        return preds
+
+    def values(self) -> Iterator[Value]:
+        seen = set()
+        for parameter in self.parameters:
+            if parameter.id not in seen:
+                seen.add(parameter.id)
+                yield parameter
+        for block in self.ordered_blocks():
+            for instruction in block.all_instructions():
+                if instruction.result is not None and (
+                    instruction.result.id not in seen
+                ):
+                    seen.add(instruction.result.id)
+                    yield instruction.result
+
+    def instructions(self) -> Iterator[Instruction]:
+        for block in self.ordered_blocks():
+            yield from block.all_instructions()
+
+    def is_typed(self) -> bool:
+        """True when this is a TWIR function: every value carries a type."""
+        return all(value.type is not None for value in self.values())
+
+    def to_string(self) -> str:
+        lines = [f"{self.name}::Information="
+                 f"{_wl_rules(self.information)}"]
+        signature = ""
+        if self.result_type is not None and all(
+            p.type is not None for p in self.parameters
+        ):
+            params = ", ".join(str(p.type) for p in self.parameters)
+            signature = f" : ({params}) -> {self.result_type}"
+        lines.append(f"{self.name}{signature}")
+        for block in self.ordered_blocks():
+            lines.append(str(block))
+        return "\n".join(lines)
+
+    __str__ = to_string
+
+
+def _wl_rules(value) -> str:
+    """Render metadata in Wolfram rule syntax, matching the paper's
+    ``Main::Information={"inlineInformation" -> {...}, ...}`` dumps."""
+    if isinstance(value, dict):
+        inner = ", ".join(
+            f'"{key}" -> {_wl_rules(item)}' for key, item in value.items()
+        )
+        return "{" + inner + "}"
+    if isinstance(value, bool):
+        return "True" if value else "False"
+    if isinstance(value, str):
+        return value if value and value[0].isupper() else f'"{value}"'
+    if isinstance(value, (list, tuple, set)):
+        return "{" + ", ".join(_wl_rules(v) for v in sorted(map(str, value))) + "}"
+    return str(value)
+
+
+class ProgramModule:
+    """A collection of function modules plus global metadata (§4.3)."""
+
+    def __init__(self, name: str = "Program"):
+        self.name = name
+        self.functions: dict[str, FunctionModule] = {}
+        self.main: Optional[str] = None
+        self.metadata: dict = {}
+        self.globals: dict[str, object] = {}
+        self.type_environment = None
+
+    def add_function(self, function: FunctionModule, main: bool = False) -> None:
+        self.functions[function.name] = function
+        if main or self.main is None:
+            self.main = function.name
+
+    def main_function(self) -> FunctionModule:
+        assert self.main is not None
+        return self.functions[self.main]
+
+    def to_string(self) -> str:
+        parts = []
+        if self.metadata:
+            parts.append(f"; module metadata: {self.metadata}")
+        for name in sorted(self.functions, key=lambda n: n != self.main):
+            parts.append(self.functions[name].to_string())
+        return "\n\n".join(parts)
+
+    __str__ = to_string

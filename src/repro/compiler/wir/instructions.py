@@ -1,0 +1,325 @@
+"""WIR instructions and SSA values (§4.3).
+
+"The WIR structure is inspired by the LLVM IR.  A sequence of instructions
+form a basic block, a DAG of basic blocks represent a function module, and a
+collection of function modules form a program module."
+
+One instruction vocabulary serves both the untyped WIR and the typed TWIR:
+*typed* simply means every :class:`Value` carries a resolved type (§4.5 —
+"Having the same representation means that transformations can introduce
+untyped instructions").  Each instruction may carry its originating MExpr as
+a property, used for error reporting and debug output.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.compiler.types.environment import PrimitiveImpl
+    from repro.compiler.types.specifier import Type
+    from repro.mexpr.expr import MExpr
+
+_value_ids = itertools.count(1)
+
+
+class Value:
+    """An SSA value: defined exactly once, typed after inference."""
+
+    __slots__ = ("id", "hint", "type", "mexpr", "definition")
+
+    def __init__(self, hint: str = "", type_=None):
+        self.id = next(_value_ids)
+        self.hint = hint
+        self.type = type_
+        self.mexpr = None
+        self.definition: Optional[Instruction] = None
+
+    @property
+    def name(self) -> str:
+        return f"%{self.id}"
+
+    def __repr__(self) -> str:
+        type_text = f":{self.type}" if self.type is not None else ""
+        return f"{self.name}{type_text}"
+
+
+@dataclass(frozen=True)
+class FunctionRef:
+    """A function used as a value (e.g. ``If[c, Sin, Cos]``); resolved by
+    type during function resolution (§4.5)."""
+
+    name: str
+
+
+class Instruction:
+    """Base instruction: a result value (possibly None) plus operands."""
+
+    opcode = "instr"
+    #: pure instructions are eligible for CSE and DCE
+    pure = False
+
+    def __init__(self, result: Optional[Value], operands: list[Value]):
+        self.result = result
+        self.operands = list(operands)
+        self.properties: dict[str, Any] = {}
+        if result is not None:
+            result.definition = self
+
+    def replace_operand(self, old: Value, new: Value) -> None:
+        self.operands = [new if v is old else v for v in self.operands]
+
+    def operand_summary(self) -> str:
+        return ", ".join(v.name for v in self.operands)
+
+    def __str__(self) -> str:
+        prefix = f"{self.result!r} = " if self.result is not None else ""
+        return f"{prefix}{self.opcode} {self.operand_summary()}"
+
+
+class ConstantInstr(Instruction):
+    opcode = "Constant"
+    pure = True
+
+    def __init__(self, result: Value, value: Any):
+        super().__init__(result, [])
+        self.value = value
+
+    def __str__(self) -> str:
+        return f"{self.result!r} = Constant {self.value!r}"
+
+
+class LoadArgumentInstr(Instruction):
+    opcode = "LoadArgument"
+    pure = True
+
+    def __init__(self, result: Value, index: int):
+        super().__init__(result, [])
+        self.index = index
+
+    def __str__(self) -> str:
+        return f"{self.result!r} = LoadArgument arg{self.index}"
+
+
+class CallInstr(Instruction):
+    """An unresolved source-level call, e.g. ``Call Plus: %1, %2``."""
+
+    opcode = "Call"
+
+    def __init__(self, result: Value, callee: str, operands: list[Value]):
+        super().__init__(result, operands)
+        self.callee = callee
+
+    def __str__(self) -> str:
+        return f"{self.result!r} = Call {self.callee}: {self.operand_summary()}"
+
+
+class CallPrimitiveInstr(Instruction):
+    """A resolved call to a runtime primitive (§A.6.3's
+    ``Call Native`PrimitiveFunction[checked_binary_plus_...]``)."""
+
+    opcode = "CallPrimitive"
+
+    def __init__(self, result: Value, primitive: "PrimitiveImpl",
+                 operands: list[Value], source_name: str = ""):
+        super().__init__(result, operands)
+        self.primitive = primitive
+        self.source_name = source_name
+
+    @property
+    def pure(self) -> bool:  # type: ignore[override]
+        return self.primitive.pure
+
+    def __str__(self) -> str:
+        return (
+            f"{self.result!r} = Call Native`PrimitiveFunction["
+            f"{self.primitive.runtime_name}]: {self.operand_summary()}"
+        )
+
+
+class CallFunctionInstr(Instruction):
+    """A resolved call to another function module (mangled name)."""
+
+    opcode = "CallFunction"
+
+    def __init__(self, result: Value, function_name: str, operands: list[Value]):
+        super().__init__(result, operands)
+        self.function_name = function_name
+
+    def __str__(self) -> str:
+        return (
+            f"{self.result!r} = CallFunction {self.function_name}: "
+            f"{self.operand_summary()}"
+        )
+
+
+class CallIndirectInstr(Instruction):
+    """A call through a function value (first operand is the callee)."""
+
+    opcode = "CallIndirect"
+
+    def __str__(self) -> str:
+        callee, *rest = self.operands
+        args = ", ".join(v.name for v in rest)
+        return f"{self.result!r} = CallIndirect {callee.name}({args})"
+
+
+class BuildListInstr(Instruction):
+    """Construct a packed tensor from element values (``{a, b, c}``)."""
+
+    opcode = "BuildList"
+    pure = True
+
+    def __str__(self) -> str:
+        return f"{self.result!r} = BuildList {{{self.operand_summary()}}}"
+
+
+class PhiInstr(Instruction):
+    opcode = "Phi"
+    pure = True
+
+    def __init__(self, result: Value, incoming: list[tuple[str, Value]]):
+        super().__init__(result, [v for _, v in incoming])
+        self.incoming = list(incoming)
+
+    def replace_operand(self, old: Value, new: Value) -> None:
+        super().replace_operand(old, new)
+        self.incoming = [
+            (block, new if v is old else v) for block, v in self.incoming
+        ]
+
+    def set_incoming(self, incoming: list[tuple[str, Value]]) -> None:
+        self.incoming = list(incoming)
+        self.operands = [v for _, v in incoming]
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"[{b}: {v.name}]" for b, v in self.incoming)
+        return f"{self.result!r} = Phi {inner}"
+
+
+class CopyInstr(Instruction):
+    """An explicit structural copy inserted by the mutability pass (F5)."""
+
+    opcode = "Copy"
+
+    def __str__(self) -> str:
+        return f"{self.result!r} = Copy {self.operands[0].name}"
+
+
+class KernelCallInstr(Instruction):
+    """Escape to the interpreter (``KernelFunction`` lowering, F9/§4.5)."""
+
+    opcode = "KernelCall"
+
+    def __init__(self, result: Value, expression: "MExpr",
+                 variable_names: list[str], operands: list[Value]):
+        super().__init__(result, operands)
+        self.expression = expression
+        self.variable_names = list(variable_names)
+
+    def __str__(self) -> str:
+        from repro.mexpr.printer import input_form
+
+        return (
+            f"{self.result!r} = KernelCall «{input_form(self.expression)}» "
+            f"with {self.operand_summary()}"
+        )
+
+
+class CheckAbortInstr(Instruction):
+    """Abort poll inserted at loop headers and prologues (F3, §4.5)."""
+
+    opcode = "CheckAbort"
+
+    def __init__(self):
+        super().__init__(None, [])
+
+    def __str__(self) -> str:
+        return "CheckAbort"
+
+
+class MemoryAcquireInstr(Instruction):
+    opcode = "MemoryAcquire"
+
+    def __str__(self) -> str:
+        return f"MemoryAcquire {self.operands[0].name}"
+
+
+class MemoryReleaseInstr(Instruction):
+    opcode = "MemoryRelease"
+
+    def __str__(self) -> str:
+        return f"MemoryRelease {self.operands[0].name}"
+
+
+# -- terminators ------------------------------------------------------------------
+
+
+class Terminator(Instruction):
+    def successors(self) -> list[str]:
+        return []
+
+    def retarget(self, old: str, new: str) -> None:
+        pass
+
+
+class JumpInstr(Terminator):
+    opcode = "Jump"
+
+    def __init__(self, target: str):
+        super().__init__(None, [])
+        self.target = target
+
+    def successors(self) -> list[str]:
+        return [self.target]
+
+    def retarget(self, old: str, new: str) -> None:
+        if self.target == old:
+            self.target = new
+
+    def __str__(self) -> str:
+        return f"Jump {self.target}"
+
+
+class BranchInstr(Terminator):
+    opcode = "Branch"
+
+    def __init__(self, condition: Value, true_target: str, false_target: str):
+        super().__init__(None, [condition])
+        self.true_target = true_target
+        self.false_target = false_target
+
+    @property
+    def condition(self) -> Value:
+        return self.operands[0]
+
+    def successors(self) -> list[str]:
+        return [self.true_target, self.false_target]
+
+    def retarget(self, old: str, new: str) -> None:
+        if self.true_target == old:
+            self.true_target = new
+        if self.false_target == old:
+            self.false_target = new
+
+    def __str__(self) -> str:
+        return (
+            f"Branch {self.condition.name} ? {self.true_target} "
+            f": {self.false_target}"
+        )
+
+
+class ReturnInstr(Terminator):
+    opcode = "Return"
+
+    def __init__(self, value: Optional[Value]):
+        super().__init__(None, [value] if value is not None else [])
+
+    @property
+    def value(self) -> Optional[Value]:
+        return self.operands[0] if self.operands else None
+
+    def __str__(self) -> str:
+        return f"Return {self.value.name}" if self.value else "Return"

@@ -1,0 +1,23 @@
+"""The interpreter substrate — our stand-in for the Wolfram Engine.
+
+A tree-walking evaluator with the semantics the paper's compiler must
+integrate with (§2, §3): infinite evaluation, pattern-based definitions,
+hold attributes, scoping constructs, soft numeric behaviour (arbitrary
+precision), and user-initiated aborts.
+"""
+
+from repro.engine.controlflow import (
+    BreakSignal,
+    ContinueSignal,
+    ReturnSignal,
+    ThrowSignal,
+)
+from repro.engine.definitions import Definition, DownValue, KernelState
+from repro.engine.evaluator import Evaluator
+from repro.engine.patterns import match, match_q, pattern_specificity, substitute
+
+__all__ = [
+    "BreakSignal", "ContinueSignal", "Definition", "DownValue", "Evaluator",
+    "KernelState", "ReturnSignal", "ThrowSignal", "match", "match_q",
+    "pattern_specificity", "substitute",
+]

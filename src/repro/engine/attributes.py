@@ -1,0 +1,37 @@
+"""Symbol attributes controlling evaluation (§2.1).
+
+The evaluator consults these before evaluating arguments (``Hold*``),
+flattening (``Flat``), canonically ordering (``Orderless``), and threading
+over lists (``Listable``).
+"""
+
+from __future__ import annotations
+
+HOLD_ALL = "HoldAll"
+HOLD_FIRST = "HoldFirst"
+HOLD_REST = "HoldRest"
+HOLD_ALL_COMPLETE = "HoldAllComplete"
+FLAT = "Flat"
+ORDERLESS = "Orderless"
+LISTABLE = "Listable"
+ONE_IDENTITY = "OneIdentity"
+PROTECTED = "Protected"
+SEQUENCE_HOLD = "SequenceHold"
+NUMERIC_FUNCTION = "NumericFunction"
+
+ALL_ATTRIBUTES = frozenset({
+    HOLD_ALL, HOLD_FIRST, HOLD_REST, HOLD_ALL_COMPLETE, FLAT, ORDERLESS,
+    LISTABLE, ONE_IDENTITY, PROTECTED, SEQUENCE_HOLD, NUMERIC_FUNCTION,
+})
+
+
+def held_argument_indices(attributes: frozenset[str], argument_count: int) -> set[int]:
+    """Indices (0-based) of arguments that must NOT be evaluated."""
+    if HOLD_ALL in attributes or HOLD_ALL_COMPLETE in attributes:
+        return set(range(argument_count))
+    held: set[int] = set()
+    if HOLD_FIRST in attributes and argument_count:
+        held.add(0)
+    if HOLD_REST in attributes:
+        held.update(range(1, argument_count))
+    return held

@@ -1,0 +1,71 @@
+"""The builtin function registry.
+
+Importing this package pulls in every builtin module, each of which
+registers implementations via the :func:`repro.engine.builtins.support.builtin`
+decorator.  The evaluator reads the populated registry at construction.
+"""
+
+from repro.engine.builtins.support import Builtin, builtin, registry
+
+# Importing for side effects: each module registers its builtins.
+from repro.engine.builtins import (  # noqa: F401  (imported for registration)
+    arithmetic,
+    comparison,
+    control,
+    functional,
+    lists,
+    predicates,
+    random,
+    rules,
+    scoping,
+    strings,
+)
+from repro.engine.numerics import differentiate as _differentiate  # noqa: F401
+from repro.engine.numerics import findroot as _findroot  # noqa: F401
+from repro.engine.numerics import ndsolve as _ndsolve  # noqa: F401
+from repro.engine.numerics import nminimize as _nminimize  # noqa: F401
+
+BUILTINS = registry()
+
+# The bytecode compiler is bundled with the engine (it ships inside the
+# Wolfram Engine, §2.2); its Compile builtin and head applicator register on
+# import.  Imported last so the core registry exists first.
+from repro.bytecode import engine_integration as _bytecode_integration  # noqa: E402,F401
+
+HEAD_APPLICATORS: dict = {}
+_bytecode_integration.install_head_applicator(HEAD_APPLICATORS)
+
+from repro.engine.builtins.functional import apply_composition  # noqa: E402
+
+HEAD_APPLICATORS["Composition"] = (
+    lambda evaluator, head, arguments: apply_composition(
+        evaluator, head, arguments
+    )
+)
+
+
+def _apply_derivative(evaluator, head, arguments):
+    """``f'[x]``: differentiate a pure function and apply it."""
+    from repro.engine.builtins.functional import apply_function
+    from repro.engine.numerics.differentiate import differentiate
+    from repro.mexpr.atoms import MSymbol
+    from repro.mexpr.expr import MExprNormal
+    from repro.mexpr.symbols import is_head
+
+    if len(head.args) != 1 or len(arguments) != 1:
+        return None
+    function = evaluator.evaluate(head.args[0])
+    if not is_head(function, "Function") or len(function.args) != 2:
+        return None
+    params = function.args[0]
+    names = params.args if not params.is_atom() else [params]
+    if len(names) != 1 or not isinstance(names[0], MSymbol):
+        return None
+    derivative_body = differentiate(function.args[1], names[0])
+    derivative_fn = MExprNormal(function.head, [params, derivative_body])
+    return apply_function(evaluator, derivative_fn, list(arguments))
+
+
+HEAD_APPLICATORS["Derivative1"] = _apply_derivative
+
+__all__ = ["BUILTINS", "Builtin", "builtin", "registry"]

@@ -1,0 +1,493 @@
+"""Control flow, assignment, and evaluation-control builtins."""
+
+from __future__ import annotations
+
+import time
+
+from repro.engine.attributes import HOLD_ALL, HOLD_ALL_COMPLETE, HOLD_FIRST, HOLD_REST
+from repro.engine.builtins.support import as_number, builtin, number_expr
+from repro.engine.controlflow import (
+    BreakSignal,
+    ContinueSignal,
+    ReturnSignal,
+    ThrowSignal,
+)
+from repro.engine.definitions import DownValue
+from repro.errors import WolframAbort, WolframEvaluationError
+from repro.mexpr.atoms import MInteger, MString, MSymbol
+from repro.mexpr.expr import MExpr, MExprNormal
+from repro.mexpr.symbols import S, head_name, is_false, is_head, is_true
+
+
+@builtin("CompoundExpression", HOLD_ALL)
+def compound_expression(evaluator, expression):
+    result: MExpr = MSymbol("Null")
+    for argument in expression.args:
+        result = evaluator.evaluate(argument)
+    return result
+
+
+@builtin("While", HOLD_ALL)
+def while_(evaluator, expression):
+    args = expression.args
+    if len(args) not in (1, 2):
+        return None
+    condition = args[0]
+    body = args[1] if len(args) == 2 else MSymbol("Null")
+    while True:
+        outcome = evaluator.evaluate(condition)
+        if not is_true(outcome):
+            if is_false(outcome):
+                break
+            raise WolframEvaluationError(
+                f"While: condition {outcome} is not True or False"
+            )
+        try:
+            evaluator.evaluate(body)
+        except BreakSignal:
+            break
+        except ContinueSignal:
+            continue
+    return MSymbol("Null")
+
+
+@builtin("For", HOLD_ALL)
+def for_(evaluator, expression):
+    args = expression.args
+    if len(args) not in (3, 4):
+        return None
+    start, test, increment = args[0], args[1], args[2]
+    body = args[3] if len(args) == 4 else MSymbol("Null")
+    evaluator.evaluate(start)
+    while is_true(evaluator.evaluate(test)):
+        try:
+            evaluator.evaluate(body)
+        except BreakSignal:
+            break
+        except ContinueSignal:
+            pass
+        evaluator.evaluate(increment)
+    return MSymbol("Null")
+
+
+def iteration_values(evaluator, spec: MExpr):
+    """Expand a Do/Table/Sum iterator spec into (name | None, values)."""
+    if not is_head(spec, "List"):
+        count = as_number(evaluator.evaluate(spec))
+        if not isinstance(count, int):
+            raise WolframEvaluationError(f"bad iterator specification {spec}")
+        return None, [MInteger(i) for i in range(1, count + 1)]
+    parts = spec.args
+    if len(parts) == 1:
+        count = as_number(evaluator.evaluate(parts[0]))
+        if not isinstance(count, int):
+            raise WolframEvaluationError(f"bad iterator specification {spec}")
+        return None, [MInteger(i) for i in range(1, count + 1)]
+    name = parts[0]
+    if not isinstance(name, MSymbol):
+        raise WolframEvaluationError("iterator variable must be a symbol")
+    bounds = [as_number(evaluator.evaluate(p)) for p in parts[1:]]
+    if any(b is None for b in bounds):
+        # iterate over an explicit list: {i, {a, b, c}}
+        if len(parts) == 2:
+            values = evaluator.evaluate(parts[1])
+            if is_head(values, "List"):
+                return name.name, list(values.args)
+        raise WolframEvaluationError(f"bad iterator specification {spec}")
+    if len(bounds) == 1:
+        start, stop, step = 1, bounds[0], 1
+    elif len(bounds) == 2:
+        start, stop, step = bounds[0], bounds[1], 1
+    else:
+        start, stop, step = bounds[0], bounds[1], bounds[2]
+    values = []
+    if all(isinstance(b, int) for b in (start, stop, step)):
+        current = start
+        while (step > 0 and current <= stop) or (step < 0 and current >= stop):
+            values.append(MInteger(current))
+            current += step
+    else:
+        current = float(start)
+        count = int((stop - start) / step + 1e-9) + 1
+        for index in range(max(count, 0)):
+            values.append(number_expr(start + index * step))
+    return name.name, values
+
+
+@builtin("Do", HOLD_ALL)
+def do(evaluator, expression):
+    args = expression.args
+    if len(args) < 2:
+        return None
+    body = args[0]
+    return _iterate_nested(evaluator, body, list(args[1:]), collect=False)
+
+
+def _iterate_nested(evaluator, body, specs, collect: bool):
+    from repro.engine.builtins.scoping import block_symbols
+
+    if not specs:
+        return evaluator.evaluate(body)
+    name, values = iteration_values(evaluator, specs[0])
+    rest = specs[1:]
+    results = []
+    try:
+        for value in values:
+            def run_once():
+                if rest:
+                    return _iterate_nested(evaluator, body, rest, collect)
+                return evaluator.evaluate(body)
+
+            try:
+                if name is None:
+                    item = run_once()
+                else:
+                    item = block_symbols(evaluator, {name: value}, run_once)
+            except ContinueSignal:
+                item = MSymbol("Null")
+            if collect:
+                results.append(item)
+    except BreakSignal:
+        pass
+    if collect:
+        return MExprNormal(S.List, results)
+    return MSymbol("Null")
+
+
+@builtin("Table", HOLD_ALL)
+def table(evaluator, expression):
+    args = expression.args
+    if len(args) < 2:
+        return None
+    return _iterate_nested(evaluator, args[0], list(args[1:]), collect=True)
+
+
+@builtin("Sum", HOLD_ALL)
+def sum_(evaluator, expression):
+    args = expression.args
+    if len(args) < 2:
+        return None
+    items = _iterate_nested(evaluator, args[0], list(args[1:]), collect=True)
+    return evaluator.evaluate(MExprNormal(S.Total, [items]))
+
+
+@builtin("Product", HOLD_ALL)
+def product(evaluator, expression):
+    args = expression.args
+    if len(args) < 2:
+        return None
+    items = _iterate_nested(evaluator, args[0], list(args[1:]), collect=True)
+    return evaluator.evaluate(MExprNormal(S.Times, list(items.args)))
+
+
+# -- assignment ---------------------------------------------------------------
+
+
+@builtin("Set", HOLD_FIRST)
+def set_(evaluator, expression):
+    if len(expression.args) != 2:
+        return None
+    lhs, rhs = expression.args
+    value = evaluator.evaluate(rhs)
+    return _assign(evaluator, lhs, value, delayed=False)
+
+
+@builtin("SetDelayed", HOLD_ALL)
+def set_delayed(evaluator, expression):
+    if len(expression.args) != 2:
+        return None
+    lhs, rhs = expression.args
+    _assign(evaluator, lhs, rhs, delayed=True)
+    return MSymbol("Null")
+
+
+def _assign(evaluator, lhs: MExpr, value: MExpr, delayed: bool):
+    if isinstance(lhs, MSymbol):
+        evaluator.state.set_own_value(lhs.name, value)
+        return MSymbol("Null") if delayed else value
+    if is_head(lhs, "Part"):
+        return _assign_part(evaluator, lhs, value)
+    if is_head(lhs, "List"):
+        # parallel assignment {a, b} = {1, 2}
+        rhs_items = value.args if is_head(value, "List") else None
+        if rhs_items is not None and len(rhs_items) == len(lhs.args):
+            for target, item in zip(lhs.args, rhs_items):
+                _assign(evaluator, target, item, delayed)
+            return value
+        raise WolframEvaluationError(
+            f"shapes do not match in assignment to {lhs}"
+        )
+    if not lhs.is_atom() and isinstance(lhs.head, MSymbol):
+        evaluator.state.add_down_value(
+            lhs.head.name, DownValue(lhs=lhs, rhs=value, delayed=delayed)
+        )
+        return MSymbol("Null") if delayed else value
+    raise WolframEvaluationError(f"cannot assign to {lhs}")
+
+
+def _assign_part(evaluator, lhs: MExpr, value: MExpr):
+    """``a[[i, j, ...]] = v``: rebuild the stored value with the part replaced.
+
+    Mutation rebinds the symbol only — other references keep the old data,
+    which is exactly the mutability semantics of §3 (F5).
+    """
+    target = lhs.args[0]
+    if not isinstance(target, MSymbol):
+        raise WolframEvaluationError("Part assignment target must be a symbol")
+    definition = evaluator.state.lookup(target.name)
+    if definition is None or not definition.has_own_value:
+        raise WolframEvaluationError(f"{target.name} has no value to mutate")
+    indices = []
+    for index_expr in lhs.args[1:]:
+        index = as_number(evaluator.evaluate(index_expr))
+        if not isinstance(index, int):
+            raise WolframEvaluationError("Part index must be an integer")
+        indices.append(index)
+    new_value = _replace_part(definition.own_value, indices, value)
+    evaluator.state.set_own_value(target.name, new_value)
+    return value
+
+
+def _replace_part(container: MExpr, indices: list[int], value: MExpr) -> MExpr:
+    if not indices:
+        return value
+    if container.is_atom():
+        raise WolframEvaluationError("Part assignment into an atom")
+    index = indices[0]
+    length = len(container.args)
+    if index < 0:
+        index = length + index + 1
+    if not 1 <= index <= length:
+        raise WolframEvaluationError(f"part {indices[0]} does not exist")
+    new_args = list(container.args)
+    new_args[index - 1] = _replace_part(new_args[index - 1], indices[1:], value)
+    return MExprNormal(container.head, new_args)
+
+
+def _make_increment(name, arity, delta_expr_builder, returns_old):
+    @builtin(name, HOLD_FIRST)
+    def implementation(evaluator, expression, _arity=arity,
+                       _build=delta_expr_builder, _old=returns_old):
+        if len(expression.args) != _arity:
+            return None
+        target = expression.args[0]
+        old_value = evaluator.evaluate(target)
+        new_value = evaluator.evaluate(_build(old_value, expression.args[1:]))
+        _assign(evaluator, target, new_value, delayed=False)
+        return old_value if _old else new_value
+
+    return implementation
+
+
+_make_increment(
+    "Increment", 1, lambda old, extra: MExprNormal(S.Plus, [old, MInteger(1)]), True
+)
+_make_increment(
+    "Decrement", 1, lambda old, extra: MExprNormal(S.Plus, [old, MInteger(-1)]), True
+)
+_make_increment(
+    "PreIncrement", 1, lambda old, extra: MExprNormal(S.Plus, [old, MInteger(1)]), False
+)
+_make_increment(
+    "PreDecrement", 1, lambda old, extra: MExprNormal(S.Plus, [old, MInteger(-1)]), False
+)
+_make_increment(
+    "AddTo", 2, lambda old, extra: MExprNormal(S.Plus, [old, extra[0]]), False
+)
+_make_increment(
+    "SubtractFrom", 2,
+    lambda old, extra: MExprNormal(
+        S.Plus, [old, MExprNormal(S.Times, [MInteger(-1), extra[0]])]
+    ),
+    False,
+)
+_make_increment(
+    "TimesBy", 2, lambda old, extra: MExprNormal(S.Times, [old, extra[0]]), False
+)
+_make_increment(
+    "DivideBy", 2,
+    lambda old, extra: MExprNormal(
+        S.Times, [old, MExprNormal(S.Power, [extra[0], MInteger(-1)])]
+    ),
+    False,
+)
+
+
+@builtin("Clear", HOLD_ALL)
+def clear(evaluator, expression):
+    for argument in expression.args:
+        if isinstance(argument, MSymbol):
+            evaluator.state.clear(argument.name)
+    return MSymbol("Null")
+
+
+@builtin("ClearAll", HOLD_ALL)
+def clear_all(evaluator, expression):
+    for argument in expression.args:
+        if isinstance(argument, MSymbol):
+            evaluator.state.clear(argument.name)
+            evaluator.state.set_attributes(argument.name, frozenset())
+    return MSymbol("Null")
+
+
+@builtin("SetAttributes", HOLD_FIRST)
+def set_attributes(evaluator, expression):
+    if len(expression.args) != 2:
+        return None
+    target, attributes = expression.args
+    if not isinstance(target, MSymbol):
+        return None
+    names = []
+    if isinstance(attributes, MSymbol):
+        names = [attributes.name]
+    elif is_head(attributes, "List"):
+        names = [a.name for a in attributes.args if isinstance(a, MSymbol)]
+    definition = evaluator.state.definition(target.name)
+    evaluator.state.set_attributes(
+        target.name, definition.attributes | frozenset(names)
+    )
+    return MSymbol("Null")
+
+
+@builtin("Attributes", HOLD_ALL)
+def attributes_(evaluator, expression):
+    if len(expression.args) != 1 or not isinstance(expression.args[0], MSymbol):
+        return None
+    attrs = evaluator._attributes_of(expression.args[0])
+    return MExprNormal(S.List, [MSymbol(a) for a in sorted(attrs)])
+
+
+# -- non-local control --------------------------------------------------------
+
+
+@builtin("Return")
+def return_(evaluator, expression):
+    value = expression.args[0] if expression.args else MSymbol("Null")
+    raise ReturnSignal(value)
+
+
+@builtin("Break")
+def break_(evaluator, expression):
+    raise BreakSignal()
+
+
+@builtin("Continue")
+def continue_(evaluator, expression):
+    raise ContinueSignal()
+
+
+@builtin("Throw")
+def throw(evaluator, expression):
+    if not expression.args:
+        return None
+    tag = expression.args[1] if len(expression.args) > 1 else None
+    raise ThrowSignal(expression.args[0], tag)
+
+
+@builtin("Catch", HOLD_ALL)
+def catch(evaluator, expression):
+    if not expression.args:
+        return None
+    try:
+        return evaluator.evaluate(expression.args[0])
+    except ThrowSignal as signal:
+        if len(expression.args) >= 2:
+            from repro.engine.patterns import match_q
+
+            tag = signal.tag if signal.tag is not None else MSymbol("None")
+            if not match_q(expression.args[1], tag, evaluator):
+                raise
+        return signal.value
+
+
+@builtin("Abort")
+def abort(evaluator, expression):
+    raise WolframAbort()
+
+
+@builtin("CheckAbort", HOLD_ALL)
+def check_abort(evaluator, expression):
+    if len(expression.args) != 2:
+        return None
+    try:
+        return evaluator.evaluate(expression.args[0])
+    except WolframAbort:
+        evaluator.clear_abort()
+        return evaluator.evaluate(expression.args[1])
+
+
+# -- evaluation control -------------------------------------------------------
+
+
+@builtin("Hold", HOLD_ALL)
+def hold(evaluator, expression):
+    return None  # inert
+
+
+@builtin("HoldForm", HOLD_ALL)
+def hold_form(evaluator, expression):
+    return None  # inert
+
+
+@builtin("HoldComplete", HOLD_ALL_COMPLETE)
+def hold_complete(evaluator, expression):
+    return None  # inert
+
+
+@builtin("ReleaseHold")
+def release_hold(evaluator, expression):
+    if len(expression.args) != 1:
+        return None
+    held = expression.args[0]
+    if head_name(held) in {"Hold", "HoldForm", "HoldComplete", "HoldPattern"}:
+        if len(held.args) == 1:
+            return evaluator.evaluate(held.args[0])
+        return MExprNormal(S.Sequence, list(held.args))
+    return held
+
+
+@builtin("Identity")
+def identity(evaluator, expression):
+    if len(expression.args) != 1:
+        return None
+    return expression.args[0]
+
+
+@builtin("Print")
+def print_(evaluator, expression):
+    from repro.mexpr.printer import input_form
+
+    pieces = []
+    for argument in expression.args:
+        if isinstance(argument, MString):
+            pieces.append(argument.value)
+        else:
+            pieces.append(input_form(argument))
+    print("".join(pieces))
+    return MSymbol("Null")
+
+
+@builtin("AbsoluteTiming", HOLD_ALL)
+def absolute_timing(evaluator, expression):
+    if len(expression.args) != 1:
+        return None
+    start = time.perf_counter()
+    result = evaluator.evaluate(expression.args[0])
+    elapsed = time.perf_counter() - start
+    from repro.mexpr.atoms import MReal
+
+    return MExprNormal(S.List, [MReal(elapsed), result])
+
+
+@builtin("Timing", HOLD_ALL)
+def timing(evaluator, expression):
+    return absolute_timing(evaluator, expression)
+
+
+@builtin("ToExpression")
+def to_expression(evaluator, expression):
+    if len(expression.args) != 1 or not isinstance(expression.args[0], MString):
+        return None
+    from repro.mexpr.parser import parse
+
+    return evaluator.evaluate(parse(expression.args[0].value))

@@ -1,0 +1,334 @@
+"""Higher-order primitives: the constructs §2.1 says Wolfram users reach for
+instead of ``For`` loops — ``NestList``, ``FixedPoint``, ``Map``, ``Select``,
+``Fold``, ``Table`` — plus pure-function application."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.builtins.support import as_number, builtin
+from repro.engine.controlflow import ReturnSignal
+from repro.errors import WolframEvaluationError
+from repro.mexpr.atoms import MInteger, MSymbol
+from repro.mexpr.expr import MExpr, MExprNormal
+from repro.mexpr.symbols import S, head_name, is_head, is_true
+
+
+def call(evaluator, function: MExpr, *arguments: MExpr) -> MExpr:
+    """Apply ``function`` to evaluated ``arguments`` through the evaluator."""
+    try:
+        return evaluator.evaluate(MExprNormal(function, list(arguments)))
+    except ReturnSignal as signal:
+        return signal.value
+
+
+def apply_function(evaluator, function: MExpr, arguments: list[MExpr]) -> Optional[MExpr]:
+    """Beta-reduce ``Function[...]`` applied to ``arguments``.
+
+    Handles ``Function[body]`` (slot style), ``Function[x, body]``, and
+    ``Function[{x, y}, body]``.
+    """
+    if not is_head(function, "Function"):
+        return None
+    fargs = function.args
+    if len(fargs) == 1:
+        body = _substitute_slots(fargs[0], arguments)
+        try:
+            return evaluator.evaluate(body)
+        except ReturnSignal as signal:
+            return signal.value
+    if len(fargs) >= 2:
+        params = fargs[0]
+        names: list[str] = []
+        if isinstance(params, MSymbol):
+            names = [params.name]
+        elif is_head(params, "List"):
+            for p in params.args:
+                if isinstance(p, MSymbol):
+                    names.append(p.name)
+                elif is_head(p, "Typed") and isinstance(p.args[0], MSymbol):
+                    names.append(p.args[0].name)
+                else:
+                    raise WolframEvaluationError(f"bad function parameter {p}")
+        else:
+            return None
+        if len(arguments) < len(names):
+            raise WolframEvaluationError(
+                f"Function called with {len(arguments)} arguments; "
+                f"{len(names)} expected"
+            )
+        from repro.engine.patterns import substitute
+
+        bindings = dict(zip(names, arguments))
+        try:
+            return evaluator.evaluate(substitute(fargs[1], bindings))
+        except ReturnSignal as signal:
+            return signal.value
+    return None
+
+
+def _substitute_slots(body: MExpr, arguments: list[MExpr]) -> MExpr:
+    if is_head(body, "Slot") and len(body.args) == 1:
+        index = as_number(body.args[0])
+        if isinstance(index, int) and 1 <= index <= len(arguments):
+            return arguments[index - 1]
+        raise WolframEvaluationError(f"Slot {body} cannot be filled")
+    if is_head(body, "SlotSequence"):
+        return MExprNormal(S.Sequence, arguments)
+    if body.is_atom():
+        return body
+    if is_head(body, "Function"):
+        return body  # nested pure functions shield their own slots
+    head = _substitute_slots(body.head, arguments)
+    return MExprNormal(head, [_substitute_slots(a, arguments) for a in body.args])
+
+
+def _expect_list(node: MExpr, context: str):
+    if not is_head(node, "List"):
+        return None
+    return node.args
+
+
+@builtin("Map")
+def map_(evaluator, expression):
+    if len(expression.args) != 2:
+        return None
+    function, subject = expression.args
+    items = _expect_list(subject, "Map")
+    if items is None:
+        if subject.is_atom():
+            return None
+        return MExprNormal(
+            subject.head, [call(evaluator, function, a) for a in subject.args]
+        )
+    return MExprNormal(S.List, [call(evaluator, function, a) for a in items])
+
+
+@builtin("MapIndexed")
+def map_indexed(evaluator, expression):
+    if len(expression.args) != 2:
+        return None
+    function, subject = expression.args
+    items = _expect_list(subject, "MapIndexed")
+    if items is None:
+        return None
+    out = [
+        call(evaluator, function, item, MExprNormal(S.List, [MInteger(i + 1)]))
+        for i, item in enumerate(items)
+    ]
+    return MExprNormal(S.List, out)
+
+
+@builtin("Apply")
+def apply_(evaluator, expression):
+    if len(expression.args) == 2:
+        function, subject = expression.args
+        if subject.is_atom():
+            return None
+        return evaluator.evaluate(MExprNormal(function, list(subject.args)))
+    if len(expression.args) == 3:  # Apply at level 1 (@@@)
+        function, subject, level = expression.args
+        items = _expect_list(subject, "Apply")
+        if items is None:
+            return None
+        out = [
+            evaluator.evaluate(MExprNormal(function, list(item.args)))
+            if not item.is_atom()
+            else item
+            for item in items
+        ]
+        return MExprNormal(S.List, out)
+    return None
+
+
+@builtin("Scan")
+def scan(evaluator, expression):
+    if len(expression.args) != 2:
+        return None
+    function, subject = expression.args
+    items = _expect_list(subject, "Scan")
+    if items is None:
+        return None
+    for item in items:
+        call(evaluator, function, item)
+    return MSymbol("Null")
+
+
+@builtin("Select")
+def select(evaluator, expression):
+    if len(expression.args) not in (2, 3):
+        return None
+    subject, predicate = expression.args[0], expression.args[1]
+    limit = None
+    if len(expression.args) == 3:
+        limit = as_number(expression.args[2])
+    items = _expect_list(subject, "Select")
+    if items is None:
+        return None
+    kept = []
+    for item in items:
+        if is_true(call(evaluator, predicate, item)):
+            kept.append(item)
+            if limit is not None and len(kept) >= limit:
+                break
+    return MExprNormal(S.List, kept)
+
+
+@builtin("Fold")
+def fold(evaluator, expression):
+    args = expression.args
+    if len(args) == 2:
+        function, subject = args
+        items = _expect_list(subject, "Fold")
+        if items is None or not items:
+            return None
+        accumulator = items[0]
+        rest = items[1:]
+    elif len(args) == 3:
+        function, accumulator, subject = args
+        items = _expect_list(subject, "Fold")
+        if items is None:
+            return None
+        rest = items
+    else:
+        return None
+    for item in rest:
+        accumulator = call(evaluator, function, accumulator, item)
+    return accumulator
+
+
+@builtin("FoldList")
+def fold_list(evaluator, expression):
+    args = expression.args
+    if len(args) == 3:
+        function, accumulator, subject = args
+        items = _expect_list(subject, "FoldList")
+        if items is None:
+            return None
+    elif len(args) == 2:
+        function, subject = args
+        items = _expect_list(subject, "FoldList")
+        if items is None or not items:
+            return None
+        accumulator, items = items[0], items[1:]
+    else:
+        return None
+    out = [accumulator]
+    for item in items:
+        accumulator = call(evaluator, function, accumulator, item)
+        out.append(accumulator)
+    return MExprNormal(S.List, out)
+
+
+@builtin("Nest")
+def nest(evaluator, expression):
+    if len(expression.args) != 3:
+        return None
+    function, value, count = expression.args
+    times = as_number(count)
+    if not isinstance(times, int) or times < 0:
+        return None
+    for _ in range(times):
+        value = call(evaluator, function, value)
+    return value
+
+
+@builtin("NestList")
+def nest_list(evaluator, expression):
+    if len(expression.args) != 3:
+        return None
+    function, value, count = expression.args
+    times = as_number(count)
+    if not isinstance(times, int) or times < 0:
+        return None
+    out = [value]
+    for _ in range(times):
+        value = call(evaluator, function, value)
+        out.append(value)
+    return MExprNormal(S.List, out)
+
+
+@builtin("NestWhile")
+def nest_while(evaluator, expression):
+    if len(expression.args) < 3:
+        return None
+    function, value, test = expression.args[:3]
+    limit = 2 ** 20
+    while is_true(call(evaluator, test, value)):
+        value = call(evaluator, function, value)
+        limit -= 1
+        if limit <= 0:
+            raise WolframEvaluationError("NestWhile iteration limit exceeded")
+    return value
+
+
+@builtin("FixedPoint")
+def fixed_point(evaluator, expression):
+    if len(expression.args) not in (2, 3):
+        return None
+    function, value = expression.args[:2]
+    limit = as_number(expression.args[2]) if len(expression.args) == 3 else 2 ** 16
+    for _ in range(int(limit)):
+        next_value = call(evaluator, function, value)
+        if next_value == value:
+            return value
+        value = next_value
+    return value
+
+
+@builtin("FixedPointList")
+def fixed_point_list(evaluator, expression):
+    if len(expression.args) not in (2, 3):
+        return None
+    function, value = expression.args[:2]
+    limit = as_number(expression.args[2]) if len(expression.args) == 3 else 2 ** 16
+    out = [value]
+    for _ in range(int(limit)):
+        next_value = call(evaluator, function, value)
+        out.append(next_value)
+        if next_value == value:
+            break
+        value = next_value
+    return MExprNormal(S.List, out)
+
+
+@builtin("Array")
+def array(evaluator, expression):
+    if len(expression.args) != 2:
+        return None
+    function, count = expression.args
+    size = as_number(count)
+    if not isinstance(size, int) or size < 0:
+        return None
+    out = [call(evaluator, function, MInteger(i + 1)) for i in range(size)]
+    return MExprNormal(S.List, out)
+
+
+@builtin("Composition")
+def composition(evaluator, expression):
+    return None  # inert constructor; application handled in the evaluator
+
+
+def apply_composition(evaluator, head: MExpr, arguments: list[MExpr]):
+    """``Composition[f, g][x]`` applies right-to-left: ``f[g[x]]``."""
+    current = list(arguments)
+    for function in reversed(head.args):
+        current = [evaluator.evaluate(MExprNormal(function, current))]
+    return current[0] if current else MSymbol("Null")
+
+
+@builtin("Through")
+def through(evaluator, expression):
+    if len(expression.args) != 1:
+        return None
+    outer = expression.args[0]
+    if outer.is_atom() or outer.head.is_atom():
+        return None
+    functions = outer.head
+    if head_name(functions) != "List":
+        return None
+    applied = [
+        evaluator.evaluate(MExprNormal(f, list(outer.args)))
+        for f in functions.args
+    ]
+    return MExprNormal(S.List, applied)

@@ -1,0 +1,87 @@
+"""Type/shape predicates."""
+
+from __future__ import annotations
+
+from repro.engine.builtins.support import as_number, builtin
+from repro.mexpr.atoms import MComplex, MInteger, MReal, MString, MSymbol
+from repro.mexpr.symbols import boolean, is_head
+
+
+@builtin("IntegerQ")
+def integer_q(evaluator, expression):
+    if len(expression.args) != 1:
+        return None
+    return boolean(isinstance(expression.args[0], MInteger))
+
+
+@builtin("NumberQ")
+def number_q(evaluator, expression):
+    if len(expression.args) != 1:
+        return None
+    return boolean(isinstance(expression.args[0], (MInteger, MReal, MComplex)))
+
+
+@builtin("NumericQ")
+def numeric_q(evaluator, expression):
+    from repro.engine.builtins.support import NUMERIC_CONSTANTS
+
+    if len(expression.args) != 1:
+        return None
+    subject = expression.args[0]
+    if isinstance(subject, (MInteger, MReal, MComplex)):
+        return boolean(True)
+    if isinstance(subject, MSymbol):
+        return boolean(subject.name in NUMERIC_CONSTANTS)
+    return boolean(False)
+
+
+@builtin("ListQ")
+def list_q(evaluator, expression):
+    if len(expression.args) != 1:
+        return None
+    return boolean(is_head(expression.args[0], "List"))
+
+
+@builtin("VectorQ")
+def vector_q(evaluator, expression):
+    if len(expression.args) != 1:
+        return None
+    subject = expression.args[0]
+    ok = is_head(subject, "List") and all(
+        not is_head(item, "List") for item in subject.args
+    )
+    return boolean(ok)
+
+
+@builtin("MatrixQ")
+def matrix_q(evaluator, expression):
+    if len(expression.args) != 1:
+        return None
+    subject = expression.args[0]
+    if not is_head(subject, "List") or not subject.args:
+        return boolean(False)
+    widths = set()
+    for row in subject.args:
+        if not is_head(row, "List"):
+            return boolean(False)
+        widths.add(len(row.args))
+    return boolean(len(widths) == 1)
+
+
+def _sign_predicate(name, test):
+    @builtin(name, "Listable")
+    def implementation(evaluator, expression, _test=test):
+        if len(expression.args) != 1:
+            return None
+        value = as_number(expression.args[0])
+        if value is None or isinstance(value, complex):
+            return None
+        return boolean(_test(value))
+
+    return implementation
+
+
+_sign_predicate("Positive", lambda v: v > 0)
+_sign_predicate("Negative", lambda v: v < 0)
+_sign_predicate("NonNegative", lambda v: v >= 0)
+_sign_predicate("NonPositive", lambda v: v <= 0)

@@ -1,0 +1,159 @@
+"""Random number builtins (the random-walk example in Figure 1 needs
+``RandomReal``; ``Total[RandomVariate[NormalDistribution[], {10,10}]]`` is
+the motivating one-liner from §1)."""
+
+from __future__ import annotations
+
+import random as _random
+
+from repro.engine.builtins.support import as_number, builtin, numeric_value
+from repro.mexpr.atoms import MInteger, MReal, MSymbol
+from repro.mexpr.expr import MExpr, MExprNormal
+from repro.mexpr.symbols import S, is_head
+
+#: module-level generator so SeedRandom makes runs reproducible
+_GENERATOR = _random.Random()
+
+
+@builtin("SeedRandom")
+def seed_random(evaluator, expression):
+    if len(expression.args) != 1:
+        _GENERATOR.seed()
+        return MSymbol("Null")
+    seed = as_number(expression.args[0])
+    _GENERATOR.seed(seed)
+    return MSymbol("Null")
+
+
+def _bounds(node: MExpr, evaluator):
+    """Extract (lo, hi) from a bound spec, applying N to constants like Pi."""
+    if is_head(node, "List") and len(node.args) == 2:
+        lo = _numeric(node.args[0], evaluator)
+        hi = _numeric(node.args[1], evaluator)
+        if lo is None or hi is None:
+            return None
+        return lo, hi
+    value = _numeric(node, evaluator)
+    if value is None:
+        return None
+    return 0, value
+
+
+def _numeric(node: MExpr, evaluator):
+    direct = numeric_value(node)
+    if direct is not None:
+        return direct
+    numericized = evaluator.evaluate(MExprNormal(S.N, [node]))
+    return as_number(numericized)
+
+
+def _shape(node: MExpr):
+    if node is None:
+        return None
+    if is_head(node, "List"):
+        dims = [as_number(d) for d in node.args]
+        if all(isinstance(d, int) for d in dims):
+            return dims
+        return None
+    count = as_number(node)
+    if isinstance(count, int):
+        return [count]
+    return None
+
+
+def _build_tensor(dims: list[int], sampler) -> MExpr:
+    if not dims:
+        return sampler()
+    return MExprNormal(
+        S.List, [_build_tensor(dims[1:], sampler) for _ in range(dims[0])]
+    )
+
+
+@builtin("RandomReal")
+def random_real(evaluator, expression):
+    args = expression.args
+    lo, hi = 0.0, 1.0
+    dims: list[int] = []
+    if len(args) >= 1:
+        bounds = _bounds(args[0], evaluator)
+        if bounds is None:
+            return None
+        lo, hi = bounds
+    if len(args) == 2:
+        shape = _shape(args[1])
+        if shape is None:
+            return None
+        dims = shape
+    if len(args) > 2:
+        return None
+    return _build_tensor(dims, lambda: MReal(_GENERATOR.uniform(lo, hi)))
+
+
+@builtin("RandomInteger")
+def random_integer(evaluator, expression):
+    args = expression.args
+    lo, hi = 0, 1
+    dims: list[int] = []
+    if len(args) >= 1:
+        bounds = _bounds(args[0], evaluator)
+        if bounds is None:
+            return None
+        lo, hi = int(bounds[0]), int(bounds[1])
+    if len(args) == 2:
+        shape = _shape(args[1])
+        if shape is None:
+            return None
+        dims = shape
+    if len(args) > 2:
+        return None
+    return _build_tensor(dims, lambda: MInteger(_GENERATOR.randint(lo, hi)))
+
+
+@builtin("RandomVariate")
+def random_variate(evaluator, expression):
+    args = expression.args
+    if not args:
+        return None
+    distribution = args[0]
+    sampler = _distribution_sampler(distribution, evaluator)
+    if sampler is None:
+        return None
+    dims = _shape(args[1]) if len(args) == 2 else []
+    if dims is None:
+        return None
+    return _build_tensor(dims, sampler)
+
+
+def _distribution_sampler(distribution: MExpr, evaluator):
+    name = None
+    if not distribution.is_atom() and isinstance(distribution.head, MSymbol):
+        name = distribution.head.name
+    if name == "NormalDistribution":
+        if len(distribution.args) == 0:
+            mu, sigma = 0.0, 1.0
+        elif len(distribution.args) == 2:
+            mu = _numeric(distribution.args[0], evaluator)
+            sigma = _numeric(distribution.args[1], evaluator)
+            if mu is None or sigma is None:
+                return None
+        else:
+            return None
+        return lambda: MReal(_GENERATOR.gauss(mu, sigma))
+    if name == "UniformDistribution":
+        return lambda: MReal(_GENERATOR.random())
+    if name == "ExponentialDistribution" and len(distribution.args) == 1:
+        rate = _numeric(distribution.args[0], evaluator)
+        if rate is None or rate <= 0:
+            return None
+        return lambda: MReal(_GENERATOR.expovariate(rate))
+    return None
+
+
+@builtin("RandomChoice")
+def random_choice(evaluator, expression):
+    if len(expression.args) != 1 or not is_head(expression.args[0], "List"):
+        return None
+    items = expression.args[0].args
+    if not items:
+        return None
+    return _GENERATOR.choice(items)

@@ -1,0 +1,164 @@
+"""Rule application and structural predicates: the symbolic core (§2.1)."""
+
+from __future__ import annotations
+
+from repro.engine.builtins.support import builtin
+from repro.engine.patterns import match, match_q, substitute
+from repro.errors import WolframEvaluationError
+from repro.mexpr.atoms import MSymbol
+from repro.mexpr.expr import MExpr, MExprNormal
+from repro.mexpr.symbols import S, boolean, is_head
+
+
+def _rule_list(rules: MExpr):
+    items = rules.args if is_head(rules, "List") else [rules]
+    out = []
+    for item in items:
+        if is_head(item, "Rule") or is_head(item, "RuleDelayed"):
+            if len(item.args) == 2:
+                out.append((item.args[0], item.args[1]))
+                continue
+        raise WolframEvaluationError(f"{item} is not a rule")
+    return out
+
+
+def apply_rules_once(node: MExpr, rules, evaluator) -> MExpr | None:
+    for lhs, rhs in rules:
+        bindings = match(lhs, node, evaluator=evaluator)
+        if bindings is not None:
+            return substitute(rhs, bindings)
+    return None
+
+
+def replace_all(node: MExpr, rules, evaluator) -> MExpr:
+    """Apply the first matching rule to each subexpression, outermost first."""
+    replaced = apply_rules_once(node, rules, evaluator)
+    if replaced is not None:
+        return replaced
+    if node.is_atom():
+        return node
+    new_head = replace_all(node.head, rules, evaluator)
+    new_args = [replace_all(a, rules, evaluator) for a in node.args]
+    return MExprNormal(new_head, new_args)
+
+
+@builtin("ReplaceAll")
+def replace_all_(evaluator, expression):
+    if len(expression.args) != 2:
+        return None
+    subject, rules = expression.args
+    return evaluator.evaluate(
+        replace_all(subject, _rule_list(rules), evaluator)
+    )
+
+
+@builtin("ReplaceRepeated")
+def replace_repeated(evaluator, expression):
+    if len(expression.args) != 2:
+        return None
+    subject, rules = expression.args
+    parsed = _rule_list(rules)
+    for _ in range(2 ** 12):
+        replaced = replace_all(subject, parsed, evaluator)
+        if replaced == subject:
+            return evaluator.evaluate(subject)
+        subject = replaced
+    raise WolframEvaluationError("ReplaceRepeated did not converge")
+
+
+@builtin("Replace")
+def replace(evaluator, expression):
+    if len(expression.args) != 2:
+        return None
+    subject, rules = expression.args
+    replaced = apply_rules_once(subject, _rule_list(rules), evaluator)
+    return subject if replaced is None else evaluator.evaluate(replaced)
+
+
+@builtin("MatchQ")
+def match_q_(evaluator, expression):
+    if len(expression.args) != 2:
+        return None
+    subject, pattern = expression.args
+    return boolean(match_q(pattern, subject, evaluator))
+
+
+@builtin("Cases")
+def cases(evaluator, expression):
+    if len(expression.args) != 2 or expression.args[0].is_atom():
+        return None
+    subject, pattern = expression.args
+    rules = None
+    if is_head(pattern, "Rule") or is_head(pattern, "RuleDelayed"):
+        rules = _rule_list(pattern)
+    hits = []
+    for item in subject.args:
+        if rules is not None:
+            replaced = apply_rules_once(item, rules, evaluator)
+            if replaced is not None:
+                hits.append(evaluator.evaluate(replaced))
+        elif match_q(pattern, item, evaluator):
+            hits.append(item)
+    return MExprNormal(S.List, hits)
+
+
+@builtin("DeleteCases")
+def delete_cases(evaluator, expression):
+    if len(expression.args) != 2 or expression.args[0].is_atom():
+        return None
+    subject, pattern = expression.args
+    kept = [
+        item for item in subject.args if not match_q(pattern, item, evaluator)
+    ]
+    return MExprNormal(subject.head, kept)
+
+
+@builtin("Head")
+def head_(evaluator, expression):
+    if len(expression.args) != 1:
+        return None
+    return expression.args[0].head
+
+
+@builtin("AtomQ")
+def atom_q(evaluator, expression):
+    if len(expression.args) != 1:
+        return None
+    return boolean(expression.args[0].is_atom())
+
+
+@builtin("LeafCount")
+def leaf_count(evaluator, expression):
+    from repro.mexpr.atoms import MInteger
+
+    if len(expression.args) != 1:
+        return None
+    total = sum(
+        1 for node in expression.args[0].subexpressions() if node.is_atom()
+    )
+    return MInteger(total)
+
+
+@builtin("Depth")
+def depth(evaluator, expression):
+    from repro.mexpr.atoms import MInteger
+
+    if len(expression.args) != 1:
+        return None
+
+    def measure(node: MExpr) -> int:
+        if node.is_atom():
+            return 1
+        return 1 + max((measure(a) for a in node.args), default=0)
+
+    return MInteger(measure(expression.args[0]))
+
+
+@builtin("Rule")
+def rule(evaluator, expression):
+    return None  # inert
+
+
+@builtin("RuleDelayed", "HoldRest")
+def rule_delayed(evaluator, expression):
+    return None  # inert

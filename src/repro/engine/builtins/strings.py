@@ -1,0 +1,223 @@
+"""String builtins — part of the expressiveness gap L1 the new compiler
+closes: "many functions within the Wolfram Language cannot be compiled;
+e.g. functions operating on strings" (§1)."""
+
+from __future__ import annotations
+
+from repro.engine.builtins.support import as_number, builtin, expect_string
+from repro.mexpr.atoms import MInteger, MString, MSymbol
+from repro.mexpr.expr import MExprNormal
+from repro.mexpr.symbols import S, boolean, is_head
+
+
+@builtin("StringLength", "Listable")
+def string_length(evaluator, expression):
+    if len(expression.args) != 1:
+        return None
+    text = expect_string(expression.args[0])
+    if text is None:
+        return None
+    return MInteger(len(text))
+
+
+@builtin("StringJoin", "Flat", "OneIdentity")
+def string_join(evaluator, expression):
+    pieces = []
+    for argument in expression.args:
+        if is_head(argument, "List"):
+            inner = [expect_string(a) for a in argument.args]
+            if any(p is None for p in inner):
+                return None
+            pieces.extend(inner)
+            continue
+        text = expect_string(argument)
+        if text is None:
+            return None
+        pieces.append(text)
+    return MString("".join(pieces))
+
+
+@builtin("StringTake")
+def string_take(evaluator, expression):
+    if len(expression.args) != 2:
+        return None
+    text = expect_string(expression.args[0])
+    count = as_number(expression.args[1])
+    if text is None:
+        return None
+    if isinstance(count, int):
+        return MString(text[:count] if count >= 0 else text[count:])
+    spec = expression.args[1]
+    if is_head(spec, "List") and len(spec.args) == 2:
+        lo, hi = (as_number(b) for b in spec.args)
+        if isinstance(lo, int) and isinstance(hi, int):
+            lo = lo if lo > 0 else len(text) + lo + 1
+            hi = hi if hi > 0 else len(text) + hi + 1
+            return MString(text[lo - 1 : hi])
+    return None
+
+
+@builtin("StringDrop")
+def string_drop(evaluator, expression):
+    if len(expression.args) != 2:
+        return None
+    text = expect_string(expression.args[0])
+    count = as_number(expression.args[1])
+    if text is None or not isinstance(count, int):
+        return None
+    return MString(text[count:] if count >= 0 else text[:count])
+
+
+@builtin("Characters")
+def characters(evaluator, expression):
+    if len(expression.args) != 1:
+        return None
+    text = expect_string(expression.args[0])
+    if text is None:
+        return None
+    return MExprNormal(S.List, [MString(c) for c in text])
+
+
+@builtin("ToCharacterCode")
+def to_character_code(evaluator, expression):
+    if len(expression.args) != 1:
+        return None
+    text = expect_string(expression.args[0])
+    if text is None:
+        return None
+    return MExprNormal(S.List, [MInteger(ord(c)) for c in text])
+
+
+@builtin("FromCharacterCode")
+def from_character_code(evaluator, expression):
+    if len(expression.args) != 1:
+        return None
+    subject = expression.args[0]
+    if is_head(subject, "List"):
+        codes = [as_number(c) for c in subject.args]
+        if not all(isinstance(c, int) for c in codes):
+            return None
+        return MString("".join(chr(c) for c in codes))
+    code = as_number(subject)
+    if isinstance(code, int):
+        return MString(chr(code))
+    return None
+
+
+@builtin("StringReplace")
+def string_replace(evaluator, expression):
+    """Literal string-rule replacement: StringReplace["ab", "a" -> "c"]."""
+    if len(expression.args) != 2:
+        return None
+    text = expect_string(expression.args[0])
+    if text is None:
+        return None
+    rules = expression.args[1]
+    rule_list = rules.args if is_head(rules, "List") else [rules]
+    pairs: list[tuple[str, str]] = []
+    for rule in rule_list:
+        if not is_head(rule, "Rule") or len(rule.args) != 2:
+            return None
+        source = expect_string(rule.args[0])
+        target = expect_string(rule.args[1])
+        if source is None or target is None:
+            return None
+        pairs.append((source, target))
+    # single left-to-right scan, all rules considered at each position
+    out = []
+    index = 0
+    while index < len(text):
+        for source, target in pairs:
+            if source and text.startswith(source, index):
+                out.append(target)
+                index += len(source)
+                break
+        else:
+            out.append(text[index])
+            index += 1
+    return MString("".join(out))
+
+
+@builtin("StringSplit")
+def string_split(evaluator, expression):
+    if len(expression.args) not in (1, 2):
+        return None
+    text = expect_string(expression.args[0])
+    if text is None:
+        return None
+    if len(expression.args) == 1:
+        parts = text.split()
+    else:
+        separator = expect_string(expression.args[1])
+        if separator is None:
+            return None
+        parts = text.split(separator)
+    return MExprNormal(S.List, [MString(p) for p in parts])
+
+
+@builtin("ToUpperCase")
+def to_upper_case(evaluator, expression):
+    if len(expression.args) != 1:
+        return None
+    text = expect_string(expression.args[0])
+    return None if text is None else MString(text.upper())
+
+
+@builtin("ToLowerCase")
+def to_lower_case(evaluator, expression):
+    if len(expression.args) != 1:
+        return None
+    text = expect_string(expression.args[0])
+    return None if text is None else MString(text.lower())
+
+
+@builtin("StringQ")
+def string_q(evaluator, expression):
+    if len(expression.args) != 1:
+        return None
+    return boolean(isinstance(expression.args[0], MString))
+
+
+@builtin("StringContainsQ")
+def string_contains_q(evaluator, expression):
+    if len(expression.args) != 2:
+        return None
+    text = expect_string(expression.args[0])
+    needle = expect_string(expression.args[1])
+    if text is None or needle is None:
+        return None
+    return boolean(needle in text)
+
+
+@builtin("StringStartsQ")
+def string_starts_q(evaluator, expression):
+    if len(expression.args) != 2:
+        return None
+    text = expect_string(expression.args[0])
+    prefix = expect_string(expression.args[1])
+    if text is None or prefix is None:
+        return None
+    return boolean(text.startswith(prefix))
+
+
+@builtin("StringRepeat")
+def string_repeat(evaluator, expression):
+    if len(expression.args) != 2:
+        return None
+    text = expect_string(expression.args[0])
+    count = as_number(expression.args[1])
+    if text is None or not isinstance(count, int) or count < 0:
+        return None
+    return MString(text * count)
+
+
+@builtin("ToString")
+def to_string(evaluator, expression):
+    if len(expression.args) != 1:
+        return None
+    subject = expression.args[0]
+    if isinstance(subject, MString):
+        return subject
+    from repro.mexpr.printer import input_form
+
+    return MString(input_form(subject))

@@ -1,0 +1,119 @@
+"""Shared helpers for builtin implementations."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional, Union
+
+from repro.mexpr.atoms import MComplex, MInteger, MReal, MString, MSymbol
+from repro.mexpr.expr import MExpr, MExprNormal
+from repro.mexpr.symbols import boolean, is_head, to_mexpr
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.evaluator import Evaluator
+
+Number = Union[int, float, complex]
+
+BuiltinFunc = Callable[["Evaluator", MExprNormal], Optional[MExpr]]
+
+
+@dataclass(frozen=True)
+class Builtin:
+    name: str
+    func: BuiltinFunc
+    attributes: frozenset[str]
+
+
+_REGISTRY: dict[str, Builtin] = {}
+
+
+def builtin(name: str, *attributes: str):
+    """Decorator registering a builtin implementation under ``name``."""
+
+    def register(func: BuiltinFunc) -> BuiltinFunc:
+        _REGISTRY[name] = Builtin(name, func, frozenset(attributes))
+        return func
+
+    return register
+
+
+def registry() -> dict[str, Builtin]:
+    return _REGISTRY
+
+
+#: symbolic constants with numeric values under ``N``
+NUMERIC_CONSTANTS: dict[str, float] = {
+    "Pi": math.pi,
+    "E": math.e,
+    "EulerGamma": 0.5772156649015329,
+    "GoldenRatio": (1 + math.sqrt(5)) / 2,
+    "Degree": math.pi / 180,
+}
+
+
+def as_number(node: MExpr) -> Optional[Number]:
+    """The Python number of a literal node, else ``None`` (stays symbolic)."""
+    if isinstance(node, MInteger):
+        return node.value
+    if isinstance(node, MReal):
+        return node.value
+    if isinstance(node, MComplex):
+        return node.value
+    return None
+
+
+def numeric_value(node: MExpr) -> Optional[Number]:
+    """Like :func:`as_number` but maps symbolic constants (Pi, E, ...)."""
+    direct = as_number(node)
+    if direct is not None:
+        return direct
+    if isinstance(node, MSymbol):
+        return NUMERIC_CONSTANTS.get(node.name)
+    return None
+
+
+def number_expr(value: Number) -> MExpr:
+    if isinstance(value, bool):
+        return boolean(value)
+    if isinstance(value, int):
+        return MInteger(value)
+    if isinstance(value, complex):
+        if value.imag == 0:
+            return MReal(value.real)
+        return MComplex(value)
+    return MReal(value)
+
+
+def all_numbers(nodes) -> Optional[list[Number]]:
+    out: list[Number] = []
+    for node in nodes:
+        value = as_number(node)
+        if value is None:
+            return None
+        out.append(value)
+    return out
+
+
+def list_items(node: MExpr) -> Optional[tuple[MExpr, ...]]:
+    if is_head(node, "List"):
+        return node.args
+    return None
+
+
+def expect_string(node: MExpr) -> Optional[str]:
+    if isinstance(node, MString):
+        return node.value
+    return None
+
+
+def expect_int(node: MExpr) -> Optional[int]:
+    if isinstance(node, MInteger):
+        return node.value
+    return None
+
+
+def make_list(items) -> MExprNormal:
+    from repro.mexpr.symbols import S
+
+    return MExprNormal(S.List, [to_mexpr(i) for i in items])

@@ -1,0 +1,32 @@
+"""Non-local control flow used by the evaluator (Return/Break/Throw/...)."""
+
+from __future__ import annotations
+
+from repro.mexpr.expr import MExpr
+
+
+class ControlFlowSignal(Exception):
+    """Base class for non-error, non-local control transfers."""
+
+
+class ReturnSignal(ControlFlowSignal):
+    def __init__(self, value: MExpr):
+        self.value = value
+        super().__init__("Return outside function")
+
+
+class BreakSignal(ControlFlowSignal):
+    def __init__(self):
+        super().__init__("Break outside loop")
+
+
+class ContinueSignal(ControlFlowSignal):
+    def __init__(self):
+        super().__init__("Continue outside loop")
+
+
+class ThrowSignal(ControlFlowSignal):
+    def __init__(self, value: MExpr, tag: MExpr | None = None):
+        self.value = value
+        self.tag = tag
+        super().__init__("uncaught Throw")

@@ -1,0 +1,122 @@
+"""Kernel state: per-symbol definitions (OwnValues, DownValues, attributes).
+
+A symbol's ``OwnValues`` hold its value binding (``x = 5``); its
+``DownValues`` hold rewrite rules for expressions headed by the symbol
+(``f[x_] := x^2``) — the same two stores the Wolfram Engine uses (§2.1
+footnote 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.mexpr.expr import MExpr
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+@dataclass
+class DownValue:
+    """One rewrite rule ``lhs :> rhs`` attached to a symbol."""
+
+    lhs: MExpr
+    rhs: MExpr
+    #: ``True`` for ``:=`` (rhs held until the rule fires), ``False`` for ``=``
+    delayed: bool = True
+
+
+@dataclass
+class Definition:
+    """Everything the kernel knows about one symbol."""
+
+    name: str
+    own_value: Optional[MExpr] = None
+    #: present ≠ has value: ``x=Null`` stores Null, unset stores nothing
+    has_own_value: bool = False
+    down_values: list[DownValue] = field(default_factory=list)
+    attributes: frozenset[str] = frozenset()
+
+    def clear_values(self) -> None:
+        self.own_value = None
+        self.has_own_value = False
+        self.down_values = []
+
+    def snapshot(self) -> "Definition":
+        """A shallow copy used by ``Block`` to save and restore state."""
+        return Definition(
+            name=self.name,
+            own_value=self.own_value,
+            has_own_value=self.has_own_value,
+            down_values=list(self.down_values),
+            attributes=self.attributes,
+        )
+
+
+class KernelState:
+    """The mutable global symbol table of one interpreter session.
+
+    ``state_version`` is bumped on every definition change; evaluated-result
+    caching in the evaluator is keyed on it, so assignments correctly
+    invalidate previously "fully evaluated" subtrees.
+    """
+
+    def __init__(self):
+        self._definitions: dict[str, Definition] = {}
+        self.state_version = 0
+        self._module_counter = 0
+
+    def definition(self, name: str) -> Definition:
+        existing = self._definitions.get(name)
+        if existing is None:
+            existing = Definition(name=name)
+            self._definitions[name] = existing
+        return existing
+
+    def lookup(self, name: str) -> Optional[Definition]:
+        return self._definitions.get(name)
+
+    def touch(self) -> None:
+        self.state_version += 1
+
+    def set_own_value(self, name: str, value: MExpr) -> None:
+        definition = self.definition(name)
+        definition.own_value = value
+        definition.has_own_value = True
+        self.touch()
+
+    def clear(self, name: str) -> None:
+        definition = self._definitions.get(name)
+        if definition is not None:
+            definition.clear_values()
+            self.touch()
+
+    def add_down_value(self, name: str, down_value: DownValue) -> None:
+        definition = self.definition(name)
+        # Later identical-lhs definitions replace earlier ones, as in Wolfram.
+        for index, existing in enumerate(definition.down_values):
+            if existing.lhs == down_value.lhs:
+                definition.down_values[index] = down_value
+                self.touch()
+                return
+        definition.down_values.append(down_value)
+        self._sort_down_values(definition)
+        self.touch()
+
+    def _sort_down_values(self, definition: Definition) -> None:
+        """Keep more specific rules first (Wolfram pattern ordering, §4.2)."""
+        from repro.engine.patterns import pattern_specificity
+
+        definition.down_values.sort(
+            key=lambda dv: pattern_specificity(dv.lhs), reverse=True
+        )
+
+    def set_attributes(self, name: str, attributes: frozenset[str]) -> None:
+        definition = self.definition(name)
+        definition.attributes = frozenset(attributes)
+        self.touch()
+
+    def fresh_module_suffix(self) -> int:
+        self._module_counter += 1
+        return self._module_counter

@@ -1,0 +1,313 @@
+"""The tree-walking evaluator — our stand-in for the Wolfram Engine kernel.
+
+Implements the evaluation semantics §2.1 describes:
+
+* **infinite evaluation** — expressions are re-evaluated until a fixed point
+  or ``$IterationLimit`` is reached, so ``y = x; x = 1; y`` yields ``1``;
+* **hold attributes** — arguments are evaluated unless the head holds them;
+* **Flat / Orderless / Listable** — structural canonicalisation before
+  builtin dispatch;
+* **OwnValues / DownValues** — user definitions applied by pattern matching
+  in specificity order;
+* **abortability (F3)** — an abort flag is polled on every evaluation step;
+  an abort unwinds to the top level and returns ``$Aborted`` with session
+  state intact (possibly mutated by the aborted computation, as the paper
+  specifies).
+
+Fully-evaluated subtrees are stamped with the kernel ``state_version`` so
+fixed-point re-walks of large data are O(1); any ``Set``/``Clear`` bumps the
+version and invalidates the stamps.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from repro.errors import (
+    WolframAbort,
+    WolframIterationError,
+    WolframRecursionError,
+)
+from repro.engine.attributes import (
+    FLAT,
+    HOLD_ALL_COMPLETE,
+    LISTABLE,
+    ORDERLESS,
+    held_argument_indices,
+)
+from repro.engine.controlflow import ReturnSignal, ThrowSignal
+from repro.engine.definitions import KernelState
+from repro.engine.patterns import match, substitute
+from repro.mexpr.atoms import MInteger, MReal, MString, MSymbol
+from repro.mexpr.expr import MExpr, MExprNormal
+from repro.mexpr.parser import parse
+from repro.mexpr.symbols import S, head_name, is_head
+
+_EVALUATED_STAMP = "$evalv"
+
+
+class Evaluator:
+    """One interpreter session over a :class:`KernelState`."""
+
+    def __init__(
+        self,
+        recursion_limit: int = 1024,
+        iteration_limit: int = 4096,
+    ):
+        self.state = KernelState()
+        self.recursion_limit = recursion_limit
+        self.iteration_limit = iteration_limit
+        self._depth = 0
+        self._abort_flag = threading.Event()
+        self._steps_since_abort_check = 0
+        self._messages: list[str] = []
+        #: hook the compiler installs so ``FunctionCompile`` etc. work inline
+        self.extensions: dict[str, Callable] = {}
+        from repro.engine.builtins import BUILTINS
+
+        self._builtins = BUILTINS
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, source: str) -> MExpr:
+        """Parse and evaluate Wolfram source text (one expression)."""
+        return self.evaluate_protected(parse(source))
+
+    def evaluate_protected(self, expression: MExpr) -> MExpr:
+        """Evaluate, converting an abort into the ``$Aborted`` sentinel."""
+        try:
+            return self.evaluate(expression)
+        except WolframAbort:
+            self._abort_flag.clear()
+            return MSymbol("$Aborted")
+        except (ReturnSignal, ThrowSignal) as signal:
+            return signal.value
+
+    def request_abort(self) -> None:
+        """Trigger the user abort interrupt (feature F3); thread-safe."""
+        self._abort_flag.set()
+
+    def abort_pending(self) -> bool:
+        return self._abort_flag.is_set()
+
+    def clear_abort(self) -> None:
+        self._abort_flag.clear()
+
+    def message(self, text: str) -> None:
+        self._messages.append(text)
+
+    @property
+    def messages(self) -> list[str]:
+        return self._messages
+
+    # -- the evaluation loop ---------------------------------------------------
+
+    def evaluate(self, expression: MExpr) -> MExpr:
+        self._check_abort()
+        if self._depth >= self.recursion_limit:
+            raise WolframRecursionError(
+                f"$RecursionLimit of {self.recursion_limit} exceeded"
+            )
+        self._depth += 1
+        try:
+            current = expression
+            for _ in range(self.iteration_limit):
+                if self._is_stamped(current):
+                    return current
+                result = self._evaluate_once(current)
+                if result is current or result == current:
+                    self._stamp(result)
+                    return result
+                current = result
+            raise WolframIterationError(
+                f"$IterationLimit of {self.iteration_limit} exceeded while "
+                f"evaluating {head_name(expression) or expression}"
+            )
+        finally:
+            self._depth -= 1
+
+    def _check_abort(self) -> None:
+        self._steps_since_abort_check += 1
+        if self._steps_since_abort_check >= 64:
+            self._steps_since_abort_check = 0
+            if self._abort_flag.is_set():
+                raise WolframAbort()
+
+    def _is_stamped(self, expression: MExpr) -> bool:
+        return (
+            expression.get_property(_EVALUATED_STAMP) == self.state.state_version
+        )
+
+    def _stamp(self, expression: MExpr) -> None:
+        if not expression.is_atom():
+            expression.set_property(_EVALUATED_STAMP, self.state.state_version)
+
+    def _evaluate_once(self, expression: MExpr) -> MExpr:
+        if isinstance(expression, MSymbol):
+            return self._evaluate_symbol(expression)
+        if expression.is_atom():
+            return expression
+
+        head = self.evaluate(expression.head)
+        attributes = self._attributes_of(head)
+
+        arguments = self._evaluate_arguments(expression.args, attributes)
+        if FLAT in attributes and isinstance(head, MSymbol):
+            arguments = self._flatten(head.name, arguments)
+        if ORDERLESS in attributes:
+            arguments = sorted(arguments, key=_canonical_order_key)
+        arguments = self._splice_sequences(head, attributes, arguments)
+
+        rebuilt = MExprNormal(head, arguments)
+
+        if LISTABLE in attributes:
+            threaded = self._thread_listable(rebuilt)
+            if threaded is not None:
+                return threaded
+
+        # User DownValues take precedence over builtins, so users can
+        # redefine (unprotected) behaviour — and the engine's own library
+        # functions (FindRoot's method steps etc.) are definable in-language.
+        if isinstance(head, MSymbol):
+            applied = self._apply_down_values(head.name, rebuilt)
+            if applied is not None:
+                return applied
+            builtin = self._builtins.get(head.name)
+            if builtin is not None:
+                result = builtin.func(self, rebuilt)
+                if result is not None:
+                    return result
+
+        # Expression with a Function head: beta-reduce.
+        if is_head(head, "Function") or (
+            not head.is_atom() and is_head(head.head, "Function")
+        ):
+            from repro.engine.builtins.functional import apply_function
+
+            reduced = apply_function(self, head, arguments)
+            if reduced is not None:
+                return reduced
+
+        # Non-symbol heads with registered applicators: CompiledFunction[k],
+        # CompiledCodeFunction[k] — this is how both compilers integrate with
+        # the interpreter (F1).
+        if not head.is_atom():
+            from repro.engine.builtins import HEAD_APPLICATORS
+
+            applicator = HEAD_APPLICATORS.get(head_name(head))
+            if applicator is not None:
+                result = applicator(self, head, arguments)
+                if result is not None:
+                    return result
+
+        return rebuilt
+
+    def _evaluate_symbol(self, symbol: MSymbol) -> MExpr:
+        definition = self.state.lookup(symbol.name)
+        if definition is not None and definition.has_own_value:
+            return definition.own_value  # next fixed-point pass re-evaluates
+        return symbol
+
+    def _attributes_of(self, head: MExpr) -> frozenset[str]:
+        if not isinstance(head, MSymbol):
+            return frozenset()
+        definition = self.state.lookup(head.name)
+        if definition is not None and definition.attributes:
+            return definition.attributes
+        builtin = self._builtins.get(head.name)
+        if builtin is not None:
+            return builtin.attributes
+        return frozenset()
+
+    def _evaluate_arguments(
+        self, arguments: tuple[MExpr, ...], attributes: frozenset[str]
+    ) -> list[MExpr]:
+        held = held_argument_indices(attributes, len(arguments))
+        out: list[MExpr] = []
+        for index, argument in enumerate(arguments):
+            if index in held:
+                # Evaluate[...] pierces holds (but not HoldAllComplete).
+                if (
+                    HOLD_ALL_COMPLETE not in attributes
+                    and is_head(argument, "Evaluate")
+                    and len(argument.args) == 1
+                ):
+                    out.append(self.evaluate(argument.args[0]))
+                else:
+                    out.append(argument)
+            else:
+                out.append(self.evaluate(argument))
+        return out
+
+    @staticmethod
+    def _flatten(head_name_: str, arguments: list[MExpr]) -> list[MExpr]:
+        flat: list[MExpr] = []
+        for argument in arguments:
+            if is_head(argument, head_name_):
+                flat.extend(argument.args)
+            else:
+                flat.append(argument)
+        return flat
+
+    @staticmethod
+    def _splice_sequences(
+        head: MExpr, attributes: frozenset[str], arguments: list[MExpr]
+    ) -> list[MExpr]:
+        if "SequenceHold" in attributes or HOLD_ALL_COMPLETE in attributes:
+            return arguments
+        if not any(is_head(a, "Sequence") for a in arguments):
+            return arguments
+        spliced: list[MExpr] = []
+        for argument in arguments:
+            if is_head(argument, "Sequence"):
+                spliced.extend(argument.args)
+            else:
+                spliced.append(argument)
+        return spliced
+
+    def _thread_listable(self, expression: MExprNormal) -> Optional[MExpr]:
+        lengths = {
+            len(a.args) for a in expression.args if is_head(a, "List")
+        }
+        if not lengths:
+            return None
+        if len(lengths) != 1:
+            self.message("Thread: lists of unequal length")
+            return None
+        (length,) = lengths
+        rows: list[MExpr] = []
+        for index in range(length):
+            row_args = [
+                a.args[index] if is_head(a, "List") else a
+                for a in expression.args
+            ]
+            rows.append(MExprNormal(expression.head, row_args))
+        return self.evaluate(MExprNormal(S.List, rows))
+
+    def _apply_down_values(
+        self, name: str, expression: MExprNormal
+    ) -> Optional[MExpr]:
+        definition = self.state.lookup(name)
+        if definition is None or not definition.down_values:
+            return None
+        for down_value in definition.down_values:
+            bindings = match(down_value.lhs, expression, evaluator=self)
+            if bindings is not None:
+                return substitute(down_value.rhs, bindings)
+        return None
+
+
+def _canonical_order_key(expression: MExpr) -> tuple:
+    """Canonical (Orderless) ordering: numbers, strings, symbols, normals."""
+    if isinstance(expression, MInteger):
+        return (0, float(expression.value), "")
+    if isinstance(expression, MReal):
+        return (0, expression.value, "")
+    if isinstance(expression, MString):
+        return (1, 0.0, expression.value)
+    if isinstance(expression, MSymbol):
+        return (2, 0.0, expression.name)
+    from repro.mexpr.printer import full_form
+
+    return (3, float(len(expression.args)), full_form(expression))

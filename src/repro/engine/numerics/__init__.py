@@ -1,0 +1,6 @@
+"""Numerical methods built on the symbolic layer (D, FindRoot, NIntegrate)."""
+
+from repro.engine.numerics.differentiate import differentiate
+from repro.engine.numerics.findroot import AUTO_COMPILE_HOOK, newton_root
+
+__all__ = ["AUTO_COMPILE_HOOK", "differentiate", "newton_root"]

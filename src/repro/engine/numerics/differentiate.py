@@ -1,0 +1,240 @@
+"""Symbolic differentiation ``D[f, x]``.
+
+§2.1: "The root solver symbolically computes the derivative of the input
+equation and uses Newton's method" — this module is that symbolic step, and
+it also powers the automatic-differentiation extension example (§5 mentions
+developers "performed AST and IR manipulation for automatic
+differentiation").
+"""
+
+from __future__ import annotations
+
+from repro.engine.builtins.support import as_number, builtin
+from repro.errors import WolframEvaluationError
+from repro.mexpr.atoms import MInteger, MSymbol
+from repro.mexpr.expr import MExpr, MExprNormal
+from repro.mexpr.symbols import S, head_name, is_head
+
+
+def differentiate(expression: MExpr, variable: MSymbol) -> MExpr:
+    """The symbolic derivative d(expression)/d(variable), unsimplified."""
+    if isinstance(expression, MSymbol):
+        return MInteger(1 if expression.name == variable.name else 0)
+    if expression.is_atom():
+        return MInteger(0)
+
+    name = head_name(expression)
+    args = expression.args
+
+    if name == "Plus":
+        return MExprNormal(S.Plus, [differentiate(a, variable) for a in args])
+
+    if name == "Times":
+        # product rule over n factors
+        terms = []
+        for index in range(len(args)):
+            factors = list(args)
+            factors[index] = differentiate(args[index], variable)
+            terms.append(MExprNormal(S.Times, factors))
+        return MExprNormal(S.Plus, terms)
+
+    if name == "Power" and len(args) == 2:
+        base, exponent = args
+        exponent_value = as_number(exponent)
+        if exponent_value is not None:
+            # d(u^c) = c*u^(c-1)*u'
+            power = MExprNormal(
+                S.Power,
+                [base, MExprNormal(S.Plus, [exponent, MInteger(-1)])],
+            )
+            return MExprNormal(
+                S.Times, [exponent, power, differentiate(base, variable)]
+            )
+        if isinstance(base, MSymbol) and base.name == "E":
+            # d(e^v) = e^v * v'
+            return MExprNormal(
+                S.Times, [expression, differentiate(exponent, variable)]
+            )
+        # general u^v: u^v (v' Log[u] + v u'/u)
+        log_term = MExprNormal(
+            S.Times,
+            [differentiate(exponent, variable), MExprNormal(S.Log, [base])],
+        )
+        ratio_term = MExprNormal(
+            S.Times,
+            [
+                exponent,
+                differentiate(base, variable),
+                MExprNormal(S.Power, [base, MInteger(-1)]),
+            ],
+        )
+        return MExprNormal(
+            S.Times,
+            [expression, MExprNormal(S.Plus, [log_term, ratio_term])],
+        )
+
+    unary_rules = {
+        "Sin": lambda u: MExprNormal(S.Cos, [u]),
+        "Cos": lambda u: MExprNormal(
+            S.Times, [MInteger(-1), MExprNormal(S.Sin, [u])]
+        ),
+        "Tan": lambda u: MExprNormal(
+            S.Power, [MExprNormal(S.Cos, [u]), MInteger(-2)]
+        ),
+        "Exp": lambda u: MExprNormal(S.Exp, [u]),
+        "Log": lambda u: MExprNormal(S.Power, [u, MInteger(-1)]),
+        "Sinh": lambda u: MExprNormal(S.Cosh, [u]),
+        "Cosh": lambda u: MExprNormal(S.Sinh, [u]),
+        "Tanh": lambda u: MExprNormal(
+            S.Power, [MExprNormal(S.Cosh, [u]), MInteger(-2)]
+        ),
+        "Sqrt": lambda u: MExprNormal(
+            S.Times,
+            [
+                MExprNormal(S.Power, [MInteger(2), MInteger(-1)]),
+                MExprNormal(
+                    S.Power,
+                    [MExprNormal(S.Sqrt, [u]), MInteger(-1)],
+                ),
+            ],
+        ),
+        "ArcTan": lambda u: MExprNormal(
+            S.Power,
+            [
+                MExprNormal(S.Plus, [MInteger(1), MExprNormal(S.Power, [u, MInteger(2)])]),
+                MInteger(-1),
+            ],
+        ),
+    }
+    if name in unary_rules and len(args) == 1:
+        inner = args[0]
+        outer_derivative = unary_rules[name](inner)
+        return MExprNormal(
+            S.Times, [outer_derivative, differentiate(inner, variable)]
+        )
+
+    raise WolframEvaluationError(f"D: cannot differentiate {name}[...]")
+
+
+def _expand_node(node: MExpr) -> MExpr:
+    """Distribute Times over Plus and expand positive integer powers of
+    sums — the structural core of ``Expand``."""
+    if node.is_atom():
+        return node
+    node = MExprNormal(node.head, [_expand_node(a) for a in node.args])
+    name = head_name(node)
+    if name == "Power" and len(node.args) == 2:
+        base, exponent = node.args
+        count = as_number(exponent)
+        if is_head(base, "Plus") and isinstance(count, int) and 1 < count <= 16:
+            product = base
+            for _ in range(count - 1):
+                product = _expand_node(MExprNormal(S.Times, [product, base]))
+            return product
+    if name == "Times":
+        for index, factor in enumerate(node.args):
+            if is_head(factor, "Plus"):
+                others = [*node.args[:index], *node.args[index + 1:]]
+                terms = [
+                    _expand_node(MExprNormal(S.Times, [term, *others]))
+                    for term in factor.args
+                ]
+                return MExprNormal(S.Plus, terms)
+    return node
+
+
+def _term_parts(term: MExpr):
+    """Split a term into (numeric coefficient, {base: power}) factors."""
+    coefficient = 1
+    powers: dict[MExpr, int] = {}
+    factors = term.args if is_head(term, "Times") else [term]
+    for factor in factors:
+        value = as_number(factor)
+        if value is not None:
+            coefficient *= value
+            continue
+        if is_head(factor, "Power") and len(factor.args) == 2:
+            exponent = as_number(factor.args[1])
+            if isinstance(exponent, int) and exponent > 0:
+                base = factor.args[0]
+                powers[base] = powers.get(base, 0) + exponent
+                continue
+        powers[factor] = powers.get(factor, 0) + 1
+    return coefficient, powers
+
+
+def _rebuild_term(coefficient, powers: dict) -> MExpr:
+    from repro.engine.builtins.support import number_expr
+
+    factors: list[MExpr] = []
+    for base, exponent in sorted(powers.items(), key=lambda kv: str(kv[0])):
+        if exponent == 1:
+            factors.append(base)
+        else:
+            factors.append(MExprNormal(S.Power, [base, MInteger(exponent)]))
+    if not factors:
+        return number_expr(coefficient)
+    if coefficient != 1:
+        factors.insert(0, number_expr(coefficient))
+    if len(factors) == 1:
+        return factors[0]
+    return MExprNormal(S.Times, factors)
+
+
+def _collect_like_terms(node: MExpr) -> MExpr:
+    """Merge x + x -> 2 x and x*x -> x^2 in an expanded sum."""
+    from repro.engine.builtins.support import number_expr
+
+    if not is_head(node, "Plus"):
+        coefficient, powers = _term_parts(node)
+        return _rebuild_term(coefficient, powers)
+    grouped: dict[tuple, tuple] = {}
+    order: list[tuple] = []
+    for term in node.args:
+        coefficient, powers = _term_parts(term)
+        key = tuple(sorted((str(b), e) for b, e in powers.items()))
+        if key in grouped:
+            existing_coefficient, existing_powers = grouped[key]
+            grouped[key] = (existing_coefficient + coefficient,
+                            existing_powers)
+        else:
+            grouped[key] = (coefficient, powers)
+            order.append(key)
+    terms = [
+        _rebuild_term(*grouped[key]) for key in order
+        if grouped[key][0] != 0
+    ]
+    if not terms:
+        return number_expr(0)
+    if len(terms) == 1:
+        return terms[0]
+    return MExprNormal(S.Plus, terms)
+
+
+@builtin("Expand")
+def expand(evaluator, expression):
+    """Symbolic polynomial expansion (the §2.1 symbolic-compute surface)."""
+    if len(expression.args) != 1:
+        return None
+    distributed = evaluator.evaluate(_expand_node(expression.args[0]))
+    return evaluator.evaluate(_collect_like_terms(distributed))
+
+
+@builtin("D")
+def d(evaluator, expression):
+    if len(expression.args) != 2:
+        return None
+    subject, variable = expression.args
+    if not isinstance(variable, MSymbol):
+        if is_head(variable, "List") and len(variable.args) == 2:
+            inner, order = variable.args
+            count = as_number(order)
+            if isinstance(inner, MSymbol) and isinstance(count, int):
+                result = subject
+                for _ in range(count):
+                    result = evaluator.evaluate(
+                        differentiate(result, inner)
+                    )
+                return result
+        return None
+    return evaluator.evaluate(differentiate(subject, variable))

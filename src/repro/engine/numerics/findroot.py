@@ -1,0 +1,124 @@
+"""``FindRoot``: Newton's method with symbolic derivative and the paper's
+*auto-compilation* behaviour (§1, §2.2).
+
+"Numeric functions such as FindRoot[Sin[x] + E^x, x, 0] automatically invoke
+the ... compiler to compile the input equation ... along with its
+derivative.  The compiled version of these functions are then internally
+used by these numerical methods."
+
+When the new compiler's package is loaded it installs an ``auto_compile``
+hook on the evaluator; FindRoot uses it to compile the objective and the
+symbolically computed derivative into native callables, falling back to
+interpreted evaluation when the hook is absent or compilation fails.  The
+speedup of hook-on vs hook-off is the §1 "1.6×" experiment
+(``benchmarks/bench_autocompile_findroot.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.engine.builtins.support import as_number, builtin, numeric_value
+from repro.engine.numerics.differentiate import differentiate
+from repro.errors import ReproError, WolframEvaluationError
+from repro.mexpr.atoms import MReal, MSymbol
+from repro.mexpr.expr import MExpr, MExprNormal
+from repro.mexpr.symbols import S, is_head
+
+#: evaluator.extensions key for the compiler-installed auto-compile hook
+AUTO_COMPILE_HOOK = "auto_compile"
+
+DEFAULT_MAX_ITERATIONS = 100
+DEFAULT_TOLERANCE = 1e-12
+
+
+def _interpreted_objective(evaluator, equation: MExpr, variable: MSymbol):
+    """Evaluate the objective by substitution through the interpreter."""
+    from repro.engine.patterns import substitute
+
+    def objective(x: float) -> float:
+        bound = substitute(equation, {variable.name: MReal(x)})
+        result = evaluator.evaluate(MExprNormal(S.N, [bound]))
+        value = as_number(result)
+        if value is None or isinstance(value, complex):
+            raise WolframEvaluationError(
+                f"FindRoot: objective is not numeric at {x}"
+            )
+        return float(value)
+
+    return objective
+
+
+def _compiled_objective(
+    evaluator, equation: MExpr, variable: MSymbol
+) -> Optional[Callable[[float], float]]:
+    """Auto-compile the objective when the compiler hook is installed."""
+    hook = evaluator.extensions.get(AUTO_COMPILE_HOOK)
+    if hook is None:
+        return None
+    try:
+        return hook(equation, variable, "Real64")
+    except ReproError:
+        return None  # soft failure: fall back to interpretation (F2)
+
+
+def newton_root(
+    objective: Callable[[float], float],
+    derivative: Callable[[float], float],
+    start: float,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> float:
+    x = float(start)
+    for _ in range(max_iterations):
+        fx = objective(x)
+        if abs(fx) < tolerance:
+            return x
+        dfx = derivative(x)
+        if dfx == 0:
+            raise WolframEvaluationError("FindRoot: derivative vanished")
+        x = x - fx / dfx
+    return x
+
+
+@builtin("FindRoot", "HoldAll")
+def find_root(evaluator, expression):
+    args = expression.args
+    if len(args) < 2:
+        return None
+    equation = args[0]
+    # accept both FindRoot[f, {x, x0}] and FindRoot[f, x, x0]
+    if len(args) == 2 and is_head(args[1], "List") and len(args[1].args) == 2:
+        variable, start_expr = args[1].args
+    elif len(args) == 3:
+        variable, start_expr = args[1], args[2]
+    else:
+        return None
+    if not isinstance(variable, MSymbol):
+        return None
+    start = numeric_value(evaluator.evaluate(start_expr))
+    if start is None:
+        start = 0.0
+
+    equation = evaluator.evaluate(MExprNormal(S.Hold, [equation])).args[0]
+    if is_head(equation, "Equal") and len(equation.args) == 2:
+        # f == g  =>  f - g
+        lhs, rhs = equation.args
+        equation = MExprNormal(
+            S.Plus, [lhs, MExprNormal(S.Times, [MReal(-1.0), rhs])]
+        )
+
+    derivative_expr = differentiate(equation, variable)
+
+    objective = _compiled_objective(evaluator, equation, variable)
+    derivative = _compiled_objective(evaluator, derivative_expr, variable)
+    if objective is None or derivative is None:
+        objective = _interpreted_objective(evaluator, equation, variable)
+        derivative = _interpreted_objective(
+            evaluator, derivative_expr, variable
+        )
+
+    root = newton_root(objective, derivative, float(start))
+    return MExprNormal(
+        S.List, [MExprNormal(S.Rule, [variable, MReal(root)])]
+    )

@@ -1,0 +1,165 @@
+"""``NDSolveValue``: a classic RK4 initial-value ODE solver with
+auto-compilation of the right-hand side.
+
+§1: "Many numerical functions such as NMinimize, NDSolve, and FindRoot
+perform auto compilation implicitly to accelerate the evaluation of function
+calls."  This completes the paper's named trio.
+
+Supported form::
+
+    NDSolveValue[{y'[x] == rhs, y[x0] == y0}, y[x1], {x, x0, x1}]
+
+where ``rhs`` may mention ``x`` and ``y[x]``.  The solver substitutes
+``y[x] -> yv`` and compiles ``rhs`` as a function of ``(x, yv)`` through the
+evaluator's ``auto_compile`` hook when available (falling back to
+interpretation), then integrates with fixed-step RK4.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.engine.builtins.support import as_number, builtin
+from repro.errors import ReproError, WolframEvaluationError
+from repro.mexpr.atoms import MReal, MSymbol
+from repro.mexpr.expr import MExpr, MExprNormal
+from repro.mexpr.symbols import S, head_name, is_head
+
+DEFAULT_STEPS = 512
+
+
+def rk4(rhs: Callable[[float, float], float], x0: float, y0: float,
+        x1: float, steps: int = DEFAULT_STEPS) -> float:
+    """Fixed-step fourth-order Runge–Kutta from (x0, y0) to x1."""
+    h = (x1 - x0) / steps
+    x, y = float(x0), float(y0)
+    for _ in range(steps):
+        k1 = rhs(x, y)
+        k2 = rhs(x + h / 2, y + h * k1 / 2)
+        k3 = rhs(x + h / 2, y + h * k2 / 2)
+        k4 = rhs(x + h, y + h * k3)
+        y += h * (k1 + 2 * k2 + 2 * k3 + k4) / 6
+        x += h
+    return y
+
+
+def _replace_y_of_x(node: MExpr, function_name: str, x_name: str,
+                    replacement: MSymbol) -> MExpr:
+    """Rewrite every ``y[x]`` application into the plain symbol ``yv``."""
+    if node.is_atom():
+        return node
+    if (
+        isinstance(node.head, MSymbol)
+        and node.head.name == function_name
+        and len(node.args) == 1
+        and isinstance(node.args[0], MSymbol)
+        and node.args[0].name == x_name
+    ):
+        return replacement
+    return MExprNormal(
+        _replace_y_of_x(node.head, function_name, x_name, replacement),
+        [_replace_y_of_x(a, function_name, x_name, replacement)
+         for a in node.args],
+    )
+
+
+def _rhs_callable(evaluator, rhs_expr: MExpr, x_name: str,
+                  y_symbol: MSymbol) -> Callable[[float, float], float]:
+    hook = evaluator.extensions.get("auto_compile")
+    if hook is not None:
+        try:
+            return _compiled_rhs(evaluator, rhs_expr, x_name, y_symbol)
+        except ReproError:
+            pass  # soft failure: interpret instead (F2)
+
+    from repro.engine.patterns import substitute
+
+    def interpreted(x: float, y: float) -> float:
+        bound = substitute(
+            rhs_expr, {x_name: MReal(x), y_symbol.name: MReal(y)}
+        )
+        value = as_number(evaluator.evaluate(MExprNormal(S.N, [bound])))
+        if value is None or isinstance(value, complex):
+            raise WolframEvaluationError(
+                "NDSolveValue: right-hand side is not numeric"
+            )
+        return float(value)
+
+    return interpreted
+
+
+def _compiled_rhs(evaluator, rhs_expr, x_name, y_symbol):
+    from repro.compiler import FunctionCompile
+    from repro.mexpr.symbols import to_mexpr
+
+    typed = MExprNormal(
+        S.Function,
+        [MExprNormal(S.List, [
+            MExprNormal(S.Typed, [MSymbol(x_name), to_mexpr("Real64")]),
+            MExprNormal(S.Typed, [y_symbol, to_mexpr("Real64")]),
+        ]), rhs_expr],
+    )
+    return FunctionCompile(typed, evaluator=evaluator)
+
+
+@builtin("NDSolveValue", "HoldAll")
+def nd_solve_value(evaluator, expression):
+    args = expression.args
+    if len(args) != 3:
+        return None
+    equations, request, domain = args
+    if not (is_head(equations, "List") and len(equations.args) == 2):
+        return None
+    if not (is_head(domain, "List") and len(domain.args) == 3):
+        return None
+    x_symbol, x0_expr, x1_expr = domain.args
+    if not isinstance(x_symbol, MSymbol):
+        return None
+
+    # match y'[x] == rhs
+    ode, initial = equations.args
+    if not (is_head(ode, "Equal") and len(ode.args) == 2):
+        return None
+    lhs = ode.args[0]
+    if not (
+        not lhs.is_atom()
+        and head_name(lhs.head) == "Derivative1"
+        and len(lhs.head.args) == 1
+        and isinstance(lhs.head.args[0], MSymbol)
+    ):
+        return None
+    function_symbol = lhs.head.args[0]
+    rhs_expr = ode.args[1]
+
+    # match y[x0] == y0
+    if not (is_head(initial, "Equal") and len(initial.args) == 2):
+        return None
+    y0 = as_number(evaluator.evaluate(initial.args[1]))
+    if y0 is None:
+        raise WolframEvaluationError("NDSolveValue: non-numeric initial value")
+
+    x0 = as_number(evaluator.evaluate(MExprNormal(S.N, [x0_expr])))
+    x1 = as_number(evaluator.evaluate(MExprNormal(S.N, [x1_expr])))
+    if x0 is None or x1 is None:
+        raise WolframEvaluationError("NDSolveValue: non-numeric domain")
+
+    # the request must be y[<numeric point>]
+    if not (
+        not request.is_atom()
+        and isinstance(request.head, MSymbol)
+        and request.head.name == function_symbol.name
+        and len(request.args) == 1
+    ):
+        return None
+    x_target = as_number(
+        evaluator.evaluate(MExprNormal(S.N, [request.args[0]]))
+    )
+    if x_target is None:
+        raise WolframEvaluationError("NDSolveValue: non-numeric query point")
+
+    yv = MSymbol("$ndsolveY")
+    substituted = _replace_y_of_x(
+        rhs_expr, function_symbol.name, x_symbol.name, yv
+    )
+    rhs = _rhs_callable(evaluator, substituted, x_symbol.name, yv)
+    return MReal(rk4(rhs, float(x0), float(y0), float(x_target)))

@@ -1,0 +1,93 @@
+"""``NMinimize``: derivative-free 1-D minimization with auto-compilation.
+
+§1: "Many numerical functions such as NMinimize, NDSolve, and FindRoot
+perform auto compilation implicitly to accelerate the evaluation of function
+calls."  Like our FindRoot, NMinimize compiles its objective through the
+evaluator's ``auto_compile`` hook when the compiler package has installed
+one, and falls back to interpreted evaluation otherwise.
+
+Method: golden-section search over a bracketing interval
+(``NMinimize[f, {x, lo, hi}]``), refined to ~1e-10 interval width.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.engine.builtins.support import builtin, numeric_value
+from repro.engine.numerics.findroot import (
+    _compiled_objective,
+    _interpreted_objective,
+)
+from repro.errors import WolframEvaluationError
+from repro.mexpr.atoms import MReal, MSymbol
+from repro.mexpr.expr import MExpr, MExprNormal
+from repro.mexpr.symbols import S, is_head
+
+_INVPHI = (math.sqrt(5) - 1) / 2
+
+
+def golden_section(objective, lo: float, hi: float,
+                   tolerance: float = 1e-10, max_iterations: int = 200):
+    """Minimize a unimodal objective on [lo, hi]; returns (x, f(x))."""
+    a, b = float(lo), float(hi)
+    c = b - (b - a) * _INVPHI
+    d = a + (b - a) * _INVPHI
+    fc, fd = objective(c), objective(d)
+    for _ in range(max_iterations):
+        if abs(b - a) < tolerance:
+            break
+        if fc < fd:
+            b, d, fd = d, c, fc
+            c = b - (b - a) * _INVPHI
+            fc = objective(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + (b - a) * _INVPHI
+            fd = objective(d)
+    x = (a + b) / 2
+    return x, objective(x)
+
+
+@builtin("NMinimize", "HoldAll")
+def n_minimize(evaluator, expression):
+    args = expression.args
+    if len(args) != 2:
+        return None
+    objective_expr = args[0]
+    spec = args[1]
+    if not (is_head(spec, "List") and len(spec.args) == 3):
+        return None
+    variable, lo_expr, hi_expr = spec.args
+    if not isinstance(variable, MSymbol):
+        return None
+    from repro.engine.builtins.support import as_number
+
+    def bound_value(node: MExpr):
+        direct = numeric_value(evaluator.evaluate(node))
+        if direct is not None:
+            return direct
+        # symbolic bounds like -Pi numericize through N
+        return as_number(evaluator.evaluate(MExprNormal(S.N, [node])))
+
+    lo = bound_value(lo_expr)
+    hi = bound_value(hi_expr)
+    if lo is None or hi is None:
+        raise WolframEvaluationError("NMinimize: bounds must be numeric")
+
+    objective_expr = evaluator.evaluate(
+        MExprNormal(S.Hold, [objective_expr])
+    ).args[0]
+    objective = _compiled_objective(evaluator, objective_expr, variable)
+    if objective is None:
+        objective = _interpreted_objective(
+            evaluator, objective_expr, variable
+        )
+
+    x, fx = golden_section(objective, float(lo), float(hi))
+    return MExprNormal(
+        S.List,
+        [MReal(fx),
+         MExprNormal(S.List,
+                     [MExprNormal(S.Rule, [variable, MReal(x)])])],
+    )

@@ -1,0 +1,233 @@
+"""Pattern matching for rewrite rules, ``DownValues``, and the macro system.
+
+Supports the pattern constructs the paper's listings use: ``_`` (``Blank``,
+optionally with a head), ``__`` / ``___`` (sequence blanks), named patterns
+(``x_``), ``Condition`` (``/;``), ``PatternTest`` (``?``), ``HoldPattern``,
+and ``Alternatives``.  Sequence patterns are matched with backtracking.
+
+Bindings map pattern names to expressions; sequence patterns bind to a
+``Sequence[...]`` expression that splices into its parent on substitution.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.mexpr.atoms import MSymbol
+from repro.mexpr.expr import MExpr, MExprNormal
+from repro.mexpr.symbols import S, head_name, is_head, is_true
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.evaluator import Evaluator
+
+Bindings = dict[str, MExpr]
+
+
+def match(
+    pattern: MExpr,
+    expression: MExpr,
+    bindings: Optional[Bindings] = None,
+    evaluator: Optional["Evaluator"] = None,
+) -> Optional[Bindings]:
+    """Match ``expression`` against ``pattern``; return bindings or ``None``."""
+    working = dict(bindings) if bindings else {}
+    if _match_one(pattern, expression, working, evaluator):
+        return working
+    return None
+
+
+def match_q(
+    pattern: MExpr, expression: MExpr, evaluator: Optional["Evaluator"] = None
+) -> bool:
+    return match(pattern, expression, evaluator=evaluator) is not None
+
+
+def _match_one(
+    pattern: MExpr,
+    expression: MExpr,
+    bindings: Bindings,
+    evaluator: Optional["Evaluator"],
+) -> bool:
+    name = head_name(pattern) if not pattern.is_atom() else None
+
+    if name == "HoldPattern" and len(pattern.args) == 1:
+        return _match_one(pattern.args[0], expression, bindings, evaluator)
+
+    if name == "Pattern" and len(pattern.args) == 2:
+        pattern_name = pattern.args[0]
+        if not isinstance(pattern_name, MSymbol):
+            return False
+        if not _match_one(pattern.args[1], expression, bindings, evaluator):
+            return False
+        bound = bindings.get(pattern_name.name)
+        if bound is not None:
+            return bound == expression
+        bindings[pattern_name.name] = expression
+        return True
+
+    if name == "Blank":
+        return _head_matches(pattern, expression)
+
+    if name == "Condition" and len(pattern.args) == 2:
+        snapshot = dict(bindings)
+        if not _match_one(pattern.args[0], expression, bindings, evaluator):
+            return False
+        if evaluator is None:
+            return True
+        condition = substitute(pattern.args[1], bindings)
+        if is_true(evaluator.evaluate(condition)):
+            return True
+        bindings.clear()
+        bindings.update(snapshot)
+        return False
+
+    if name == "PatternTest" and len(pattern.args) == 2:
+        if not _match_one(pattern.args[0], expression, bindings, evaluator):
+            return False
+        if evaluator is None:
+            return True
+        test_call = MExprNormal(pattern.args[1], [expression])
+        return is_true(evaluator.evaluate(test_call))
+
+    if name == "Alternatives":
+        snapshot = dict(bindings)
+        for alternative in pattern.args:
+            if _match_one(alternative, expression, bindings, evaluator):
+                return True
+            bindings.clear()
+            bindings.update(snapshot)
+        return False
+
+    if pattern.is_atom():
+        return pattern == expression
+
+    # Normal pattern vs normal expression: match head then argument sequence.
+    if expression.is_atom():
+        return False
+    if not _match_one(pattern.head, expression.head, bindings, evaluator):
+        return False
+    return _match_sequence(
+        list(pattern.args), list(expression.args), bindings, evaluator
+    )
+
+
+def _head_matches(blank: MExpr, expression: MExpr) -> bool:
+    if not blank.args:
+        return True
+    required = blank.args[0]
+    if not isinstance(required, MSymbol):
+        return required == expression.head
+    actual = expression.head
+    if isinstance(actual, MSymbol) and actual.name == required.name:
+        return True
+    return False
+
+
+def _is_sequence_pattern(pattern: MExpr) -> Optional[str]:
+    """Return 'one-or-more' / 'zero-or-more' for __ / ___ patterns."""
+    name = head_name(pattern) if not pattern.is_atom() else None
+    if name == "Pattern" and len(pattern.args) == 2:
+        return _is_sequence_pattern(pattern.args[1])
+    if name == "BlankSequence":
+        return "one-or-more"
+    if name == "BlankNullSequence":
+        return "zero-or-more"
+    return None
+
+
+def _match_sequence(
+    patterns: list[MExpr],
+    expressions: list[MExpr],
+    bindings: Bindings,
+    evaluator: Optional["Evaluator"],
+) -> bool:
+    if not patterns:
+        return not expressions
+
+    first, rest = patterns[0], patterns[1:]
+    kind = _is_sequence_pattern(first)
+
+    if kind is None:
+        if not expressions:
+            return False
+        snapshot = dict(bindings)
+        if _match_one(first, expressions[0], bindings, evaluator):
+            if _match_sequence(rest, expressions[1:], bindings, evaluator):
+                return True
+        bindings.clear()
+        bindings.update(snapshot)
+        return False
+
+    # Sequence blank: try greedy-to-short splits with backtracking.
+    minimum = 1 if kind == "one-or-more" else 0
+    inner = first
+    seq_name: Optional[str] = None
+    if head_name(first) == "Pattern":
+        seq_name = first.args[0].name  # type: ignore[union-attr]
+        inner = first.args[1]
+    head_requirement = inner.args[0] if inner.args else None
+
+    for take in range(len(expressions), minimum - 1, -1):
+        chunk = expressions[:take]
+        if head_requirement is not None and not all(
+            _head_matches(inner, item) for item in chunk
+        ):
+            continue
+        snapshot = dict(bindings)
+        if seq_name is not None:
+            sequence_value = MExprNormal(S.Sequence, chunk)
+            bound = bindings.get(seq_name)
+            if bound is not None and bound != sequence_value:
+                continue
+            bindings[seq_name] = sequence_value
+        if _match_sequence(rest, expressions[take:], bindings, evaluator):
+            return True
+        bindings.clear()
+        bindings.update(snapshot)
+    return False
+
+
+def substitute(expression: MExpr, bindings: Bindings) -> MExpr:
+    """Replace bound pattern names in ``expression``; splice sequences."""
+    if isinstance(expression, MSymbol):
+        return bindings.get(expression.name, expression)
+    if expression.is_atom():
+        return expression
+    new_head = substitute(expression.head, bindings)
+    new_args: list[MExpr] = []
+    for arg in expression.args:
+        replaced = substitute(arg, bindings)
+        if is_head(replaced, "Sequence"):
+            new_args.extend(replaced.args)
+        else:
+            new_args.append(replaced)
+    return MExprNormal(new_head, new_args)
+
+
+def pattern_specificity(pattern: MExpr) -> int:
+    """A specificity score: larger means more specific (tried earlier).
+
+    Mirrors the Wolfram ordering the paper relies on for both ``DownValues``
+    and macro rules (§4.2): literals beat typed blanks beat bare blanks beat
+    sequence blanks; deeper/longer literal structure increases specificity.
+    """
+    name = head_name(pattern) if not pattern.is_atom() else None
+    if name == "Pattern" and len(pattern.args) == 2:
+        return pattern_specificity(pattern.args[1])
+    if name == "HoldPattern" and len(pattern.args) == 1:
+        return pattern_specificity(pattern.args[0])
+    if name == "Condition" and len(pattern.args) == 2:
+        return pattern_specificity(pattern.args[0]) + 1
+    if name == "PatternTest":
+        return pattern_specificity(pattern.args[0]) + 1
+    if name == "Blank":
+        return 2 if pattern.args else 1
+    if name == "BlankSequence":
+        return 1 if pattern.args else 0
+    if name == "BlankNullSequence":
+        return 0
+    if name == "Alternatives":
+        return min((pattern_specificity(a) for a in pattern.args), default=0)
+    if pattern.is_atom():
+        return 4
+    return 4 + sum(pattern_specificity(a) for a in (pattern.head, *pattern.args))

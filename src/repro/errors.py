@@ -1,0 +1,107 @@
+"""Exception hierarchy shared by the engine, the compilers, and the runtime.
+
+The paper distinguishes three failure channels:
+
+* hard errors raised while *building* a program (parse errors, macro errors,
+  type errors, codegen errors) — these abort compilation and are reported to
+  the user;
+* *soft* runtime failures (numeric overflow, unsupported operations) — these
+  are caught by ``CompiledCodeFunction`` which falls back to the interpreter
+  (feature F2);
+* user-initiated aborts (feature F3) — these unwind evaluation and return
+  ``$Aborted`` without corrupting session state.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class WolframParseError(ReproError):
+    """The source text is not a well-formed Wolfram-style expression."""
+
+
+class WolframEvaluationError(ReproError):
+    """The interpreter could not evaluate an expression."""
+
+
+class WolframRecursionError(WolframEvaluationError):
+    """``$RecursionLimit`` exceeded during evaluation."""
+
+
+class WolframIterationError(WolframEvaluationError):
+    """``$IterationLimit`` exceeded (runaway infinite evaluation)."""
+
+
+class WolframAbort(ReproError):
+    """A user-initiated abort interrupt (feature F3).
+
+    Raised from abort checkpoints in the interpreter, the bytecode VM, and
+    compiled code.  Callers that host an evaluation catch it and return the
+    ``$Aborted`` sentinel, leaving session state intact.
+    """
+
+
+class WolframRuntimeError(ReproError):
+    """A *soft* runtime failure inside compiled code (feature F2).
+
+    ``CompiledCodeFunction`` catches this, prints the paper's warning, and
+    re-evaluates the call with the interpreter.
+    """
+
+    def __init__(self, kind: str, message: str = ""):
+        self.kind = kind
+        super().__init__(message or kind)
+
+
+class IntegerOverflowError(WolframRuntimeError):
+    """Checked Integer64 arithmetic overflowed (``cfib[200]`` in the paper)."""
+
+    def __init__(self, message: str = "machine integer overflow"):
+        super().__init__("IntegerOverflow", message)
+
+
+class CompilerError(ReproError):
+    """Base class for errors raised by either compiler."""
+
+
+class BytecodeCompilerError(CompilerError):
+    """The legacy bytecode compiler could not translate the program.
+
+    The paper's baseline raises this for function values (QSort), strings
+    (FNV1a), and anything outside its ~200-function numerical subset.
+    """
+
+
+class MacroExpansionError(CompilerError):
+    """A macro rule failed to apply or expansion did not terminate."""
+
+
+class BindingError(CompilerError):
+    """Binding analysis found an unbound or malformed scoped variable."""
+
+
+class WolframTypeError(CompilerError):
+    """Type checking or type inference failed."""
+
+
+class TypeInferenceError(WolframTypeError):
+    """The constraint solver could not find a consistent typing."""
+
+
+class AmbiguousTypeError(WolframTypeError):
+    """An ``AlternativeConstraint`` matched several unordered candidates."""
+
+
+class FunctionResolutionError(CompilerError):
+    """No implementation matching a call's type was found (§4.5)."""
+
+
+class CodegenError(CompilerError):
+    """A backend could not generate code (e.g. a variable missing a type)."""
+
+
+class LintError(CompilerError):
+    """The IR linter found a violated invariant (e.g. broken SSA)."""

@@ -1,0 +1,186 @@
+"""The ``MExpr`` AST base class and normal (compound) expressions.
+
+The compiler pipeline (§4) is ``MExpr -> WIR -> TWIR -> codegen``; everything
+upstream of the IR manipulates these nodes.  Key design points taken from the
+paper:
+
+* every node can carry arbitrary metadata (``get_property``/``set_property``),
+  used by binding analysis, provenance tracking, and error reporting;
+* nodes serialize and deserialize (see :mod:`repro.mexpr.serialize`);
+* equality is structural so macro fixed-point detection and CSE work by
+  comparing subtrees.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+
+class MExpr:
+    """Base class of all Wolfram expression nodes."""
+
+    __slots__ = ("_properties", "_hash", "__weakref__")
+
+    def __init__(self):
+        self._properties: dict[str, Any] | None = None
+        self._hash: int | None = None
+
+    # -- structure ----------------------------------------------------------
+
+    def is_atom(self) -> bool:
+        raise NotImplementedError
+
+    @property
+    def head(self) -> "MExpr":
+        raise NotImplementedError
+
+    @property
+    def args(self) -> tuple["MExpr", ...]:
+        raise NotImplementedError
+
+    def _structure_key(self) -> tuple:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, MExpr):
+            return NotImplemented
+        return self._structure_key() == other._structure_key()
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._structure_key())
+        return self._hash
+
+    def same_q(self, other: "MExpr") -> bool:
+        """Structural identity (Wolfram ``SameQ``)."""
+        return self == other
+
+    # -- metadata (paper §4.2: "arbitrary metadata ... on any node") --------
+
+    def set_property(self, key: str, value: Any) -> None:
+        if self._properties is None:
+            self._properties = {}
+        self._properties[key] = value
+
+    def get_property(self, key: str, default: Any = None) -> Any:
+        if self._properties is None:
+            return default
+        return self._properties.get(key, default)
+
+    def has_property(self, key: str) -> bool:
+        return self._properties is not None and key in self._properties
+
+    @property
+    def properties(self) -> dict[str, Any]:
+        if self._properties is None:
+            self._properties = {}
+        return self._properties
+
+    # -- conversions --------------------------------------------------------
+
+    def to_python(self) -> Any:
+        """Convert a literal tree to the corresponding Python value."""
+        raise ValueError(f"{self!r} has no Python value")
+
+    def clone(self) -> "MExpr":
+        """Deep-copy the tree, dropping metadata.
+
+        ``FunctionCompile`` clones its input so compiler passes may mutate
+        metadata freely without touching the user's expression.
+        """
+        if self.is_atom():
+            fresh = type(self).__new__(type(self))
+            MExpr.__init__(fresh)
+            for slot in type(self).__slots__:
+                setattr(fresh, slot, getattr(self, slot))
+            return fresh
+        return MExprNormal(self.head.clone(), [a.clone() for a in self.args])
+
+    # -- traversal helpers ---------------------------------------------------
+
+    def subexpressions(self) -> Iterator["MExpr"]:
+        """Yield this node and every descendant, depth-first, pre-order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            if not node.is_atom():
+                stack.extend(reversed((node.head, *node.args)))
+
+    def replace_args(self, new_args: list["MExpr"]) -> "MExpr":
+        """Return a copy of this normal expression with different arguments."""
+        if self.is_atom():
+            raise ValueError("atoms have no arguments to replace")
+        return MExprNormal(self.head, new_args)
+
+    def map_args(self, fn: Callable[["MExpr"], "MExpr"]) -> "MExpr":
+        if self.is_atom():
+            return self
+        return MExprNormal(self.head, [fn(a) for a in self.args])
+
+    # -- sugar ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.args)
+
+    def __getitem__(self, index: int) -> "MExpr":
+        """1-based part access like Wolfram ``expr[[i]]``; 0 is the head."""
+        if index == 0:
+            return self.head
+        if index > 0:
+            return self.args[index - 1]
+        return self.args[index]
+
+    def __str__(self) -> str:
+        from repro.mexpr.printer import input_form
+
+        return input_form(self)
+
+
+class MExprNormal(MExpr):
+    """A compound ("Normal") expression ``head[arg1, arg2, ...]``."""
+
+    __slots__ = ("_head", "_args")
+
+    def __init__(self, head: MExpr, args):
+        super().__init__()
+        self._head = head
+        self._args = tuple(args)
+
+    def is_atom(self) -> bool:
+        return False
+
+    @property
+    def head(self) -> MExpr:
+        return self._head
+
+    @property
+    def args(self) -> tuple[MExpr, ...]:
+        return self._args
+
+    def _structure_key(self) -> tuple:
+        return ("Normal", self._head._structure_key(),
+                tuple(a._structure_key() for a in self._args))
+
+    def to_python(self) -> Any:
+        from repro.mexpr.atoms import MSymbol
+
+        if isinstance(self._head, MSymbol) and self._head.name == "List":
+            return [a.to_python() for a in self._args]
+        raise ValueError(f"{self!r} has no Python value")
+
+    def __repr__(self) -> str:
+        return f"MExprNormal({self._head!r}, [{', '.join(map(repr, self._args))}])"
+
+
+def normal(head: MExpr, *args: MExpr) -> MExprNormal:
+    """Construct a normal expression; the workhorse expression builder."""
+    return MExprNormal(head, args)

@@ -1,0 +1,455 @@
+"""A Wolfram-syntax parser producing :class:`MExpr` trees.
+
+Supports the language subset the paper's examples use: ``f[x]`` application,
+``{...}`` lists, ``[[...]]`` part extraction, the arithmetic / comparison /
+logical operator grammar, pure functions (``#`` and ``&``), rules and
+replacement (``->``, ``:>``, ``/.``), assignment (``=``, ``:=``), patterns
+(``x_``, ``x_Integer``, ``x__``, ``/;``), compound expressions (``;``), and
+``(* comments *)``.  The Unicode aliases used in the paper's listings
+(``→``, ``≡``, ``≥``, ``≤``, ``≠``, ``π``) are accepted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WolframParseError
+from repro.mexpr.atoms import MInteger, MReal, MString, MSymbol
+from repro.mexpr.expr import MExpr, MExprNormal
+from repro.mexpr.symbols import S
+
+
+@dataclass
+class Token:
+    kind: str  # 'int' | 'real' | 'string' | 'name' | 'op' | 'eof'
+    text: str
+    pos: int
+
+
+_TWO_CHAR_OPS = {
+    "&&", "||", "==", "!=", "<=", ">=", "->", ":>", ":=", "/.", "//",
+    "/;", "@@", "/@", "<>", "++", "--", "+=", "-=", "*=", "/=", "*^",
+}
+_THREE_CHAR_OPS = {"===", "=!=", "//.", "@@@"}
+_ONE_CHAR_OPS = set("+-*/^()[]{},;=<>!&@#_?:|.'")
+
+_UNICODE_ALIASES = {
+    "→": "->",   # → Rule
+    "≡": "===",  # ≡ SameQ (as used in the paper's listings)
+    "≥": ">=",   # ≥
+    "≤": "<=",   # ≤
+    "≠": "!=",   # ≠
+}
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        if text.startswith("(*", i):
+            depth, i = 1, i + 2
+            while i < n and depth:
+                if text.startswith("(*", i):
+                    depth += 1
+                    i += 2
+                elif text.startswith("*)", i):
+                    depth -= 1
+                    i += 2
+                else:
+                    i += 1
+            if depth:
+                raise WolframParseError("unterminated comment")
+            continue
+        if ch in _UNICODE_ALIASES:
+            tokens.append(Token("op", _UNICODE_ALIASES[ch], i))
+            i += 1
+            continue
+        if ch == "π":  # π
+            tokens.append(Token("name", "Pi", i))
+            i += 1
+            continue
+        if ch == '"':
+            j, out = i + 1, []
+            while j < n and text[j] != '"':
+                if text[j] == "\\" and j + 1 < n:
+                    esc = text[j + 1]
+                    out.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(esc, esc))
+                    j += 2
+                else:
+                    out.append(text[j])
+                    j += 1
+            if j >= n:
+                raise WolframParseError(f"unterminated string at {i}")
+            tokens.append(Token("string", "".join(out), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            is_real = False
+            while j < n and text[j].isdigit():
+                j += 1
+            if j < n and text[j] == "." and not text.startswith("..", j):
+                is_real = True
+                j += 1
+                while j < n and text[j].isdigit():
+                    j += 1
+            # exponent: Wolfram `*^` or conventional `e`
+            if j < n and text.startswith("*^", j):
+                is_real = True
+                j += 2
+                if j < n and text[j] in "+-":
+                    j += 1
+                while j < n and text[j].isdigit():
+                    j += 1
+            elif j < n and text[j] in "eE" and j + 1 < n and (
+                text[j + 1].isdigit() or text[j + 1] in "+-"
+            ):
+                is_real = True
+                j += 1
+                if text[j] in "+-":
+                    j += 1
+                while j < n and text[j].isdigit():
+                    j += 1
+            tokens.append(Token("real" if is_real else "int", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "$":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] in "$`"):
+                j += 1
+            tokens.append(Token("name", text[i:j], i))
+            i = j
+            continue
+        if text[i:i + 3] in _THREE_CHAR_OPS:
+            tokens.append(Token("op", text[i:i + 3], i))
+            i += 3
+            continue
+        if text[i:i + 2] in _TWO_CHAR_OPS:
+            tokens.append(Token("op", text[i:i + 2], i))
+            i += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            tokens.append(Token("op", ch, i))
+            i += 1
+            continue
+        raise WolframParseError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token("eof", "", n))
+    return tokens
+
+
+# Binding powers, loosely following the Wolfram operator-precedence table.
+_BINARY = {
+    ";": 10,
+    "=": 20, ":=": 20, "+=": 20, "-=": 20, "*=": 20, "/=": 20,
+    "//": 24,
+    "/.": 30, "//.": 30,
+    "->": 35, ":>": 35,
+    "/;": 37,
+    "||": 40,
+    "&&": 45,
+    "==": 55, "!=": 55, "===": 55, "=!=": 55,
+    "<": 55, ">": 55, "<=": 55, ">=": 55,
+    "<>": 58,
+    "+": 60, "-": 60,
+    "*": 70, "/": 70,
+    ".": 72,
+    "^": 80,
+    "@@": 88, "@@@": 88, "/@": 88,
+    "@": 90,
+    "?": 96,
+    ":": 97,
+}
+_RIGHT_ASSOC = {"=", ":=", "+=", "-=", "*=", "/=", "->", ":>", "^", "@", "@@", "@@@", "/@", ":"}
+
+_BINARY_HEADS = {
+    "->": "Rule", ":>": "RuleDelayed", "/.": "ReplaceAll", "//.": "ReplaceRepeated",
+    "||": "Or", "&&": "And", "==": "Equal", "!=": "Unequal",
+    "===": "SameQ", "=!=": "UnsameQ", "<": "Less", ">": "Greater",
+    "<=": "LessEqual", ">=": "GreaterEqual", "<>": "StringJoin",
+    "=": "Set", ":=": "SetDelayed", "+=": "AddTo", "-=": "SubtractFrom",
+    "*=": "TimesBy", "/=": "DivideBy", "^": "Power", ".": "Dot",
+    "/;": "Condition", "?": "PatternTest",
+}
+
+#: binding power of implicit multiplication (``2 Pi``), same tier as ``*``.
+_IMPLICIT_TIMES_BP = 70
+
+
+class Parser:
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def expect(self, text: str) -> Token:
+        tok = self.next()
+        if tok.text != text:
+            raise WolframParseError(
+                f"expected {text!r} but found {tok.text!r} at position {tok.pos}"
+            )
+        return tok
+
+    def at_op(self, text: str) -> bool:
+        tok = self.peek()
+        return tok.kind == "op" and tok.text == text
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse(self) -> MExpr:
+        node = self.parse_expr(0)
+        tok = self.peek()
+        if tok.kind != "eof":
+            raise WolframParseError(
+                f"unexpected trailing input {tok.text!r} at position {tok.pos}"
+            )
+        return node
+
+    def parse_expr(self, min_bp: int) -> MExpr:
+        node = self.parse_prefix()
+        while True:
+            node2 = self.parse_postfix(node, min_bp)
+            if node2 is None:
+                break
+            node = node2
+        return node
+
+    def parse_prefix(self) -> MExpr:
+        tok = self.peek()
+        if tok.kind == "op" and tok.text == "-":
+            self.next()
+            operand = self.parse_expr(75)
+            if isinstance(operand, MInteger):
+                return MInteger(-operand.value)
+            if isinstance(operand, MReal):
+                return MReal(-operand.value)
+            return MExprNormal(S.Times, [MInteger(-1), operand])
+        if tok.kind == "op" and tok.text == "+":
+            self.next()
+            return self.parse_expr(75)
+        if tok.kind == "op" and tok.text == "!":
+            self.next()
+            return MExprNormal(S.Not, [self.parse_expr(50)])
+        if tok.kind == "op" and tok.text == "++":
+            self.next()
+            return MExprNormal(S.PreIncrement, [self.parse_expr(85)])
+        if tok.kind == "op" and tok.text == "--":
+            self.next()
+            return MExprNormal(S.PreDecrement, [self.parse_expr(85)])
+        return self.parse_primary()
+
+    def parse_postfix(self, node: MExpr, min_bp: int) -> MExpr | None:
+        tok = self.peek()
+        if tok.kind == "eof":
+            return None
+        if tok.kind == "op":
+            text = tok.text
+            # f[args] and x[[parts]]: Part is two consecutive `[` tokens
+            if text == "[" and 100 >= min_bp:
+                self.next()
+                if self.at_op("["):
+                    self.next()
+                    parts = self.parse_sequence(close="]")
+                    self.expect("]")
+                    self.expect("]")
+                    return MExprNormal(S.Part, [node, *parts])
+                args = self.parse_sequence(close="]")
+                self.expect("]")
+                return MExprNormal(node, args)
+            if text == "&" and 25 >= min_bp:
+                self.next()
+                return MExprNormal(S.Function, [node])
+            if text == "++" and 85 >= min_bp:
+                self.next()
+                return MExprNormal(S.Increment, [node])
+            if text == "--" and 85 >= min_bp:
+                self.next()
+                return MExprNormal(S.Decrement, [node])
+            if text == "'" and 99 >= min_bp:
+                self.next()
+                return MExprNormal(S.Derivative1, [node])
+            if text == ";" and _BINARY[";"] >= min_bp:
+                return self.parse_compound(node)
+            if text == "//" and _BINARY["//"] >= min_bp:
+                self.next()
+                fn = self.parse_expr(_BINARY["//"] + 1)
+                return MExprNormal(fn, [node])
+            bp = _BINARY.get(text)
+            if bp is not None and bp >= min_bp and text not in {";", "//"}:
+                self.next()
+                next_bp = bp if text in _RIGHT_ASSOC else bp + 1
+                rhs = self.parse_expr(next_bp)
+                return self.combine_binary(text, node, rhs)
+            if text == "#" and _IMPLICIT_TIMES_BP >= min_bp:
+                # implicit multiplication against a slot: `2 #`
+                rhs = self.parse_expr(_IMPLICIT_TIMES_BP + 1)
+                return MExprNormal(S.Times, [node, rhs])
+            return None
+        # implicit multiplication: `2 Pi`, `2 x`, `2 #`
+        implicit = tok.kind in {"int", "real", "name", "string"} or (
+            tok.kind == "op" and tok.text == "#"
+        )
+        if implicit and _IMPLICIT_TIMES_BP >= min_bp:
+            rhs = self.parse_expr(_IMPLICIT_TIMES_BP + 1)
+            return MExprNormal(S.Times, [node, rhs])
+        return None
+
+    def combine_binary(self, op: str, lhs: MExpr, rhs: MExpr) -> MExpr:
+        if op == "+":
+            return self.flatten("Plus", lhs, rhs)
+        if op == "-":
+            neg = MExprNormal(S.Times, [MInteger(-1), rhs])
+            return self.flatten("Plus", lhs, neg)
+        if op == "*":
+            return self.flatten("Times", lhs, rhs)
+        if op == "/":
+            inv = MExprNormal(S.Power, [rhs, MInteger(-1)])
+            return self.flatten("Times", lhs, inv)
+        if op == "@":
+            return MExprNormal(lhs, [rhs])
+        if op == "@@":
+            return MExprNormal(S.Apply, [lhs, rhs])
+        if op == "@@@":
+            return MExprNormal(S.Apply, [lhs, rhs, MExprNormal(S.List, [MInteger(1)])])
+        if op == "/@":
+            return MExprNormal(S.Map, [lhs, rhs])
+        if op == ":":
+            if not isinstance(lhs, MSymbol):
+                raise WolframParseError("pattern name must be a symbol")
+            return MExprNormal(S.Pattern, [lhs, rhs])
+        head = _BINARY_HEADS.get(op)
+        if head is None:
+            raise WolframParseError(f"unsupported operator {op!r}")
+        if head in {"And", "Or", "StringJoin", "Dot", "Less", "Greater",
+                    "LessEqual", "GreaterEqual", "Equal", "SameQ"}:
+            # comparisons chain n-ary in Wolfram: 1 < 2 < 3 is Less[1, 2, 3]
+            return self.flatten(head, lhs, rhs)
+        return MExprNormal(S(head), [lhs, rhs])
+
+    @staticmethod
+    def flatten(head: str, lhs: MExpr, rhs: MExpr) -> MExpr:
+        """Merge nested same-head binary parses into one n-ary node."""
+        args: list[MExpr] = []
+        from repro.mexpr.symbols import is_head
+
+        for part in (lhs, rhs):
+            if is_head(part, head):
+                args.extend(part.args)
+            else:
+                args.append(part)
+        return MExprNormal(S(head), args)
+
+    def parse_compound(self, first: MExpr) -> MExpr:
+        """``a; b; c`` (and a trailing ``;`` appends ``Null``)."""
+        items = [first]
+        while self.at_op(";"):
+            self.next()
+            tok = self.peek()
+            ends = tok.kind == "eof" or (
+                tok.kind == "op" and tok.text in {")", "]", "}", ",", "]]"}
+            )
+            if ends:
+                items.append(MSymbol("Null"))
+                break
+            items.append(self.parse_expr(_BINARY[";"] + 1))
+        return MExprNormal(S.CompoundExpression, items)
+
+    def parse_sequence(self, close: str) -> list[MExpr]:
+        items: list[MExpr] = []
+        if self.at_op(close):
+            return items
+        # `]]` closing may appear as two `]`s if parts nested oddly; keep simple
+        items.append(self.parse_expr(0))
+        while self.at_op(","):
+            self.next()
+            items.append(self.parse_expr(0))
+        return items
+
+    def parse_primary(self) -> MExpr:
+        tok = self.next()
+        if tok.kind == "int":
+            return MInteger(int(tok.text))
+        if tok.kind == "real":
+            return MReal(float(tok.text.replace("*^", "e")))
+        if tok.kind == "string":
+            return MString(tok.text)
+        if tok.kind == "name":
+            return self.maybe_pattern(MSymbol(tok.text))
+        if tok.kind == "op":
+            if tok.text == "(":
+                inner = self.parse_expr(0)
+                self.expect(")")
+                return inner
+            if tok.text == "{":
+                items = self.parse_sequence(close="}")
+                self.expect("}")
+                return MExprNormal(S.List, items)
+            if tok.text == "#":
+                nxt = self.peek()
+                if nxt.kind == "int":
+                    self.next()
+                    return MExprNormal(S.Slot, [MInteger(int(nxt.text))])
+                return MExprNormal(S.Slot, [MInteger(1)])
+            if tok.text == "_":
+                return self.parse_blank(1, None)
+        raise WolframParseError(
+            f"unexpected token {tok.text!r} at position {tok.pos}"
+        )
+
+    def maybe_pattern(self, name_symbol: MSymbol) -> MExpr:
+        """Handle ``x_``, ``x__``, ``x___``, ``x_Head`` after an identifier."""
+        if not self.at_op("_"):
+            return name_symbol
+        self.next()
+        return self.parse_blank(1, name_symbol)
+
+    def parse_blank(self, underscores: int, name_symbol: MSymbol | None) -> MExpr:
+        while self.at_op("_"):
+            self.next()
+            underscores += 1
+        blank_head = {1: "Blank", 2: "BlankSequence", 3: "BlankNullSequence"}.get(underscores)
+        if blank_head is None:
+            raise WolframParseError("too many underscores in pattern")
+        head_args: list[MExpr] = []
+        tok = self.peek()
+        if tok.kind == "name":
+            self.next()
+            head_args.append(MSymbol(tok.text))
+        blank = MExprNormal(S(blank_head), head_args)
+        if name_symbol is None:
+            return blank
+        return MExprNormal(S.Pattern, [name_symbol, blank])
+
+
+def parse(text: str) -> MExpr:
+    """Parse one Wolfram-style expression from ``text``."""
+    return Parser(text).parse()
+
+
+def parse_all(text: str) -> list[MExpr]:
+    """Parse a newline/semicolon-separated program into a list of expressions.
+
+    Unlike :func:`parse`, this treats top-level blank lines as statement
+    separators, mirroring how a notebook cell is split.
+    """
+    stripped = text.strip()
+    if not stripped:
+        return []
+    node = parse(stripped)
+    from repro.mexpr.symbols import is_head
+
+    if is_head(node, "CompoundExpression"):
+        return [a for a in node.args]
+    return [node]

@@ -1,0 +1,104 @@
+"""Printers for ``MExpr`` trees: ``FullForm`` and an infix ``InputForm``."""
+
+from __future__ import annotations
+
+from repro.mexpr.atoms import MComplex, MInteger, MReal, MString, MSymbol
+from repro.mexpr.expr import MExpr
+from repro.mexpr.symbols import head_name
+
+
+def full_form(node: MExpr) -> str:
+    """The canonical ``head[a, b, ...]`` rendering with no infix operators."""
+    if isinstance(node, MSymbol):
+        return node.name
+    if isinstance(node, MInteger):
+        return str(node.value)
+    if isinstance(node, MReal):
+        return _format_real(node.value)
+    if isinstance(node, MString):
+        return '"' + node.value.replace("\\", "\\\\").replace('"', '\\"') + '"'
+    if isinstance(node, MComplex):
+        return f"Complex[{_format_real(node.value.real)}, {_format_real(node.value.imag)}]"
+    args = ", ".join(full_form(a) for a in node.args)
+    return f"{full_form(node.head)}[{args}]"
+
+
+def _format_real(value: float) -> str:
+    if value != value:  # NaN
+        return "Indeterminate"
+    if value in (float("inf"), float("-inf")):
+        return "Infinity" if value > 0 else "-Infinity"
+    text = repr(value)
+    return text
+
+
+_INFIX = {
+    "Plus": (" + ", 60),
+    "Times": ("*", 70),
+    "Power": ("^", 80),
+    "Equal": (" == ", 55),
+    "Unequal": (" != ", 55),
+    "SameQ": (" === ", 55),
+    "UnsameQ": (" =!= ", 55),
+    "Less": (" < ", 55),
+    "Greater": (" > ", 55),
+    "LessEqual": (" <= ", 55),
+    "GreaterEqual": (" >= ", 55),
+    "And": (" && ", 45),
+    "Or": (" || ", 40),
+    "Rule": (" -> ", 35),
+    "RuleDelayed": (" :> ", 35),
+    "ReplaceAll": (" /. ", 30),
+    "Set": (" = ", 20),
+    "SetDelayed": (" := ", 20),
+    "CompoundExpression": ("; ", 10),
+    "StringJoin": (" <> ", 58),
+    "Condition": (" /; ", 37),
+    "Dot": (" . ", 72),
+}
+
+
+def input_form(node: MExpr, parent_prec: int = 0) -> str:
+    """A readable infix rendering (round-trips through the parser)."""
+    if node.is_atom():
+        return full_form(node)
+    name = head_name(node)
+    if name == "List":
+        return "{" + ", ".join(input_form(a) for a in node.args) + "}"
+    if name == "Slot" and len(node.args) == 1 and isinstance(node.args[0], MInteger):
+        index = node.args[0].value
+        return "#" if index == 1 else f"#{index}"
+    if name == "Function" and len(node.args) == 1:
+        return f"({input_form(node.args[0], 26)} & )"
+    if name == "Part" and len(node.args) >= 2:
+        base = input_form(node.args[0], 100)
+        parts = ", ".join(input_form(a) for a in node.args[1:])
+        return f"{base}[[{parts}]]"
+    if name == "Pattern" and len(node.args) == 2:
+        sub = node.args[1]
+        if head_name(sub) in {"Blank", "BlankSequence", "BlankNullSequence"}:
+            marks = {"Blank": "_", "BlankSequence": "__", "BlankNullSequence": "___"}
+            inner = input_form(sub.args[0]) if sub.args else ""
+            return f"{input_form(node.args[0])}{marks[head_name(sub)]}{inner}"
+    if name in {"Blank", "BlankSequence", "BlankNullSequence"}:
+        marks = {"Blank": "_", "BlankSequence": "__", "BlankNullSequence": "___"}
+        inner = input_form(node.args[0]) if node.args else ""
+        return f"{marks[name]}{inner}"
+    if name in _INFIX and len(node.args) >= 2:
+        separator, prec = _INFIX[name]
+        body = separator.join(input_form(a, prec + 1) for a in node.args)
+        if prec < parent_prec:
+            return f"({body})"
+        return body
+    if name == "Times" and len(node.args) == 2:
+        first = node.args[0]
+        if isinstance(first, MInteger) and first.value == -1:
+            body = "-" + input_form(node.args[1], 76)
+            return f"({body})" if parent_prec > 60 else body
+    head_text = (
+        full_form(node.head)
+        if node.head.is_atom()
+        else "(" + input_form(node.head) + ")"
+    )
+    args = ", ".join(input_form(a) for a in node.args)
+    return f"{head_text}[{args}]"

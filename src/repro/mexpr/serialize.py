@@ -1,0 +1,82 @@
+"""MExpr serialization (§4.2: MExprs "can be serialized and deserialized").
+
+The wire format is a small JSON-compatible tagged tree, including node
+metadata, so serialized ASTs survive a round trip with binding annotations
+intact (the compiler uses this for caching and for the exported-library
+header).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.mexpr.atoms import MComplex, MInteger, MReal, MString, MSymbol
+from repro.mexpr.expr import MExpr, MExprNormal
+
+
+def to_wire(node: MExpr) -> dict[str, Any]:
+    """Convert a tree to the tagged-dict wire format."""
+    payload: dict[str, Any]
+    if isinstance(node, MInteger):
+        payload = {"t": "i", "v": node.value}
+    elif isinstance(node, MReal):
+        payload = {"t": "r", "v": node.value}
+    elif isinstance(node, MComplex):
+        payload = {"t": "c", "re": node.value.real, "im": node.value.imag}
+    elif isinstance(node, MString):
+        payload = {"t": "s", "v": node.value}
+    elif isinstance(node, MSymbol):
+        payload = {"t": "y", "v": node.name}
+    elif isinstance(node, MExprNormal):
+        payload = {
+            "t": "n",
+            "h": to_wire(node.head),
+            "a": [to_wire(a) for a in node.args],
+        }
+    else:  # pragma: no cover - exhaustive over node kinds
+        raise TypeError(f"cannot serialize {type(node).__name__}")
+    metadata = _serializable_metadata(node)
+    if metadata:
+        payload["m"] = metadata
+    return payload
+
+
+def _serializable_metadata(node: MExpr) -> dict[str, Any]:
+    if node._properties is None:
+        return {}
+    out = {}
+    for key, value in node._properties.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+    return out
+
+
+def from_wire(payload: dict[str, Any]) -> MExpr:
+    """Rebuild a tree from the wire format."""
+    tag = payload["t"]
+    if tag == "i":
+        node: MExpr = MInteger(payload["v"])
+    elif tag == "r":
+        node = MReal(payload["v"])
+    elif tag == "c":
+        node = MComplex(complex(payload["re"], payload["im"]))
+    elif tag == "s":
+        node = MString(payload["v"])
+    elif tag == "y":
+        node = MSymbol(payload["v"])
+    elif tag == "n":
+        node = MExprNormal(from_wire(payload["h"]), [from_wire(a) for a in payload["a"]])
+    else:
+        raise ValueError(f"unknown wire tag {tag!r}")
+    for key, value in payload.get("m", {}).items():
+        node.set_property(key, value)
+    return node
+
+
+def dumps(node: MExpr) -> str:
+    return json.dumps(to_wire(node), separators=(",", ":"))
+
+
+def loads(text: str) -> MExpr:
+    return from_wire(json.loads(text))

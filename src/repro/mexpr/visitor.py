@@ -1,0 +1,75 @@
+"""The MExpr visitor API (§4.2).
+
+Binding analysis and other AST passes are written against this interface:
+``visit_<HeadName>`` methods are dispatched by the symbol head of a normal
+expression; atoms dispatch to ``visit_symbol`` / ``visit_literal``.  The
+transforming variant rebuilds the tree bottom-up.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.mexpr.atoms import MExprAtom, MSymbol
+from repro.mexpr.expr import MExpr, MExprNormal
+from repro.mexpr.symbols import head_name
+
+
+class MExprVisitor:
+    """Read-only traversal with per-head dispatch."""
+
+    def visit(self, node: MExpr) -> Any:
+        if isinstance(node, MSymbol):
+            return self.visit_symbol(node)
+        if isinstance(node, MExprAtom):
+            return self.visit_literal(node)
+        name = head_name(node)
+        if name is not None:
+            method = getattr(self, f"visit_{name}", None)
+            if method is not None:
+                return method(node)
+        return self.visit_normal(node)
+
+    def visit_symbol(self, node: MSymbol) -> Any:
+        return self.default(node)
+
+    def visit_literal(self, node: MExprAtom) -> Any:
+        return self.default(node)
+
+    def visit_normal(self, node: MExpr) -> Any:
+        self.visit(node.head)
+        for arg in node.args:
+            self.visit(arg)
+        return self.default(node)
+
+    def default(self, node: MExpr) -> Any:
+        return None
+
+
+class MExprTransformer:
+    """Bottom-up rewriting traversal; methods return replacement nodes."""
+
+    def transform(self, node: MExpr) -> MExpr:
+        if isinstance(node, MSymbol):
+            return self.transform_symbol(node)
+        if isinstance(node, MExprAtom):
+            return self.transform_literal(node)
+        name = head_name(node)
+        if name is not None:
+            method = getattr(self, f"transform_{name}", None)
+            if method is not None:
+                return method(node)
+        return self.transform_normal(node)
+
+    def transform_symbol(self, node: MSymbol) -> MExpr:
+        return node
+
+    def transform_literal(self, node: MExprAtom) -> MExpr:
+        return node
+
+    def transform_normal(self, node: MExpr) -> MExpr:
+        head = self.transform(node.head)
+        args = [self.transform(a) for a in node.args]
+        if head is node.head and all(a is b for a, b in zip(args, node.args)):
+            return node
+        return MExprNormal(head, args)

@@ -1,0 +1,62 @@
+"""The compiled-code runtime library.
+
+Generated code (Python backend) and the bytecode VM both link against this
+package: checked machine arithmetic (F2), packed tensors, reference-counted
+memory management (F7), UTF-8 string primitives, the abort channel (F3), and
+the shared BLAS bridge.
+"""
+
+from repro.runtime.abort import (
+    abort_checks_enabled,
+    attach_abort_source,
+    runtime_check_abort,
+)
+from repro.runtime.blas import dgemm, dot_nested
+from repro.runtime.checked import (
+    INT64_MAX,
+    INT64_MIN,
+    check_int64,
+    checked_binary_mod_Integer64_Integer64,
+    checked_binary_plus_Integer64_Integer64,
+    checked_binary_power_Integer64_Integer64,
+    checked_binary_quotient_Integer64_Integer64,
+    checked_binary_subtract_Integer64_Integer64,
+    checked_binary_times_Integer64_Integer64,
+    checked_divide_Real64,
+    checked_unary_minus_Integer64,
+)
+from repro.runtime.memory import (
+    memory_acquire,
+    memory_release,
+    memory_stats,
+    reset_memory_stats,
+)
+from repro.runtime.packed import PackedArray, packed_from_iterable
+from repro.runtime.primes import is_probable_prime, small_prime_table
+from repro.runtime.strings import (
+    from_character_codes,
+    string_byte_at,
+    string_drop,
+    string_join,
+    string_length,
+    string_take,
+    string_utf8_bytes,
+    to_character_codes,
+)
+
+__all__ = [
+    "INT64_MAX", "INT64_MIN", "PackedArray", "abort_checks_enabled",
+    "attach_abort_source", "check_int64",
+    "checked_binary_mod_Integer64_Integer64",
+    "checked_binary_plus_Integer64_Integer64",
+    "checked_binary_power_Integer64_Integer64",
+    "checked_binary_quotient_Integer64_Integer64",
+    "checked_binary_subtract_Integer64_Integer64",
+    "checked_binary_times_Integer64_Integer64", "checked_divide_Real64",
+    "checked_unary_minus_Integer64", "dgemm", "dot_nested",
+    "from_character_codes", "is_probable_prime", "memory_acquire",
+    "memory_release", "memory_stats", "packed_from_iterable",
+    "reset_memory_stats", "runtime_check_abort", "small_prime_table",
+    "string_byte_at", "string_drop", "string_join", "string_length",
+    "string_take", "string_utf8_bytes", "to_character_codes",
+]

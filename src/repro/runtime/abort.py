@@ -1,0 +1,39 @@
+"""The abort channel shared by compiled code and its host engine (F3).
+
+The compiler inserts ``runtime_check_abort()`` calls at loop headers and
+function prologues (§4.5).  "The abort checks if a user initiated abort
+signal has been issued to the Wolfram Engine and, if so, throws a hardware
+exception" — our hardware exception is :class:`WolframAbort`, which the
+``CompiledCodeFunction`` wrapper lets propagate to the host so resources are
+freed by Python unwinding (the generated cleanup the paper describes).
+
+Standalone-exported code runs with no host engine attached; there the check
+degrades to a noop, matching §4.6: "when using code in standalone mode,
+certain functionalities such as interpreter integration and abortable code
+are disabled, since they depend on the Wolfram Engine".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import WolframAbort
+
+#: the host's abort poll; ``None`` when running standalone
+_abort_poll: Optional[Callable[[], bool]] = None
+
+
+def attach_abort_source(poll: Optional[Callable[[], bool]]) -> None:
+    """Connect compiled code's abort checks to a host engine's abort flag."""
+    global _abort_poll
+    _abort_poll = poll
+
+
+def runtime_check_abort() -> None:
+    """The check compiled code executes at loop heads and prologues."""
+    if _abort_poll is not None and _abort_poll():
+        raise WolframAbort()
+
+
+def abort_checks_enabled() -> bool:
+    return _abort_poll is not None

@@ -1,0 +1,36 @@
+"""BLAS bridge shared by every implementation tier.
+
+§6 (Dot): "Both the new compiler and bytecode compiler leverage the Wolfram
+Engine's runtime to perform the matrix multiplication.  The Wolfram Engine's
+runtime in turn calls the MKL library.  Since all implementations use the
+MKL library ... no performance difference is observed."
+
+Our MKL is ``numpy.dot``; the interpreter, the bytecode VM, compiled code,
+and the hand-optimized reference all route matrix products through here, so
+the Figure-2 Dot bar is ~1.0 for every tier by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.packed import PackedArray
+
+
+def dgemm(a: PackedArray, b: PackedArray) -> PackedArray:
+    """Matrix-matrix (or matrix-vector) product via the host BLAS."""
+    result = np.dot(a.to_numpy(), b.to_numpy())
+    result_type = (
+        "Integer64"
+        if a.element_type.startswith("Integer") and b.element_type.startswith("Integer")
+        else "Real64"
+    )
+    return PackedArray.from_numpy(np.atleast_1d(result), result_type)
+
+
+def dot_nested(a: list, b: list) -> list | float:
+    """Dot for nested-list tensors (interpreter representation)."""
+    result = np.dot(np.asarray(a), np.asarray(b))
+    if np.ndim(result) == 0:
+        return result.item()
+    return result.tolist()

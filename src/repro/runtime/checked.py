@@ -1,0 +1,85 @@
+"""Checked machine arithmetic for compiled code (feature F2).
+
+The new compiler's generated code performs *checked* Integer64 operations:
+"All machine numerical operations are checked for errors by the compiler
+runtime" (§4.5).  Python integers never overflow, so the checks compare
+against the Integer64 range and raise :class:`IntegerOverflowError`, which
+``CompiledCodeFunction`` converts into the paper's revert-to-interpreter
+behaviour (the ``cfib[200]`` transcript).
+
+These functions are installed in the globals of generated Python code under
+the same ``checked_binary_plus_Integer64_Integer64``-style mangled names the
+paper's LLVM output calls (§A.6.4).
+"""
+
+from __future__ import annotations
+
+from repro.errors import IntegerOverflowError, WolframRuntimeError
+
+INT64_MAX = (1 << 63) - 1
+INT64_MIN = -(1 << 63)
+
+
+def check_int64(value: int) -> int:
+    if value > INT64_MAX or value < INT64_MIN:
+        raise IntegerOverflowError()
+    return value
+
+
+def checked_binary_plus_Integer64_Integer64(a: int, b: int) -> int:
+    result = a + b
+    if result > INT64_MAX or result < INT64_MIN:
+        raise IntegerOverflowError()
+    return result
+
+
+def checked_binary_subtract_Integer64_Integer64(a: int, b: int) -> int:
+    result = a - b
+    if result > INT64_MAX or result < INT64_MIN:
+        raise IntegerOverflowError()
+    return result
+
+
+def checked_binary_times_Integer64_Integer64(a: int, b: int) -> int:
+    result = a * b
+    if result > INT64_MAX or result < INT64_MIN:
+        raise IntegerOverflowError()
+    return result
+
+
+def checked_binary_quotient_Integer64_Integer64(a: int, b: int) -> int:
+    if b == 0:
+        raise WolframRuntimeError("DivideByZero", "integer division by zero")
+    result = a // b
+    if result > INT64_MAX or result < INT64_MIN:
+        raise IntegerOverflowError()
+    return result
+
+
+def checked_binary_mod_Integer64_Integer64(a: int, b: int) -> int:
+    if b == 0:
+        raise WolframRuntimeError("DivideByZero", "Mod by zero")
+    # Python's % matches Wolfram Mod (result takes the divisor's sign).
+    return a % b
+
+
+def checked_binary_power_Integer64_Integer64(a: int, b: int) -> int:
+    if b < 0:
+        raise WolframRuntimeError("NegativePower", "negative integer power")
+    result = a ** b
+    if result > INT64_MAX or result < INT64_MIN:
+        raise IntegerOverflowError()
+    return result
+
+
+def checked_unary_minus_Integer64(a: int) -> int:
+    result = -a
+    if result > INT64_MAX:
+        raise IntegerOverflowError()
+    return result
+
+
+def checked_divide_Real64(a: float, b: float) -> float:
+    if b == 0.0:
+        raise WolframRuntimeError("DivideByZero", "real division by zero")
+    return a / b

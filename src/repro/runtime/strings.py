@@ -1,0 +1,50 @@
+"""String runtime for compiled code.
+
+§6 (FNV1a): "The new compiler has builtin support for strings and operates
+on the UTF8 bytes within the string."  Compiled string values are Python
+``str``; these helpers expose the UTF-8 byte view plus the string primitives
+the compiler's type environment declares.
+"""
+
+from __future__ import annotations
+
+
+def string_utf8_bytes(value: str) -> bytes:
+    """The UTF-8 byte view compiled code iterates over (FNV1a benchmark)."""
+    return value.encode("utf-8")
+
+
+def string_length(value: str) -> int:
+    return len(value)
+
+
+def string_join(*parts: str) -> str:
+    return "".join(parts)
+
+
+def string_take(value: str, count: int) -> str:
+    if count >= 0:
+        return value[:count]
+    return value[count:]
+
+
+def string_drop(value: str, count: int) -> str:
+    if count >= 0:
+        return value[count:]
+    return value[:count]
+
+
+def string_byte_at(data: bytes, index: int) -> int:
+    """1-based, negative-index-aware byte access."""
+    length = len(data)
+    if index < 0:
+        index = length + index + 1
+    return data[index - 1]
+
+
+def to_character_codes(value: str) -> list[int]:
+    return [ord(c) for c in value]
+
+
+def from_character_codes(codes: list[int]) -> str:
+    return "".join(chr(c) for c in codes)

@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Evaluator
+
+
+@pytest.fixture()
+def evaluator() -> Evaluator:
+    return Evaluator()
+
+
+@pytest.fixture()
+def run(evaluator):
+    """Evaluate Wolfram source and return the FullForm string."""
+    from repro.mexpr import full_form
+
+    def runner(source: str) -> str:
+        return full_form(evaluator.run(source))
+
+    return runner
+
+
+@pytest.fixture()
+def run_value(evaluator):
+    """Evaluate Wolfram source and return the Python value."""
+
+    def runner(source: str):
+        return evaluator.run(source).to_python()
+
+    return runner

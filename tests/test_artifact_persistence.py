@@ -1,0 +1,59 @@
+"""Saved compiled artifacts: round trip + version-skew recompilation."""
+
+import json
+
+from repro.compiler import CompiledCodeFunction, FunctionCompile
+
+
+SRC = 'Function[{Typed[x, "MachineInteger"]}, x * x + 1]'
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        original = FunctionCompile(SRC)
+        path = str(tmp_path / "square.wxf.json")
+        original.save(path)
+        loaded = CompiledCodeFunction.load(path)
+        assert loaded(6) == original(6) == 37
+
+    def test_saved_payload_carries_version_and_source(self, tmp_path):
+        path = str(tmp_path / "artifact.json")
+        FunctionCompile(SRC).save(path)
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["compilerVersion"] == (
+            CompiledCodeFunction.COMPILER_VERSION
+        )
+        assert "inputFunction" in payload
+        assert "def Main" in payload["generatedSource"]
+
+    def test_stale_version_recompiles_from_input(self, tmp_path):
+        """§2.2: 'If the versions do not match the current environment,
+        then code is recompiled using the input function.'"""
+        path = str(tmp_path / "stale.json")
+        FunctionCompile(SRC).save(path)
+        with open(path) as handle:
+            payload = json.load(handle)
+        payload["compilerVersion"] = "0.0.0.1"
+        payload["generatedSource"] = "def Main(a0):\n    return -1\n"
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        loaded = CompiledCodeFunction.load(path)
+        assert loaded(6) == 37  # fresh compile, not the tampered source
+
+    def test_loaded_artifact_keeps_soft_failure(self, tmp_path):
+        from repro.compiler import install_engine_support
+        from repro.engine import Evaluator
+
+        session = Evaluator()
+        install_engine_support(session)
+        fib_src = (
+            'Function[{Typed[n, "MachineInteger"]},'
+            ' Module[{a = 0, b = 1, i = 1},'
+            '  While[i <= n, Module[{t = a + b}, a = b; b = t]; i = i + 1];'
+            '  a]]'
+        )
+        path = str(tmp_path / "fib.json")
+        FunctionCompile(fib_src).save(path)
+        loaded = CompiledCodeFunction.load(path, evaluator=session)
+        assert loaded(200) == 280571172992510140037611932413038677189525

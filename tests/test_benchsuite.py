@@ -1,0 +1,142 @@
+"""Correctness of the benchmark suite at tiny scale: every tier of every
+Figure-2 benchmark computes the same answer."""
+
+import pytest
+
+from repro.benchsuite import Figure2Harness, figure2_sizes
+from repro.benchsuite import data as workloads
+from repro.benchsuite import reference
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return Figure2Harness(scale=0.004, repeats=1)
+
+
+class TestFigure2Correctness:
+    @pytest.mark.parametrize("name", Figure2Harness.BENCHMARKS)
+    def test_tiers_agree(self, harness, name):
+        result = harness.run(name)  # _verify raises on any disagreement
+        assert result.tiers["new"].seconds is not None
+        assert result.ratio("new") is not None
+
+    def test_qsort_bytecode_unsupported(self, harness):
+        result = harness.run("qsort")
+        assert result.tiers["bytecode"].seconds is None
+        assert "bytecode" in result.tiers["bytecode"].note.lower() or (
+            "function" in result.tiers["bytecode"].note.lower()
+        )
+
+    def test_format_table_shape(self, harness):
+        results = [harness.run("histogram"), harness.run("qsort")]
+        table = harness.format_table(results)
+        assert "histogram" in table
+        assert "unsupported" in table
+        assert "2.5" in table  # the display cap from the figure
+
+
+class TestReferenceImplementations:
+    def test_fnv_variants_agree(self):
+        text = "hello, wolfram"
+        assert reference.fnv1a_c_port(text) == reference.fnv1a_idiomatic(text)
+
+    def test_histogram_variants_agree(self):
+        data = [5, 300, 256, 1, 1]
+        assert reference.histogram_c_port(data) == (
+            reference.histogram_idiomatic(data)
+        )
+
+    def test_blur_variants_agree(self):
+        image = workloads.blur_image_flat(8)
+        assert reference.blur_c_port(image, 8, 8) == (
+            reference.blur_idiomatic(image, 8, 8)
+        )
+
+    def test_qsort_reference_sorts(self):
+        import operator
+
+        data = [3, 1, 2, 2, 9, -1]
+        assert reference.qsort_c_port(data, operator.lt) == sorted(data)
+        assert data == [3, 1, 2, 2, 9, -1]  # input untouched (the F5 copy)
+
+    def test_rabin_miller_against_table(self):
+        table = reference.prime_sieve_bitmap()
+        from repro.runtime import is_probable_prime
+
+        for n in range(16000, 16400):
+            assert reference.rabin_miller(n, table) == is_probable_prime(n)
+
+    def test_mandelbrot_interior_point_exhausts(self):
+        assert reference.mandelbrot_point(0j) == 1000
+        assert reference.mandelbrot_point(2 + 2j) == 1
+
+    def test_prime_bitmap_shape(self):
+        bitmap = reference.prime_sieve_bitmap()
+        assert len(bitmap) == 1 << 14
+        assert bitmap[2] == 1 and bitmap[4] == 0
+
+
+class TestWorkloads:
+    def test_sizes_scale(self):
+        small = figure2_sizes(0.01)
+        full = figure2_sizes(1.0)
+        assert small.fnv_length < full.fnv_length
+        assert full.fnv_length == 1_000_000
+        assert full.qsort_length == 1 << 15
+        assert full.dot_n == 1000
+
+    def test_mandelbrot_region(self):
+        points = workloads.mandelbrot_points(0.5)
+        xs = {p.real for p in points}
+        ys = {p.imag for p in points}
+        assert min(xs) == -1.0 and max(xs) >= 0.99
+        assert min(ys) == -1.0 and max(ys) >= 0.49
+
+    def test_generators_deterministic(self):
+        assert workloads.fnv_string(100) == workloads.fnv_string(100)
+        assert workloads.histogram_data(50) == workloads.histogram_data(50)
+
+    def test_presorted(self):
+        data = workloads.presorted_list(10)
+        assert data == sorted(data)
+
+
+class TestFigure1RandomWalk:
+    def test_three_tiers_produce_walks(self):
+        """Figure 1: the same random walk runs interpreted, bytecode-
+        compiled, and new-compiler-compiled."""
+        from repro.benchsuite import programs
+        from repro.bytecode import compile_function
+        from repro.compiler import FunctionCompile
+        from repro.engine import Evaluator
+        from repro.mexpr import head_name, parse
+
+        evaluator = Evaluator()
+        # interpreted
+        evaluator.state.set_own_value(
+            "walk", parse(programs.INTERPRETED_RANDOM_WALK)
+        )
+        interpreted = evaluator.run("walk[20]")
+        assert head_name(interpreted) == "List"
+        assert len(interpreted.args) == 21
+        # bytecode
+        bytecode = compile_function(
+            parse(programs.BYTECODE_RANDOM_WALK_SPECS),
+            parse(programs.BYTECODE_RANDOM_WALK_BODY),
+            evaluator,
+        )
+        walk_bc = bytecode(20)
+        assert len(walk_bc) == 21
+        # new compiler
+        compiled = FunctionCompile(programs.NEW_RANDOM_WALK,
+                                   evaluator=evaluator)
+        walk_new = compiled(20)
+        assert walk_new.dims == (21, 2)
+        # every step is a unit move
+        import math
+
+        flat = walk_new.data
+        for i in range(20):
+            dx = flat[2 * (i + 1)] - flat[2 * i]
+            dy = flat[2 * (i + 1) + 1] - flat[2 * i + 1]
+            assert math.hypot(dx, dy) == pytest.approx(1.0)

@@ -1,0 +1,213 @@
+"""Binding analysis (§4.2) and the WIR layer (§4.3): SSA construction,
+analyses, and the linter."""
+
+import pytest
+
+from repro.compiler.binding import analyze_bindings
+from repro.compiler.pipeline import CompilerPipeline
+from repro.compiler.twir.passes import lint
+from repro.compiler.wir.analysis import (
+    compute_dominators,
+    compute_liveness,
+    dominates,
+    find_natural_loops,
+    loop_headers,
+)
+from repro.compiler.wir.instructions import PhiInstr
+from repro.errors import BindingError, LintError
+from repro.mexpr import full_form, parse
+
+
+class TestBindingAnalysis:
+    def test_paper_flattening_example(self):
+        """§4.2: Module[{a=1,b=1}, a+b+Module[{a=3}, a]] renames the inner
+        a so subsequent analyses see flat, shadow-free scopes."""
+        result = analyze_bindings([], parse(
+            "Module[{a = 1, b = 1}, a + b + Module[{a = 3}, a]]"
+        ))
+        text = full_form(result.body)
+        assert "Module" not in text           # scoping desugared away
+        assert len(result.locals) == 3        # a, b, and the renamed inner a
+        assert len(set(result.locals)) == 3   # all unique
+
+    def test_parameter_shadowing(self):
+        result = analyze_bindings(["x"], parse("Module[{x = 1}, x]"))
+        assert result.locals[0] != "x"  # inner x renamed away from the param
+
+    def test_initializer_sees_enclosing_binding(self):
+        result = analyze_bindings(["x"], parse("Module[{y = x + 1}, y]"))
+        text = full_form(result.body)
+        assert "Set[y, Plus[x, 1]]" in text
+
+    def test_binder_metadata_attached(self):
+        result = analyze_bindings(["p"], parse("p + 1"))
+        symbols = [
+            node for node in result.body.subexpressions()
+            if node.is_atom() and node.has_property("binding")
+        ]
+        assert symbols and symbols[0].get_property("binding") == "p"
+
+    def test_with_substitutes(self):
+        result = analyze_bindings([], parse("With[{c = 3}, c + c]"))
+        assert full_form(result.body) == "Plus[3, 3]"
+
+    def test_escape_analysis(self):
+        """§4.2: variables referenced in nested Function bodies escape."""
+        result = analyze_bindings(
+            [], parse("Module[{n = 1}, Function[{y}, y + n]]")
+        )
+        assert result.escaped == {result.locals[0]}
+
+    def test_non_escaping_variable(self):
+        result = analyze_bindings([], parse("Module[{n = 1}, n + 1]"))
+        assert result.escaped == set()
+
+    def test_uninitialized_module_variable(self):
+        result = analyze_bindings([], parse("Module[{u}, u = 1; u]"))
+        assert len(result.locals) == 1
+
+
+def _lower(source: str):
+    pipeline = CompilerPipeline()
+    parameters, body = pipeline.parse_function(parse(source))
+    body = pipeline.expand_macros(body)
+    from repro.compiler.wir.lower import Lowerer
+
+    return Lowerer("Main", pipeline.type_environment).lower(parameters, body)
+
+
+class TestSSAConstruction:
+    def test_straight_line(self):
+        fn = _lower('Function[{Typed[x, "MachineInteger"]}, x + 1]')
+        assert fn.entry is not None
+        lint(fn)
+
+    def test_loop_produces_phi(self):
+        fn = _lower(
+            'Function[{Typed[n, "MachineInteger"]},'
+            ' Module[{i = 0}, While[i < n, i = i + 1]; i]]'
+        )
+        lint(fn)
+        phis = [p for b in fn.ordered_blocks() for p in b.phis]
+        assert phis, "loop-carried variable needs a phi"
+
+    def test_if_value_produces_phi_at_join(self):
+        fn = _lower(
+            'Function[{Typed[c, "Boolean"]}, If[c, 1, 2]]'
+        )
+        lint(fn)
+        phis = [p for b in fn.ordered_blocks() for p in b.phis]
+        assert len(phis) == 1
+        assert len(phis[0].incoming) == 2
+
+    def test_read_before_write_rejected(self):
+        with pytest.raises(BindingError):
+            _lower(
+                'Function[{Typed[c, "Boolean"]},'
+                ' Module[{u}, If[c, u = 1]; u]]'
+            )
+
+    def test_provenance_metadata(self):
+        """§4.3: IR nodes carry their originating MExpr."""
+        fn = _lower('Function[{Typed[x, "MachineInteger"]}, x + 1]')
+        tagged = [
+            i for b in fn.ordered_blocks() for i in b.instructions
+            if i.properties.get("mexpr") is not None
+        ]
+        assert tagged
+
+
+class TestAnalyses:
+    def test_dominators_entry_dominates_all(self):
+        fn = _lower(
+            'Function[{Typed[n, "MachineInteger"]},'
+            ' Module[{i = 0}, While[i < n, i = i + 1]; i]]'
+        )
+        idom = compute_dominators(fn)
+        for name in fn.blocks:
+            assert dominates(idom, fn.entry, name)
+
+    def test_loop_detection(self):
+        fn = _lower(
+            'Function[{Typed[n, "MachineInteger"]},'
+            ' Module[{i = 0}, While[i < n, i = i + 1]; i]]'
+        )
+        loops = find_natural_loops(fn)
+        assert len(loops) == 1
+        assert loops[0].back_edges
+
+    def test_nested_loops_detected(self):
+        fn = _lower(
+            'Function[{Typed[n, "MachineInteger"]},'
+            ' Module[{i = 0, j = 0, s = 0},'
+            '  While[i < n, j = 0; While[j < n, s = s + 1; j = j + 1];'
+            '   i = i + 1]; s]]'
+        )
+        assert len(loop_headers(fn)) == 2
+
+    def test_straight_line_has_no_loops(self):
+        fn = _lower('Function[{Typed[x, "Real64"]}, x * x]')
+        assert find_natural_loops(fn) == []
+
+    def test_liveness_parameter_live_into_loop(self):
+        fn = _lower(
+            'Function[{Typed[n, "MachineInteger"]},'
+            ' Module[{i = 0}, While[i < n, i = i + 1]; i]]'
+        )
+        live_in, live_out = compute_liveness(fn)
+        parameter = fn.parameters[0]
+        headers = loop_headers(fn)
+        assert any(parameter in live_in[name] for name in headers)
+
+
+class TestLinter:
+    def test_clean_function_passes(self):
+        fn = _lower('Function[{Typed[x, "MachineInteger"]}, x + 1]')
+        lint(fn)
+
+    def test_double_definition_detected(self):
+        fn = _lower('Function[{Typed[x, "MachineInteger"]}, x + 1]')
+        block = fn.blocks[fn.entry]
+        # duplicate an instruction object: same result Value defined twice
+        duplicated = [i for i in block.instructions if i.result is not None][0]
+        block.instructions.append(duplicated)
+        with pytest.raises(LintError):
+            lint(fn)
+
+    def test_missing_terminator_detected(self):
+        fn = _lower('Function[{Typed[x, "MachineInteger"]}, x + 1]')
+        fn.blocks[fn.entry].terminator = None
+        with pytest.raises(LintError):
+            lint(fn)
+
+    def test_dangling_jump_detected(self):
+        from repro.compiler.wir.instructions import JumpInstr
+
+        fn = _lower('Function[{Typed[x, "MachineInteger"]}, x + 1]')
+        fn.blocks[fn.entry].terminator = JumpInstr("nowhere(99)")
+        with pytest.raises(LintError):
+            lint(fn)
+
+
+class TestIRDump:
+    def test_paper_appendix_shape(self):
+        """§A.6.2-3: the IR listing carries the Information header, the
+        function name, and resolved primitive calls."""
+        from repro.compiler import CompileToIR
+
+        text = CompileToIR(
+            'Function[{Typed[arg, "MachineInteger"]}, arg + 1]'
+        )["toString"]
+        assert "Main::Information" in text
+        assert "LoadArgument arg" in text
+        assert "checked_binary_plus_Integer64_Integer64" in text
+        assert 'Main : ("Integer64") -> "Integer64"' in text
+
+    def test_unoptimized_ir_keeps_unresolved_calls(self):
+        from repro.compiler import CompileToIR
+
+        text = CompileToIR(
+            'Function[{Typed[arg, "MachineInteger"]}, arg + arg]',
+            OptimizationLevel=None,
+        )["toString"]
+        assert "Main" in text

@@ -1,0 +1,81 @@
+"""Local function values and captures (the closure-conversion surface,
+§4.3's binding-analysis escape handling + the lambda-inlining pass)."""
+
+import pytest
+
+from repro.compiler import FunctionCompile
+
+
+class TestLocalFunctionValues:
+    def test_capturing_lambda(self):
+        f = FunctionCompile(
+            'Function[{Typed[n, "MachineInteger"]},'
+            ' Module[{offset = 100},'
+            '  Module[{add = Function[{y}, y + offset]},'
+            '   add[n] + add[1]]]]'
+        )
+        assert f(5) == 206
+
+    def test_local_comparator(self):
+        f = FunctionCompile(
+            'Function[{Typed[a, "MachineInteger"],'
+            ' Typed[b, "MachineInteger"]},'
+            ' Module[{less = Function[{x, y}, x < y]},'
+            '  If[less[a, b], a, b]]]'
+        )
+        assert f(3, 9) == 3
+        assert f(9, 3) == 3
+
+    def test_lambda_used_in_higher_order_map(self):
+        f = FunctionCompile(
+            'Function[{Typed[n, "MachineInteger"]},'
+            ' Module[{scale = 3},'
+            '  Module[{g = Function[{x}, x * scale]},'
+            '   Total[Map[g, Table[i, {i, 1, n}]]]]]]'
+        )
+        assert f(4) == 30
+
+    def test_slot_style_lambda_binding(self):
+        f = FunctionCompile(
+            'Function[{Typed[n, "MachineInteger"]},'
+            ' Module[{double = (2 #)&}, double[n] + double[1]]]'
+        )
+        assert f(20) == 42
+
+    def test_with_bound_lambda(self):
+        f = FunctionCompile(
+            'Function[{Typed[n, "MachineInteger"]},'
+            ' With[{inc = Function[{k}, k + 1]}, inc[inc[n]]]]'
+        )
+        assert f(40) == 42
+
+    def test_reassigned_function_variable_not_inlined(self):
+        """A reassigned binding is a genuine function-typed variable: it
+        compiles through the indirect-call path instead."""
+        import math
+
+        f = FunctionCompile(
+            'Function[{Typed[c, "Boolean"], Typed[v, "Real64"]},'
+            ' Module[{g = Sin}, If[c, g = Cos]; g[v]]]'
+        )
+        assert f(False, 0.5) == pytest.approx(math.sin(0.5))
+        assert f(True, 0.5) == pytest.approx(math.cos(0.5))
+
+    def test_nested_capture_chain(self):
+        f = FunctionCompile(
+            'Function[{Typed[n, "MachineInteger"]},'
+            ' Module[{a = 1},'
+            '  Module[{f1 = Function[{x}, x + a]},'
+            '   Module[{f2 = Function[{x}, f1[x] * 2]},'
+            '    f2[n]]]]]'
+        )
+        assert f(10) == 22
+
+    def test_escaped_variable_recorded_in_information(self):
+        from repro.compiler.binding import analyze_bindings
+        from repro.mexpr import parse
+
+        result = analyze_bindings(
+            ["n"], parse("Module[{c = n}, Function[{y}, y + c]]")
+        )
+        assert result.escaped  # c escapes into the lambda

@@ -1,0 +1,215 @@
+"""Backend tests: Python (structurizer + fallback), C export, WVM, library
+export (§4.6, F4, F10)."""
+
+import subprocess
+
+import pytest
+
+from repro.compiler import (
+    FunctionCompile,
+    FunctionCompileExportLibrary,
+    FunctionCompileExportString,
+    LibraryFunctionLoad,
+)
+from repro.compiler.pipeline import CompilerPipeline
+from repro.mexpr import parse
+
+LOOP_FN = (
+    'Function[{Typed[n, "MachineInteger"]},'
+    ' Module[{s = 0, i = 1}, While[i <= n, s = s + i; i = i + 1]; s]]'
+)
+
+
+class TestPythonBackend:
+    def test_generated_source_is_readable_python(self):
+        f = FunctionCompile(LOOP_FN)
+        source = f.generated_source
+        compile(source, "<check>", "exec")  # must be valid Python
+        assert "def Main(" in source
+
+    def test_primitive_inlining_default(self):
+        """§6: primitives inline; no runtime-table calls for arithmetic."""
+        f = FunctionCompile(LOOP_FN)
+        assert "_rt['checked_binary_plus" not in f.generated_source
+
+    def test_inline_policy_none_calls_runtime(self):
+        """The 10×-Mandelbrot ablation switch (§6)."""
+        f = FunctionCompile(LOOP_FN, InlinePolicy=None)
+        assert "_rt['checked_binary_plus_Integer64_Integer64']" in (
+            f.generated_source
+        )
+        assert f(10) == 55
+
+    def test_structured_loop_emitted(self):
+        f = FunctionCompile(LOOP_FN)
+        assert "while True:" in f.generated_source
+        assert "_state" not in f.generated_source  # no dispatcher fallback
+
+    def test_tensor_data_alias_emitted(self):
+        f = FunctionCompile(
+            'Function[{Typed[v, TypeSpecifier["Tensor"["Real64", 1]]]},'
+            ' v[[1]]]'
+        )
+        assert "_d = " in f.generated_source  # the unboxing alias (§6)
+
+    def test_abort_checks_at_loop_heads(self):
+        f = FunctionCompile(LOOP_FN)
+        body = f.generated_source
+        loop_index = body.index("while True:")
+        check_index = body.index("_check_abort()", loop_index)
+        assert check_index - loop_index < 60  # first statement of the loop
+
+    def test_dispatcher_fallback_is_correct(self):
+        """Force the state-machine path and check behaviour matches."""
+        from repro.compiler.codegen import python_backend
+        from repro.compiler.codegen.structurize import StructurizeError
+
+        original = python_backend.Structurizer
+
+        class Refuses(original):
+            def build(self):
+                raise StructurizeError("forced")
+
+        python_backend.Structurizer = Refuses
+        try:
+            f = FunctionCompile(LOOP_FN)
+        finally:
+            python_backend.Structurizer = original
+        assert "_state" in f.generated_source
+        assert f(100) == 5050
+
+    def test_constant_hoisting(self):
+        f = FunctionCompile(
+            'Function[{Typed[n, "MachineInteger"]},'
+            ' Module[{s = 0, i = 1},'
+            '  While[i <= n, s = s + 7; i = i + 1]; s]]'
+        )
+        source = f.generated_source
+        # the literal 7 is assigned once, before the loop
+        seven_lines = [l for l in source.splitlines() if l.strip().endswith("= 7")]
+        assert len(seven_lines) == 1
+        assert source.index("= 7") < source.index("while True:")
+
+
+class TestCBackend:
+    def gcc_check(self, source: str, tmp_path):
+        path = tmp_path / "out.c"
+        path.write_text(source)
+        result = subprocess.run(
+            ["gcc", "-fsyntax-only", "-std=c11", str(path)],
+            capture_output=True, text=True,
+        )
+        assert result.returncode == 0, result.stderr
+
+    def test_scalar_function_compiles(self, tmp_path):
+        source = FunctionCompileExportString(LOOP_FN, "C")
+        assert "int64_t" in source
+        assert "goto" in source
+        self.gcc_check(source, tmp_path)
+
+    def test_real_function_compiles(self, tmp_path):
+        source = FunctionCompileExportString(
+            'Function[{Typed[x, "Real64"]}, Sin[x] + Exp[x]]', "C"
+        )
+        assert "sin(" in source and "exp(" in source
+        self.gcc_check(source, tmp_path)
+
+    def test_overflow_check_uses_builtins(self, tmp_path):
+        source = FunctionCompileExportString(
+            'Function[{Typed[x, "MachineInteger"]}, x + x]', "C"
+        )
+        assert "__builtin_add_overflow" in source
+        self.gcc_check(source, tmp_path)
+
+    def test_tensor_function_declares_runtime(self, tmp_path):
+        source = FunctionCompileExportString(
+            'Function[{Typed[v, TypeSpecifier["Tensor"["Real64", 1]]]},'
+            ' Total[v] + v[[1]]]', "C",
+        )
+        assert "wolfram_tensor" in source
+        self.gcc_check(source, tmp_path)
+
+    def test_complex_function(self, tmp_path):
+        source = FunctionCompileExportString(
+            'Function[{Typed[z, "ComplexReal64"]}, Abs[z]]', "C"
+        )
+        assert "_Complex" in source
+        self.gcc_check(source, tmp_path)
+
+    def test_kernel_escape_becomes_stub(self, tmp_path):
+        source = FunctionCompileExportString(
+            'Function[{Typed[n, "MachineInteger"]},'
+            ' KernelFunction[Fibonacci][n]]', "C",
+        )
+        assert "RTERR_NO_KERNEL" in source
+        self.gcc_check(source, tmp_path)
+
+
+class TestWVMBackend:
+    def test_listing(self):
+        listing = FunctionCompileExportString(LOOP_FN, "WVM")
+        assert "WVM translation" in listing
+        assert "Return" in listing
+
+    def test_runnable_on_the_legacy_vm(self):
+        """F4: the new compiler targets the *existing* WVM."""
+        from repro.compiler.codegen.wvm_backend import WVMBackend
+
+        program = CompilerPipeline().compile_program(parse(LOOP_FN))
+        compiled = WVMBackend(program).compile_main()
+        assert compiled(100) == 5050
+
+    def test_tensor_program_on_wvm(self):
+        from repro.compiler.codegen.wvm_backend import WVMBackend
+
+        program = CompilerPipeline().compile_program(parse(
+            'Function[{Typed[n, "MachineInteger"]},'
+            ' Total[Table[i*i, {i, 1, n}]]]'
+        ))
+        compiled = WVMBackend(program).compile_main()
+        assert compiled(4) == 30
+
+    def test_strings_unrepresentable(self):
+        """L1 from the other side: the WVM has no string datatype."""
+        from repro.compiler.codegen.wvm_backend import WVMBackend
+        from repro.errors import CodegenError
+
+        program = CompilerPipeline().compile_program(parse(
+            'Function[{Typed[s, "String"]}, StringLength[s]]'
+        ))
+        with pytest.raises(CodegenError):
+            WVMBackend(program).compile_main()
+
+
+class TestLibraryExport:
+    def test_export_and_load(self, tmp_path):
+        """F10: FunctionCompileExportLibrary + LibraryFunctionLoad."""
+        path = str(tmp_path / "lib_add.py")
+        FunctionCompileExportLibrary(path, LOOP_FN)
+        main = LibraryFunctionLoad(path)
+        assert main(100) == 5050
+
+    def test_exported_source_is_standalone(self, tmp_path):
+        source = FunctionCompileExportString(LOOP_FN, "Python")
+        assert "_kernel" in source  # the disabled-kernel stub
+        assert "def _check_abort" in source  # abortability disabled (§4.6)
+
+    def test_exported_library_with_constants(self, tmp_path):
+        path = str(tmp_path / "lib_table.py")
+        FunctionCompileExportLibrary(
+            path,
+            'Function[{Typed[i, "MachineInteger"]}, lookup[[i]]]',
+            constants={"lookup": [10, 20, 30]},
+        )
+        main = LibraryFunctionLoad(path)
+        assert main(2) == 20
+
+    def test_ir_export(self):
+        text = FunctionCompileExportString(LOOP_FN, "IR")
+        assert "Main" in text and "Phi" in text
+
+    def test_unknown_target_rejected(self):
+        from repro.errors import CompilerError
+
+        with pytest.raises(CompilerError):
+            FunctionCompileExportString(LOOP_FN, "FPGA")

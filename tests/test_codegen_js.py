@@ -1,0 +1,116 @@
+"""The JavaScript backend (F4's cloud-deployment target), executed on node."""
+
+import json
+import shutil
+import subprocess
+
+import pytest
+
+from repro.compiler import FunctionCompileExportString
+
+node = shutil.which("node")
+pytestmark = pytest.mark.skipif(node is None, reason="node not available")
+
+
+def run_js(source_fn: str, call_expression: str):
+    js = FunctionCompileExportString(source_fn, "JavaScript")
+    driver = (
+        js
+        + f"\nconst _out = {call_expression};\n"
+        + "console.log(JSON.stringify(_out, "
+        + "(k, v) => typeof v === 'bigint' ? v.toString() + 'n' : v));\n"
+    )
+    proc = subprocess.run(
+        [node, "-e", driver], capture_output=True, text=True, timeout=120
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout.strip())
+
+
+class TestJSBackend:
+    def test_integer_arithmetic(self):
+        out = run_js(
+            'Function[{Typed[x, "MachineInteger"]}, x * x + 1]',
+            "Main(6n)",
+        )
+        assert out == "37n"
+
+    def test_loop(self):
+        out = run_js(
+            'Function[{Typed[n, "MachineInteger"]},'
+            ' Module[{s = 0, i = 1}, While[i <= n, s = s + i; i = i + 1]; s]]',
+            "Main(100n)",
+        )
+        assert out == "5050n"
+
+    def test_real_math(self):
+        out = run_js(
+            'Function[{Typed[x, "Real64"]}, Sin[x] + Exp[x]]',
+            "Main(0.5)",
+        )
+        import math
+
+        assert float(out) == pytest.approx(math.sin(0.5) + math.exp(0.5))
+
+    def test_overflow_semantics_travel(self):
+        """F2's checked arithmetic is carried into the JS artifact."""
+        js = FunctionCompileExportString(
+            'Function[{Typed[x, "MachineInteger"]}, x + 1]', "JavaScript"
+        )
+        driver = (
+            js + "\ntry { Main(9223372036854775807n); console.log('no'); }"
+            " catch (e) { console.log(e.message); }\n"
+        )
+        proc = subprocess.run([node, "-e", driver], capture_output=True,
+                              text=True, timeout=60)
+        assert proc.returncode == 0, proc.stderr
+        assert "IntegerOverflow" in proc.stdout
+
+    def test_tensor_program(self):
+        out = run_js(
+            'Function[{Typed[n, "MachineInteger"]},'
+            ' Total[Table[i * i, {i, 1, n}]]]',
+            "Main(4n)",
+        )
+        assert out == "30n"
+
+    def test_string_program(self):
+        out = run_js(
+            'Function[{Typed[s, "String"]}, StringJoin[s, "!"]]',
+            "Main('cloud')",
+        )
+        assert out == "cloud!"
+
+    def test_fnv_on_node_matches_python(self):
+        from repro.benchsuite import programs, reference
+
+        text = "The Wolfram Language compiler"
+        out = run_js(programs.NEW_FNV1A, f"Main({text!r})")
+        assert out == f"{reference.fnv1a_c_port(text)}n"
+
+    def test_powmod(self):
+        out = run_js(
+            'Function[{Typed[a, "MachineInteger"],'
+            ' Typed[b, "MachineInteger"]}, PowerMod[a, b, 97]]',
+            "Main(5n, 13n)",
+        )
+        assert out == f"{pow(5, 13, 97)}n"
+
+    def test_kernel_escape_disabled_standalone(self):
+        js = FunctionCompileExportString(
+            'Function[{Typed[n, "MachineInteger"]},'
+            ' KernelFunction[Fibonacci][n]]', "JavaScript",
+        )
+        driver = (
+            js + "\ntry { Main(3n); console.log('no'); }"
+            " catch (e) { console.log(e.message); }\n"
+        )
+        proc = subprocess.run([node, "-e", driver], capture_output=True,
+                              text=True, timeout=60)
+        assert "NoKernel" in proc.stdout
+
+    def test_webassembly_alias(self):
+        text = FunctionCompileExportString(
+            'Function[{Typed[x, "MachineInteger"]}, x]', "WebAssembly"
+        )
+        assert "JavaScript backend" in text

@@ -1,0 +1,178 @@
+"""Edge cases and failure injection across the stack."""
+
+import pytest
+
+from repro.compiler import FunctionCompile
+from repro.errors import (
+    CompilerError,
+    TypeInferenceError,
+    WolframRuntimeError,
+)
+
+
+class TestWVMTargetSystem:
+    def test_function_compile_targets_wvm(self):
+        """F4: TargetSystem -> WVM runs the program on the legacy VM."""
+        compiled = FunctionCompile(
+            'Function[{Typed[n, "MachineInteger"]},'
+            ' Module[{s = 0, i = 1}, While[i <= n, s = s + i; i = i + 1];'
+            ' s]]',
+            TargetSystem="WVM",
+        )
+        from repro.bytecode import CompiledFunction
+
+        assert isinstance(compiled, CompiledFunction)
+        assert compiled(100) == 5050
+
+    def test_wvm_target_agrees_with_python_target(self):
+        src = ('Function[{Typed[n, "MachineInteger"]},'
+               ' Total[Table[i * i, {i, 1, n}]]]')
+        python_tier = FunctionCompile(src)
+        wvm_tier = FunctionCompile(src, TargetSystem="WVM")
+        assert python_tier(7) == wvm_tier(7) == 140
+
+
+class TestCompileErrors:
+    def test_non_function_input(self):
+        with pytest.raises(CompilerError):
+            FunctionCompile("1 + 1")
+
+    def test_slot_function_needs_annotations(self):
+        with pytest.raises(CompilerError):
+            FunctionCompile("(# + 1)&")
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ValueError):
+            FunctionCompile(
+                'Function[{Typed[x, "MachineInteger"]}, x]',
+                TotallyBogusOption=True,
+            )
+
+    def test_unknown_function_reports_name(self):
+        with pytest.raises(TypeInferenceError) as info:
+            FunctionCompile(
+                'Function[{Typed[x, "MachineInteger"]}, Zeta[x, x]]'
+            )
+        assert "Zeta" in str(info.value)
+
+    def test_arity_mismatch_against_self_signature(self):
+        # an unknown callee whose arity differs from ours is not a self-call
+        with pytest.raises(TypeInferenceError):
+            FunctionCompile(
+                'Function[{Typed[x, "MachineInteger"]}, mystery[x, x, x]]'
+            )
+
+    def test_unbound_variable(self):
+        from repro.errors import BindingError
+
+        with pytest.raises(BindingError):
+            FunctionCompile(
+                'Function[{Typed[x, "MachineInteger"]}, x + loose]'
+            )
+
+
+class TestRuntimeEdges:
+    def test_empty_tensor_total(self):
+        f = FunctionCompile(
+            'Function[{Typed[v, TypeSpecifier["Tensor"["Integer64", 1]]]},'
+            ' Total[v]]'
+        )
+        assert f([]) == 0
+
+    def test_zero_length_table(self):
+        f = FunctionCompile(
+            'Function[{Typed[n, "MachineInteger"]},'
+            ' Length[Table[i, {i, 1, n}]]]'
+        )
+        assert f(0) == 0
+        assert f(5) == 5
+
+    def test_zero_trip_loop(self):
+        f = FunctionCompile(
+            'Function[{Typed[n, "MachineInteger"]},'
+            ' Module[{s = 100, i = 1}, While[i <= n, s = 0; i = i + 1]; s]]'
+        )
+        assert f(0) == 100
+
+    def test_deeply_nested_conditionals(self):
+        f = FunctionCompile(
+            'Function[{Typed[x, "MachineInteger"]},'
+            ' If[x > 100, 4, If[x > 10, 3, If[x > 1, 2, If[x > 0, 1, 0]]]]]'
+        )
+        assert [f(v) for v in (0, 1, 5, 50, 500)] == [0, 1, 2, 3, 4]
+
+    def test_int64_boundary_values(self):
+        f = FunctionCompile('Function[{Typed[x, "MachineInteger"]}, x]')
+        assert f(2 ** 63 - 1) == 2 ** 63 - 1
+        assert f(-(2 ** 63)) == -(2 ** 63)
+        with pytest.raises(WolframRuntimeError):
+            f(2 ** 63)  # out of Integer64 at the boundary (F2, no engine)
+
+    def test_negative_zero_real(self):
+        f = FunctionCompile('Function[{Typed[x, "Real64"]}, x + 0.0]')
+        assert f(-0.0) == 0.0
+
+    def test_unicode_strings(self):
+        f = FunctionCompile(
+            'Function[{Typed[s, "String"]}, StringLength[s]]'
+        )
+        assert f("héllo wörld") == 11
+
+    def test_utf8_bytes_of_multibyte(self):
+        f = FunctionCompile(
+            'Function[{Typed[s, "String"]},'
+            ' Length[Native`UTF8Bytes[s]]]'
+        )
+        assert f("é") == 2
+
+    def test_large_constant_folding_does_not_overflow_compile(self):
+        # folding 2^62 * 4 would overflow; must defer to run time
+        f = FunctionCompile(
+            'Function[{Typed[x, "MachineInteger"]},'
+            ' If[x > 0, x, 4611686018427387904 * 4]]'
+        )
+        assert f(5) == 5
+
+    def test_bool_not_accepted_as_integer(self):
+        f = FunctionCompile('Function[{Typed[x, "MachineInteger"]}, x]')
+        with pytest.raises(WolframRuntimeError):
+            f(True)
+
+
+class TestEvaluatorEdges:
+    def test_sequence_splices_into_arguments(self, run):
+        assert run("f[Sequence[1, 2], 3]") == "f[1, 2, 3]"
+
+    def test_one_identity_plus(self, run):
+        assert run("Plus[7]") == "7"
+        assert run("Times[7]") == "7"
+
+    def test_empty_plus_times(self, run):
+        assert run("Plus[]") == "0"
+        assert run("Times[]") == "1"
+
+    def test_nested_hold_partial(self, run):
+        assert run("Hold[Hold[1 + 1]]") == "Hold[Hold[Plus[1, 1]]]"
+
+    def test_flat_through_holds(self, run):
+        assert run("Plus[1, Plus[2, Plus[3, 4]]]") == "10"
+
+    def test_listable_scalar_vector_mix(self, run):
+        assert run("{1, 2, 3} ^ 2") == "List[1, 4, 9]"
+
+    def test_runaway_recursion_guard(self):
+        """Self-rewriting definitions stop at a limit instead of hanging —
+        the top-level rewrite chain trips $IterationLimit, nested growth
+        trips $RecursionLimit."""
+        from repro.engine import Evaluator
+        from repro.errors import (
+            WolframIterationError,
+            WolframRecursionError,
+        )
+        from repro.mexpr import parse
+
+        evaluator = Evaluator(recursion_limit=64, iteration_limit=128)
+        with pytest.raises((WolframIterationError, WolframRecursionError)):
+            evaluator.evaluate(parse("f[x_] := f[x + 1]; f[0]"))
+        with pytest.raises((WolframIterationError, WolframRecursionError)):
+            evaluator.evaluate(parse("g[x_] := g[g[x]]; g[0]"))

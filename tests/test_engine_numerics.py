@@ -1,0 +1,149 @@
+"""Symbolic differentiation and FindRoot (§2.1's FindRoot story)."""
+
+import math
+
+import pytest
+
+from repro.engine import Evaluator
+from repro.engine.numerics import differentiate, newton_root
+from repro.mexpr import MSymbol, parse
+
+
+class TestDifferentiate:
+    @pytest.mark.parametrize("expression,variable,expected", [
+        ("x", "x", "1"),
+        ("y", "x", "0"),
+        ("5", "x", "0"),
+        ("x^2", "x", "2*x"),
+        ("x^3", "x", "3*x^2"),
+        ("Sin[x]", "x", "Cos[x]"),
+        ("Exp[x]", "x", "Exp[x]"),
+    ])
+    def test_simple(self, evaluator, expression, variable, expected):
+        derivative = evaluator.evaluate(
+            differentiate(parse(expression), MSymbol(variable))
+        )
+        assert derivative == evaluator.evaluate(parse(expected))
+
+    def test_paper_equation(self, evaluator, run):
+        """D[Sin[x] + E^x, x] == Cos[x] + E^x (§2.2's implicit compile)."""
+        assert run("D[Sin[x] + E^x, x]") == "Plus[Cos[x], Power[E, x]]"
+
+    def test_product_rule_numeric(self, evaluator):
+        from repro.engine.patterns import substitute
+        from repro.mexpr import MReal, expr
+
+        d = differentiate(parse("x * Sin[x]"), MSymbol("x"))
+        at = evaluator.evaluate(
+            expr("N", substitute(d, {"x": MReal(0.7)}))
+        ).to_python()
+        assert at == pytest.approx(0.7 * math.cos(0.7) + math.sin(0.7))
+
+    def test_chain_rule_numeric(self, evaluator):
+        d = differentiate(parse("Sin[x^2]"), MSymbol("x"))
+        from repro.engine.patterns import substitute
+        from repro.mexpr import MReal, expr
+
+        at = evaluator.evaluate(
+            expr("N", substitute(d, {"x": MReal(0.5)}))
+        ).to_python()
+        assert at == pytest.approx(2 * 0.5 * math.cos(0.25))
+
+    def test_higher_order(self, run):
+        assert run("D[x^3, {x, 2}]") == "Times[6, x]"
+
+    def test_cos_and_log(self, run):
+        assert run("D[Cos[x], x]") == "Times[-1, Sin[x]]"
+        assert run("D[Log[x], x]") == "Power[x, -1]"
+
+    def test_unsupported_head_raises(self):
+        from repro.errors import WolframEvaluationError
+
+        with pytest.raises(WolframEvaluationError):
+            differentiate(parse("Gamma[x]"), MSymbol("x"))
+
+
+class TestFindRoot:
+    def test_paper_root(self, evaluator):
+        """§2.1: FindRoot[Sin[x] + E^x, {x, 0}] finds x ≈ -0.588533."""
+        result = evaluator.run("FindRoot[Sin[x] + E^x, {x, 0}]")
+        root = result.args[0].args[1].to_python()
+        assert root == pytest.approx(-0.588533, abs=1e-5)
+
+    def test_three_argument_form(self, evaluator):
+        result = evaluator.run("FindRoot[Sin[x] + E^x, x, 0]")
+        root = result.args[0].args[1].to_python()
+        assert root == pytest.approx(-0.588533, abs=1e-5)
+
+    def test_equation_form(self, evaluator):
+        result = evaluator.run("FindRoot[x^2 == 2, {x, 1.0}]")
+        root = result.args[0].args[1].to_python()
+        assert root == pytest.approx(math.sqrt(2))
+
+    def test_polynomial(self, evaluator):
+        result = evaluator.run("FindRoot[x^3 - x - 2, {x, 1.5}]")
+        root = result.args[0].args[1].to_python()
+        assert root ** 3 - root - 2 == pytest.approx(0, abs=1e-9)
+
+    def test_auto_compilation_used_when_enabled(self, evaluator):
+        """§1: FindRoot auto-compiles its objective through the hook."""
+        from repro.compiler import enable_auto_compilation
+
+        calls = []
+        enable_auto_compilation(evaluator)
+        original = evaluator.extensions["auto_compile"]
+
+        def counting_hook(equation, variable, result_type):
+            calls.append(equation)
+            return original(equation, variable, result_type)
+
+        evaluator.extensions["auto_compile"] = counting_hook
+        result = evaluator.run("FindRoot[Sin[x] + E^x, {x, 0}]")
+        root = result.args[0].args[1].to_python()
+        assert root == pytest.approx(-0.588533, abs=1e-5)
+        assert len(calls) == 2  # the objective and its derivative
+
+    def test_newton_helper(self):
+        root = newton_root(lambda x: x * x - 9, lambda x: 2 * x, 1.0)
+        assert root == pytest.approx(3.0)
+
+    def test_newton_zero_derivative_raises(self):
+        from repro.errors import WolframEvaluationError
+
+        with pytest.raises(WolframEvaluationError):
+            newton_root(lambda x: 1.0, lambda x: 0.0, 0.0)
+
+
+class TestRandom:
+    def test_seeded_reproducibility(self):
+        a = Evaluator()
+        b = Evaluator()
+        xs = a.run("SeedRandom[42]; RandomReal[{0, 1}, 5]").to_python()
+        ys = b.run("SeedRandom[42]; RandomReal[{0, 1}, 5]").to_python()
+        assert xs == ys
+
+    def test_random_real_bounds(self, evaluator):
+        values = evaluator.run("RandomReal[{2, 3}, 100]").to_python()
+        assert all(2 <= v <= 3 for v in values)
+
+    def test_random_real_with_pi_bound(self, evaluator):
+        import math
+
+        values = evaluator.run("RandomReal[{0, 2 Pi}, 50]").to_python()
+        assert all(0 <= v <= 2 * math.pi for v in values)
+
+    def test_random_integer(self, evaluator):
+        values = evaluator.run("RandomInteger[{1, 6}, 100]").to_python()
+        assert all(isinstance(v, int) and 1 <= v <= 6 for v in values)
+
+    def test_random_variate_matrix_shape(self, evaluator):
+        """§1's motivating one-liner: Total over a 10x10 normal sample."""
+        result = evaluator.run(
+            "Total[RandomVariate[NormalDistribution[], {10, 10}]]"
+        ).to_python()
+        assert len(result) == 10
+        assert all(isinstance(v, float) for v in result)
+
+    def test_random_choice(self, evaluator):
+        value = evaluator.run("RandomChoice[{1, 2, 3}]").to_python()
+        assert value in (1, 2, 3)

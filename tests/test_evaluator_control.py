@@ -1,0 +1,163 @@
+"""Control flow, assignment, and non-local transfers in the interpreter."""
+
+import pytest
+
+from repro.errors import WolframEvaluationError
+
+
+class TestConditionals:
+    def test_if_true(self, run):
+        assert run("If[1 < 2, 10, 20]") == "10"
+
+    def test_if_false(self, run):
+        assert run("If[2 < 1, 10, 20]") == "20"
+
+    def test_if_without_else_gives_null(self, run):
+        assert run("If[False, 10]") == "Null"
+
+    def test_if_holds_branches(self, run):
+        assert run("If[True, 1, While[True]]") == "1"
+
+    def test_if_fourth_argument_for_undecidable(self, run):
+        assert run("If[x > 0, 1, 2, 3]") == "3"
+
+    def test_which(self, run):
+        assert run("Which[False, 1, True, 2, True, 3]") == "2"
+
+    def test_which_all_false(self, run):
+        assert run("Which[False, 1, False, 2]") == "Null"
+
+    def test_switch(self, run):
+        assert run('Switch[3, 1, "one", 3, "three", _, "many"]') == '"three"'
+        assert run('Switch[9, 1, "one", _, "many"]') == '"many"'
+
+    def test_switch_with_pattern(self, run):
+        assert run('Switch[2.5, _Integer, "int", _Real, "real"]') == '"real"'
+
+
+class TestLoops:
+    def test_while_counts(self, run):
+        assert run("i = 0; While[i < 5, i = i + 1]; i") == "5"
+
+    def test_while_with_increment_operator(self, run):
+        assert run("i = 0; While[i < 5, i++]; i") == "5"
+
+    def test_paper_abortable_loop_shape(self, run):
+        """§3 F3's example loop (finite variant) mutates i as specified."""
+        assert run(
+            "i = 0; k = 0; While[k < 10, If[i > 3, i--, i++]; k++]; i"
+        ) == "4"  # i climbs to 4 then oscillates 3/4; 10 steps end on 4
+
+    def test_for(self, run):
+        assert run("s = 0; For[j = 1, j <= 4, j++, s += j]; s") == "10"
+
+    def test_do_with_count(self, run):
+        assert run("c = 0; Do[c++, {5}]; c") == "5"
+
+    def test_do_with_iterator(self, run):
+        assert run("s = 0; Do[s += i, {i, 1, 4}]; s") == "10"
+
+    def test_do_with_step(self, run):
+        assert run("s = 0; Do[s += i, {i, 1, 10, 3}]; s") == "22"
+
+    def test_do_nested_iterators(self, run):
+        assert run("s = 0; Do[s += i*j, {i, 1, 2}, {j, 1, 2}]; s") == "9"
+
+    def test_do_over_list(self, run):
+        assert run("s = 0; Do[s += i, {i, {2, 5, 7}}]; s") == "14"
+
+    def test_break(self, run):
+        assert run("i = 0; While[True, i++; If[i >= 3, Break[]]]; i") == "3"
+
+    def test_continue(self, run):
+        assert run(
+            "s = 0; Do[If[EvenQ[i], Continue[]]; s += i, {i, 1, 6}]; s"
+        ) == "9"
+
+    def test_sum(self, run):
+        assert run("Sum[i^2, {i, 1, 5}]") == "55"
+
+    def test_product(self, run):
+        assert run("Product[i, {i, 1, 5}]") == "120"
+
+
+class TestAssignment:
+    def test_set_returns_value(self, run):
+        assert run("a = 7") == "7"
+
+    def test_set_delayed_returns_null(self, run):
+        assert run("f[x_] := x + 1") == "Null"
+
+    def test_set_delayed_reevaluates(self, run):
+        assert run("v = 1; d := v; v = 9; d") == "9"
+
+    def test_parallel_list_assignment(self, run):
+        assert run("{a, b} = {1, 2}; a + b") == "3"
+
+    def test_compound_operators(self, run):
+        assert run("z = 10; z += 5; z -= 3; z *= 2; z") == "24"
+
+    def test_increment_returns_old_value(self, run):
+        assert run("n = 5; {n++, n}") == "List[5, 6]"
+
+    def test_preincrement_returns_new_value(self, run):
+        assert run("n = 5; {++n, n}") == "List[6, 6]"
+
+    def test_part_assignment(self, run):
+        assert run("lst = {1, 2, 3}; lst[[2]] = 99; lst") == "List[1, 99, 3]"
+
+    def test_nested_part_assignment(self, run):
+        assert run(
+            "m = {{1, 2}, {3, 4}}; m[[2, 1]] = 0; m"
+        ) == "List[List[1, 2], List[0, 4]]"
+
+    def test_negative_part_assignment(self, run):
+        assert run("lst = {1, 2, 3}; lst[[-1]] = 9; lst") == "List[1, 2, 9]"
+
+    def test_downvalue_definition_and_call(self, run):
+        assert run("sq[x_] := x*x; sq[6]") == "36"
+
+    def test_downvalue_with_condition(self, run):
+        assert run(
+            "h[x_ /; x > 0] := 1; h[x_] := -1; {h[5], h[-5]}"
+        ) == "List[1, -1]"
+
+    def test_clear_removes_downvalues(self, run):
+        assert run("p[x_] := 1; Clear[p]; p[3]") == "p[3]"
+
+
+class TestNonLocalFlow:
+    def test_throw_catch(self, run):
+        assert run("Catch[1 + Throw[42]]") == "42"
+
+    def test_throw_with_tag(self, run):
+        assert run('Catch[Throw[1, "tag"], "tag"]') == "1"
+
+    def test_throw_tag_mismatch_propagates(self, run):
+        assert run('Catch[Catch[Throw[1, "inner"], "other"], "inner"]') == "1"
+
+    def test_return_from_function(self, run):
+        assert run(
+            "f = Function[{x}, If[x > 0, Return[99]]; -1]; {f[1], f[-1]}"
+        ) == "List[99, -1]"
+
+    def test_catch_no_throw_passes_value(self, run):
+        assert run("Catch[5]") == "5"
+
+
+class TestEvaluationControl:
+    def test_compound_expression_returns_last(self, run):
+        assert run("1; 2; 3") == "3"
+
+    def test_identity(self, run):
+        assert run("Identity[f[2]]") == "f[2]"
+
+    def test_to_expression(self, run):
+        assert run('ToExpression["1 + 2"]') == "3"
+
+    def test_absolute_timing_shape(self, evaluator):
+        from repro.mexpr import head_name, parse
+
+        result = evaluator.run("AbsoluteTiming[1 + 1]")
+        assert head_name(result) == "List"
+        assert result.args[1] == parse("2")

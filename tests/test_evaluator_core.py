@@ -1,0 +1,192 @@
+"""Core evaluation semantics: fixed-point evaluation, attributes, numerics."""
+
+import pytest
+
+from repro.engine import Evaluator
+from repro.errors import WolframIterationError
+
+
+class TestInfiniteEvaluation:
+    def test_chained_ownvalues(self, run):
+        """§2.1: y=x; x=1; y evaluates to 1 by repeated rewriting."""
+        assert run("y = x; x = 1; y") == "1"
+
+    def test_three_level_chain(self, run):
+        assert run("a = b; b = c; c = 7; a") == "7"
+
+    def test_runaway_rewrite_hits_iteration_limit(self):
+        """§2.1: x = x + 1 with x undefined rewrites forever; the engine
+        stops at $IterationLimit instead of hanging."""
+        from repro.errors import WolframRecursionError
+        from repro.mexpr import parse
+
+        evaluator = Evaluator(recursion_limit=64, iteration_limit=64)
+        with pytest.raises((WolframIterationError, WolframRecursionError)):
+            evaluator.evaluate(parse("x = x + 1; x"))
+
+    def test_symbol_without_value_stays(self, run):
+        assert run("undefinedSymbol") == "undefinedSymbol"
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("source,expected", [
+        ("1 + 2", "3"),
+        ("2 * 3 * 4", "24"),
+        ("2^10", "1024"),
+        ("7 - 2", "5"),
+        ("1 + 2.5", "3.5"),
+        ("Mod[7, 3]", "1"),
+        ("Mod[-7, 3]", "2"),
+        ("Quotient[7, 2]", "3"),
+        ("Abs[-4]", "4"),
+        ("Max[3, 1, 4]", "4"),
+        ("Min[{5, 2, 8}]", "2"),
+        ("Floor[2.7]", "2"),
+        ("Ceiling[2.1]", "3"),
+        ("GCD[12, 18]", "6"),
+        ("LCM[4, 6]", "12"),
+        ("Factorial[5]", "120"),
+        ("Fibonacci[10]", "55"),
+        ("BitAnd[12, 10]", "8"),
+        ("BitXor[5, 3]", "6"),
+        ("BitShiftLeft[1, 8]", "256"),
+        ("Sign[-2.5]", "-1"),
+        ("Boole[True]", "1"),
+        ("Boole[False]", "0"),
+    ])
+    def test_value(self, run, source, expected):
+        assert run(source) == expected
+
+    def test_arbitrary_precision(self, run_value):
+        """The interpreter never overflows (F2's fallback target)."""
+        assert run_value("2^100") == 2 ** 100
+        assert run_value("Factorial[30]") == 265252859812191058636308480000000
+
+    def test_division_produces_real(self, run_value):
+        assert run_value("1/2") == 0.5
+
+    def test_transcendental(self, run_value):
+        import math
+
+        assert run_value("Sin[0.5]") == pytest.approx(math.sin(0.5))
+        assert run_value("Exp[1.0]") == pytest.approx(math.e)
+        assert run_value("Log[E]") == 0
+        assert run_value("Sqrt[16]") == 4
+
+    def test_n_of_constants(self, run_value):
+        import math
+
+        assert run_value("N[Pi]") == pytest.approx(math.pi)
+        assert run_value("N[1/3]") == pytest.approx(1 / 3)
+
+    def test_symbolic_plus_folds_numerics(self, run):
+        assert run("1 + x + 2") == "Plus[3, x]"
+
+    def test_times_zero_annihilates(self, run):
+        assert run("0 * x") == "0"
+
+    def test_complex_arithmetic(self, run):
+        assert run("Complex[1.0, 2.0] * Complex[1.0, -2.0]") == "5.0"
+
+
+class TestAttributes:
+    def test_flat_plus(self, run):
+        assert run("Plus[1, Plus[2, 3]]") == "6"
+
+    def test_orderless_canonicalizes(self, run):
+        # x + 1 and 1 + x normalize identically
+        assert run("x + 1") == run("1 + x")
+
+    def test_listable_threads(self, run):
+        assert run("{1, 2} + {10, 20}") == "List[11, 22]"
+        assert run("2 * {1, 2, 3}") == "List[2, 4, 6]"
+        assert run("Sin[{0, 0.0}]") == "List[0, 0.0]"
+
+    def test_hold_prevents_evaluation(self, run):
+        assert run("Hold[1 + 1]") == "Hold[Plus[1, 1]]"
+
+    def test_evaluate_pierces_hold(self, run):
+        assert run("Hold[Evaluate[1 + 1]]") == "Hold[2]"
+
+    def test_release_hold(self, run):
+        assert run("ReleaseHold[Hold[1 + 1]]") == "2"
+
+    def test_set_attributes(self, run):
+        assert run(
+            "SetAttributes[myF, HoldAll]; myF[1 + 1]"
+        ) == "myF[Plus[1, 1]]"
+
+    def test_attributes_query(self, run):
+        assert "Flat" in run("Attributes[Plus]")
+
+
+class TestComparison:
+    @pytest.mark.parametrize("source,expected", [
+        ("1 < 2", "True"),
+        ("2 < 1", "False"),
+        ("1 < 2 < 3", "True"),
+        ("1 < 3 < 2", "False"),
+        ("1 <= 1", "True"),
+        ("2.0 == 2", "True"),
+        ("2.0 === 2", "False"),
+        ('"a" < "b"', "True"),
+        ("x == x", "True"),
+        ("TrueQ[x > 0]", "False"),
+    ])
+    def test_value(self, run, source, expected):
+        assert run(source) == expected
+
+    def test_symbolic_comparison_stays(self, run):
+        assert run("x > 1") == "Greater[x, 1]"
+
+    def test_logic(self, run):
+        assert run("True && False") == "False"
+        assert run("True || False") == "True"
+        assert run("!True") == "False"
+        assert run("Xor[True, True]") == "False"
+
+    def test_and_short_circuits(self, run):
+        # the second argument would loop forever if evaluated
+        assert run("False && (While[True]; True)") == "False"
+
+    def test_or_short_circuits(self, run):
+        assert run("True || (While[True]; True)") == "True"
+
+
+class TestPredicates:
+    @pytest.mark.parametrize("source,expected", [
+        ("IntegerQ[3]", "True"),
+        ("IntegerQ[3.0]", "False"),
+        ("NumberQ[2.5]", "True"),
+        ("NumericQ[Pi]", "True"),
+        ("ListQ[{1}]", "True"),
+        ("StringQ[\"a\"]", "True"),
+        ("EvenQ[4]", "True"),
+        ("OddQ[4]", "False"),
+        ("PrimeQ[97]", "True"),
+        ("PrimeQ[91]", "False"),
+        ("Positive[3]", "True"),
+        ("Negative[-1.5]", "True"),
+        ("NonNegative[0]", "True"),
+        ("VectorQ[{1, 2}]", "True"),
+        ("VectorQ[{{1}}]", "False"),
+        ("MatrixQ[{{1, 2}, {3, 4}}]", "True"),
+        ("AtomQ[x]", "True"),
+        ("AtomQ[f[x]]", "False"),
+    ])
+    def test_value(self, run, source, expected):
+        assert run(source) == expected
+
+
+class TestStateInvalidations:
+    def test_set_evaluates_immediately(self, run):
+        """`=` captures the value at assignment time."""
+        assert run("v = 1; w = {v, v}; v = 2; w") == "List[1, 1]"
+
+    def test_assignment_invalidates_cached_results(self, run):
+        """The evaluated-stamp cache must respect Set (state_version):
+        a delayed definition re-evaluates against the new binding."""
+        assert run("v = 1; w := {v, v}; v = 2; w") == "List[2, 2]"
+
+    def test_clear(self, run):
+        assert run("q = 5; Clear[q]; q") == "q"

@@ -1,0 +1,117 @@
+"""Higher-order primitives (§2.1: the constructs users reach for)."""
+
+import pytest
+
+
+class TestMapApply:
+    @pytest.mark.parametrize("source,expected", [
+        ("Map[f, {1, 2}]", "List[f[1], f[2]]"),
+        ("Map[(#^2)&, {1, 2, 3}]", "List[1, 4, 9]"),
+        ("(#^2)& /@ {2, 3}", "List[4, 9]"),
+        ("Map[f, g[a, b]]", "g[f[a], f[b]]"),
+        ("MapIndexed[f, {a, b}]", "List[f[a, List[1]], f[b, List[2]]]"),
+        ("Apply[Plus, {1, 2, 3}]", "6"),
+        ("Plus @@ {1, 2, 3}", "6"),
+        ("Apply[f, {{1, 2}, {3}}, {1}]", "List[f[1, 2], f[3]]"),
+        ("Through[{Min, Max}[3, 1]]", "List[1, 3]"),
+    ])
+    def test_value(self, run, source, expected):
+        assert run(source) == expected
+
+    def test_scan_side_effects(self, run):
+        assert run("acc = 0; Scan[(acc += #)&, {1, 2, 3}]; acc") == "6"
+
+
+class TestSelectCases:
+    @pytest.mark.parametrize("source,expected", [
+        ("Select[{1, 2, 3, 4}, EvenQ]", "List[2, 4]"),
+        ("Select[Range[10], (# > 7)&]", "List[8, 9, 10]"),
+        ("Select[Range[10], EvenQ, 2]", "List[2, 4]"),
+        ("Cases[{1, 2.0, 3}, _Integer]", "List[1, 3]"),
+        ("Cases[{f[1], g[2], f[3]}, f[x_] -> x]", "List[1, 3]"),
+        ("DeleteCases[{1, 2.0, 3}, _Real]", "List[1, 3]"),
+    ])
+    def test_value(self, run, source, expected):
+        assert run(source) == expected
+
+
+class TestFolds:
+    @pytest.mark.parametrize("source,expected", [
+        ("Fold[Plus, 0, {1, 2, 3}]", "6"),
+        ("Fold[Plus, {1, 2, 3}]", "6"),
+        ("Fold[f, x, {a, b}]", "f[f[x, a], b]"),
+        ("FoldList[Plus, 0, {1, 2, 3}]", "List[0, 1, 3, 6]"),
+        ("FoldList[Times, {1, 2, 3, 4}]", "List[1, 2, 6, 24]"),
+        ("Fold[Min, {5, 2, 9}]", "2"),
+    ])
+    def test_value(self, run, source, expected):
+        assert run(source) == expected
+
+
+class TestNesting:
+    @pytest.mark.parametrize("source,expected", [
+        ("Nest[(# + 1)&, 0, 5]", "5"),
+        ("Nest[f, x, 3]", "f[f[f[x]]]"),
+        ("NestList[f, x, 2]", "List[x, f[x], f[f[x]]]"),
+        ("NestList[(2 #)&, 1, 4]", "List[1, 2, 4, 8, 16]"),
+        ("NestWhile[(# / 2)&, 64, EvenQ]", "1"),
+        ("FixedPoint[Function[{x}, Floor[(x + 2)/2]], 20]", "2"),
+    ])
+    def test_value(self, run, source, expected):
+        assert run(source) == expected
+
+    def test_fixed_point_list_converges(self, run):
+        assert run("FixedPointList[(Floor[#/2])&, 8]") == (
+            "List[8, 4, 2, 1, 0, 0]"
+        )
+
+    def test_nest_list_result_length(self, run_value):
+        """NestList[f, x, n] has length n + 1 (§2.1)."""
+        assert len(run_value("NestList[(# + 1)&, 0, 7]")) == 8
+
+
+class TestRandomWalkExample:
+    def test_figure_one_program_shape(self, evaluator):
+        """The paper's Figure 1 random-walk function runs end to end."""
+        from repro.mexpr import head_name, parse
+
+        evaluator.run("""
+            interpreted = Function[{len},
+              NestList[
+                Module[{arg = RandomReal[{0, 2 Pi}]},
+                  {-Cos[arg], Sin[arg]} + #
+                ]&,
+                {0, 0},
+                len
+              ]
+            ]
+        """)
+        walk = evaluator.run("interpreted[10]")
+        assert head_name(walk) == "List"
+        assert len(walk.args) == 11
+        first = walk.args[0]
+        assert first.to_python() == [0, 0]
+        # each step moves by a unit vector
+        import math
+
+        points = walk.to_python()
+        for before, after in zip(points, points[1:]):
+            dx, dy = after[0] - before[0], after[1] - before[1]
+            assert math.hypot(dx, dy) == pytest.approx(1.0)
+
+
+class TestReplaceRules:
+    @pytest.mark.parametrize("source,expected", [
+        ("x /. x -> 1", "1"),
+        ("x + y /. {x -> 1, y -> 2}", "3"),
+        ("f[a, b] /. f[x_, y_] -> g[y, x]", "g[b, a]"),
+        ("{1, 2, 3} /. x_Integer /; x > 1 -> 0", "List[1, 0, 0]"),
+        ("x //. {x -> y, y -> z}", "z"),
+        ("MatchQ[f[1], f[_Integer]]", "True"),
+        ("Replace[5, x_ -> x + 1]", "6"),
+    ])
+    def test_value(self, run, source, expected):
+        assert run(source) == expected
+
+    def test_outermost_rule_wins(self, run):
+        assert run("f[f[x]] /. f[a_] -> a") == "f[x]"

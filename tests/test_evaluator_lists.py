@@ -1,0 +1,114 @@
+"""List, tensor, and structural builtins in the interpreter."""
+
+import pytest
+
+
+class TestAccess:
+    @pytest.mark.parametrize("source,expected", [
+        ("Length[{1, 2, 3}]", "3"),
+        ("Length[f[a, b]]", "2"),
+        ("Length[5]", "0"),
+        ("{10, 20, 30}[[2]]", "20"),
+        ("{10, 20, 30}[[-1]]", "30"),
+        ("{{1, 2}, {3, 4}}[[2, 1]]", "3"),
+        ("First[{5, 6}]", "5"),
+        ("Last[{5, 6}]", "6"),
+        ("Rest[{1, 2, 3}]", "List[2, 3]"),
+        ("Most[{1, 2, 3}]", "List[1, 2]"),
+        ("Take[{1, 2, 3, 4}, 2]", "List[1, 2]"),
+        ("Take[{1, 2, 3, 4}, -2]", "List[3, 4]"),
+        ("Take[{1, 2, 3, 4}, {2, 3}]", "List[2, 3]"),
+        ("Drop[{1, 2, 3, 4}, 1]", "List[2, 3, 4]"),
+        ("f[a, b][[0]]", "f"),
+    ])
+    def test_value(self, run, source, expected):
+        assert run(source) == expected
+
+    def test_part_out_of_range_raises(self, evaluator):
+        from repro.errors import WolframEvaluationError
+        from repro.mexpr import parse
+
+        with pytest.raises(WolframEvaluationError):
+            evaluator.evaluate(parse("{1, 2}[[5]]"))
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("source,expected", [
+        ("Range[4]", "List[1, 2, 3, 4]"),
+        ("Range[2, 5]", "List[2, 3, 4, 5]"),
+        ("Range[1, 10, 3]", "List[1, 4, 7, 10]"),
+        ("Range[5, 1, -2]", "List[5, 3, 1]"),
+        ("Table[i^2, {i, 3}]", "List[1, 4, 9]"),
+        ("Table[0, {3}]", "List[0, 0, 0]"),
+        ("Table[i + j, {i, 2}, {j, 2}]",
+         "List[List[2, 3], List[3, 4]]"),
+        ("ConstantArray[7, 3]", "List[7, 7, 7]"),
+        ("ConstantArray[0, {2, 2}]", "List[List[0, 0], List[0, 0]]"),
+        ("Array[(#^2)&, 3]", "List[1, 4, 9]"),
+        ("IdentityMatrix[2]", "List[List[1, 0], List[0, 1]]"),
+        ("Append[{1}, 2]", "List[1, 2]"),
+        ("Prepend[{1}, 0]", "List[0, 1]"),
+        ("Join[{1}, {2, 3}, {4}]", "List[1, 2, 3, 4]"),
+        ("Riffle[{a, b, c}, x]", "List[a, x, b, x, c]"),
+    ])
+    def test_value(self, run, source, expected):
+        assert run(source) == expected
+
+    def test_append_to(self, run):
+        assert run("acc = {}; AppendTo[acc, 1]; AppendTo[acc, 2]; acc") == (
+            "List[1, 2]"
+        )
+
+
+class TestTransformation:
+    @pytest.mark.parametrize("source,expected", [
+        ("Reverse[{1, 2, 3}]", "List[3, 2, 1]"),
+        ("Sort[{3, 1, 2}]", "List[1, 2, 3]"),
+        ("Sort[{3, 1, 2}, Greater]", "List[3, 2, 1]"),
+        ("SortBy[{-3, 1, -2}, Abs]", "List[1, -2, -3]"),
+        ("Flatten[{{1, {2}}, 3}]", "List[1, 2, 3]"),
+        ("Flatten[{{1, {2}}, 3}, 1]", "List[1, List[2], 3]"),
+        ("Partition[{1, 2, 3, 4}, 2]", "List[List[1, 2], List[3, 4]]"),
+        ("Partition[{1, 2, 3}, 2, 1]", "List[List[1, 2], List[2, 3]]"),
+        ("Transpose[{{1, 2}, {3, 4}}]", "List[List[1, 3], List[2, 4]]"),
+        ("DeleteDuplicates[{1, 2, 1, 3, 2}]", "List[1, 2, 3]"),
+        ("ReplacePart[{a, b, c}, 2 -> x]", "List[a, x, c]"),
+        ("Thread[f[{1, 2}, {3, 4}]]", "List[f[1, 3], f[2, 4]]"),
+        ("Outer[Times, {1, 2}, {3, 4}]",
+         "List[List[3, 4], List[6, 8]]"),
+        ("Tuples[{0, 1}, 2]",
+         "List[List[0, 0], List[0, 1], List[1, 0], List[1, 1]]"),
+    ])
+    def test_value(self, run, source, expected):
+        assert run(source) == expected
+
+
+class TestAggregation:
+    @pytest.mark.parametrize("source,expected", [
+        ("Total[{1, 2, 3}]", "6"),
+        ("Total[{}]", "0"),
+        ("Accumulate[{1, 2, 3}]", "List[1, 3, 6]"),
+        ("Mean[{1, 2, 3}]", "2"),
+        ("Count[{1, 2, 1, 3}, 1]", "2"),
+        ("Count[{1, 2.0, 3}, _Integer]", "2"),
+        ("MemberQ[{1, 2}, 2]", "True"),
+        ("MemberQ[{1, 2}, 5]", "False"),
+        ("FreeQ[{1, {2, x}}, x]", "False"),
+        ("FreeQ[{1, 2}, x]", "True"),
+        ("Position[{a, b, a}, a]", "List[List[1], List[3]]"),
+        ("IntegerDigits[1024]", "List[1, 0, 2, 4]"),
+        ("IntegerDigits[255, 16]", "List[15, 15]"),
+    ])
+    def test_value(self, run, source, expected):
+        assert run(source) == expected
+
+    def test_dot_vectors(self, run_value):
+        assert run_value("Dot[{1, 2, 3}, {4, 5, 6}]") == 32
+
+    def test_dot_matrix_vector(self, run_value):
+        assert run_value("{{1, 0}, {0, 2}} . {3, 4}") == [3, 8]
+
+    def test_dot_matrices(self, run_value):
+        assert run_value("{{1, 2}, {3, 4}} . {{5, 6}, {7, 8}}") == [
+            [19, 22], [43, 50]
+        ]

@@ -1,0 +1,93 @@
+"""Module/Block/With semantics (§2.1, §4.2) and function application."""
+
+import pytest
+
+
+class TestModule:
+    def test_basic(self, run):
+        assert run("Module[{a = 1, b = 2}, a + b]") == "3"
+
+    def test_lexical_isolation(self, run):
+        assert run("a = 100; Module[{a = 1}, a]") == "1"
+        assert run("a = 100; Module[{a = 1}, a]; a") == "100"
+
+    def test_nested_shadowing(self, run):
+        """The paper's §4.2 example shape: inner a shadows outer a."""
+        assert run(
+            "Module[{a = 1, b = 1}, a + b + Module[{a = 3}, a]]"
+        ) == "5"
+
+    def test_uninitialized_variable(self, run):
+        assert run("Module[{u}, u = 4; u]") == "4"
+
+    def test_initializer_sees_enclosing_scope(self, run):
+        assert run("x = 10; Module[{x = x + 1}, x]") == "11"
+
+    def test_module_variables_unique_per_invocation(self, run):
+        assert run(
+            "mk[] := Module[{local}, local]; mk[] === mk[]"
+        ) == "False"
+
+
+class TestBlock:
+    def test_dynamic_scoping(self, run):
+        assert run("v = 1; f[] := v; Block[{v = 2}, f[]]") == "2"
+
+    def test_restores_after_body(self, run):
+        assert run("v = 1; Block[{v = 2}, v]; v") == "1"
+
+    def test_restores_on_throw(self, run):
+        assert run(
+            "v = 1; Catch[Block[{v = 2}, Throw[0]]]; v"
+        ) == "1"
+
+    def test_block_without_initializer_clears(self, run):
+        # inside the block w has no value; (the bare result would re-evaluate
+        # to 5 after restoration, as in Wolfram, so observe it via ToString)
+        assert run('w = 5; Block[{w}, ToString[w]]') == '"w"'
+
+
+class TestWith:
+    def test_substitution(self, run):
+        assert run("With[{c = 3}, c * c]") == "9"
+
+    def test_substitutes_into_held_code(self, run):
+        assert run("With[{c = 2}, Hold[c]]") == "Hold[2]"
+
+    def test_requires_initializers(self, evaluator):
+        from repro.errors import WolframEvaluationError
+        from repro.mexpr import parse
+
+        with pytest.raises(WolframEvaluationError):
+            evaluator.evaluate(parse("With[{c}, c]"))
+
+
+class TestFunctionApplication:
+    def test_named_parameters(self, run):
+        assert run("Function[{x, y}, x - y][10, 3]") == "7"
+
+    def test_single_parameter_no_list(self, run):
+        assert run("Function[x, x + 1][5]") == "6"
+
+    def test_slots(self, run):
+        assert run("(#1 + #2)&[3, 4]") == "7"
+
+    def test_slot_sequence_via_extra_args(self, run):
+        assert run("(#)&[1, 2]") == "1"  # extra arguments ignored
+
+    def test_nested_pure_functions_shield_slots(self, run):
+        assert run("((#& )[#])&[9]") == "9"
+
+    def test_function_stored_and_applied(self, run):
+        assert run("g = (# * 2)&; g[21]") == "42"
+
+    def test_typed_parameters_accepted(self, run):
+        assert run('Function[{Typed[x, "MachineInteger"]}, x + 1][4]') == "5"
+
+    def test_closure_via_with(self, run):
+        assert run("mk = Function[{n}, With[{m = n}, (# + m)&]]; mk[10][5]") == "15"
+
+    def test_recursive_function_value(self, run):
+        assert run(
+            "fact = Function[{n}, If[n <= 1, 1, n*fact[n-1]]]; fact[6]"
+        ) == "720"

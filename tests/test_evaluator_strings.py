@@ -1,0 +1,60 @@
+"""String builtins (the L1 expressiveness area the new compiler adds)."""
+
+import pytest
+
+
+class TestStrings:
+    @pytest.mark.parametrize("source,expected", [
+        ('StringLength["hello"]', "5"),
+        ('StringJoin["foo", "bar"]', '"foobar"'),
+        ('"foo" <> "bar" <> "!"', '"foobar!"'),
+        ('StringTake["hello", 2]', '"he"'),
+        ('StringTake["hello", -2]', '"lo"'),
+        ('StringTake["hello", {2, 4}]', '"ell"'),
+        ('StringDrop["hello", 2]', '"llo"'),
+        ('Characters["abc"]', 'List["a", "b", "c"]'),
+        ('ToCharacterCode["AB"]', "List[65, 66]"),
+        ("FromCharacterCode[{72, 105}]", '"Hi"'),
+        ("FromCharacterCode[97]", '"a"'),
+        ('ToUpperCase["abC"]', '"ABC"'),
+        ('ToLowerCase["AbC"]', '"abc"'),
+        ('StringSplit["a,b,c", ","]', 'List["a", "b", "c"]'),
+        ('StringSplit["a b  c"]', 'List["a", "b", "c"]'),
+        ('StringContainsQ["hello", "ell"]', "True"),
+        ('StringStartsQ["hello", "he"]', "True"),
+        ('StringRepeat["ab", 3]', '"ababab"'),
+        ("ToString[123]", '"123"'),
+        ("ToString[a + b]", '"a + b"'),
+    ])
+    def test_value(self, run, source, expected):
+        assert run(source) == expected
+
+    def test_string_replace_paper_example(self, run):
+        """§3 F5's example: the original string is not mutated."""
+        assert run(
+            '({#, StringReplace[#, "foo" -> "grok"]}&)["foobar"]'
+        ) == 'List["foobar", "grokbar"]'
+
+    def test_string_replace_multiple_rules(self, run):
+        assert run(
+            'StringReplace["aXbY", {"X" -> "1", "Y" -> "2"}]'
+        ) == '"a1b2"'
+
+    def test_string_ordering(self, run):
+        assert run('"apple" < "banana"') == "True"
+
+
+class TestSymbolicStructure:
+    @pytest.mark.parametrize("source,expected", [
+        ("Head[5]", "Integer"),
+        ("Head[2.5]", "Real"),
+        ('Head["s"]', "String"),
+        ("Head[x]", "Symbol"),
+        ("Head[f[x]]", "f"),
+        ("Head[{1}]", "List"),
+        ("LeafCount[f[x, g[y]]]", "4"),
+        ("Depth[f[g[x]]]", "3"),
+        ("Depth[x]", "1"),
+    ])
+    def test_value(self, run, source, expected):
+        assert run(source) == expected

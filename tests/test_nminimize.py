@@ -1,0 +1,68 @@
+"""NMinimize — the second §1 solver that auto-compiles its objective."""
+
+import math
+
+import pytest
+
+from repro.compiler import enable_auto_compilation
+from repro.engine import Evaluator
+from repro.engine.numerics.nminimize import golden_section
+
+
+class TestGoldenSection:
+    def test_quadratic(self):
+        x, fx = golden_section(lambda v: (v - 3) ** 2 + 1, -10, 10)
+        assert x == pytest.approx(3.0, abs=1e-6)
+        assert fx == pytest.approx(1.0)
+
+    def test_shifted_cosine(self):
+        x, _ = golden_section(math.cos, 0, 2 * math.pi)
+        assert x == pytest.approx(math.pi, abs=1e-6)
+
+
+class TestNMinimize:
+    def unpack(self, result):
+        fx = result.args[0].to_python()
+        x = result.args[1].args[0].args[1].to_python()
+        return fx, x
+
+    def test_interpreted_objective(self, evaluator):
+        fx, x = self.unpack(
+            evaluator.run("NMinimize[(x - 3)^2 + 1, {x, -10, 10}]")
+        )
+        assert x == pytest.approx(3.0, abs=1e-6)
+        assert fx == pytest.approx(1.0)
+
+    def test_auto_compiled_objective(self):
+        session = Evaluator()
+        enable_auto_compilation(session)
+        calls = []
+        original = session.extensions["auto_compile"]
+
+        def counting(equation, variable, result_type):
+            calls.append(equation)
+            return original(equation, variable, result_type)
+
+        session.extensions["auto_compile"] = counting
+        fx, x = self.unpack(
+            session.run("NMinimize[Sin[x] + x^2/10, {x, -4, 4}]")
+        )
+        assert calls, "NMinimize did not auto-compile (§1)"
+        assert fx == pytest.approx(-0.794582, abs=1e-5)
+        assert x == pytest.approx(-1.30644, abs=1e-4)
+
+    def test_compiled_and_interpreted_agree(self):
+        plain = Evaluator()
+        compiled = Evaluator()
+        enable_auto_compilation(compiled)
+        program = "NMinimize[Exp[x] - 2*x, {x, -2, 3}]"
+        fx1, x1 = self.unpack(plain.run(program))
+        fx2, x2 = self.unpack(compiled.run(program))
+        assert x1 == pytest.approx(x2, abs=1e-6)
+        assert x1 == pytest.approx(math.log(2), abs=1e-6)
+
+    def test_symbolic_bounds(self, evaluator):
+        fx, x = self.unpack(
+            evaluator.run("NMinimize[(x - 1)^2, {x, -Pi, Pi}]")
+        )
+        assert x == pytest.approx(1.0, abs=1e-6)

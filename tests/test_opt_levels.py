@@ -1,0 +1,58 @@
+"""Every benchmark program compiles and agrees at every optimization level
+— the O0 path exercises raw lowered code (no folding, no elision)."""
+
+import pytest
+
+from repro.benchsuite import programs, reference
+from repro.compiler import FunctionCompile
+
+CASES = [
+    ("fnv1a", programs.NEW_FNV1A, ("compile this",),
+     lambda out: out == reference.fnv1a_c_port("compile this")),
+    ("mandelbrot", programs.NEW_MANDELBROT, (complex(-0.5, 0.3),),
+     lambda out: out == reference.mandelbrot_point(complex(-0.5, 0.3))),
+    ("histogram", programs.NEW_HISTOGRAM, ([5, 300, 256, 5],),
+     lambda out: out.data == reference.histogram_c_port([5, 300, 256, 5])),
+    ("qsort", programs.NEW_QSORT, ([3, 1, 2], lambda a, b: a < b),
+     lambda out: out.to_nested() == [1, 2, 3]),
+]
+
+
+class TestOptimizationLevels:
+    @pytest.mark.parametrize("name,source,args,check",
+                             CASES, ids=[c[0] for c in CASES])
+    def test_o0_matches_default(self, name, source, args, check):
+        unoptimized = FunctionCompile(source, OptimizationLevel=None)
+        optimized = FunctionCompile(source)
+        assert check(unoptimized(*args))
+        assert check(optimized(*args))
+
+    def test_o0_blur(self):
+        from repro.benchsuite import data as workloads
+
+        side = 8
+        nested = workloads.blur_image_nested(side)
+        flat = workloads.blur_image_flat(side)
+        unoptimized = FunctionCompile(programs.NEW_BLUR,
+                                      OptimizationLevel=None)
+        expected = reference.blur_c_port(flat, side, side)
+        out = unoptimized(nested)
+        assert [round(x, 9) for x in out.data] == [
+            round(x, 9) for x in expected
+        ]
+
+    def test_o0_keeps_index_checks(self):
+        source = FunctionCompile(
+            programs.NEW_HISTOGRAM, OptimizationLevel=None
+        ).generated_source
+        assert "unchecked" not in source  # elision is an O1 pass
+
+    def test_o0_primeq_with_constants(self):
+        table = reference.prime_sieve_bitmap()
+        unoptimized = FunctionCompile(
+            programs.NEW_PRIMEQ,
+            constants={"primeTable": table,
+                       "witnesses": programs.RM_WITNESSES},
+            OptimizationLevel=None,
+        )
+        assert unoptimized(100) == reference.primeq_count_c_port(100, table)

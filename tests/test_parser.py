@@ -1,0 +1,235 @@
+"""Parser tests: grammar coverage, precedence, round-trips, errors."""
+
+import pytest
+
+from repro.errors import WolframParseError
+from repro.mexpr import full_form, input_form, parse, tokenize
+
+
+def ff(text: str) -> str:
+    return full_form(parse(text))
+
+
+class TestLiterals:
+    def test_integer(self):
+        assert ff("42") == "42"
+
+    def test_negative_integer(self):
+        assert ff("-42") == "-42"
+
+    def test_real(self):
+        assert ff("2.5") == "2.5"
+
+    def test_real_wolfram_exponent(self):
+        assert ff("1.5*^3") == "1500.0"
+
+    def test_real_e_exponent(self):
+        assert ff("2.0e-2") == "0.02"
+
+    def test_string(self):
+        assert ff('"hello"') == '"hello"'
+
+    def test_string_escapes(self):
+        assert parse(r'"a\nb"').value == "a\nb"
+        assert parse(r'"say \"hi\""').value == 'say "hi"'
+
+    def test_symbol(self):
+        assert ff("foo") == "foo"
+
+    def test_context_symbol(self):
+        assert ff("Native`PartSet") == "Native`PartSet"
+
+    def test_unicode_pi(self):
+        assert ff("π") == "Pi"
+
+
+class TestOperators:
+    @pytest.mark.parametrize("source,expected", [
+        ("1+2", "Plus[1, 2]"),
+        ("1+2+3", "Plus[1, 2, 3]"),
+        ("a-b", "Plus[a, Times[-1, b]]"),
+        ("2*3", "Times[2, 3]"),
+        ("a/b", "Times[a, Power[b, -1]]"),
+        ("2^3^2", "Power[2, Power[3, 2]]"),
+        ("1+2*3", "Plus[1, Times[2, 3]]"),
+        ("(1+2)*3", "Times[Plus[1, 2], 3]"),
+        ("a == b", "Equal[a, b]"),
+        ("a != b", "Unequal[a, b]"),
+        ("a === b", "SameQ[a, b]"),
+        ("a =!= b", "UnsameQ[a, b]"),
+        ("a < b", "Less[a, b]"),
+        ("a <= b", "LessEqual[a, b]"),
+        ("a && b && c", "And[a, b, c]"),
+        ("a || b", "Or[a, b]"),
+        ("!a", "Not[a]"),
+        ("a -> b", "Rule[a, b]"),
+        ("a :> b", "RuleDelayed[a, b]"),
+        ("x /. a -> b", "ReplaceAll[x, Rule[a, b]]"),
+        ("a = b", "Set[a, b]"),
+        ("a := b", "SetDelayed[a, b]"),
+        ("a += 2", "AddTo[a, 2]"),
+        ("a <> b", "StringJoin[a, b]"),
+        ("a . b", "Dot[a, b]"),
+        ("f @ x", "f[x]"),
+        ("x // f", "f[x]"),
+        ("f /@ x", "Map[f, x]"),
+        ("f @@ x", "Apply[f, x]"),
+        ("i++", "Increment[i]"),
+        ("i--", "Decrement[i]"),
+        ("p /; c", "Condition[p, c]"),
+    ])
+    def test_operator(self, source, expected):
+        assert ff(source) == expected
+
+    def test_unicode_aliases(self):
+        assert ff("a → b") == "Rule[a, b]"
+        assert ff("a ≡ b") == "SameQ[a, b]"
+        assert ff("a ≥ b") == "GreaterEqual[a, b]"
+        assert ff("a ≤ b") == "LessEqual[a, b]"
+        assert ff("a ≠ b") == "Unequal[a, b]"
+
+    def test_implicit_multiplication(self):
+        assert ff("2 x") == "Times[2, x]"
+        assert ff("2π") == "Times[2, Pi]"
+
+    def test_precedence_set_vs_compound(self):
+        assert ff("a = 1; b = 2") == (
+            "CompoundExpression[Set[a, 1], Set[b, 2]]"
+        )
+
+    def test_trailing_semicolon_appends_null(self):
+        assert ff("a;") == "CompoundExpression[a, Null]"
+
+    def test_right_assoc_rule(self):
+        assert ff("a -> b -> c") == "Rule[a, Rule[b, c]]"
+
+    def test_prefix_at_right_assoc(self):
+        assert ff("f @ g @ x") == "f[g[x]]"
+
+
+class TestCallsAndParts:
+    def test_call(self):
+        assert ff("f[1, 2]") == "f[1, 2]"
+
+    def test_zero_arg_call(self):
+        assert ff("f[]") == "f[]"
+
+    def test_curried_call(self):
+        assert ff("f[1][2]") == "f[1][2]"
+
+    def test_list(self):
+        assert ff("{1, 2, 3}") == "List[1, 2, 3]"
+
+    def test_nested_list(self):
+        assert ff("{{1}, {2}}") == "List[List[1], List[2]]"
+
+    def test_part(self):
+        assert ff("x[[1]]") == "Part[x, 1]"
+
+    def test_multi_part(self):
+        assert ff("m[[i, j]]") == "Part[m, i, j]"
+
+    def test_negative_part(self):
+        assert ff("x[[-1]]") == "Part[x, -1]"
+
+    def test_part_of_call_result(self):
+        assert ff("f[x][[2]]") == "Part[f[x], 2]"
+
+    def test_nested_brackets_disambiguation(self):
+        # the `]]` of the inner Part must not eat the If's closing brackets
+        assert ff("If[a, x[[1]], x[[2]]]") == (
+            "If[a, Part[x, 1], Part[x, 2]]"
+        )
+
+
+class TestFunctionsAndSlots:
+    def test_slot(self):
+        assert ff("#") == "Slot[1]"
+        assert ff("#2") == "Slot[2]"
+
+    def test_pure_function(self):
+        assert ff("#^2 &") == "Function[Power[Slot[1], 2]]"
+
+    def test_applied_pure_function(self):
+        assert ff("(#+1)&[5]") == "Function[Plus[Slot[1], 1]][5]"
+
+    def test_named_function(self):
+        assert ff("Function[{x}, x + 1]") == "Function[List[x], Plus[x, 1]]"
+
+
+class TestPatterns:
+    def test_blank(self):
+        assert ff("_") == "Blank[]"
+
+    def test_named_blank(self):
+        assert ff("x_") == "Pattern[x, Blank[]]"
+
+    def test_typed_blank(self):
+        assert ff("x_Integer") == "Pattern[x, Blank[Integer]]"
+
+    def test_blank_sequence(self):
+        assert ff("x__") == "Pattern[x, BlankSequence[]]"
+
+    def test_blank_null_sequence(self):
+        assert ff("x___") == "Pattern[x, BlankNullSequence[]]"
+
+    def test_pattern_test(self):
+        assert ff("x_?EvenQ") == "PatternTest[Pattern[x, Blank[]], EvenQ]"
+
+    def test_pattern_colon(self):
+        assert ff("x : f[_]") == "Pattern[x, f[Blank[]]]"
+
+
+class TestComments:
+    def test_comment_ignored(self):
+        assert ff("1 + (* note *) 2") == "Plus[1, 2]"
+
+    def test_nested_comment(self):
+        assert ff("(* a (* b *) c *) 5") == "5"
+
+    def test_unterminated_comment(self):
+        with pytest.raises(WolframParseError):
+            parse("(* oops")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "", "1 +", "f[", "{1, 2", "(1", '"unterminated', "1 ]", "x[[1]",
+    ])
+    def test_raises(self, bad):
+        with pytest.raises(WolframParseError):
+            parse(bad)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("source", [
+        "fib = Function[{n}, If[n < 1, 1, fib[n-1]+fib[n-2]]]",
+        'a = {1,2,3}; a[[3]] = -20; a',
+        "FindRoot[Sin[x] + E^x, {x, 0}]",
+        "i=0; While[True, If[i>3, i--, i++]]",
+        "Module[{arg = RandomReal[{0, 2 Pi}]}, {-Cos[arg], Sin[arg]} + #] &",
+        "x_Integer?EvenQ",
+        "Table[i^2, {i, 1, 10}]",
+        'StringJoin["a", "b", "c"]',
+        "m[[i, j]] = m[[i, j]] + 1",
+    ])
+    def test_input_form_round_trips(self, source):
+        first = parse(source)
+        assert parse(input_form(first)) == first
+
+
+class TestTokenizer:
+    def test_token_kinds(self):
+        kinds = [t.kind for t in tokenize('f[1, 2.5, "s"]')]
+        assert kinds == ["name", "op", "int", "op", "real", "op", "string",
+                         "op", "eof"]
+
+    def test_three_char_operators(self):
+        texts = [t.text for t in tokenize("a === b //. c")]
+        assert "===" in texts and "//." in texts
+
+    def test_positions(self):
+        tokens = tokenize("ab + cd")
+        assert tokens[0].pos == 0
+        assert tokens[1].pos == 3
+        assert tokens[2].pos == 5

@@ -1,0 +1,157 @@
+"""Pattern matching: blanks, sequences, conditions, specificity (§4.2)."""
+
+import pytest
+
+from repro.engine import Evaluator, match, match_q, pattern_specificity, substitute
+from repro.mexpr import parse
+
+
+def m(pattern: str, subject: str, evaluator=None):
+    return match(parse(pattern), parse(subject), evaluator=evaluator)
+
+
+class TestBasicMatching:
+    def test_literal_match(self):
+        assert m("1", "1") == {}
+        assert m("1", "2") is None
+
+    def test_blank_matches_anything(self):
+        assert m("_", "f[x]") == {}
+        assert m("_", "42") == {}
+
+    def test_named_blank_binds(self):
+        assert m("x_", "5") == {"x": parse("5")}
+
+    def test_typed_blank(self):
+        assert m("x_Integer", "5") == {"x": parse("5")}
+        assert m("x_Integer", "5.0") is None
+        assert m("x_Real", "5.0") is not None
+        assert m("x_Symbol", "foo") is not None
+        assert m("x_String", '"s"') is not None
+
+    def test_head_restricted_blank_on_normals(self):
+        assert m("_List", "{1, 2}") is not None
+        assert m("_List", "f[1]") is None
+
+    def test_structural_match(self):
+        bindings = m("f[x_, y_]", "f[1, g[2]]")
+        assert bindings == {"x": parse("1"), "y": parse("g[2]")}
+
+    def test_arity_mismatch(self):
+        assert m("f[x_]", "f[1, 2]") is None
+
+    def test_head_mismatch(self):
+        assert m("f[x_]", "g[1]") is None
+
+    def test_repeated_name_must_agree(self):
+        assert m("f[x_, x_]", "f[1, 1]") is not None
+        assert m("f[x_, x_]", "f[1, 2]") is None
+
+    def test_nested_patterns(self):
+        bindings = m("f[g[x_], x_]", "f[g[3], 3]")
+        assert bindings == {"x": parse("3")}
+
+
+class TestSequencePatterns:
+    def test_blank_sequence_one_or_more(self):
+        bindings = m("f[x__]", "f[1, 2, 3]")
+        assert bindings["x"] == parse("Sequence[1, 2, 3]")
+        assert m("f[x__]", "f[]") is None
+
+    def test_blank_null_sequence_zero_or_more(self):
+        assert m("f[x___]", "f[]")["x"] == parse("Sequence[]")
+
+    def test_sequence_with_following_pattern(self):
+        bindings = m("f[x__, y_]", "f[1, 2, 3]")
+        assert bindings["x"] == parse("Sequence[1, 2]")
+        assert bindings["y"] == parse("3")
+
+    def test_two_sequences_backtrack(self):
+        bindings = m("f[x__, y__]", "f[1, 2, 3]")
+        # greedy first: x takes as much as possible
+        assert bindings["x"] == parse("Sequence[1, 2]")
+        assert bindings["y"] == parse("Sequence[3]")
+
+    def test_typed_sequence(self):
+        assert m("f[x__Integer]", "f[1, 2]") is not None
+        assert m("f[x__Integer]", "f[1, 2.0]") is None
+
+
+class TestGuards:
+    def test_condition(self, evaluator):
+        assert m("x_ /; x > 3", "5", evaluator) is not None
+        assert m("x_ /; x > 3", "2", evaluator) is None
+
+    def test_pattern_test(self, evaluator):
+        assert m("x_?EvenQ", "4", evaluator) is not None
+        assert m("x_?EvenQ", "3", evaluator) is None
+
+    def test_alternatives(self):
+        pattern = parse("Alternatives[1, 2, x_Real]")
+        assert match(pattern, parse("2")) is not None
+        assert match(pattern, parse("2.5")) is not None
+        assert match(pattern, parse("3")) is None
+
+    def test_hold_pattern_transparent(self):
+        assert m("HoldPattern[f[x_]]", "f[1]") is not None
+
+
+class TestSubstitute:
+    def test_simple(self):
+        result = substitute(parse("x + y"), {"x": parse("1")})
+        assert result == parse("1 + y")
+
+    def test_sequence_splices(self):
+        result = substitute(
+            parse("f[pre, x, post]"), {"x": parse("Sequence[1, 2]")}
+        )
+        assert result == parse("f[pre, 1, 2, post]")
+
+    def test_head_substitution(self):
+        result = substitute(parse("h[1]"), {"h": parse("g")})
+        assert result == parse("g[1]")
+
+
+class TestSpecificity:
+    def test_literal_beats_typed_blank(self):
+        assert pattern_specificity(parse("f[1]")) > pattern_specificity(
+            parse("f[x_Integer]")
+        )
+
+    def test_typed_blank_beats_bare(self):
+        assert pattern_specificity(parse("x_Integer")) > pattern_specificity(
+            parse("x_")
+        )
+
+    def test_blank_beats_sequence(self):
+        assert pattern_specificity(parse("x_")) > pattern_specificity(
+            parse("x__")
+        )
+
+    def test_condition_adds_specificity(self):
+        assert pattern_specificity(parse("x_ /; x > 0")) > (
+            pattern_specificity(parse("x_"))
+        )
+
+    def test_paper_and_macro_ordering(self):
+        """§4.2: the And rules must order most-specific-first."""
+        rules = ["And[x_]", "And[False, rest___]", "And[x_, False]",
+                 "And[True, rest__]", "And[x_, y_]", "And[x_, y_, rest__]"]
+        unary, false_first, false_second, true_first, binary, nary = (
+            pattern_specificity(parse(r)) for r in rules
+        )
+        # the two literal-anchored rules are equally specific (disjoint
+        # literals), and both beat the generic binary and n-ary rules
+        assert false_first == true_first
+        assert false_second > binary
+        # the n-ary fallback never outranks the binary rule (arity keeps
+        # them disjoint; equal scores are fine)
+        assert binary >= nary
+
+
+class TestDownValueOrdering:
+    def test_specific_rule_fires_first(self, run):
+        assert run("f[x_] := 0; f[1] := 99; {f[1], f[2]}") == "List[99, 0]"
+
+    def test_redefinition_replaces(self, run):
+        assert run("g[x_] := 1; g[x_] := 2; g[0]") == "2"

@@ -1,0 +1,133 @@
+"""FullForm/InputForm printers and the wire serializer."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mexpr import (
+    MComplex,
+    MExprNormal,
+    MInteger,
+    MReal,
+    MString,
+    MSymbol,
+    dumps,
+    expr,
+    full_form,
+    input_form,
+    list_expr,
+    loads,
+    parse,
+)
+
+
+class TestFullForm:
+    def test_atoms(self):
+        assert full_form(MInteger(-3)) == "-3"
+        assert full_form(MReal(0.5)) == "0.5"
+        assert full_form(MString('a"b')) == '"a\\"b"'
+        assert full_form(MSymbol("x")) == "x"
+        assert full_form(MComplex(1 + 2j)) == "Complex[1.0, 2.0]"
+
+    def test_normal(self):
+        assert full_form(expr("f", 1, expr("g", "s"))) == 'f[1, g["s"]]'
+
+    def test_special_reals(self):
+        assert full_form(MReal(float("nan"))) == "Indeterminate"
+        assert full_form(MReal(float("inf"))) == "Infinity"
+        assert full_form(MReal(float("-inf"))) == "-Infinity"
+
+
+class TestInputForm:
+    @pytest.mark.parametrize("source,expected", [
+        ("Plus[1, 2]", "1 + 2"),
+        ("Times[2, x]", "2*x"),
+        ("Power[x, 2]", "x^2"),
+        ("List[1, 2]", "{1, 2}"),
+        ("Part[x, 1]", "x[[1]]"),
+        ("Rule[a, b]", "a -> b"),
+        ("Slot[1]", "#"),
+        ("Slot[2]", "#2"),
+        ("Pattern[x, Blank[]]", "x_"),
+        ("Pattern[x, Blank[Integer]]", "x_Integer"),
+        ("Equal[a, 1]", "a == 1"),
+    ])
+    def test_rendering(self, source, expected):
+        assert input_form(parse(source)) == expected
+
+    def test_precedence_parenthesization(self):
+        assert input_form(parse("Times[Plus[1, 2], 3]")) == "(1 + 2)*3"
+
+    def test_function_renders_with_ampersand(self):
+        assert "&" in input_form(parse("Function[Plus[Slot[1], 1]]"))
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("source", [
+        "42", "2.5", '"text"', "sym",
+        "f[1, {2, 3}, g[x]]",
+        "Function[{n}, If[n < 1, 1, n]]",
+    ])
+    def test_round_trip(self, source):
+        node = parse(source)
+        assert loads(dumps(node)) == node
+
+    def test_metadata_survives(self):
+        node = parse("f[x]")
+        node.set_property("stage", "lowered")
+        restored = loads(dumps(node))
+        assert restored.get_property("stage") == "lowered"
+
+    def test_non_serializable_metadata_dropped(self):
+        node = parse("x")
+        node.set_property("callback", lambda: None)
+        assert loads(dumps(node)) == node
+
+    def test_complex_round_trip(self):
+        node = MComplex(3 - 4j)
+        assert loads(dumps(node)) == node
+
+
+# -- property-based -------------------------------------------------------------------
+
+_atoms = st.one_of(
+    st.integers(min_value=-10**12, max_value=10**12).map(MInteger),
+    st.floats(allow_nan=False, allow_infinity=False,
+              min_value=-1e6, max_value=1e6).map(MReal),
+    st.text(alphabet="abcXYZ ", max_size=8).map(MString),
+    st.sampled_from(["x", "y", "foo", "Plus"]).map(MSymbol),
+)
+
+
+def _exprs(depth: int):
+    if depth == 0:
+        return _atoms
+    return st.one_of(
+        _atoms,
+        st.builds(
+            lambda head, args: MExprNormal(MSymbol(head), args),
+            st.sampled_from(["f", "g", "List", "Plus"]),
+            st.lists(_exprs(depth - 1), max_size=3),
+        ),
+    )
+
+
+class TestPropertyBased:
+    @given(_exprs(3))
+    @settings(max_examples=80)
+    def test_serialize_round_trip(self, node):
+        assert loads(dumps(node)) == node
+
+    @given(_exprs(3))
+    @settings(max_examples=80)
+    def test_clone_equals_original(self, node):
+        assert node.clone() == node
+
+    @given(st.integers(min_value=-10**9, max_value=10**9),
+           st.integers(min_value=-10**9, max_value=10**9))
+    @settings(max_examples=50)
+    def test_parse_prints_integers(self, a, b):
+        node = expr("Plus", a, b)
+        assert parse(full_form(node)) == node

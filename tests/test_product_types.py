@@ -1,0 +1,102 @@
+"""Structural product types: TypeProduct / TypeProjection (§4.4)."""
+
+import pytest
+
+from repro.compiler import FunctionCompile
+from repro.compiler.types.specifier import (
+    CompoundType,
+    parse_type_specifier,
+    ty,
+)
+from repro.errors import WolframTypeError
+from repro.mexpr import parse
+
+
+class TestTypeSpecifier:
+    def test_type_product_parses(self):
+        node = parse_type_specifier(
+            parse('TypeProduct["Integer64", "Real64"]')
+        )
+        assert isinstance(node, CompoundType)
+        assert node.constructor == "Product"
+        assert node.params == (ty("Integer64"), ty("Real64"))
+
+    def test_type_projection_extracts_component(self):
+        node = parse_type_specifier(parse(
+            'TypeProjection[TypeProduct["Integer64", "Real64"], 2]'
+        ))
+        assert node == ty("Real64")
+
+    def test_projection_index_out_of_range(self):
+        with pytest.raises(WolframTypeError):
+            parse_type_specifier(parse(
+                'TypeProjection[TypeProduct["Integer64"], 5]'
+            ))
+
+    def test_projection_of_non_product(self):
+        with pytest.raises(WolframTypeError):
+            parse_type_specifier(parse('TypeProjection["Integer64", 1]'))
+
+
+class TestCompiledProducts:
+    def test_make_and_project(self):
+        f = FunctionCompile(
+            'Function[{Typed[x, "MachineInteger"], Typed[y, "Real64"]},'
+            ' Module[{p = Native`MakeProduct[x, y]},'
+            '  Native`Projection2[p] + 1.0]]'
+        )
+        assert f(3, 2.5) == 3.5
+
+    def test_projection_macro_by_literal_index(self):
+        f = FunctionCompile(
+            'Function[{Typed[x, "MachineInteger"], Typed[y, "MachineInteger"]},'
+            ' Module[{p = Native`MakeProduct[x, y]},'
+            '  Native`Projection[p, 1] * 10 + Native`Projection[p, 2]]]'
+        )
+        assert f(4, 2) == 42
+
+    def test_three_field_product(self):
+        f = FunctionCompile(
+            'Function[{Typed[a, "MachineInteger"],'
+            ' Typed[b, "MachineInteger"], Typed[c, "MachineInteger"]},'
+            ' Module[{p = Native`MakeProduct[a, b, c]},'
+            '  Native`Projection[p, 3] - Native`Projection[p, 1]]]'
+        )
+        assert f(10, 20, 30) == 20
+
+    def test_heterogeneous_fields_keep_their_types(self):
+        f = FunctionCompile(
+            'Function[{Typed[s, "String"], Typed[n, "MachineInteger"]},'
+            ' Module[{p = Native`MakeProduct[s, n]},'
+            '  StringLength[Native`Projection1[p]] + Native`Projection2[p]]]'
+        )
+        assert f("four", 10) == 14
+
+    def test_product_typed_parameter(self):
+        f = FunctionCompile(
+            'Function[{Typed[p, TypeSpecifier['
+            ' TypeProduct["Integer64", "Integer64"]]]},'
+            ' Native`Projection1[p] + Native`Projection2[p]]'
+        )
+        assert f((20, 22)) == 42
+
+    def test_product_returned_to_python(self):
+        f = FunctionCompile(
+            'Function[{Typed[x, "MachineInteger"]},'
+            ' Native`MakeProduct[x, x * x]]'
+        )
+        assert f(6) == (6, 36)
+
+    def test_products_flow_through_loops(self):
+        # a (value, count) accumulator threaded through a loop
+        f = FunctionCompile(
+            'Function[{Typed[n, "MachineInteger"]},'
+            ' Module[{acc = Native`MakeProduct[0, 0], i = 1},'
+            '  While[i <= n,'
+            '   acc = Native`MakeProduct['
+            '     Native`Projection1[acc] + i,'
+            '     Native`Projection2[acc] + 1];'
+            '   i = i + 1];'
+            '  Native`Projection1[acc] * 100 + Native`Projection2[acc]]]'
+        )
+        assert f(10) == 5510

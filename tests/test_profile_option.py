@@ -1,0 +1,38 @@
+"""The Profile instrumentation flag (§A.6.2's Information header)."""
+
+from repro.compiler import FunctionCompile
+
+SRC = (
+    'Function[{Typed[n, "MachineInteger"]},'
+    ' Module[{s = 0, i = 1}, While[i <= n, s = s + i*i; i = i + 1]; s]]'
+)
+
+
+class TestProfile:
+    def test_counters_populated(self):
+        f = FunctionCompile(SRC, Profile=True)
+        assert f(10) == 385
+        counts = f.profile_counts
+        assert counts, "profiling produced no counters"
+        # the loop multiplies once per iteration
+        assert counts.get("Times") == 10
+        assert counts.get("Plus", 0) >= 10
+
+    def test_counters_accumulate_across_calls(self):
+        f = FunctionCompile(SRC, Profile=True)
+        f(5)
+        first = dict(f.profile_counts)
+        f(5)
+        assert f.profile_counts["Times"] == 2 * first["Times"]
+
+    def test_off_by_default(self):
+        f = FunctionCompile(SRC)
+        f(5)
+        assert f.profile_counts == {}
+        assert "_prof[" not in f.generated_source
+
+    def test_information_header_reflects_flag(self):
+        profiled = FunctionCompile(SRC, Profile=True)
+        assert profiled.program.main_function().information["Profile"] is True
+        plain = FunctionCompile(SRC)
+        assert plain.program.main_function().information["Profile"] is False

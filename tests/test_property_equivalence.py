@@ -1,0 +1,162 @@
+"""Property-based equivalence: the three execution tiers must agree.
+
+The strongest correctness invariant this reproduction has: for any program
+in the common subset, interpreter, bytecode VM, and new-compiler results
+coincide with each other and with a Python oracle.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bytecode import compile_function
+from repro.compiler import FunctionCompile
+from repro.engine import Evaluator
+from repro.mexpr import parse
+
+# -- expression generator over a tiny integer language -----------------------------
+
+_INT = st.integers(min_value=-50, max_value=50)
+
+
+def _expressions(depth: int):
+    leaf = st.one_of(
+        _INT.map(str),
+        st.just("x"),
+    )
+    if depth == 0:
+        return leaf
+    sub = _expressions(depth - 1)
+    return st.one_of(
+        leaf,
+        st.tuples(sub, sub).map(lambda t: f"({t[0]} + {t[1]})"),
+        st.tuples(sub, sub).map(lambda t: f"({t[0]} * {t[1]})"),
+        st.tuples(sub, sub).map(lambda t: f"({t[0]} - {t[1]})"),
+        st.tuples(sub, sub, sub).map(
+            lambda t: f"If[{t[0]} < {t[1]}, {t[2]}, {t[0]}]"
+        ),
+        sub.map(lambda s: f"Abs[{s}]"),
+        sub.map(lambda s: f"Max[{s}, 0]"),
+    )
+
+
+class TestTierEquivalence:
+    @given(_expressions(3), _INT)
+    @settings(max_examples=40, deadline=None)
+    def test_integer_expressions_agree(self, body, x):
+        evaluator = Evaluator()
+        interpreted = evaluator.run(f"Function[{{x}}, {body}][{x}]")
+        expected = interpreted.to_python()
+
+        compiled = FunctionCompile(
+            f'Function[{{Typed[x, "MachineInteger"]}}, {body}]'
+        )
+        assert compiled(x) == expected
+
+        bytecode = compile_function(
+            parse("{{x, _Integer}}"), parse(body), evaluator
+        )
+        assert bytecode(x) == expected
+
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000),
+                    min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_total_agrees(self, data):
+        compiled = FunctionCompile(
+            'Function[{Typed[v, TypeSpecifier["Tensor"["Integer64", 1]]]},'
+            ' Total[v]]'
+        )
+        assert compiled(data) == sum(data)
+
+    @given(st.lists(st.integers(min_value=-10**6, max_value=10**6),
+                    min_size=1, max_size=64))
+    @settings(max_examples=30, deadline=None)
+    def test_compiled_qsort_matches_sorted(self, data):
+        from repro.benchsuite import programs
+
+        compiled = FunctionCompile(programs.NEW_QSORT)
+        out = compiled(data, lambda a, b: a < b)
+        assert out.to_nested() == sorted(data)
+
+    @given(st.text(max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_compiled_fnv_matches_reference(self, text):
+        from repro.benchsuite import programs, reference
+
+        compiled = FunctionCompile(programs.NEW_FNV1A)
+        assert compiled(text) == reference.fnv1a_c_port(text)
+
+    @given(st.text(max_size=64))
+    @settings(max_examples=30, deadline=None)
+    def test_compiled_fnv64_matches_python(self, text):
+        from repro.benchsuite import programs
+
+        def fnv64(s: str) -> int:
+            h = 14695981039346656037
+            for b in s.encode("utf-8"):
+                h ^= b
+                h = (h * 1099511628211) & 0xFFFFFFFFFFFFFFFF
+            return h
+
+        compiled = FunctionCompile(programs.NEW_FNV1A_64)
+        assert compiled(text) == fnv64(text)
+
+    @given(st.floats(min_value=-3.0, max_value=3.0,
+                     allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_real_math_matches_python(self, x):
+        compiled = FunctionCompile(
+            'Function[{Typed[x, "Real64"]}, Sin[x]*Cos[x] + Exp[x]/2.0]'
+        )
+        assert compiled(x) == pytest.approx(
+            math.sin(x) * math.cos(x) + math.exp(x) / 2.0
+        )
+
+# fib(93) overflows int64, and the loop computes one step ahead: cap at 91
+    @given(st.integers(min_value=0, max_value=91))
+    @settings(max_examples=20, deadline=None)
+    def test_iterative_fib_matches_python(self, n):
+        compiled = FunctionCompile(
+            'Function[{Typed[n, "MachineInteger"]},'
+            ' Module[{a = 0, b = 1, i = 1},'
+            '  While[i <= n, Module[{t = a + b}, a = b; b = t]; i = i + 1];'
+            '  a]]'
+        )
+        a, b = 0, 1
+        for _ in range(n):
+            a, b = b, a + b
+        assert compiled(n) == a
+
+
+class TestInterpreterOracleProperties:
+    @given(st.lists(st.integers(min_value=-100, max_value=100), max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_sort_matches_python(self, data):
+        evaluator = Evaluator()
+        from repro.mexpr import to_mexpr
+
+        evaluator.state.set_own_value("lst", to_mexpr(data))
+        result = evaluator.run("Sort[lst]").to_python()
+        assert result == sorted(data)
+
+    @given(st.lists(st.integers(min_value=-100, max_value=100),
+                    min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_fold_plus_is_total(self, data):
+        evaluator = Evaluator()
+        from repro.mexpr import to_mexpr
+
+        evaluator.state.set_own_value("lst", to_mexpr(data))
+        fold = evaluator.run("Fold[Plus, 0, lst]").to_python()
+        total = evaluator.run("Total[lst]").to_python()
+        assert fold == total == sum(data)
+
+    @given(st.integers(min_value=1, max_value=40))
+    @settings(max_examples=20, deadline=None)
+    def test_range_total_closed_form(self, n):
+        evaluator = Evaluator()
+        assert evaluator.run(f"Total[Range[{n}]]").to_python() == (
+            n * (n + 1) // 2
+        )

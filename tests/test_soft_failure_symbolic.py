@@ -1,0 +1,202 @@
+"""Soft numerical failure (F2, §4.5), symbolic compute (F8), and kernel
+escapes (F9)."""
+
+import pytest
+
+from repro.compiler import FunctionCompile, install_engine_support
+from repro.engine import Evaluator
+from repro.mexpr import MSymbol, full_form, parse
+
+
+@pytest.fixture()
+def hosted_evaluator():
+    evaluator = Evaluator()
+    install_engine_support(evaluator)
+    return evaluator
+
+
+ITERATIVE_FIB = (
+    'Function[{Typed[n, "MachineInteger"]},'
+    ' Module[{a = 0, b = 1, i = 1},'
+    '  While[i <= n, Module[{t = a + b}, a = b; b = t]; i = i + 1]; a]]'
+)
+
+
+class TestSoftFailure:
+    def test_overflow_reverts_to_interpreter(self, hosted_evaluator):
+        """The paper's cfib[200] transcript, with an iterative fib (naive
+        recursion at n=200 is astronomically slow on any engine; see
+        EXPERIMENTS.md).  Machine result below 2^63, bignum above."""
+        fib = FunctionCompile(ITERATIVE_FIB, evaluator=hosted_evaluator)
+        assert fib(10) == 55
+        assert fib(90) == 2880067194370816120  # still machine-sized
+        result = fib(200)
+        assert result == 280571172992510140037611932413038677189525
+        assert fib.fallback_count == 1
+
+    def test_warning_message_matches_paper(self, hosted_evaluator):
+        fib = FunctionCompile(ITERATIVE_FIB, evaluator=hosted_evaluator)
+        fib(200)
+        message = hosted_evaluator.messages[-1]
+        assert "A compiled code runtime error occurred" in message
+        assert "reverting to uncompiled evaluation" in message
+        assert "IntegerOverflow" in message
+
+    def test_division_by_zero_reverts(self, hosted_evaluator):
+        f = FunctionCompile(
+            'Function[{Typed[x, "Real64"]}, 1.0 / x]',
+            evaluator=hosted_evaluator,
+        )
+        assert f(4.0) == 0.25
+        result = f(0.0)  # interpreter yields the symbolic ComplexInfinity
+        assert full_form(result) == "ComplexInfinity"
+
+    def test_part_out_of_range_reverts(self, hosted_evaluator):
+        f = FunctionCompile(
+            'Function[{Typed[v, TypeSpecifier["Tensor"["Integer64", 1]]],'
+            ' Typed[i, "MachineInteger"]}, v[[i]]]',
+            evaluator=hosted_evaluator,
+        )
+        assert f([1, 2, 3], 2) == 2
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            f([1, 2, 3], 7)  # interpreter also rejects part 7
+
+    def test_without_evaluator_error_propagates(self):
+        from repro.errors import IntegerOverflowError
+
+        fib = FunctionCompile(ITERATIVE_FIB)  # standalone: no soft mode
+        with pytest.raises(IntegerOverflowError):
+            fib(200)
+
+    def test_recursive_cfib_via_engine_binding(self, hosted_evaluator):
+        """cfib bound into the engine: recursion works compiled, and each
+        call can independently fall back (§2.2)."""
+        cfib = FunctionCompile(
+            'Function[{Typed[n, "MachineInteger"]},'
+            ' If[n < 1, 1, cfib[n - 1] + cfib[n - 2]]]',
+            evaluator=hosted_evaluator,
+            bind="cfib",
+        )
+        assert cfib(15) == 1597
+        # the engine-side binding also evaluates
+        assert hosted_evaluator.run("cfib[15]").to_python() == 1597
+
+
+class TestSymbolicCompute:
+    """§4.5 Symbolic Computation: cf[1,2] -> 3, cf[x,y] -> x+y, ..."""
+
+    @pytest.fixture()
+    def cf(self):
+        return FunctionCompile(
+            'Function[{Typed[arg1, "Expression"], Typed[arg2, "Expression"]},'
+            ' arg1 + arg2]'
+        )
+
+    def test_numeric_arguments(self, cf):
+        assert full_form(cf(1, 2)) == "3"
+
+    def test_symbolic_arguments(self, cf):
+        assert full_form(cf(MSymbol("x"), MSymbol("y"))) == "Plus[x, y]"
+
+    def test_paper_mixed_case(self, cf):
+        result = cf(parse("x"), parse("Cos[y] + Sin[z]"))
+        assert full_form(result) == "Plus[x, Cos[y], Sin[z]]"
+
+    def test_symbolic_times(self):
+        f = FunctionCompile(
+            'Function[{Typed[e, "Expression"]}, e * e]'
+        )
+        assert full_form(f(parse("q"))) == "Times[q, q]"
+        assert full_form(f(3)) == "9"
+
+    def test_expression_head_and_length(self):
+        f = FunctionCompile(
+            'Function[{Typed[e, "Expression"]}, Length[e]]'
+        )
+        assert f(parse("f[a, b, c]")) == 3
+
+    def test_expression_part(self):
+        f = FunctionCompile(
+            'Function[{Typed[e, "Expression"], Typed[i, "MachineInteger"]},'
+            ' e[[i]]]'
+        )
+        assert full_form(f(parse("g[a, b]"), 2)) == "b"
+
+    def test_expression_equality(self):
+        f = FunctionCompile(
+            'Function[{Typed[a, "Expression"], Typed[b, "Expression"]},'
+            ' a == b]'
+        )
+        assert f(parse("h[1]"), parse("h[1]")) is True
+        assert f(parse("h[1]"), parse("h[2]")) is False
+
+
+class TestKernelEscape:
+    """F9 gradual compilation: KernelFunction escapes to the interpreter."""
+
+    def test_kernel_function_call(self, hosted_evaluator):
+        f = FunctionCompile(
+            'Function[{Typed[n, "MachineInteger"]},'
+            ' KernelFunction[Fibonacci][n]]',
+            evaluator=hosted_evaluator,
+        )
+        assert full_form(f(30)) == "832040"
+
+    def test_kernel_result_feeds_symbolic_flow(self, hosted_evaluator):
+        f = FunctionCompile(
+            'Function[{Typed[e, "Expression"]},'
+            ' KernelFunction[Reverse][e]]',
+            evaluator=hosted_evaluator,
+        )
+        # Reverse is an interpreter operation; the call round-trips an
+        # expression through the kernel (F9)
+        result = f(parse("f[1, 2, 3]"))
+        assert full_form(result) == "f[3, 2, 1]"
+
+    def test_kernel_escape_with_user_definitions(self, hosted_evaluator):
+        hosted_evaluator.run("userFn[x_] := x * 10")
+        f = FunctionCompile(
+            'Function[{Typed[n, "MachineInteger"]},'
+            ' KernelFunction[userFn][n]]',
+            evaluator=hosted_evaluator,
+        )
+        assert full_form(f(7)) == "70"
+
+    def test_standalone_kernel_escape_fails_softly(self):
+        """§4.6: standalone code has no interpreter to escape to."""
+        from repro.errors import WolframRuntimeError
+
+        f = FunctionCompile(
+            'Function[{Typed[n, "MachineInteger"]},'
+            ' KernelFunction[Fibonacci][n]]'
+        )
+        with pytest.raises(WolframRuntimeError):
+            f(5)
+
+
+class TestEngineIntegration:
+    """F1: FunctionCompile hosted inside the interpreter session."""
+
+    def test_function_compile_builtin(self, hosted_evaluator):
+        result = hosted_evaluator.run(
+            'cadd = FunctionCompile[Function[{Typed[x, "MachineInteger"]},'
+            ' x + 1]]; cadd[41]'
+        )
+        assert result.to_python() == 42
+
+    def test_compiled_function_in_map(self, hosted_evaluator):
+        result = hosted_evaluator.run(
+            'cdouble = FunctionCompile[Function[{Typed[x, "MachineInteger"]},'
+            ' 2*x]]; Map[cdouble, {1, 2, 3}]'
+        )
+        assert result.to_python() == [2, 4, 6]
+
+    def test_compiled_and_interpreted_intermix(self, hosted_evaluator):
+        hosted_evaluator.run(
+            'csq = FunctionCompile[Function[{Typed[x, "MachineInteger"]},'
+            ' x*x]]'
+        )
+        result = hosted_evaluator.run("Total[Map[csq, Range[5]]] + Fibonacci[5]")
+        assert result.to_python() == 55 + 5

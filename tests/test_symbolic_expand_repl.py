@@ -1,0 +1,74 @@
+"""Expand (engine symbolic algebra) and the Figure-1-style REPL."""
+
+import io
+
+import pytest
+
+
+class TestExpand:
+    @pytest.mark.parametrize("source,expected", [
+        ("Expand[(x + 1)^2]", "Plus[1, Power[x, 2], Times[2, x]]"),
+        ("Expand[(x + y)*(x - y)]",
+         "Plus[Power[x, 2], Times[-1, Power[y, 2]]]"),
+        ("Expand[2*(a + b)]", "Plus[Times[2, a], Times[2, b]]"),
+        ("Expand[3 x + 2 x]", "Times[5, x]"),
+        ("Expand[x - x]", "0"),
+        ("Expand[5]", "5"),
+        ("Expand[x]", "x"),
+    ])
+    def test_value(self, run, source, expected):
+        assert run(source) == expected
+
+    def test_binomial_coefficients(self, run_value):
+        # (x+1)^4 at x=1 is 2^4
+        assert run_value("Expand[(x + 1)^4] /. x -> 1") == 16
+
+    def test_expansion_agrees_numerically(self, evaluator):
+        original = evaluator.run("((a + b)*(a - 2*b)) /. {a -> 7, b -> 3}")
+        expanded = evaluator.run(
+            "Expand[(a + b)*(a - 2*b)] /. {a -> 7, b -> 3}"
+        )
+        assert original == expanded
+
+    def test_expand_then_differentiate(self, run):
+        assert run("D[Expand[(x + 1)^2], x]") == "Plus[2, Times[2, x]]"
+
+
+class TestREPL:
+    def run_session(self, text: str) -> str:
+        from repro.__main__ import repl
+
+        output = io.StringIO()
+        repl(io.StringIO(text), output)
+        return output.getvalue()
+
+    def test_in_out_numbering(self):
+        transcript = self.run_session("1 + 1\n2 + 2\n")
+        assert "In[1]:=" in transcript
+        assert "Out[1]= 2" in transcript
+        assert "Out[2]= 4" in transcript
+
+    def test_state_persists_between_inputs(self):
+        transcript = self.run_session("x = 10\nx * x\n")
+        assert "Out[2]= 100" in transcript
+
+    def test_function_compile_available(self):
+        transcript = self.run_session(
+            'c = FunctionCompile[Function[{Typed[k, "MachineInteger"]},'
+            " k + 1]]; c[41]\n"
+        )
+        assert "Out[1]= 42" in transcript
+
+    def test_syntax_error_does_not_kill_session(self):
+        transcript = self.run_session("1 +\n5\n")
+        assert "Syntax:" in transcript
+        assert "Out[2]= 5" in transcript
+
+    def test_soft_failure_message_shown(self):
+        transcript = self.run_session(
+            'f = FunctionCompile[Function[{Typed[n, "MachineInteger"]},'
+            " Module[{a = 0, b = 1, i = 1}, While[i <= n,"
+            " Module[{t = a + b}, a = b; b = t]; i = i + 1]; a]]]; f[200]\n"
+        )
+        assert "reverting to uncompiled evaluation" in transcript
+        assert "280571172992510140037611932413038677189525" in transcript

@@ -1,0 +1,79 @@
+"""Property-based symbolic algebra: Expand and D agree with numeric
+evaluation on random polynomials."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Evaluator
+from repro.engine.patterns import substitute
+from repro.mexpr import MInteger, MReal, expr, parse
+
+_coefficients = st.lists(
+    st.integers(min_value=-9, max_value=9), min_size=1, max_size=5
+)
+
+
+def _polynomial_source(coefficients) -> str:
+    terms = [
+        f"({c})*x^{i}" if i else f"({c})"
+        for i, c in enumerate(coefficients)
+    ]
+    return " + ".join(terms)
+
+
+def _evaluate_at(evaluator, source: str, x: float) -> float:
+    bound = substitute(parse(source), {"x": MReal(float(x))})
+    return evaluator.evaluate(expr("N", bound)).to_python()
+
+
+class TestExpandProperties:
+    @given(_coefficients, _coefficients,
+           st.floats(min_value=-3, max_value=3, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_expanded_product_agrees_numerically(self, p, q, x):
+        evaluator = Evaluator()
+        product = f"({_polynomial_source(p)}) * ({_polynomial_source(q)})"
+        direct = _evaluate_at(evaluator, product, x)
+        expanded_expr = evaluator.run(f"Expand[{product}]")
+        from repro.mexpr import full_form
+
+        expanded = _evaluate_at(evaluator, full_form(expanded_expr), x)
+        assert expanded == pytest.approx(direct, rel=1e-9, abs=1e-9)
+
+    @given(st.integers(min_value=2, max_value=5),
+           st.floats(min_value=-2, max_value=2, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_binomial_power_agrees(self, n, x):
+        evaluator = Evaluator()
+        from repro.mexpr import full_form
+
+        expanded = evaluator.run(f"Expand[(x + 1)^{n}]")
+        value = _evaluate_at(evaluator, full_form(expanded), x)
+        assert value == pytest.approx((x + 1) ** n, rel=1e-9, abs=1e-9)
+
+
+class TestDerivativeProperties:
+    @given(_coefficients,
+           st.floats(min_value=-2, max_value=2, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_d_matches_finite_difference(self, coefficients, x):
+        evaluator = Evaluator()
+        source = _polynomial_source(coefficients)
+        from repro.mexpr import full_form
+
+        derivative = evaluator.run(f"D[{source}, x]")
+        analytic = _evaluate_at(evaluator, full_form(derivative), x)
+        h = 1e-6
+        numeric = (
+            _evaluate_at(evaluator, source, x + h)
+            - _evaluate_at(evaluator, source, x - h)
+        ) / (2 * h)
+        assert analytic == pytest.approx(numeric, rel=1e-3, abs=1e-3)
+
+    def test_prime_operator_on_stored_function(self, run):
+        assert run("g = Function[{x}, x^3]; g'[2]") == "12"
+        assert run("g'[y]") == "Times[3, Power[y, 2]]"
+
+    def test_second_derivative_via_nesting(self, run):
+        assert run("D[D[x^4, x], x]") == "Times[12, Power[x, 2]]"

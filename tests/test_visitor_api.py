@@ -1,0 +1,109 @@
+"""The MExpr visitor API (§4.2) and multi-expression parsing."""
+
+from repro.mexpr import (
+    MExprTransformer,
+    MExprVisitor,
+    MInteger,
+    MSymbol,
+    full_form,
+    parse,
+    parse_all,
+)
+
+
+class TestVisitor:
+    def test_head_dispatch(self):
+        seen = []
+
+        class PlusCollector(MExprVisitor):
+            def visit_Plus(self, node):  # noqa: N802
+                seen.append(full_form(node))
+                for arg in node.args:
+                    self.visit(arg)
+
+        # the default normal-visit recurses, so nested Plus nodes dispatch
+        PlusCollector().visit(parse("f[1 + 2, 3 + x]"))
+        assert seen == ["Plus[1, 2]", "Plus[3, x]"]
+
+    def test_symbol_and_literal_hooks(self):
+        symbols, literals = [], []
+
+        class Census(MExprVisitor):
+            def visit_symbol(self, node):
+                symbols.append(node.name)
+
+            def visit_literal(self, node):
+                literals.append(node.to_python())
+
+        Census().visit(parse("g[x, 2, 3.5]"))
+        assert symbols == ["g", "x"]
+        assert literals == [2, 3.5]
+
+    def test_free_variable_analysis_via_visitor(self):
+        """The visitor style the paper's binding analysis uses (§4.2)."""
+
+        class FreeVariables(MExprVisitor):
+            def __init__(self):
+                self.bound: set[str] = set()
+                self.free: set[str] = set()
+
+            def visit_Module(self, node):  # noqa: N802
+                spec, body = node.args
+                saved = set(self.bound)
+                for item in spec.args:
+                    name = item if isinstance(item, MSymbol) else item.args[0]
+                    self.bound.add(name.name)
+                    if not isinstance(item, MSymbol):
+                        self.visit(item.args[1])
+                self.visit(body)
+                self.bound = saved
+
+            def visit_symbol(self, node):
+                if node.name not in self.bound and node.name[0].islower():
+                    self.free.add(node.name)
+
+        analysis = FreeVariables()
+        analysis.visit(parse("Module[{a = outer}, a + b]"))
+        assert analysis.free == {"outer", "b"}
+
+
+class TestTransformer:
+    def test_bottom_up_rewrite(self):
+        class Incrementer(MExprTransformer):
+            def transform_literal(self, node):
+                if isinstance(node, MInteger):
+                    return MInteger(node.value + 1)
+                return node
+
+        out = Incrementer().transform(parse("f[1, g[2]]"))
+        assert full_form(out) == "f[2, g[3]]"
+
+    def test_identity_preserves_nodes(self):
+        node = parse("f[x, 1]")
+        assert MExprTransformer().transform(node) is node
+
+    def test_head_specific_transform(self):
+        class PlusToTimes(MExprTransformer):
+            def transform_Plus(self, node):  # noqa: N802
+                from repro.mexpr import MExprNormal, S
+
+                return MExprNormal(
+                    S.Times, [self.transform(a) for a in node.args]
+                )
+
+        out = PlusToTimes().transform(parse("h[1 + 2]"))
+        assert full_form(out) == "h[Times[1, 2]]"
+
+
+class TestParseAll:
+    def test_semicolon_separated_statements(self):
+        statements = parse_all("a = 1; b = 2; a + b")
+        assert len(statements) == 3
+        assert full_form(statements[2]) == "Plus[a, b]"
+
+    def test_single_expression(self):
+        statements = parse_all("f[x]")
+        assert len(statements) == 1
+
+    def test_empty_input(self):
+        assert parse_all("   ") == []

@@ -1,11 +1,15 @@
 """An interactive session in the style of the paper's Figure 1 notebook.
 
-Run:  python -m repro
+Run:  python -m repro [--stats]
 
 Each input gets an ``In[n]``/``Out[n]`` pair; ``FunctionCompile`` and
 ``Compile`` are available (F1), aborts are Ctrl-C (F3), and the session
 state persists across inputs, exactly as §2.3's programming-environment
 constraints require ("sessions cannot crash, code must be abortable").
+
+``--stats`` prints, at session end, each compiled function's
+:class:`~repro.runtime.guard.FallbackStats` (per-tier calls, soft
+failures, circuit-breaker tier) and the guarded-execution failure log.
 """
 
 from __future__ import annotations
@@ -19,7 +23,39 @@ from repro.errors import ReproError
 from repro.mexpr import full_form, parse
 
 
-def repl(input_stream=None, output=None) -> int:
+def _print_session_stats(session, out) -> None:
+    """The ``--stats`` report: fallback statistics + failure log."""
+    from repro.compiler.api import _ENGINE_TABLE_KEY, failure_records
+
+    out.write("\n-- guarded execution statistics --\n")
+    compiled = session.extensions.get(_ENGINE_TABLE_KEY, {})
+    bytecode = session.extensions.get("bytecode_compiled_functions", {})
+    if not compiled and not bytecode:
+        out.write("no compiled functions in this session\n")
+    for handle, fn in compiled.items():
+        out.write(
+            f"CompiledCodeFunction[{handle}] <{fn.program.main}>: "
+            f"{fn.stats().summary()}\n"
+        )
+    for handle, fn in bytecode.items():
+        out.write(f"CompiledFunction[{handle}]: {fn.stats().summary()}\n")
+    records = failure_records()
+    if records:
+        out.write(f"failure log ({len(records)} records):\n")
+        for record in records:
+            arrow = (
+                f" [{record.transition[0].value} -> "
+                f"{record.transition[1].value}]"
+                if record.transition
+                else ""
+            )
+            out.write(
+                f"  #{record.sequence} {record.function} "
+                f"{record.tier.value}: {record.kind}{arrow}\n"
+            )
+
+
+def repl(input_stream=None, output=None, show_stats: bool = False) -> int:
     stdin = input_stream or sys.stdin
     out = output or sys.stdout
     session = Evaluator()
@@ -34,6 +70,8 @@ def repl(input_stream=None, output=None) -> int:
         line = stdin.readline()
         if not line:
             out.write("\n")
+            if show_stats:
+                _print_session_stats(session, out)
             return 0
         source = line.strip()
         if not source:
@@ -46,18 +84,28 @@ def repl(input_stream=None, output=None) -> int:
             continue
 
         result_holder: dict = {}
+        # Completion is signalled via an Event, not Thread.join(): a join
+        # interrupted by Ctrl-C marks the thread stopped (CPython gh-89857),
+        # so a follow-up join can return before the worker has produced
+        # $Aborted — or while it is still running.
+        done = threading.Event()
 
         def evaluate():
-            result_holder["value"] = session.evaluate_protected(expression)
+            try:
+                result_holder["value"] = session.evaluate_protected(expression)
+            except ReproError as error:  # §2.3: the session must not crash
+                session.message(f"{type(error).__name__}: {error}")
+            finally:
+                done.set()
 
         worker = threading.Thread(target=evaluate, daemon=True)
         worker.start()
         try:
-            while worker.is_alive():
-                worker.join(timeout=0.1)
+            while not done.wait(timeout=0.1):
+                pass
         except KeyboardInterrupt:
             session.request_abort()  # F3: abort, keep the session alive
-            worker.join()
+            done.wait()
         for message in session.messages:
             out.write(message + "\n")
         session.messages.clear()
@@ -67,5 +115,18 @@ def repl(input_stream=None, output=None) -> int:
     return 0
 
 
+def main(argv=None) -> int:
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    show_stats = "--stats" in arguments
+    unknown = [a for a in arguments if a not in ("--stats",)]
+    if unknown:
+        sys.stderr.write(
+            f"unknown arguments: {' '.join(unknown)}\n"
+            "usage: python -m repro [--stats]\n"
+        )
+        return 2
+    return repl(show_stats=show_stats)
+
+
 if __name__ == "__main__":
-    raise SystemExit(repl())
+    raise SystemExit(main())

@@ -20,9 +20,14 @@ from typing import Optional
 from repro.bytecode.boxed import BoxedTensor
 from repro.bytecode.instructions import Instruction, RegisterCounts
 from repro.bytecode.vm import WVM
-from repro.errors import WolframAbort, WolframRuntimeError
-from repro.mexpr.expr import MExpr, MExprNormal
-from repro.mexpr.symbols import S, to_mexpr
+from repro.errors import (
+    GUARD_EXCEPTIONS,
+    WolframAbort,
+    WolframRuntimeError,
+)
+from repro.mexpr.expr import MExpr
+from repro.mexpr.symbols import to_mexpr
+from repro.runtime.guard import CircuitBreaker, FallbackStats, Tier
 
 
 @dataclass
@@ -39,8 +44,33 @@ class CompiledFunction:
     result_type: str
     #: set when the function is hosted inside an engine session
     evaluator: Optional[object] = field(default=None, repr=False)
-    #: statistics for tests: how often the soft fallback fired
-    fallback_count: int = 0
+    #: per-tier call/failure statistics (see :meth:`stats`)
+    fallback_stats: FallbackStats = field(
+        default_factory=FallbackStats, repr=False
+    )
+    #: tier governor: bytecode → interpreter after N soft failures
+    breaker: CircuitBreaker = field(
+        default_factory=lambda: CircuitBreaker(
+            "CompiledFunction", start=Tier.BYTECODE
+        ),
+        repr=False,
+    )
+
+    # -- fallback inspection -----------------------------------------------------
+
+    def stats(self) -> FallbackStats:
+        """Inspection API replacing the old bare ``fallback_count`` int."""
+        self.fallback_stats.current_tier = self.breaker.tier.value
+        return self.fallback_stats
+
+    @property
+    def fallback_count(self) -> int:
+        """Compatibility alias: number of interpreter re-evaluations (F2)."""
+        return self.fallback_stats.interpreter_reruns
+
+    def reset_tiers(self) -> None:
+        self.breaker.reset()
+        self.fallback_stats.reset()
 
     # -- serialization fidelity -------------------------------------------------
 
@@ -88,18 +118,32 @@ class CompiledFunction:
             self.register_counts = fresh.register_counts
             self.versions = fresh.versions
 
+        # circuit breaker: after N soft failures the VM tier is not
+        # re-attempted; calls run straight on the interpreter
+        if self.breaker.tier is Tier.INTERPRETER and self.evaluator is not None:
+            self.fallback_stats.record_call(Tier.INTERPRETER)
+            return self._reevaluate(arguments)
+
         boxed = self._check_and_box(arguments)
         abort_poll = None
         if self.evaluator is not None:
             abort_poll = self.evaluator.abort_pending
         machine = WVM(abort_poll=abort_poll, evaluator=self.evaluator)
+        self.fallback_stats.record_call(Tier.BYTECODE)
         try:
             result = machine.run(
                 self.instructions, self.constants, boxed, self.register_total
             )
         except WolframAbort:
             raise
+        except GUARD_EXCEPTIONS as error:
+            # a deadline/budget expiry is not the VM's fault: record it but
+            # never retry (the guard stays expired) and don't trip the breaker
+            self.fallback_stats.record_failure(Tier.BYTECODE, error.kind)
+            raise
         except WolframRuntimeError as error:
+            self.fallback_stats.record_failure(Tier.BYTECODE, error.kind)
+            self.breaker.record_failure(Tier.BYTECODE, error.kind, str(error))
             return self._fallback(arguments, error)
         if isinstance(result, BoxedTensor):
             return result.to_nested()
@@ -141,13 +185,16 @@ class CompiledFunction:
 
     def _fallback(self, arguments, error: WolframRuntimeError):
         """Soft failure (F2): re-evaluate with the interpreter."""
-        self.fallback_count += 1
         if self.evaluator is None:
             raise error
         self.evaluator.message(
             "CompiledFunction: CompiledFunction operation encountered a "
             f"runtime error ({error.kind}); reverting to uncompiled evaluation."
         )
+        self.fallback_stats.record_rerun()
+        return self._reevaluate(arguments)
+
+    def _reevaluate(self, arguments):
         from repro.engine.patterns import substitute
 
         bindings = {

@@ -8,7 +8,13 @@ Register machine execution with the baseline's characteristic costs (§6):
   unboxing and index-predication overhead on every access;
 * machine-integer operations are range-checked; overflow raises the runtime
   error that triggers the soft fallback (F2);
-* abort is polled on backward jumps, so bytecode code is abortable (F3).
+* abort is polled on backward jumps, so bytecode code is abortable (F3);
+* the active :class:`~repro.runtime.guard.ExecutionGuard` is polled on the
+  same backward-jump cadence (deadlines, step budgets) and charged for
+  tensor allocations (memory budgets), so ``TimeConstrained`` and
+  ``MemoryConstrained`` bound bytecode execution too;
+* each instruction boundary is a named fault-injection site
+  (``vm.instruction``), so tests can prove mid-loop unwinds are clean.
 """
 
 from __future__ import annotations
@@ -24,6 +30,8 @@ from repro.errors import (
     WolframAbort,
     WolframRuntimeError,
 )
+from repro.runtime.guard import charge_memory, guard_checkpoint
+from repro.testing import faults as _faults
 
 _INT64_MAX = (1 << 63) - 1
 _INT64_MIN = -(1 << 63)
@@ -149,6 +157,8 @@ class WVM:
         abort_poll = self.abort_poll
         backward_jumps = 0
         while pc < count:
+            if _faults._INJECTOR is not None:
+                _faults.fire("vm.instruction")
             ins = instructions[pc]
             op = ins.op
             operands = ins.operands
@@ -226,6 +236,7 @@ class WVM:
                 destination = operands[0]
                 if destination <= pc:
                     backward_jumps += 1
+                    guard_checkpoint()
                     if abort_poll is not None and backward_jumps % 64 == 0:
                         if abort_poll():
                             raise WolframAbort()
@@ -234,18 +245,22 @@ class WVM:
             elif op == Op.JUMP_IF:
                 if regs[operands[1]]:
                     destination = operands[0]
-                    if destination <= pc and abort_poll is not None:
+                    if destination <= pc:
                         backward_jumps += 1
-                        if backward_jumps % 64 == 0 and abort_poll():
+                        guard_checkpoint()
+                        if abort_poll is not None and backward_jumps % 64 == 0 \
+                                and abort_poll():
                             raise WolframAbort()
                     pc = destination
                     continue
             elif op == Op.JUMP_IF_NOT:
                 if not regs[operands[1]]:
                     destination = operands[0]
-                    if destination <= pc and abort_poll is not None:
+                    if destination <= pc:
                         backward_jumps += 1
-                        if backward_jumps % 64 == 0 and abort_poll():
+                        guard_checkpoint()
+                        if abort_poll is not None and backward_jumps % 64 == 0 \
+                                and abort_poll():
                             raise WolframAbort()
                     pc = destination
                     continue
@@ -270,13 +285,17 @@ class WVM:
             elif op == Op.TENSOR_CREATE:
                 length = regs[operands[0]]
                 fill = regs[operands[1]]
+                charge_memory(8 * int(length))
                 regs[ins.target] = BoxedTensor([fill] * int(length), "r")
             elif op == Op.TENSOR_COPY:
                 tensor = regs[operands[0]]
-                regs[ins.target] = (
-                    tensor.copy() if isinstance(tensor, BoxedTensor) else tensor
-                )
+                if isinstance(tensor, BoxedTensor):
+                    charge_memory(8 * tensor.length)
+                    regs[ins.target] = tensor.copy()
+                else:
+                    regs[ins.target] = tensor
             elif op == Op.TENSOR_FROM_REGS:
+                charge_memory(8 * len(operands))
                 regs[ins.target] = BoxedTensor(
                     [regs[r] for r in operands], "r"
                 )

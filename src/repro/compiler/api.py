@@ -34,8 +34,10 @@ from repro.compiler.types.specifier import (
 )
 from repro.compiler.wir.function_module import ProgramModule
 from repro.errors import (
+    GUARD_EXCEPTIONS,
+    SOFT_FAILURE_EXCEPTIONS,
     CompilerError,
-    ReproError,
+    classify_runtime_error,
     WolframAbort,
     WolframRuntimeError,
 )
@@ -45,9 +47,44 @@ from repro.mexpr.parser import parse
 from repro.mexpr.printer import input_form
 from repro.mexpr.symbols import S, to_mexpr
 from repro.runtime.abort import attach_abort_source
+from repro.runtime.guard import (
+    FAILURE_LOG,
+    CircuitBreaker,
+    FailureRecord,
+    FallbackStats,
+    Tier,
+)
 from repro.runtime.packed import PackedArray
 
 FunctionLike = Union[MExpr, str]
+
+#: soft failures at a tier before the circuit breaker demotes the function
+CIRCUIT_BREAKER_THRESHOLD = 3
+
+_UNSET = object()
+
+
+def failure_records(
+    function: Optional[str] = None, **filters
+) -> list[FailureRecord]:
+    """Query the global guarded-execution failure log.
+
+    Every soft failure and every circuit-breaker tier transition of every
+    compiled function lands here; filter by ``function`` (the program's
+    main-function name), ``tier``, or ``kind``.
+    """
+    return FAILURE_LOG.records(function, **filters)
+
+
+def failure_transitions(
+    function: Optional[str] = None,
+) -> list[FailureRecord]:
+    """Only the tier-demotion records (``transition`` set)."""
+    return FAILURE_LOG.transitions(function)
+
+
+def clear_failure_records() -> None:
+    FAILURE_LOG.clear()
 
 
 def _as_function(function: FunctionLike) -> MExpr:
@@ -150,7 +187,15 @@ class CompiledCodeFunction:
         self.evaluator = evaluator
         self.options = options or CompilerOptions()
         self._entry = namespace[sanitize(program.main)]
-        self.fallback_count = 0
+        #: tier governor: compiled → bytecode → interpreter (Titzer-style
+        #: tiered handoff with circuit breaking)
+        self._breaker = CircuitBreaker(
+            program.main, threshold=CIRCUIT_BREAKER_THRESHOLD
+        )
+        self._stats = FallbackStats()
+        #: lazily-built bytecode-tier artifact; _UNSET until first needed,
+        #: None if the program does not translate onto the VM
+        self._bytecode_tier = _UNSET
 
     # -- introspection -------------------------------------------------------------
 
@@ -230,40 +275,154 @@ class CompiledCodeFunction:
             return check_int64(int(value))
         return value
 
+    # -- introspection of the fallback machinery (satellite API) ----------------------
+
+    def stats(self) -> FallbackStats:
+        """Per-tier call/failure counters; see :class:`FallbackStats`."""
+        self._stats.current_tier = self._breaker.tier.value
+        return self._stats
+
+    @property
+    def fallback_count(self) -> int:
+        """Compatibility alias: number of interpreter re-evaluations (F2)."""
+        return self._stats.interpreter_reruns
+
+    @property
+    def current_tier(self) -> Tier:
+        """The tier the circuit breaker will run the next call on."""
+        return self._breaker.tier
+
+    def reset_tiers(self) -> None:
+        """Re-arm the circuit breaker and zero the fallback statistics."""
+        self._breaker.reset()
+        self._stats.reset()
+        self._bytecode_tier = _UNSET
+
     # -- execution -------------------------------------------------------------------
 
     def __call__(self, *arguments):
         try:
             unpacked = self._unpack(arguments)
         except WolframRuntimeError as error:
+            # a boxing failure is not the compiled code's fault: rerun in the
+            # interpreter but do not count it against the tier's breaker
+            FAILURE_LOG.record(
+                self.program.main, self._breaker.tier, error.kind, str(error)
+            )
+            self._stats.record_failure(self._breaker.tier, error.kind)
             return self._soft_failure(arguments, error)
         attached = False
         if self.evaluator is not None:
             attach_abort_source(self.evaluator.abort_pending)
             attached = True
         try:
-            return _repack(self._entry(*unpacked))
-        except WolframAbort:
-            raise
-        except (WolframRuntimeError, ValueError, ZeroDivisionError,
-                OverflowError, IndexError) as error:
-            return self._soft_failure(arguments, error)
+            # standalone artifacts have no slower tier to demote to
+            tier = (
+                self._breaker.tier if self.evaluator is not None
+                else Tier.COMPILED
+            )
+            if tier is Tier.COMPILED:
+                return self._run_compiled(arguments, unpacked)
+            if tier is Tier.BYTECODE:
+                return self._run_bytecode(arguments)
+            return self._interpreter_eval(arguments)
         finally:
             if attached:
                 attach_abort_source(None)
 
+    def _run_compiled(self, arguments, unpacked):
+        try:
+            self._stats.record_call(Tier.COMPILED)
+            return _repack(self._entry(*unpacked))
+        except WolframAbort:
+            raise
+        except GUARD_EXCEPTIONS as error:
+            # deadline/budget expiry: record it, but never retry on a slower
+            # tier — the guard stays expired there too
+            self._note_failure(Tier.COMPILED, error, breaker=False)
+            raise
+        except SOFT_FAILURE_EXCEPTIONS as error:
+            error = classify_runtime_error(error)
+            self._note_failure(Tier.COMPILED, error)
+            return self._soft_failure(arguments, error)
+
+    def _run_bytecode(self, arguments):
+        """The demoted tier: the same TWIR program on the legacy VM."""
+        artifact = self._bytecode_artifact()
+        if artifact is None:
+            return self._interpreter_eval(arguments)
+        try:
+            self._stats.record_call(Tier.BYTECODE)
+            from repro.bytecode.boxed import BoxedTensor
+            from repro.bytecode.vm import WVM
+
+            boxed = artifact._check_and_box(arguments)
+            machine = WVM(
+                abort_poll=(
+                    self.evaluator.abort_pending if self.evaluator else None
+                ),
+                evaluator=self.evaluator,
+            )
+            result = machine.run(
+                artifact.instructions, artifact.constants, boxed,
+                artifact.register_total,
+            )
+            if isinstance(result, BoxedTensor):
+                return result.to_nested()
+            return result
+        except WolframAbort:
+            raise
+        except GUARD_EXCEPTIONS as error:
+            self._note_failure(Tier.BYTECODE, error, breaker=False)
+            raise
+        except SOFT_FAILURE_EXCEPTIONS as error:
+            error = classify_runtime_error(error)
+            self._note_failure(Tier.BYTECODE, error)
+            return self._soft_failure(arguments, error)
+
+    def _bytecode_artifact(self):
+        if self._bytecode_tier is _UNSET:
+            from repro.compiler.codegen.wvm_backend import WVMBackend
+
+            try:
+                self._bytecode_tier = WVMBackend(
+                    self.program, self.options
+                ).compile_main()
+                self._bytecode_tier.evaluator = self.evaluator
+            except CompilerError as error:
+                # the program does not translate onto the VM's ISA (L1):
+                # the tier is unavailable, demote straight past it
+                self._bytecode_tier = None
+                self._breaker.unavailable(Tier.BYTECODE, str(error))
+        return self._bytecode_tier
+
+    def _note_failure(self, tier: Tier, error, breaker: bool = True):
+        kind = getattr(error, "kind", type(error).__name__)
+        self._stats.record_failure(tier, kind)
+        if breaker:
+            self._breaker.record_failure(tier, kind, str(error))
+        else:
+            FAILURE_LOG.record(self.program.main, tier, kind, str(error))
+
     def _soft_failure(self, arguments, error):
         """F2: print the paper's warning and revert to the interpreter."""
-        self.fallback_count += 1
         if self.evaluator is None:
-            raise error if isinstance(error, ReproError) else (
-                WolframRuntimeError("RuntimeError", str(error))
-            )
+            raise error
         kind = getattr(error, "kind", type(error).__name__)
         self.evaluator.message(
             "CompiledCodeFunction: A compiled code runtime error occurred; "
             f"reverting to uncompiled evaluation: {kind}"
         )
+        self._stats.record_rerun()
+        return self._interpreter_eval(arguments)
+
+    def _interpreter_eval(self, arguments):
+        """The always-correct tier: arbitrary-precision interpretation."""
+        if self.evaluator is None:
+            raise WolframRuntimeError(
+                "NoKernel", "interpreter tier requires a host engine"
+            )
+        self._stats.record_call(Tier.INTERPRETER)
         call = MExprNormal(
             self.source_function, [to_mexpr(a) for a in arguments]
         )

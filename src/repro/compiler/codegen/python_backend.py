@@ -32,7 +32,7 @@ from repro.compiler.codegen.structurize import (
 )
 from repro.compiler.options import CompilerOptions
 from repro.compiler.types.specifier import CompoundType, Type
-from repro.compiler.wir.function_module import BasicBlock, FunctionModule, ProgramModule
+from repro.compiler.wir.function_module import FunctionModule, ProgramModule
 from repro.compiler.wir.instructions import (
     BranchInstr,
     BuildListInstr,
@@ -165,9 +165,19 @@ class PythonBackend:
                 "from repro.compiler.runtime_library import RUNTIME as _rt"
             )
             self._line(
-                "def _check_abort():"
+                "from repro.runtime.guard import guard_checkpoint "
+                "as _guard_checkpoint"
             )
-            self._line("    pass  # abortability is engine-hosted only (§4.6)")
+            self._line("def _check_abort():")
+            self._line(
+                "    # abortability is engine-hosted only (§4.6); deadline "
+                "and budget"
+            )
+            self._line(
+                "    # guards are engine-independent and still enforced "
+                "by wall clock"
+            )
+            self._line("    _guard_checkpoint()")
             self._line("def _mem_acquire(v):")
             self._line("    return v")
             self._line("def _mem_release(v):")

@@ -8,6 +8,14 @@ compiler also inserts an abort check in each function's prologue."
 
 The check polls the host engine's abort flag and raises through the runtime
 (``runtime_check_abort``); generated cleanup is Python/C unwinding.
+
+The inserted checks are *guard checkpoints*: besides the abort flag they
+poll the active :class:`~repro.runtime.guard.ExecutionGuard`, which is how
+``TimeConstrained``/``MemoryConstrained`` deadlines and budgets reach
+compiled code at exactly the loop-header/prologue granularity the paper
+chose for aborts.  Stripping the checks (``AbortHandling -> False`` or a
+``Native`AbortInhibit`` region) therefore also exempts that code from
+guard enforcement — the §6 ablation trades robustness for speed.
 """
 
 from __future__ import annotations
@@ -49,6 +57,7 @@ def insert_abort_checks(function: FunctionModule) -> int:
         entry.instructions.insert(position, CheckAbortInstr())
         inserted += 1
     function.information["AbortHandling"] = True
+    function.information["GuardCheckpoints"] = inserted
     return inserted
 
 
@@ -62,4 +71,5 @@ def strip_abort_checks(function: FunctionModule) -> int:
         ]
         removed += before - len(block.instructions)
     function.information["AbortHandling"] = False
+    function.information["GuardCheckpoints"] = 0
     return removed

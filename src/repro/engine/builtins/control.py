@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import time
 
-from repro.engine.attributes import HOLD_ALL, HOLD_ALL_COMPLETE, HOLD_FIRST, HOLD_REST
+from repro.engine.attributes import HOLD_ALL, HOLD_ALL_COMPLETE, HOLD_FIRST
 from repro.engine.builtins.support import as_number, builtin, number_expr
 from repro.engine.controlflow import (
     BreakSignal,
@@ -13,7 +13,12 @@ from repro.engine.controlflow import (
     ThrowSignal,
 )
 from repro.engine.definitions import DownValue
-from repro.errors import WolframAbort, WolframEvaluationError
+from repro.errors import (
+    WolframAbort,
+    WolframBudgetError,
+    WolframEvaluationError,
+    WolframTimeoutError,
+)
 from repro.mexpr.atoms import MInteger, MString, MSymbol
 from repro.mexpr.expr import MExpr, MExprNormal
 from repro.mexpr.symbols import S, head_name, is_false, is_head, is_true
@@ -71,18 +76,26 @@ def for_(evaluator, expression):
 
 
 def iteration_values(evaluator, spec: MExpr):
-    """Expand a Do/Table/Sum iterator spec into (name | None, values)."""
+    """Expand a Do/Table/Sum iterator spec into (name | None, values).
+
+    The range length is known before the list is built, so the nominal
+    memory cost is charged against the active
+    :class:`~repro.runtime.guard.ExecutionGuard` *up front* —
+    ``MemoryConstrained`` trips on a runaway ``Table``/``Do`` range before
+    a single element is allocated.  The build loop also polls the abort
+    flag and guard deadline so a huge range stays interruptible.
+    """
     if not is_head(spec, "List"):
         count = as_number(evaluator.evaluate(spec))
         if not isinstance(count, int):
             raise WolframEvaluationError(f"bad iterator specification {spec}")
-        return None, [MInteger(i) for i in range(1, count + 1)]
+        return None, _materialize_range(evaluator, 1, count, 1)
     parts = spec.args
     if len(parts) == 1:
         count = as_number(evaluator.evaluate(parts[0]))
         if not isinstance(count, int):
             raise WolframEvaluationError(f"bad iterator specification {spec}")
-        return None, [MInteger(i) for i in range(1, count + 1)]
+        return None, _materialize_range(evaluator, 1, count, 1)
     name = parts[0]
     if not isinstance(name, MSymbol):
         raise WolframEvaluationError("iterator variable must be a symbol")
@@ -92,6 +105,9 @@ def iteration_values(evaluator, spec: MExpr):
         if len(parts) == 2:
             values = evaluator.evaluate(parts[1])
             if is_head(values, "List"):
+                from repro.runtime.guard import charge_memory
+
+                charge_memory(16 * len(values.args))
                 return name.name, list(values.args)
         raise WolframEvaluationError(f"bad iterator specification {spec}")
     if len(bounds) == 1:
@@ -100,18 +116,33 @@ def iteration_values(evaluator, spec: MExpr):
         start, stop, step = bounds[0], bounds[1], 1
     else:
         start, stop, step = bounds[0], bounds[1], bounds[2]
-    values = []
+    return name.name, _materialize_range(evaluator, start, stop, step)
+
+
+def _materialize_range(evaluator, start, stop, step):
+    from repro.runtime.guard import charge_memory
+
+    if step == 0:
+        raise WolframEvaluationError("iterator step must be nonzero")
     if all(isinstance(b, int) for b in (start, stop, step)):
+        count = max(0, (stop - start) // step + 1)
+        charge_memory(16 * count)
+        values = []
         current = start
         while (step > 0 and current <= stop) or (step < 0 and current >= stop):
             values.append(MInteger(current))
             current += step
-    else:
-        current = float(start)
-        count = int((stop - start) / step + 1e-9) + 1
-        for index in range(max(count, 0)):
-            values.append(number_expr(start + index * step))
-    return name.name, values
+            if len(values) & 4095 == 0:
+                evaluator._check_abort()
+        return values
+    count = max(0, int((stop - start) / step + 1e-9) + 1)
+    charge_memory(16 * count)
+    values = []
+    for index in range(count):
+        values.append(number_expr(start + index * step))
+        if len(values) & 4095 == 0:
+            evaluator._check_abort()
+    return values
 
 
 @builtin("Do", HOLD_ALL)
@@ -414,6 +445,69 @@ def check_abort(evaluator, expression):
     except WolframAbort:
         evaluator.clear_abort()
         return evaluator.evaluate(expression.args[1])
+
+
+# -- guarded execution (TimeConstrained / MemoryConstrained) ------------------
+
+
+def _constrained(evaluator, expression, guard, error_class):
+    """Evaluate ``expression.args[0]`` under ``guard``.
+
+    Returns the value, the third-argument fail expression, or ``$Aborted``.
+    Expiries belonging to an *enclosing* guard re-raise so the outer
+    ``TimeConstrained``/``MemoryConstrained`` handles its own deadline.
+    """
+    from repro.runtime.guard import guard_scope
+
+    try:
+        with guard_scope(guard):
+            return evaluator.evaluate(expression.args[0])
+    except error_class as error:
+        if getattr(error, "guard", None) is not guard:
+            raise
+        if len(expression.args) == 3:
+            return evaluator.evaluate(expression.args[2])
+        return MSymbol("$Aborted")
+
+
+@builtin("TimeConstrained", HOLD_ALL)
+def time_constrained(evaluator, expression):
+    """``TimeConstrained[expr, t]``: evaluate with a wall-clock deadline.
+
+    Enforced at guard checkpoints in all three tiers — the interpreter's
+    per-step poll, the VM's backward-jump poll, and compiled code's
+    loop-header/prologue abort checks.
+    """
+    if len(expression.args) not in (2, 3):
+        return None
+    limit = as_number(evaluator.evaluate(expression.args[1]))
+    if not isinstance(limit, (int, float)) or limit <= 0:
+        raise WolframEvaluationError(
+            f"TimeConstrained: {expression.args[1]} is not a positive time"
+        )
+    from repro.runtime.guard import ExecutionGuard
+
+    guard = ExecutionGuard.with_time_limit(float(limit), label="TimeConstrained")
+    return _constrained(evaluator, expression, guard, WolframTimeoutError)
+
+
+@builtin("MemoryConstrained", HOLD_ALL)
+def memory_constrained(evaluator, expression):
+    """``MemoryConstrained[expr, b]``: bound (accounted) allocation bytes."""
+    if len(expression.args) not in (2, 3):
+        return None
+    limit = as_number(evaluator.evaluate(expression.args[1]))
+    if not isinstance(limit, (int, float)) or limit <= 0:
+        raise WolframEvaluationError(
+            f"MemoryConstrained: {expression.args[1]} is not a positive "
+            "byte count"
+        )
+    from repro.runtime.guard import ExecutionGuard
+
+    guard = ExecutionGuard.with_memory_budget(
+        int(limit), label="MemoryConstrained"
+    )
+    return _constrained(evaluator, expression, guard, WolframBudgetError)
 
 
 # -- evaluation control -------------------------------------------------------

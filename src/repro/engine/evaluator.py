@@ -12,7 +12,11 @@ Implements the evaluation semantics §2.1 describes:
 * **abortability (F3)** — an abort flag is polled on every evaluation step;
   an abort unwinds to the top level and returns ``$Aborted`` with session
   state intact (possibly mutated by the aborted computation, as the paper
-  specifies).
+  specifies);
+* **guarded execution** — the same per-step checkpoint polls the active
+  :class:`~repro.runtime.guard.ExecutionGuard`, enforcing
+  ``TimeConstrained`` deadlines, step budgets, and (via a small per-node
+  allocation charge) ``MemoryConstrained`` budgets.
 
 Fully-evaluated subtrees are stamped with the kernel ``state_version`` so
 fixed-point re-walks of large data are O(1); any ``Set``/``Clear`` bumps the
@@ -43,8 +47,14 @@ from repro.mexpr.atoms import MInteger, MReal, MString, MSymbol
 from repro.mexpr.expr import MExpr, MExprNormal
 from repro.mexpr.parser import parse
 from repro.mexpr.symbols import S, head_name, is_head
+from repro.runtime.guard import _tls as _guard_tls
 
 _EVALUATED_STAMP = "$evalv"
+
+#: nominal bytes charged per evaluated expression node (head + arg slots);
+#: only an accounting unit for MemoryConstrained, not real allocation
+_NODE_BYTES = 32
+_SLOT_BYTES = 16
 
 
 class Evaluator:
@@ -133,6 +143,10 @@ class Evaluator:
             self._steps_since_abort_check = 0
             if self._abort_flag.is_set():
                 raise WolframAbort()
+        # deadline / step-budget poll, inlined for the unguarded fast path
+        guard = getattr(_guard_tls, "top", None)
+        if guard is not None:
+            guard.check(1)
 
     def _is_stamped(self, expression: MExpr) -> bool:
         return (
@@ -160,6 +174,9 @@ class Evaluator:
         arguments = self._splice_sequences(head, attributes, arguments)
 
         rebuilt = MExprNormal(head, arguments)
+        guard = getattr(_guard_tls, "top", None)
+        if guard is not None:
+            guard.charge_memory(_NODE_BYTES + _SLOT_BYTES * len(arguments))
 
         if LISTABLE in attributes:
             threaded = self._thread_listable(rebuilt)

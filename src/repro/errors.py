@@ -63,6 +63,79 @@ class IntegerOverflowError(WolframRuntimeError):
         super().__init__("IntegerOverflow", message)
 
 
+class WolframTimeoutError(WolframRuntimeError):
+    """An :class:`~repro.runtime.guard.ExecutionGuard` deadline expired.
+
+    Raised from guard checkpoints (``TimeConstrained[expr, t]``).  A
+    subclass of :class:`WolframRuntimeError` so the soft-failure channel
+    unwinds it cleanly, but fallback never *retries* a timed-out call —
+    no tier can beat an already-expired deadline.
+    """
+
+    def __init__(
+        self,
+        message: str = "computation exceeded its time constraint",
+        guard=None,
+    ):
+        super().__init__("Timeout", message)
+        #: the guard whose deadline expired; lets nested TimeConstrained
+        #: handlers re-raise expiries that belong to an enclosing scope
+        self.guard = guard
+
+
+class WolframBudgetError(WolframRuntimeError):
+    """An :class:`~repro.runtime.guard.ExecutionGuard` budget ran out.
+
+    ``resource`` is ``"steps"`` (evaluation-step budget) or ``"memory"``
+    (``MemoryConstrained[expr, b]``).
+    """
+
+    def __init__(self, resource: str, message: str = "", guard=None):
+        super().__init__(
+            "BudgetExhausted", message or f"{resource} budget exhausted"
+        )
+        self.resource = resource
+        self.guard = guard
+
+
+#: Python exceptions the compiled-code wrappers treat as *soft* runtime
+#: failures (F2).  Programming errors — AttributeError, TypeError, NameError
+#: — are deliberately absent: those indicate a compiler bug and propagate.
+SOFT_FAILURE_EXCEPTIONS = (
+    WolframRuntimeError,
+    ValueError,
+    ZeroDivisionError,
+    OverflowError,
+    IndexError,
+)
+
+#: guard expiries: recorded for observability but never retried on a
+#: slower tier (the deadline/budget stays expired there too)
+GUARD_EXCEPTIONS = (WolframTimeoutError, WolframBudgetError)
+
+
+def classify_runtime_error(error: BaseException) -> WolframRuntimeError:
+    """Map a caught soft-failure exception to a structured runtime error.
+
+    Every member of :data:`SOFT_FAILURE_EXCEPTIONS` gets a specific
+    ``kind`` instead of collapsing into one opaque bucket; anything else is
+    a programming error and is re-raised unchanged.
+    """
+    if isinstance(error, WolframRuntimeError):
+        return error
+    if isinstance(error, ZeroDivisionError):
+        return WolframRuntimeError("DivideByZero", str(error) or "division by zero")
+    if isinstance(error, OverflowError):
+        return WolframRuntimeError("NumericOverflow", str(error) or "overflow")
+    if isinstance(error, IndexError):
+        return WolframRuntimeError(
+            "PartOutOfRange", str(error) or "index out of range"
+        )
+    if isinstance(error, ValueError):
+        return WolframRuntimeError("InvalidValue", str(error) or "invalid value")
+    raise error
+
+
 class CompilerError(ReproError):
     """Base class for errors raised by either compiler."""
 

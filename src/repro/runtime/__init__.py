@@ -12,6 +12,19 @@ from repro.runtime.abort import (
     runtime_check_abort,
 )
 from repro.runtime.blas import dgemm, dot_nested
+from repro.runtime.guard import (
+    ExecutionGuard,
+    FailureLog,
+    FailureRecord,
+    FallbackStats,
+    CircuitBreaker,
+    Tier,
+    FAILURE_LOG,
+    active_guard,
+    charge_memory,
+    guard_checkpoint,
+    guard_scope,
+)
 from repro.runtime.checked import (
     INT64_MAX,
     INT64_MIN,
@@ -45,8 +58,11 @@ from repro.runtime.strings import (
 )
 
 __all__ = [
-    "INT64_MAX", "INT64_MIN", "PackedArray", "abort_checks_enabled",
-    "attach_abort_source", "check_int64",
+    "CircuitBreaker", "ExecutionGuard", "FAILURE_LOG", "FailureLog",
+    "FailureRecord", "FallbackStats", "INT64_MAX", "INT64_MIN",
+    "PackedArray", "Tier", "abort_checks_enabled", "active_guard",
+    "attach_abort_source", "charge_memory", "check_int64",
+    "guard_checkpoint", "guard_scope",
     "checked_binary_mod_Integer64_Integer64",
     "checked_binary_plus_Integer64_Integer64",
     "checked_binary_power_Integer64_Integer64",

@@ -7,10 +7,16 @@ exception" — our hardware exception is :class:`WolframAbort`, which the
 ``CompiledCodeFunction`` wrapper lets propagate to the host so resources are
 freed by Python unwinding (the generated cleanup the paper describes).
 
-Standalone-exported code runs with no host engine attached; there the check
-degrades to a noop, matching §4.6: "when using code in standalone mode,
-certain functionalities such as interpreter integration and abortable code
-are disabled, since they depend on the Wolfram Engine".
+The same checkpoints double as *guard* checkpoints: an active
+:class:`~repro.runtime.guard.ExecutionGuard` (``TimeConstrained``,
+``MemoryConstrained``, step budgets) is polled here, so compiled code obeys
+deadlines and budgets exactly where it is abortable.
+
+Standalone-exported code runs with no host engine attached; there the abort
+half degrades to a noop, matching §4.6: "when using code in standalone
+mode, certain functionalities such as interpreter integration and abortable
+code are disabled, since they depend on the Wolfram Engine".  Guard polling
+is engine-independent (pure wall clock / counters) and keeps working.
 """
 
 from __future__ import annotations
@@ -18,6 +24,8 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.errors import WolframAbort
+from repro.runtime.guard import guard_checkpoint
+from repro.testing import faults as _faults
 
 #: the host's abort poll; ``None`` when running standalone
 _abort_poll: Optional[Callable[[], bool]] = None
@@ -31,8 +39,11 @@ def attach_abort_source(poll: Optional[Callable[[], bool]]) -> None:
 
 def runtime_check_abort() -> None:
     """The check compiled code executes at loop heads and prologues."""
+    if _faults._INJECTOR is not None:
+        _faults.fire("abort.check")
     if _abort_poll is not None and _abort_poll():
         raise WolframAbort()
+    guard_checkpoint()
 
 
 def abort_checks_enabled() -> bool:

@@ -1,0 +1,416 @@
+"""Guarded execution: resource budgets, deadlines, and tier governance.
+
+The paper's robustness story (§2.3, §4.5) rests on two mechanisms: soft
+runtime failure with interpreter fallback (F2) and user-initiated aborts
+(F3).  This module generalises both into an *execution guard* that every
+tier — the tree-walking interpreter, the bytecode VM, and compiled code —
+polls at its existing abort checkpoints:
+
+* :class:`ExecutionGuard` carries a wall-clock **deadline**, an
+  **evaluation-step budget**, and a **memory budget**.  Guards nest
+  (``TimeConstrained`` inside ``TimeConstrained``); a checkpoint walks the
+  chain innermost-out so the tightest constraint fires first, and the
+  raised error names the guard that expired so the right handler catches it.
+* Deadline expiry raises :class:`~repro.errors.WolframTimeoutError` and
+  budget exhaustion :class:`~repro.errors.WolframBudgetError` — both
+  subclasses of :class:`~repro.errors.WolframRuntimeError`, so the existing
+  soft-failure channel unwinds them cleanly without corrupting session
+  state.
+* :class:`CircuitBreaker` governs the tier handoff the way Titzer (2023)
+  argues tiered runtimes must: after ``threshold`` soft failures at a tier a
+  function *demotes itself* (compiled → bytecode → interpreter) and stops
+  re-attempting the failing tier.  Every transition is recorded as a
+  :class:`FailureRecord` in the global :data:`FAILURE_LOG`, queryable from
+  ``repro.compiler.api``.
+
+Guards are thread-local: the REPL evaluates on a worker thread and each
+engine session polls only the guards its own thread entered.  With no
+active guard every checkpoint is a single attribute load and ``None`` test,
+so unguarded execution — including standalone exported code (§4.6) — pays
+essentially nothing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator, Optional
+
+from repro.errors import WolframBudgetError, WolframTimeoutError
+from repro.testing import faults as _faults
+
+_tls = threading.local()
+
+# -- the guard itself ------------------------------------------------------------------
+
+
+class ExecutionGuard:
+    """One nested scope of resource constraints.
+
+    ``deadline`` is an absolute ``time.monotonic()`` instant; ``step_budget``
+    counts evaluation steps / VM instructions charged through
+    :func:`guard_checkpoint`; ``memory_budget`` counts bytes charged through
+    :func:`charge_memory` (packed/boxed tensor allocations and interpreter
+    expression construction).
+    """
+
+    __slots__ = (
+        "deadline", "step_budget", "memory_budget",
+        "steps_used", "memory_used", "parent", "label",
+    )
+
+    def __init__(
+        self,
+        deadline: Optional[float] = None,
+        step_budget: Optional[int] = None,
+        memory_budget: Optional[int] = None,
+        label: str = "",
+    ):
+        self.deadline = deadline
+        self.step_budget = step_budget
+        self.memory_budget = memory_budget
+        self.steps_used = 0
+        self.memory_used = 0
+        self.parent: Optional[ExecutionGuard] = None
+        self.label = label
+
+    @classmethod
+    def with_time_limit(cls, seconds: float, label: str = "") -> "ExecutionGuard":
+        return cls(deadline=time.monotonic() + seconds, label=label)
+
+    @classmethod
+    def with_step_budget(cls, steps: int, label: str = "") -> "ExecutionGuard":
+        return cls(step_budget=steps, label=label)
+
+    @classmethod
+    def with_memory_budget(cls, nbytes: int, label: str = "") -> "ExecutionGuard":
+        return cls(memory_budget=nbytes, label=label)
+
+    def remaining_time(self) -> Optional[float]:
+        if self.deadline is None:
+            return None
+        return self.deadline - time.monotonic()
+
+    def check(self, steps: int = 1) -> None:
+        """Charge ``steps`` against this guard and every enclosing one."""
+        guard: Optional[ExecutionGuard] = self
+        now: Optional[float] = None
+        while guard is not None:
+            if steps:
+                guard.steps_used += steps
+                if (
+                    guard.step_budget is not None
+                    and guard.steps_used > guard.step_budget
+                ):
+                    raise WolframBudgetError(
+                        "steps",
+                        f"evaluation-step budget of {guard.step_budget} "
+                        "exhausted",
+                        guard=guard,
+                    )
+            if guard.deadline is not None:
+                if now is None:
+                    now = time.monotonic()
+                if now > guard.deadline:
+                    raise WolframTimeoutError(guard=guard)
+            guard = guard.parent
+
+    def charge_memory(self, nbytes: int) -> None:
+        guard: Optional[ExecutionGuard] = self
+        while guard is not None:
+            if guard.memory_budget is not None:
+                guard.memory_used += nbytes
+                if guard.memory_used > guard.memory_budget:
+                    raise WolframBudgetError(
+                        "memory",
+                        f"memory budget of {guard.memory_budget} bytes "
+                        "exhausted",
+                        guard=guard,
+                    )
+            guard = guard.parent
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = []
+        if self.deadline is not None:
+            parts.append(f"deadline={self.deadline:.3f}")
+        if self.step_budget is not None:
+            parts.append(f"steps={self.steps_used}/{self.step_budget}")
+        if self.memory_budget is not None:
+            parts.append(f"memory={self.memory_used}/{self.memory_budget}")
+        label = f" {self.label!r}" if self.label else ""
+        return f"<ExecutionGuard{label} {' '.join(parts) or 'unconstrained'}>"
+
+
+# -- the thread-local guard stack ------------------------------------------------------
+
+
+def active_guard() -> Optional[ExecutionGuard]:
+    """The innermost guard on this thread, or ``None``."""
+    return getattr(_tls, "top", None)
+
+
+def push_guard(guard: ExecutionGuard) -> ExecutionGuard:
+    guard.parent = getattr(_tls, "top", None)
+    _tls.top = guard
+    return guard
+
+
+def pop_guard(guard: ExecutionGuard) -> None:
+    if getattr(_tls, "top", None) is guard:
+        _tls.top = guard.parent
+    else:  # unwound out of order; restore the nearest consistent state
+        current = getattr(_tls, "top", None)
+        while current is not None and current is not guard:
+            current = current.parent
+        _tls.top = current.parent if current is not None else None
+
+
+@contextmanager
+def guard_scope(
+    guard: Optional[ExecutionGuard] = None,
+    *,
+    time_limit: Optional[float] = None,
+    step_budget: Optional[int] = None,
+    memory_budget: Optional[int] = None,
+    label: str = "",
+) -> Iterator[ExecutionGuard]:
+    """Run a block under a (new or given) :class:`ExecutionGuard`."""
+    if guard is None:
+        guard = ExecutionGuard(
+            deadline=(
+                time.monotonic() + time_limit if time_limit is not None else None
+            ),
+            step_budget=step_budget,
+            memory_budget=memory_budget,
+            label=label,
+        )
+    push_guard(guard)
+    try:
+        yield guard
+    finally:
+        pop_guard(guard)
+
+
+def guard_checkpoint(steps: int = 1) -> None:
+    """Poll the active guard; a noop when no guard is installed.
+
+    This is the call every tier's abort checkpoints make: the evaluator on
+    each evaluation step, the VM on instruction batches, compiled code at
+    loop headers and prologues (via ``runtime_check_abort``), and standalone
+    exported code directly — which is how ``TimeConstrained`` still enforces
+    its deadline by wall clock with no engine attached (§4.6).
+    """
+    if _faults._INJECTOR is not None:
+        _faults.fire("guard.checkpoint")
+    guard = getattr(_tls, "top", None)
+    if guard is not None:
+        guard.check(steps)
+
+
+def charge_memory(nbytes: int) -> None:
+    """Charge an allocation against the active guard; noop when unguarded."""
+    guard = getattr(_tls, "top", None)
+    if guard is not None:
+        guard.charge_memory(nbytes)
+
+
+# -- execution tiers -------------------------------------------------------------------
+
+
+class Tier(Enum):
+    """The three execution tiers, fastest first."""
+
+    COMPILED = "compiled"
+    BYTECODE = "bytecode"
+    INTERPRETER = "interpreter"
+
+
+#: where a tripped tier demotes to
+DEMOTION: dict[Tier, Tier] = {
+    Tier.COMPILED: Tier.BYTECODE,
+    Tier.BYTECODE: Tier.INTERPRETER,
+}
+
+_record_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One soft failure or tier transition, as observed by the guard layer."""
+
+    sequence: int
+    function: str
+    tier: Tier
+    kind: str
+    message: str = ""
+    #: set on demotion records: (from_tier, to_tier)
+    transition: Optional[tuple[Tier, Tier]] = None
+
+
+class FailureLog:
+    """A bounded, queryable log of :class:`FailureRecord` entries."""
+
+    def __init__(self, capacity: int = 4096):
+        self.capacity = capacity
+        self._records: list[FailureRecord] = []
+
+    def record(
+        self,
+        function: str,
+        tier: Tier,
+        kind: str,
+        message: str = "",
+        transition: Optional[tuple[Tier, Tier]] = None,
+    ) -> FailureRecord:
+        entry = FailureRecord(
+            sequence=next(_record_counter),
+            function=function,
+            tier=tier,
+            kind=kind,
+            message=message,
+            transition=transition,
+        )
+        self._records.append(entry)
+        if len(self._records) > self.capacity:
+            del self._records[: len(self._records) - self.capacity]
+        return entry
+
+    def records(
+        self,
+        function: Optional[str] = None,
+        tier: Optional[Tier] = None,
+        kind: Optional[str] = None,
+    ) -> list[FailureRecord]:
+        found = self._records
+        if function is not None:
+            found = [r for r in found if r.function == function]
+        if tier is not None:
+            found = [r for r in found if r.tier == tier]
+        if kind is not None:
+            found = [r for r in found if r.kind == kind]
+        return list(found)
+
+    def transitions(
+        self, function: Optional[str] = None
+    ) -> list[FailureRecord]:
+        return [
+            r for r in self.records(function) if r.transition is not None
+        ]
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+#: the process-wide failure log (queryable via ``repro.compiler.api``)
+FAILURE_LOG = FailureLog()
+
+
+class CircuitBreaker:
+    """Per-function tier governor: demote after ``threshold`` soft failures.
+
+    Failures are counted per tier; once a tier accumulates ``threshold``
+    soft failures the breaker trips, the function demotes one tier
+    (compiled → bytecode → interpreter), and the failing tier is never
+    re-attempted until :meth:`reset`.  A tier can also be declared
+    :meth:`unavailable` outright (e.g. the program does not translate onto
+    the VM's ISA), which demotes immediately.
+    """
+
+    def __init__(
+        self,
+        function: str,
+        threshold: int = 3,
+        start: Tier = Tier.COMPILED,
+        log: Optional[FailureLog] = None,
+    ):
+        self.function = function
+        self.threshold = threshold
+        self.start = start
+        self.tier = start
+        self.failures: dict[Tier, int] = {t: 0 for t in Tier}
+        self.log = log if log is not None else FAILURE_LOG
+
+    def record_failure(self, tier: Tier, kind: str, message: str = "") -> Tier:
+        """Count one soft failure; returns the (possibly demoted) tier."""
+        self.log.record(self.function, tier, kind, message)
+        self.failures[tier] += 1
+        if (
+            tier is self.tier
+            and tier in DEMOTION
+            and self.failures[tier] >= self.threshold
+        ):
+            self._demote(tier, kind=f"CircuitOpen:{kind}")
+        return self.tier
+
+    def unavailable(self, tier: Tier, reason: str) -> Tier:
+        """Declare a tier unusable (compile/translate failure); demote now."""
+        if tier is self.tier and tier in DEMOTION:
+            self._demote(tier, kind="TierUnavailable", message=reason)
+        return self.tier
+
+    def _demote(self, tier: Tier, kind: str, message: str = "") -> None:
+        target = DEMOTION[tier]
+        self.log.record(
+            self.function, tier, kind, message, transition=(tier, target)
+        )
+        self.tier = target
+
+    def tripped(self, tier: Tier) -> bool:
+        return self.failures[tier] >= self.threshold
+
+    def reset(self) -> None:
+        self.tier = self.start
+        self.failures = {t: 0 for t in Tier}
+
+
+@dataclass
+class FallbackStats:
+    """Inspection/reset API for a compiled function's fallback behaviour.
+
+    Replaces the old bare ``fallback_count`` integer: per-tier call and
+    failure counters, failure kinds, and the breaker's current tier.
+    Surfaced through ``.stats()`` on both compiled-function artifacts and
+    the ``python -m repro --stats`` CLI.
+    """
+
+    calls: dict[str, int] = field(default_factory=dict)
+    failures: dict[str, int] = field(default_factory=dict)
+    kinds: dict[str, int] = field(default_factory=dict)
+    interpreter_reruns: int = 0
+    current_tier: str = Tier.COMPILED.value
+
+    def record_call(self, tier: Tier) -> None:
+        self.calls[tier.value] = self.calls.get(tier.value, 0) + 1
+
+    def record_failure(self, tier: Tier, kind: str) -> None:
+        self.failures[tier.value] = self.failures.get(tier.value, 0) + 1
+        self.kinds[kind] = self.kinds.get(kind, 0) + 1
+
+    def record_rerun(self) -> None:
+        self.interpreter_reruns += 1
+
+    @property
+    def fallback_total(self) -> int:
+        return self.interpreter_reruns
+
+    def reset(self) -> None:
+        self.calls.clear()
+        self.failures.clear()
+        self.kinds.clear()
+        self.interpreter_reruns = 0
+        self.current_tier = Tier.COMPILED.value
+
+    def summary(self) -> str:
+        calls = ", ".join(f"{t}={n}" for t, n in sorted(self.calls.items()))
+        kinds = ", ".join(f"{k}={n}" for k, n in sorted(self.kinds.items()))
+        return (
+            f"tier={self.current_tier} calls[{calls or 'none'}] "
+            f"reruns={self.interpreter_reruns} kinds[{kinds or 'none'}]"
+        )

@@ -17,15 +17,26 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.runtime.guard import charge_memory
 from repro.runtime.packed import PackedArray
 
 #: collected diagnostics: counts of acquire/release per run (test hook)
 _STATS = {"acquire": 0, "release": 0, "freed": 0}
 
+#: nominal bytes per packed element (machine word), for guard accounting
+_WORD = 8
+
 
 def memory_acquire(value: Any) -> Any:
-    """Polymorphic acquire: refcount increment for managed objects, noop else."""
+    """Polymorphic acquire: refcount increment for managed objects, noop else.
+
+    First acquisition of a managed object also charges its storage against
+    the active :class:`~repro.runtime.guard.ExecutionGuard`, which is how
+    ``MemoryConstrained`` sees compiled code's tensor allocations.
+    """
     if isinstance(value, PackedArray):
+        if value.ref_count == 0:
+            charge_memory(_WORD * len(value.data))
         value.ref_count += 1
         _STATS["acquire"] += 1
     elif hasattr(value, "ref_count"):

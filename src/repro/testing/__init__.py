@@ -1,0 +1,21 @@
+"""Test-support machinery that ships with the package (not the test suite).
+
+:mod:`repro.testing.faults` is the deterministic fault-injection harness the
+robustness suite uses to prove every fallback path unwinds cleanly.
+"""
+
+from repro.testing.faults import (
+    Fault,
+    FaultInjector,
+    fire,
+    inject_faults,
+    injection_active,
+)
+
+__all__ = [
+    "Fault",
+    "FaultInjector",
+    "fire",
+    "inject_faults",
+    "injection_active",
+]

@@ -1,0 +1,257 @@
+"""Fault injection: prove every fallback path unwinds without corruption.
+
+Acceptance: injected overflow/timeout/abort at every tier triggers the
+documented fallback or unwind, the circuit breaker demotes after N=3 soft
+failures (verified via the FailureRecord log), and no injected fault leaves
+the engine session corrupted.
+
+Marked ``faults`` so CI can run it as a dedicated smoke job
+(``pytest -m faults``).
+"""
+
+import pytest
+
+from repro.compiler import FunctionCompile, install_engine_support
+from repro.compiler.api import (
+    clear_failure_records,
+    failure_records,
+    failure_transitions,
+)
+from repro.engine import Evaluator
+from repro.errors import (
+    WolframAbort,
+    WolframRuntimeError,
+    WolframTimeoutError,
+)
+from repro.mexpr import full_form, parse
+from repro.runtime.guard import Tier, active_guard
+from repro.testing import Fault, inject_faults
+
+pytestmark = pytest.mark.faults
+
+
+@pytest.fixture()
+def hosted():
+    evaluator = Evaluator()
+    install_engine_support(evaluator)
+    return evaluator
+
+
+@pytest.fixture(autouse=True)
+def _clean_failure_log():
+    clear_failure_records()
+    yield
+    clear_failure_records()
+
+
+LOOP_BODY = (
+    "Module[{a = 0, b = 1, i = 1},"
+    " While[i <= n, Module[{t = a + b}, a = b; b = t]; i = i + 1]; a]"
+)
+COMPILED_LOOP = f'Function[{{Typed[n, "MachineInteger"]}}, {LOOP_BODY}]'
+
+
+def _session_snapshot(evaluator, name):
+    definition = evaluator.state.lookup(name)
+    assert definition is not None
+    return [(full_form(d.lhs), full_form(d.rhs)) for d in definition.down_values]
+
+
+def fib(n):
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, a + b
+    return a
+
+
+class TestVMInstructionFaults:
+    def test_injected_overflow_mid_loop_falls_back(self, hosted):
+        hosted.run("cf = Compile[{{n, _Integer}}, " + LOOP_BODY + "]")
+        with inject_faults(Fault("vm.instruction", "overflow", after=40)):
+            result = hosted.run("cf[30]")
+        # the VM died mid-loop; the interpreter fallback still answers
+        assert result.to_python() == fib(30)
+        assert any("reverting to uncompiled" in m for m in hosted.messages)
+
+    def test_abort_mid_loop_returns_aborted_and_keeps_state(self, hosted):
+        """Satellite: abort delivered at a VM instruction boundary (F3)."""
+        hosted.run("g[x_] := x + 1")
+        hosted.run("cf = Compile[{{n, _Integer}}, " + LOOP_BODY + "]")
+        before = _session_snapshot(hosted, "g")
+        with inject_faults(Fault("vm.instruction", "abort", after=40)):
+            result = hosted.evaluate_protected(parse("cf[30]"))
+        assert full_form(result) == "$Aborted"
+        assert _session_snapshot(hosted, "g") == before
+        assert not hosted.abort_pending()
+        # a subsequent identical call succeeds: nothing was corrupted
+        assert hosted.run("cf[30]").to_python() == fib(30)
+        assert hosted.run("g[41]").to_python() == 42
+
+    def test_programming_error_does_not_ride_soft_failure(self, evaluator):
+        from repro.bytecode import compile_function
+
+        f = compile_function(
+            parse("{{n, _Integer}}"), parse("n + 1"), evaluator
+        )
+        with inject_faults(Fault("vm.instruction", "backend-raise")):
+            with pytest.raises(AttributeError):
+                f(1)
+        assert f.fallback_count == 0
+        assert f(1) == 2  # artifact still usable afterwards
+
+
+class TestCompiledCodeFaults:
+    def test_abort_mid_iteration_returns_aborted_and_keeps_state(self, hosted):
+        """Satellite: abort at a codegen'd loop-header check (F3)."""
+        hosted.run("g[x_] := x + 1")
+        compiled = FunctionCompile(COMPILED_LOOP, evaluator=hosted)
+        compiled.install(hosted, "cfib")
+        before = _session_snapshot(hosted, "g")
+        # after=2 skips the prologue check; the fault lands mid-loop
+        with inject_faults(Fault("abort.check", "abort", after=2)):
+            result = hosted.evaluate_protected(parse("cfib[30]"))
+        assert full_form(result) == "$Aborted"
+        assert _session_snapshot(hosted, "g") == before
+        assert not hosted.abort_pending()
+        assert hosted.run("cfib[30]").to_python() == fib(30)
+        assert hosted.run("g[41]").to_python() == 42
+
+    def test_injected_runtime_error_falls_back(self, hosted):
+        compiled = FunctionCompile(COMPILED_LOOP, evaluator=hosted)
+        with inject_faults(Fault("abort.check", "runtime")):
+            assert compiled(30) == fib(30)
+        assert compiled.fallback_count == 1
+        assert failure_records(kind="Injected")
+
+    def test_injected_timeout_unwinds_without_retry(self, hosted):
+        """A deadline expiry must not be retried on a slower tier."""
+        compiled = FunctionCompile(COMPILED_LOOP, evaluator=hosted)
+        with inject_faults(Fault("abort.check", "timeout")):
+            with pytest.raises(WolframTimeoutError):
+                compiled(30)
+        assert compiled.fallback_count == 0
+        assert compiled.current_tier is Tier.COMPILED
+        assert active_guard() is None
+        assert failure_records(kind="Timeout")
+        assert compiled(30) == fib(30)
+
+    def test_injected_abort_leaves_no_guard_behind(self, hosted):
+        compiled = FunctionCompile(COMPILED_LOOP, evaluator=hosted)
+        with inject_faults(Fault("abort.check", "abort", after=2)):
+            with pytest.raises(WolframAbort):
+                compiled(30)
+        assert active_guard() is None
+        assert compiled(30) == fib(30)
+
+
+class TestRuntimeLibraryFaults:
+    def test_injected_fault_at_named_primitive(self, hosted):
+        # InlinePolicy -> "none" routes every primitive through the RUNTIME
+        # table, where the injector wraps the named entry
+        compiled = FunctionCompile(
+            'Function[{Typed[n, "MachineInteger"]}, n + 1]',
+            evaluator=hosted,
+            InlinePolicy="none",
+        )
+        site = "runtime.checked_binary_plus_Integer64_Integer64"
+        with inject_faults(Fault(site, "overflow")):
+            assert compiled(41) == 42  # interpreter fallback
+        assert compiled.fallback_count == 1
+        with inject_faults(Fault(site, "overflow")) as injector:
+            assert compiled(1) == 2
+            assert compiled.fallback_count == 2
+        # wrappers are restored on exit
+        from repro.compiler.runtime_library import RUNTIME
+
+        assert RUNTIME["checked_binary_plus_Integer64_Integer64"](1, 2) == 3
+        assert compiled(1) == 2
+        assert compiled.fallback_count == 2
+
+    def test_unknown_primitive_site_is_an_error(self):
+        with pytest.raises(KeyError):
+            with inject_faults(Fault("runtime.no_such_primitive", "overflow")):
+                pass
+
+
+class TestCircuitBreakerUnderInjection:
+    def test_three_injected_failures_demote_compiled_tier(self, hosted):
+        compiled = FunctionCompile(COMPILED_LOOP, evaluator=hosted)
+        # the prologue abort check fires on every compiled-tier call
+        with inject_faults(Fault("abort.check", "runtime", times=3)):
+            for _ in range(3):
+                assert compiled(20) == fib(20)  # fallback answers each time
+        assert compiled.current_tier is Tier.BYTECODE
+        transitions = failure_transitions(compiled.program.main)
+        assert [t.transition for t in transitions] == [
+            (Tier.COMPILED, Tier.BYTECODE)
+        ]
+        # the demoted tier actually executes (and is correct)
+        assert compiled(20) == fib(20)
+        assert compiled.stats().calls["bytecode"] == 1
+
+    def test_continued_failures_demote_to_interpreter(self, hosted):
+        compiled = FunctionCompile(COMPILED_LOOP, evaluator=hosted)
+        with inject_faults(Fault("abort.check", "runtime", times=3)):
+            for _ in range(3):
+                compiled(20)
+        assert compiled.current_tier is Tier.BYTECODE
+        with inject_faults(Fault("vm.instruction", "runtime", times=3)):
+            for _ in range(3):
+                assert compiled(20) == fib(20)
+        assert compiled.current_tier is Tier.INTERPRETER
+        assert [t.transition for t in failure_transitions(compiled.program.main)] == [
+            (Tier.COMPILED, Tier.BYTECODE),
+            (Tier.BYTECODE, Tier.INTERPRETER),
+        ]
+        # fully demoted: still correct, no further failures recorded
+        records_before = len(failure_records())
+        assert compiled(20) == fib(20)
+        assert len(failure_records()) == records_before
+
+    def test_breaker_not_tripped_by_boxing_failures(self, hosted):
+        compiled = FunctionCompile(COMPILED_LOOP, evaluator=hosted)
+        for _ in range(5):
+            compiled(1.5)  # TypeMismatch at the boxing boundary
+        assert compiled.current_tier is Tier.COMPILED
+        assert failure_records(kind="TypeMismatch")
+
+    def test_session_survives_every_injected_fault_kind(self, hosted):
+        hosted.run("g[x_] := x + 1")
+        before = _session_snapshot(hosted, "g")
+        compiled = FunctionCompile(COMPILED_LOOP, evaluator=hosted)
+        for kind, expected in [
+            ("overflow", None),
+            ("runtime", None),
+            ("abort", WolframAbort),
+            ("timeout", WolframTimeoutError),
+            ("budget", WolframRuntimeError),
+        ]:
+            with inject_faults(Fault("abort.check", kind, after=2)):
+                if expected is None:
+                    assert compiled(20) == fib(20)
+                else:
+                    with pytest.raises(expected):
+                        compiled(20)
+            assert active_guard() is None
+            assert not hosted.abort_pending()
+        assert _session_snapshot(hosted, "g") == before
+        assert hosted.run("g[1]").to_python() == 2
+
+
+class TestInjectorMechanics:
+    def test_faults_fire_deterministically(self, hosted):
+        hosted.run("cf = Compile[{{n, _Integer}}, " + LOOP_BODY + "]")
+        hits = []
+        for _ in range(2):
+            with inject_faults(
+                Fault("vm.instruction", "runtime", after=25)
+            ) as injector:
+                hosted.run("cf[30]")
+                hits.append(injector.faults[0].hits)
+        assert hits[0] == hits[1] == 26
+
+    def test_injection_is_not_reentrant(self):
+        with inject_faults(Fault("vm.instruction", "runtime")):
+            with pytest.raises(RuntimeError):
+                with inject_faults(Fault("vm.instruction", "runtime")):
+                    pass

@@ -1,0 +1,193 @@
+"""Evaluator dispatch microbenchmarks + the tier-up speedup smoke test.
+
+Three workloads exercise the PR's hot paths:
+
+* **recursive fib DownValues** — the profile-guided tier-up target: with
+  hotspot promotion the definition compiles after crossing the hotness
+  threshold and later calls run on the compiled tier;
+* **deep Orderless Plus** — stresses canonical ordering (cached structural
+  order keys instead of ``full_form`` string printing);
+* **1k-rule dispatch** — stresses the DownValue dispatch index (literal
+  first-argument discrimination instead of a 1000-rule linear scan).
+
+``test_tierup_speedup_factor`` mirrors ``bench_autocompile_findroot.py``'s
+assertion style: the measured factor is printed, and the assertion is the
+timing-robust ``> 1`` (the PR's acceptance target is ≥2×; see
+BENCH_evaluator.json for the recorded trajectory).
+
+Run ``python benchmarks/bench_dispatch.py`` to append a result record to
+``BENCH_evaluator.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.compiler import install_engine_support
+from repro.engine import Evaluator
+from repro.mexpr import parse
+
+FIB_CALL = "fib[19]"
+FIB_WARMUP = "fib[16]"
+
+
+def _fib_session(promote: bool) -> Evaluator:
+    session = Evaluator(recursion_limit=8192)
+    if promote:
+        install_engine_support(session)
+        session.hotspot.threshold = 8
+    session.run("fib[0] = 0")
+    session.run("fib[1] = 1")
+    session.run("fib[n_] := fib[n-1] + fib[n-2]")
+    return session
+
+
+def _orderless_session() -> Evaluator:
+    return Evaluator()
+
+
+def _orderless_source(width: int = 60) -> str:
+    # reversed symbolic terms: every evaluation pass re-sorts all of them
+    terms = " + ".join(f"z{index}" for index in range(width, 0, -1))
+    return f"f[{terms}]"
+
+
+def _ruletable_session(rules: int = 1000) -> Evaluator:
+    session = Evaluator()
+    for index in range(rules):
+        session.run(f"table[{index}] = {index * index}")
+    session.run("table[n_] := -1")
+    return session
+
+
+# -- pytest-benchmark trajectory benchmarks ---------------------------------
+
+
+def test_fib_interpreted(benchmark):
+    session = _fib_session(promote=False)
+    benchmark(lambda: session.evaluate(parse(FIB_CALL)))
+
+
+def test_fib_promoted(benchmark):
+    session = _fib_session(promote=True)
+    session.evaluate(parse(FIB_WARMUP))  # cross the threshold before timing
+    assert "fib" in session.hotspot.promoted
+    benchmark(lambda: session.evaluate(parse(FIB_CALL)))
+
+
+def test_orderless_plus(benchmark):
+    session = _orderless_session()
+    source = _orderless_source()
+    benchmark(lambda: session.evaluate(parse(source)))
+
+
+def test_thousand_rule_dispatch(benchmark):
+    session = _ruletable_session()
+    calls = [parse(f"table[{index}]") for index in range(0, 1000, 97)]
+
+    def lookup_all():
+        for call in calls:
+            session.evaluate(call)
+
+    benchmark(lookup_all)
+
+
+# -- the CI perf-smoke assertion --------------------------------------------
+
+
+def _best_of(session: Evaluator, source: str, reps: int = 3,
+             inner: int = 1) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        for _ in range(inner):
+            session.evaluate(parse(source))
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_tierup_factor() -> dict:
+    interpreted = _fib_session(promote=False)
+    promoted = _fib_session(promote=True)
+    promoted.evaluate(parse(FIB_WARMUP))  # promotion outside the timed region
+    assert "fib" in promoted.hotspot.promoted
+
+    t_interpreted = _best_of(interpreted, FIB_CALL)
+    t_promoted = _best_of(promoted, FIB_CALL, inner=5) / 5
+    return {
+        "workload": f"recursive-downvalue {FIB_CALL}",
+        "interpreted_seconds": t_interpreted,
+        "promoted_seconds": t_promoted,
+        "factor": t_interpreted / t_promoted,
+        "promoted_tier": promoted.hotspot.promoted["fib"].tier_kind,
+    }
+
+
+def test_tierup_speedup_factor(capsys):
+    """Promotion must beat interpretation; the PR targets ≥2×."""
+    interpreted = _fib_session(promote=False)
+    promoted = _fib_session(promote=True)
+    promoted.evaluate(parse(FIB_WARMUP))
+    assert "fib" in promoted.hotspot.promoted
+
+    # identical answers on both paths
+    a = interpreted.evaluate(parse(FIB_CALL)).to_python()
+    b = promoted.evaluate(parse(FIB_CALL)).to_python()
+    assert a == b == 4181
+
+    result = measure_tierup_factor()
+    with capsys.disabled():
+        print(f"\ntier-up speedup on {result['workload']}: "
+              f"{result['factor']:.1f}x "
+              f"(tier: {result['promoted_tier']}, target: >=2x)")
+    assert result["factor"] > 1.0
+
+
+# -- the trajectory runner ---------------------------------------------------
+
+
+def _timed(fn, reps: int = 3) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main() -> None:
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "tierup": measure_tierup_factor(),
+    }
+
+    orderless = _orderless_session()
+    source = _orderless_source()
+    record["orderless_plus_seconds"] = _timed(
+        lambda: orderless.evaluate(parse(source))
+    )
+
+    table = _ruletable_session()
+    calls = [parse(f"table[{index}]") for index in range(0, 1000, 7)]
+    record["thousand_rule_dispatch_seconds"] = _timed(
+        lambda: [table.evaluate(call) for call in calls]
+    )
+
+    path = Path(__file__).resolve().parent.parent / "BENCH_evaluator.json"
+    history = []
+    if path.exists():
+        history = json.loads(path.read_text(encoding="utf-8"))
+    history.append(record)
+    path.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(record, indent=2))
+    print(f"appended to {path}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

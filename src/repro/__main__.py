@@ -24,9 +24,20 @@ from repro.mexpr import full_form, parse
 
 
 def _print_session_stats(session, out) -> None:
-    """The ``--stats`` report: fallback statistics + failure log."""
+    """The ``--stats`` report: hot functions, fallback stats, failure log."""
     from repro.compiler.api import _ENGINE_TABLE_KEY, failure_records
 
+    hotspot = getattr(session, "hotspot", None)
+    if hotspot is not None and hotspot.counts:
+        out.write("\n-- hot functions (profile-guided tier-up) --\n")
+        out.write(
+            f"{'function':<20} {'applications':>12} {'status':<20} "
+            f"{'tier':<12} {'tier hits':>9}\n"
+        )
+        for name, count, status, tier, hits in hotspot.table():
+            out.write(
+                f"{name:<20} {count:>12} {status:<20} {tier:<12} {hits:>9}\n"
+            )
     out.write("\n-- guarded execution statistics --\n")
     compiled = session.extensions.get(_ENGINE_TABLE_KEY, {})
     bytecode = session.extensions.get("bytecode_compiled_functions", {})

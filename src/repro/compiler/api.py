@@ -682,13 +682,16 @@ def _register_with_engine(evaluator, compiled: CompiledCodeFunction) -> int:
 
 
 def install_engine_support(evaluator) -> None:
-    """Teach an engine session FunctionCompile + CompiledCodeFunction (F1)
-    and auto-compilation for numerical solvers (§1's FindRoot speedup)."""
+    """Teach an engine session FunctionCompile + CompiledCodeFunction (F1),
+    auto-compilation for numerical solvers (§1's FindRoot speedup), and
+    profile-guided tier-up of hot DownValue definitions."""
     from repro.engine.builtins import HEAD_APPLICATORS
+    from repro.runtime.hotspot import enable_hotspot
 
     HEAD_APPLICATORS["CompiledCodeFunction"] = _apply_compiled_code_function
     evaluator.extensions.setdefault(_ENGINE_TABLE_KEY, {})
     enable_auto_compilation(evaluator)
+    enable_hotspot(evaluator)  # idempotent: keeps an existing profiler
 
 
 def _apply_compiled_code_function(evaluator, head: MExpr, arguments: list):

@@ -232,7 +232,7 @@ def reverse(evaluator, expression):
 
 @builtin("Sort")
 def sort(evaluator, expression):
-    from repro.engine.evaluator import _canonical_order_key
+    from repro.engine.evaluator import canonical_order_key
     from repro.engine.builtins.functional import call
     from repro.mexpr.symbols import is_true
 
@@ -240,7 +240,7 @@ def sort(evaluator, expression):
         subject = expression.args[0]
         if subject.is_atom():
             return None
-        return MExprNormal(subject.head, sorted(subject.args, key=_canonical_order_key))
+        return MExprNormal(subject.head, sorted(subject.args, key=canonical_order_key))
     if len(expression.args) == 2:
         subject, comparator = expression.args
         if subject.is_atom():
@@ -257,7 +257,7 @@ def sort(evaluator, expression):
 
 @builtin("SortBy")
 def sort_by(evaluator, expression):
-    from repro.engine.evaluator import _canonical_order_key
+    from repro.engine.evaluator import canonical_order_key
     from repro.engine.builtins.functional import call
 
     if len(expression.args) != 2 or expression.args[0].is_atom():
@@ -265,7 +265,7 @@ def sort_by(evaluator, expression):
     subject, key_function = expression.args
     ordered = sorted(
         subject.args,
-        key=lambda item: _canonical_order_key(call(evaluator, key_function, item)),
+        key=lambda item: canonical_order_key(call(evaluator, key_function, item)),
     )
     return MExprNormal(subject.head, ordered)
 

@@ -4,17 +4,48 @@ A symbol's ``OwnValues`` hold its value binding (``x = 5``); its
 ``DownValues`` hold rewrite rules for expressions headed by the symbol
 (``f[x_] := x^2``) — the same two stores the Wolfram Engine uses (§2.1
 footnote 2).
+
+Dispatch over DownValues is accelerated by a :class:`DownValueIndex` that
+discriminates rules by arity and by a literal first argument, falling back
+to the ordered linear scan for general patterns.  The index is a pure cache:
+candidate selection only ever *excludes* rules that provably cannot match
+(wrong arity for a fixed-arity rule, or a literal first argument that is not
+structurally equal to the call's first argument), and candidates are yielded
+in the original specificity order.  Any mutation of the rule list —
+including ``Block``'s snapshot restore, which swaps in a different list
+object — invalidates the index.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import Iterator, Optional
 
+from repro.mexpr.atoms import MSymbol
 from repro.mexpr.expr import MExpr
 
-if TYPE_CHECKING:  # pragma: no cover
-    pass
+#: heads introducing pattern semantics; a subtree containing none of these
+#: matches only by structural equality (see ``patterns._match_one``)
+_PATTERN_HEADS = frozenset({
+    "Pattern",
+    "Blank",
+    "BlankSequence",
+    "BlankNullSequence",
+    "Alternatives",
+    "Condition",
+    "PatternTest",
+    "HoldPattern",
+})
+
+
+def _is_literal_pattern(node: MExpr) -> bool:
+    """True when ``node`` contains no pattern constructs at any depth."""
+    for sub in node.subexpressions():
+        if not sub.is_atom():
+            head = sub.head
+            if isinstance(head, MSymbol) and head.name in _PATTERN_HEADS:
+                return False
+    return True
 
 
 @dataclass
@@ -25,6 +56,69 @@ class DownValue:
     rhs: MExpr
     #: ``True`` for ``:=`` (rhs held until the rule fires), ``False`` for ``=``
     delayed: bool = True
+    #: memoized ``pattern_specificity(lhs)`` (rule ordering is recomputed on
+    #: every insertion; the lhs never mutates, so the score never changes)
+    specificity: Optional[int] = field(default=None, compare=False, repr=False)
+
+
+class DownValueIndex:
+    """Arity / literal-first-argument discrimination over one rule list."""
+
+    __slots__ = ("source", "length", "_by_literal", "_by_arity", "_general")
+
+    def __init__(self, down_values: list[DownValue]):
+        from repro.engine.patterns import _is_sequence_pattern
+
+        #: the exact list object indexed, for staleness detection
+        self.source = down_values
+        self.length = len(down_values)
+        self._by_literal: dict[tuple, list[tuple[int, DownValue]]] = {}
+        self._by_arity: dict[int, list[tuple[int, DownValue]]] = {}
+        #: rules that must be tried at every arity: sequence patterns,
+        #: HoldPattern/Condition-wrapped lhs, non-symbol heads
+        self._general: list[tuple[int, DownValue]] = []
+        for position, down_value in enumerate(down_values):
+            entry = (position, down_value)
+            lhs = down_value.lhs
+            head = lhs.head if not lhs.is_atom() else None
+            if (
+                lhs.is_atom()
+                or not isinstance(head, MSymbol)
+                or head.name in _PATTERN_HEADS
+                or any(_is_sequence_pattern(a) for a in lhs.args)
+            ):
+                self._general.append(entry)
+                continue
+            arity = len(lhs.args)
+            if lhs.args and _is_literal_pattern(lhs.args[0]):
+                key = (arity, lhs.args[0].structure_key())
+                self._by_literal.setdefault(key, []).append(entry)
+            else:
+                self._by_arity.setdefault(arity, []).append(entry)
+
+    def candidates(self, expression: MExpr) -> Iterator[DownValue]:
+        """Rules that may match ``expression``, in original rule order."""
+        args = expression.args
+        arity = len(args)
+        literal = (
+            self._by_literal.get((arity, args[0].structure_key()), ())
+            if args
+            else ()
+        )
+        fixed = self._by_arity.get(arity, ())
+        general = self._general
+        # fast paths: at most one non-empty bucket needs no position merge
+        if not general:
+            if not fixed:
+                return (entry[1] for entry in literal)
+            if not literal:
+                return (entry[1] for entry in fixed)
+        elif not fixed and not literal:
+            return (entry[1] for entry in general)
+        merged = sorted(
+            (*literal, *fixed, *general), key=lambda entry: entry[0]
+        )
+        return (entry[1] for entry in merged)
 
 
 @dataclass
@@ -37,11 +131,34 @@ class Definition:
     has_own_value: bool = False
     down_values: list[DownValue] = field(default_factory=list)
     attributes: frozenset[str] = frozenset()
+    _index: Optional[DownValueIndex] = field(
+        default=None, compare=False, repr=False
+    )
 
     def clear_values(self) -> None:
         self.own_value = None
         self.has_own_value = False
         self.down_values = []
+        self._index = None
+
+    def invalidate_index(self) -> None:
+        self._index = None
+
+    def dispatch_index(self) -> DownValueIndex:
+        """The (lazily rebuilt) dispatch index over ``down_values``.
+
+        Staleness is detected by list-object identity and length: ``Block``
+        restores a snapshot by assigning a fresh list, and every in-place
+        mutation path calls :meth:`invalidate_index` explicitly.
+        """
+        index = self._index
+        if (
+            index is None
+            or index.source is not self.down_values
+            or index.length != len(self.down_values)
+        ):
+            index = self._index = DownValueIndex(self.down_values)
+        return index
 
     def snapshot(self) -> "Definition":
         """A shallow copy used by ``Block`` to save and restore state."""
@@ -98,19 +215,24 @@ class KernelState:
         for index, existing in enumerate(definition.down_values):
             if existing.lhs == down_value.lhs:
                 definition.down_values[index] = down_value
+                definition.invalidate_index()
                 self.touch()
                 return
         definition.down_values.append(down_value)
         self._sort_down_values(definition)
+        definition.invalidate_index()
         self.touch()
 
     def _sort_down_values(self, definition: Definition) -> None:
         """Keep more specific rules first (Wolfram pattern ordering, §4.2)."""
         from repro.engine.patterns import pattern_specificity
 
-        definition.down_values.sort(
-            key=lambda dv: pattern_specificity(dv.lhs), reverse=True
-        )
+        def specificity(down_value: DownValue) -> int:
+            if down_value.specificity is None:
+                down_value.specificity = pattern_specificity(down_value.lhs)
+            return down_value.specificity
+
+        definition.down_values.sort(key=specificity, reverse=True)
 
     def set_attributes(self, name: str, attributes: frozenset[str]) -> None:
         definition = self.definition(name)

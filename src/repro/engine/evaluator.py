@@ -43,7 +43,7 @@ from repro.engine.attributes import (
 from repro.engine.controlflow import ReturnSignal, ThrowSignal
 from repro.engine.definitions import KernelState
 from repro.engine.patterns import match, substitute
-from repro.mexpr.atoms import MInteger, MReal, MString, MSymbol
+from repro.mexpr.atoms import MComplex, MInteger, MReal, MString, MSymbol
 from repro.mexpr.expr import MExpr, MExprNormal
 from repro.mexpr.parser import parse
 from repro.mexpr.symbols import S, head_name, is_head
@@ -74,6 +74,13 @@ class Evaluator:
         self._messages: list[str] = []
         #: hook the compiler installs so ``FunctionCompile`` etc. work inline
         self.extensions: dict[str, Callable] = {}
+        #: profile-guided tier-up profiler; ``None`` on bare evaluators, set
+        #: by :func:`repro.compiler.install_engine_support`
+        self.hotspot = None
+        #: per-``state_version`` attribute lookup cache (symbol name ->
+        #: attribute set); definitions change rarely relative to dispatches
+        self._attr_cache: dict[str, frozenset[str]] = {}
+        self._attr_version = -1
         from repro.engine.builtins import BUILTINS
 
         self._builtins = BUILTINS
@@ -115,6 +122,11 @@ class Evaluator:
 
     def evaluate(self, expression: MExpr) -> MExpr:
         self._check_abort()
+        # Non-symbol atoms are self-evaluating; skip the fixed-point loop
+        # entirely.  (Symbols may have OwnValues, so they take the full path.)
+        # This sits after _check_abort so step budgets charge as before.
+        if expression.is_atom() and not isinstance(expression, MSymbol):
+            return expression
         if self._depth >= self.recursion_limit:
             raise WolframRecursionError(
                 f"$RecursionLimit of {self.recursion_limit} exceeded"
@@ -126,7 +138,11 @@ class Evaluator:
                 if self._is_stamped(current):
                     return current
                 result = self._evaluate_once(current)
-                if result is current or result == current:
+                # cheap checks first: identity, then (cached) hashes — a hash
+                # mismatch proves inequality without walking either tree
+                if result is current or (
+                    hash(result) == hash(current) and result == current
+                ):
                     self._stamp(result)
                     return result
                 current = result
@@ -170,7 +186,7 @@ class Evaluator:
         if FLAT in attributes and isinstance(head, MSymbol):
             arguments = self._flatten(head.name, arguments)
         if ORDERLESS in attributes:
-            arguments = sorted(arguments, key=_canonical_order_key)
+            arguments = sorted(arguments, key=canonical_order_key)
         arguments = self._splice_sequences(head, attributes, arguments)
 
         rebuilt = MExprNormal(head, arguments)
@@ -229,13 +245,24 @@ class Evaluator:
     def _attributes_of(self, head: MExpr) -> frozenset[str]:
         if not isinstance(head, MSymbol):
             return frozenset()
-        definition = self.state.lookup(head.name)
+        version = self.state.state_version
+        if version != self._attr_version:
+            self._attr_cache.clear()
+            self._attr_version = version
+        name = head.name
+        cached = self._attr_cache.get(name)
+        if cached is not None:
+            return cached
+        definition = self.state.lookup(name)
         if definition is not None and definition.attributes:
-            return definition.attributes
-        builtin = self._builtins.get(head.name)
-        if builtin is not None:
-            return builtin.attributes
-        return frozenset()
+            attributes = definition.attributes
+        else:
+            builtin = self._builtins.get(name)
+            attributes = (
+                builtin.attributes if builtin is not None else frozenset()
+            )
+        self._attr_cache[name] = attributes
+        return attributes
 
     def _evaluate_arguments(
         self, arguments: tuple[MExpr, ...], attributes: frozenset[str]
@@ -308,23 +335,67 @@ class Evaluator:
         definition = self.state.lookup(name)
         if definition is None or not definition.down_values:
             return None
-        for down_value in definition.down_values:
+        hotspot = self.hotspot
+        if hotspot is not None:
+            promoted = hotspot.dispatch(self, name, definition, expression)
+            if promoted is not None:
+                return promoted
+        for down_value in definition.dispatch_index().candidates(expression):
             bindings = match(down_value.lhs, expression, evaluator=self)
             if bindings is not None:
+                if hotspot is not None:
+                    hotspot.record(self, name, definition, expression)
                 return substitute(down_value.rhs, bindings)
         return None
 
 
-def _canonical_order_key(expression: MExpr) -> tuple:
-    """Canonical (Orderless) ordering: numbers, strings, symbols, normals."""
+def _build_order_key(expression: MExpr) -> tuple:
+    """Build the canonical ordering key (uncached); see below for shape."""
     if isinstance(expression, MInteger):
-        return (0, float(expression.value), "")
+        return (0, expression.value, "", ())
     if isinstance(expression, MReal):
-        return (0, expression.value, "")
+        return (0, expression.value, "", ())
     if isinstance(expression, MString):
-        return (1, 0.0, expression.value)
+        return (1, 0, expression.value, ())
     if isinstance(expression, MSymbol):
-        return (2, 0.0, expression.name)
-    from repro.mexpr.printer import full_form
+        return (2, 0, expression.name, ())
+    if isinstance(expression, MComplex):  # tier 3, ordered by (re, im)
+        value = expression.value
+        return (
+            3,
+            -1,
+            "",
+            ((0, value.real, "", ()), (0, value.imag, "", ())),
+        )
+    if expression.is_atom():  # future atom types: order by structure key text
+        return (3, -2, repr(expression.structure_key()), ())
+    return (
+        3,
+        len(expression.args),
+        "",
+        (
+            canonical_order_key(expression.head),
+            *(canonical_order_key(a) for a in expression.args),
+        ),
+    )
 
-    return (3, float(len(expression.args)), full_form(expression))
+
+def canonical_order_key(expression: MExpr) -> tuple:
+    """Canonical (Orderless) ordering: numbers, strings, symbols, normals.
+
+    Keys are structural, cached per node, and shape-uniform —
+    ``(tier, numeric, text, children)`` — so comparing any two keys never
+    mixes types within a tuple slot.  Numbers sort by value (exact integer
+    values, no lossy ``float`` conversion), then strings, then symbols by
+    name, then normal expressions by argument count and recursively by
+    head/argument keys.  Unlike the historical ``full_form``-string
+    comparator this orders ``f[2]`` before ``f[10]``.
+    """
+    key = expression._okey
+    if key is None:
+        key = expression._okey = _build_order_key(expression)
+    return key
+
+
+#: historical name, still imported by builtins (Sort, SortBy)
+_canonical_order_key = canonical_order_key

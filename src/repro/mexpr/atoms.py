@@ -50,6 +50,15 @@ class MInteger(MExprAtom):
     def _structure_key(self) -> tuple:
         return ("Integer", self.value)
 
+    def __eq__(self, other: object) -> bool:
+        # hot-path fast compare: integers dominate numeric workloads, and the
+        # generic path would build two key tuples just to compare payloads
+        if type(other) is MInteger:
+            return self.value == other.value
+        return super().__eq__(other)
+
+    __hash__ = MExprAtom.__hash__
+
     def to_python(self) -> int:
         return self.value
 
@@ -125,6 +134,13 @@ class MString(MExprAtom):
     def _structure_key(self) -> tuple:
         return ("String", self.value)
 
+    def __eq__(self, other: object) -> bool:
+        if type(other) is MString:
+            return self.value == other.value
+        return super().__eq__(other)
+
+    __hash__ = MExprAtom.__hash__
+
     def to_python(self) -> str:
         return self.value
 
@@ -153,6 +169,13 @@ class MSymbol(MExprAtom):
 
     def _structure_key(self) -> tuple:
         return ("Symbol", self.name)
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is MSymbol:
+            return self.name == other.name
+        return super().__eq__(other)
+
+    __hash__ = MExprAtom.__hash__
 
     def to_python(self) -> Any:
         if self.name == "True":

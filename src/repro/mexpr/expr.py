@@ -9,21 +9,34 @@ paper:
 * nodes serialize and deserialize (see :mod:`repro.mexpr.serialize`);
 * equality is structural so macro fixed-point detection and CSE work by
   comparing subtrees.
+
+Structural keys are **cached per node**: trees are immutable once built (only
+metadata mutates, and metadata is excluded from equality), so the key tuple —
+and the hash derived from it — is computed at most once and child keys are
+reused when a parent's key is first built.  This keeps the evaluator's
+fixed-point comparison and Orderless sorting from rebuilding O(tree-size)
+tuples on every evaluation step.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Iterator
 
+#: slots that :meth:`MExpr.clone` must NOT copy: metadata is dropped by
+#: contract, and the weakref slot is unassignable
+_CLONE_SKIPPED_SLOTS = frozenset({"_properties", "__weakref__"})
+
 
 class MExpr:
     """Base class of all Wolfram expression nodes."""
 
-    __slots__ = ("_properties", "_hash", "__weakref__")
+    __slots__ = ("_properties", "_hash", "_skey", "_okey", "__weakref__")
 
     def __init__(self):
         self._properties: dict[str, Any] | None = None
         self._hash: int | None = None
+        self._skey: tuple | None = None
+        self._okey: tuple | None = None
 
     # -- structure ----------------------------------------------------------
 
@@ -41,12 +54,27 @@ class MExpr:
     def _structure_key(self) -> tuple:
         raise NotImplementedError
 
+    def structure_key(self) -> tuple:
+        """The cached structural identity of this tree (metadata-free)."""
+        key = self._skey
+        if key is None:
+            key = self._skey = self._structure_key()
+        return key
+
     def __eq__(self, other: object) -> bool:
         if self is other:
             return True
         if not isinstance(other, MExpr):
             return NotImplemented
-        return self._structure_key() == other._structure_key()
+        # cached-hash short circuit: unequal hashes prove structural inequality
+        # without touching either tree
+        if (
+            self._hash is not None
+            and other._hash is not None
+            and self._hash != other._hash
+        ):
+            return False
+        return self.structure_key() == other.structure_key()
 
     def __ne__(self, other: object) -> bool:
         result = self.__eq__(other)
@@ -56,7 +84,7 @@ class MExpr:
 
     def __hash__(self) -> int:
         if self._hash is None:
-            self._hash = hash(self._structure_key())
+            self._hash = hash(self.structure_key())
         return self._hash
 
     def same_q(self, other: "MExpr") -> bool:
@@ -95,12 +123,20 @@ class MExpr:
 
         ``FunctionCompile`` clones its input so compiler passes may mutate
         metadata freely without touching the user's expression.
+
+        Payload slots are gathered across the full MRO: iterating only the
+        leaf class's ``__slots__`` silently skips state declared on base
+        classes (an ``MInteger`` subclass adding a slot would clone with its
+        inherited ``value`` unset).
         """
         if self.is_atom():
             fresh = type(self).__new__(type(self))
             MExpr.__init__(fresh)
-            for slot in type(self).__slots__:
-                setattr(fresh, slot, getattr(self, slot))
+            for klass in type(self).__mro__:
+                for slot in getattr(klass, "__slots__", ()):
+                    if slot in _CLONE_SKIPPED_SLOTS:
+                        continue
+                    setattr(fresh, slot, getattr(self, slot))
             return fresh
         return MExprNormal(self.head.clone(), [a.clone() for a in self.args])
 
@@ -167,8 +203,10 @@ class MExprNormal(MExpr):
         return self._args
 
     def _structure_key(self) -> tuple:
-        return ("Normal", self._head._structure_key(),
-                tuple(a._structure_key() for a in self._args))
+        # children's cached keys are reused, so building a parent key after
+        # its subtrees were compared/hashed is O(arity), not O(tree)
+        return ("Normal", self._head.structure_key(),
+                tuple(a.structure_key() for a in self._args))
 
     def to_python(self) -> Any:
         from repro.mexpr.atoms import MSymbol

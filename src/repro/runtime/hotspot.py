@@ -1,0 +1,547 @@
+"""Profile-guided tier-up: promote hot DownValue functions to faster tiers.
+
+PR 1 shipped the *demotion* half of tier governance — the
+:class:`~repro.runtime.guard.CircuitBreaker` walks a failing function down
+``compiled → bytecode → interpreter``.  This module is the symmetric
+*promotion* half (Titzer 2023: a tiered runtime needs both directions): a
+lightweight profiler counts DownValue applications per symbol, and once a
+symbol crosses the hotness threshold — and its definition passes the
+compilability gate derived from :mod:`repro.bytecode.supported` — its rules
+are synthesized into a typed function and compiled, preferring the compiled
+(generated-code) tier via ``FunctionCompile`` and falling back to the
+bytecode VM.  Subsequent calls whose arguments pass the type gate dispatch
+straight to the promoted artifact.
+
+Governance invariants:
+
+* a promoted artifact keeps its own ``CircuitBreaker`` (renamed to the
+  symbol for attribution), so soft failures demote it exactly as PR 1
+  specified; when the breaker reaches the interpreter tier the promotion is
+  withdrawn entirely and re-promotion is blocked until the definition
+  changes;
+* any change to the symbol's rules — ``Set``, ``Clear``, ``Block`` restore —
+  invalidates the promotion in the same ``state_version`` bump: validation
+  runs before every promoted dispatch, a stale entry is dropped, and the
+  call falls through to ordinary rule dispatch;
+* argument gating is exact: a call whose arguments do not match the
+  promoted signature (class and int64 range) is evaluated interpretively,
+  never coerced.
+
+The hotness threshold is ``REPRO_HOTSPOT_THRESHOLD`` (default 16).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import WolframAbort
+from repro.mexpr.atoms import MInteger, MReal, MSymbol
+from repro.mexpr.expr import MExpr, MExprNormal
+from repro.mexpr.symbols import S, to_mexpr
+from repro.runtime.guard import Tier
+
+DEFAULT_THRESHOLD = 16
+_ENV_KNOB = "REPRO_HOTSPOT_THRESHOLD"
+
+#: pattern-construct heads (mirrors ``engine.definitions._PATTERN_HEADS``)
+_PATTERN_HEADS = frozenset({
+    "Pattern", "Blank", "BlankSequence", "BlankNullSequence",
+    "Alternatives", "Condition", "PatternTest", "HoldPattern",
+})
+
+#: control heads usable in a promoted body beyond pure numeric calls
+_CONTROL_HEADS = frozenset({"If", "And", "Or", "Not"})
+
+#: exact integer semantics diverge from machine arithmetic for these heads
+#: (``5/2`` is ``Rational[5, 2]``, ``2^-1`` is ``1/2``): block promotion of
+#: integer-typed definitions that use them
+_INT_UNSAFE_HEADS = frozenset({"Divide", "Power", "Sqrt"})
+
+_TYPE_NAMES = {"i": "MachineInteger", "r": "Real64"}
+
+#: promotion synthesizes one branch per non-general rule; past this many
+#: rules the If chain stops paying for itself
+_MAX_RULES = 8
+_INT64_MIN, _INT64_MAX = -(2 ** 63), 2 ** 63 - 1
+
+
+def threshold_from_environment() -> int:
+    raw = os.environ.get(_ENV_KNOB)
+    if raw is None:
+        return DEFAULT_THRESHOLD
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return DEFAULT_THRESHOLD
+
+
+@dataclass
+class PromotedFunction:
+    """One symbol's live promotion: artifact + validity + type gate."""
+
+    name: str
+    artifact: object
+    tier_kind: str  # "compiled" | "bytecode"
+    gate_types: tuple[type, ...]
+    kinds: tuple[str, ...]
+    #: kernel version the entry was last validated against
+    state_version: int
+    #: identity snapshot of the rule list backing the promotion
+    rules_list: list
+    rules: tuple
+    hits: int = 0
+
+    def artifact_tier(self) -> Tier:
+        breaker = getattr(self.artifact, "_breaker", None)
+        if breaker is None:
+            breaker = self.artifact.breaker
+        return breaker.tier
+
+
+@dataclass
+class PromotionEvent:
+    """Audit record surfaced by ``--stats`` and the tests."""
+
+    name: str
+    action: str  # "promoted" | "invalidated" | "demoted" | "blocked"
+    tier: str
+    detail: str = ""
+
+
+@dataclass
+class _Plan:
+    """A synthesized, compilable view of one symbol's DownValues."""
+
+    parameters: tuple[str, ...]
+    kinds: tuple[str, ...]
+    gate_types: tuple[type, ...]
+    body: MExpr
+    recursive: bool
+
+
+class HotspotProfiler:
+    """Counts DownValue applications and promotes past the threshold."""
+
+    def __init__(self, threshold: Optional[int] = None):
+        self.threshold = (
+            threshold if threshold is not None else threshold_from_environment()
+        )
+        self.counts: dict[str, int] = {}
+        self.promoted: dict[str, PromotedFunction] = {}
+        self.events: list[PromotionEvent] = []
+        #: definitions that failed the gate, keyed to the exact rule tuple
+        #: that failed — redefinition clears the block
+        self._blocked: dict[str, tuple] = {}
+        self._in_progress: set[str] = set()
+
+    # -- dispatch-side API (called from Evaluator._apply_down_values) --------
+
+    def dispatch(self, evaluator, name, definition, expression):
+        """Run ``expression`` on the promoted tier, or ``None`` to decline."""
+        entry = self.promoted.get(name)
+        if entry is None:
+            return None
+        if not self._validate(evaluator, name, definition, entry):
+            return None
+        if entry.artifact_tier() is Tier.INTERPRETER:
+            # the breaker walked the artifact all the way down: interpreting
+            # *through* the artifact adds pure overhead, so withdraw the
+            # promotion and block re-promotion until the rules change
+            del self.promoted[name]
+            self._blocked[name] = entry.rules
+            self.events.append(
+                PromotionEvent(name, "demoted", Tier.INTERPRETER.value,
+                               "circuit breaker exhausted all tiers")
+            )
+            return None
+        arguments = expression.args
+        if len(arguments) != len(entry.gate_types):
+            return None
+        values = []
+        for argument, gate, kind in zip(
+            arguments, entry.gate_types, entry.kinds
+        ):
+            if type(argument) is not gate:
+                return None
+            value = argument.value
+            if kind == "i" and not _INT64_MIN <= value <= _INT64_MAX:
+                return None
+            values.append(value)
+        entry.hits += 1
+        result = entry.artifact(*values)
+        if isinstance(result, MExpr):
+            return result
+        return to_mexpr(result)
+
+    def record(self, evaluator, name, definition, expression) -> None:
+        """Count one interpreted rule application; maybe promote."""
+        count = self.counts.get(name, 0) + 1
+        self.counts[name] = count
+        if count < self.threshold or name in self.promoted:
+            return
+        if name in self._in_progress:
+            return
+        if self._blocked.get(name) == tuple(definition.down_values):
+            return
+        self._in_progress.add(name)
+        try:
+            self._attempt_promotion(evaluator, name, definition, expression)
+        finally:
+            self._in_progress.discard(name)
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _validate(self, evaluator, name, definition, entry) -> bool:
+        version = evaluator.state.state_version
+        if entry.state_version == version:
+            return True
+        rules = definition.down_values
+        if entry.rules_list is rules and len(rules) == len(entry.rules) and all(
+            a is b for a, b in zip(rules, entry.rules)
+        ):
+            entry.state_version = version  # unrelated definition changed
+            return True
+        # the rules behind the promotion changed: drop it in this same bump
+        del self.promoted[name]
+        self.counts[name] = 0
+        self._blocked.pop(name, None)
+        self.events.append(
+            PromotionEvent(name, "invalidated", entry.tier_kind,
+                           "definition changed")
+        )
+        return False
+
+    def invalidate(self, name: str) -> None:
+        """Explicitly drop a promotion (test/tooling hook)."""
+        entry = self.promoted.pop(name, None)
+        if entry is not None:
+            self.counts[name] = 0
+            self.events.append(
+                PromotionEvent(name, "invalidated", entry.tier_kind,
+                               "explicit invalidation")
+            )
+
+    def table(self) -> list[tuple]:
+        """Rows for the ``--stats`` report: hottest functions first."""
+        rows = []
+        for name, count in sorted(
+            self.counts.items(), key=lambda item: -item[1]
+        ):
+            entry = self.promoted.get(name)
+            if entry is not None:
+                status = f"promoted:{entry.tier_kind}"
+                tier = entry.artifact_tier().value
+                hits = entry.hits
+            else:
+                status = "blocked" if name in self._blocked else "profiling"
+                tier = Tier.INTERPRETER.value
+                hits = 0
+            rows.append((name, count, status, tier, hits))
+        return rows
+
+    # -- promotion -----------------------------------------------------------
+
+    def _attempt_promotion(self, evaluator, name, definition, expression):
+        plan = self._synthesize(name, definition, expression)
+        if plan is None:
+            self._block(name, definition, "definition is not promotable")
+            return
+        if plan is _RETRY_LATER:
+            # e.g. symbolic arguments this call: stay hot, try again next time
+            self.counts[name] = self.threshold - 1
+            return
+        artifact, tier_kind = self._compile_plan(evaluator, name, plan)
+        if artifact is None:
+            self._block(name, definition, "no tier accepted the definition")
+            return
+        self.promoted[name] = PromotedFunction(
+            name=name,
+            artifact=artifact,
+            tier_kind=tier_kind,
+            gate_types=plan.gate_types,
+            kinds=plan.kinds,
+            state_version=evaluator.state.state_version,
+            rules_list=definition.down_values,
+            rules=tuple(definition.down_values),
+        )
+        self.events.append(
+            PromotionEvent(name, "promoted", tier_kind,
+                           f"after {self.counts[name]} applications")
+        )
+
+    def _block(self, name, definition, reason: str) -> None:
+        self._blocked[name] = tuple(definition.down_values)
+        self.events.append(
+            PromotionEvent(name, "blocked", Tier.INTERPRETER.value, reason)
+        )
+
+    def _compile_plan(self, evaluator, name, plan):
+        typed_params = [
+            MExprNormal(S.Typed, [MSymbol(p), to_mexpr(_TYPE_NAMES[k])])
+            for p, k in zip(plan.parameters, plan.kinds)
+        ]
+        function = MExprNormal(
+            S.Function, [MExprNormal(S.List, list(typed_params)), plan.body]
+        )
+        try:
+            from repro.compiler.api import FunctionCompile
+
+            artifact = FunctionCompile(function, evaluator=evaluator)
+            # attribute breaker records to the engine-level symbol, so
+            # failure_records() reads naturally in --stats
+            artifact._breaker.function = name
+            return artifact, "compiled"
+        except WolframAbort:
+            raise
+        except Exception:
+            pass
+        if plan.recursive:
+            # the VM has no direct self-call; recursion would bounce through
+            # the interpreter escape on every frame
+            return None, ""
+        try:
+            from repro.bytecode.compiled_function import compile_function
+
+            specs = MExprNormal(S.List, [
+                MExprNormal(S.List, [
+                    MSymbol(p),
+                    MExprNormal(S.Blank, [
+                        S.Integer if k == "i" else S.Real
+                    ]),
+                ])
+                for p, k in zip(plan.parameters, plan.kinds)
+            ])
+            artifact = compile_function(specs, plan.body, evaluator=evaluator)
+            artifact.breaker.function = name
+            return artifact, "bytecode"
+        except WolframAbort:
+            raise
+        except Exception:
+            return None, ""
+
+    # -- plan synthesis ------------------------------------------------------
+
+    def _synthesize(self, name, definition, expression):
+        """Turn the symbol's DownValues into one typed, branching body.
+
+        Shape accepted: every rule is ``name[args...]`` at one fixed arity;
+        each argument is either a numeric literal or a (possibly typed)
+        blank; exactly one rule — ordered last — is fully general (all
+        blanks). Literal rules become an ``If`` chain in rule order, so
+        dispatch semantics are preserved exactly.
+        """
+        rules = definition.down_values
+        if not rules or len(rules) > _MAX_RULES:
+            return None
+        parsed = []
+        arity = None
+        for rule in rules:
+            lhs = rule.lhs
+            if lhs.is_atom() or not isinstance(lhs.head, MSymbol) \
+                    or lhs.head.name != name:
+                return None
+            if arity is None:
+                arity = len(lhs.args)
+            elif len(lhs.args) != arity:
+                return None
+            slots = []
+            for argument in lhs.args:
+                slot = _parse_slot(argument)
+                if slot is None:
+                    return None
+                slots.append(slot)
+            parsed.append((slots, rule.rhs))
+        if arity == 0:
+            return None
+
+        general = [
+            index for index, (slots, _) in enumerate(parsed)
+            if all(kind == "blank" for kind, _, _ in slots)
+        ]
+        if len(general) != 1 or general[0] != len(parsed) - 1:
+            return None
+        general_slots, general_rhs = parsed[-1]
+
+        # one declared type per position, consistent across rules
+        kinds: list[Optional[str]] = [None] * arity
+        for slots, _ in parsed:
+            for position, (kind, _, declared) in enumerate(slots):
+                if kind != "blank" or declared is None:
+                    continue
+                if kinds[position] is None:
+                    kinds[position] = declared
+                elif kinds[position] != declared:
+                    return None
+
+        # undeclared positions take the class observed on the hot call;
+        # non-numeric arguments mean "not now", not "never"
+        gate_types: list[type] = [None] * arity  # type: ignore[list-item]
+        for position in range(arity):
+            if kinds[position] == "i":
+                gate_types[position] = MInteger
+            elif kinds[position] == "r":
+                gate_types[position] = MReal
+            else:
+                observed = expression.args[position]
+                if type(observed) is MInteger:
+                    kinds[position] = "i"
+                    gate_types[position] = MInteger
+                elif type(observed) is MReal:
+                    kinds[position] = "r"
+                    gate_types[position] = MReal
+                else:
+                    return _RETRY_LATER
+
+        # canonical parameter names come from the general rule
+        parameters = []
+        for position, (kind, payload, _) in enumerate(general_slots):
+            if payload:
+                parameters.append(payload)
+            else:
+                parameters.append(f"$hot{position + 1}")
+
+        # rename + compilability-check every rhs, then fold the If chain
+        integer_typed = "i" in kinds
+        body = self._rewrite_rhs(
+            name, general_rhs, general_slots, parameters, integer_typed
+        )
+        if body is None:
+            return None
+        recursive = _calls_symbol(general_rhs, name)
+        for slots, rhs in reversed(parsed[:-1]):
+            branch = self._rewrite_rhs(
+                name, rhs, slots, parameters, integer_typed
+            )
+            if branch is None:
+                return None
+            recursive = recursive or _calls_symbol(rhs, name)
+            conditions = [
+                MExprNormal(S.Equal, [MSymbol(parameters[position]), literal])
+                for position, (kind, literal, _) in enumerate(slots)
+                if kind == "literal"
+            ]
+            if not conditions:
+                return None
+            condition = (
+                conditions[0] if len(conditions) == 1
+                else MExprNormal(S.And, conditions)
+            )
+            body = MExprNormal(S.If, [condition, branch, body])
+        return _Plan(
+            parameters=tuple(parameters),
+            kinds=tuple(kinds),  # type: ignore[arg-type]
+            gate_types=tuple(gate_types),
+            body=body,
+            recursive=recursive,
+        )
+
+    def _rewrite_rhs(self, name, rhs, slots, parameters, integer_typed):
+        """Rename rule-local pattern names to the canonical parameters and
+        verify every call in the body is compilable."""
+        from repro.engine.patterns import substitute
+
+        renames = {}
+        bound = set(parameters)
+        for position, (kind, payload, _) in enumerate(slots):
+            if kind == "blank" and payload:
+                renames[payload] = MSymbol(parameters[position])
+        if renames:
+            rhs = substitute(rhs, renames)
+        if not _body_compilable(rhs, name, bound, integer_typed):
+            return None
+        return rhs
+
+
+#: sentinel: promotion not possible with *these* arguments, retry later
+_RETRY_LATER = object()
+
+
+def _parse_slot(argument: MExpr):
+    """Classify one lhs argument.
+
+    Returns ``("literal", literal_node, None)``,
+    ``("blank", pattern_name_or_empty, declared_kind_or_None)``, or ``None``
+    when the argument is outside the promotable shape.
+    """
+    if isinstance(argument, (MInteger, MReal)):
+        return ("literal", argument, None)
+    if argument.is_atom():
+        return None
+    head = argument.head
+    if not isinstance(head, MSymbol):
+        return None
+    if head.name == "Pattern" and len(argument.args) == 2:
+        pattern_name = argument.args[0]
+        if not isinstance(pattern_name, MSymbol):
+            return None
+        inner = _parse_slot(argument.args[1])
+        if inner is None or inner[0] != "blank":
+            return None
+        return ("blank", pattern_name.name, inner[2])
+    if head.name == "Blank":
+        if not argument.args:
+            return ("blank", "", None)
+        required = argument.args[0]
+        if isinstance(required, MSymbol):
+            if required.name == "Integer":
+                return ("blank", "", "i")
+            if required.name == "Real":
+                return ("blank", "", "r")
+        return None
+    return None
+
+
+def _body_compilable(
+    body: MExpr, self_name: str, bound: set[str], integer_typed: bool
+) -> bool:
+    """Conservative gate: every head in ``body`` must be a function the
+    bytecode table declares supported (or a control head, or a self-call),
+    and every bare symbol must be a bound parameter or True/False/Null."""
+    from repro.bytecode.supported import supported_function_names
+
+    allowed = supported_function_names() | _CONTROL_HEADS | {self_name}
+    stack = [body]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, MSymbol):
+            if node.name not in bound and node.name not in (
+                "True", "False", "Null"
+            ):
+                return False
+            continue
+        if isinstance(node, (MInteger, MReal)):
+            continue
+        if node.is_atom():  # strings, complexes: outside the numeric tiers
+            return False
+        head = node.head
+        if not isinstance(head, MSymbol):
+            return False
+        if head.name in _PATTERN_HEADS:
+            return False
+        if head.name not in allowed:
+            return False
+        if integer_typed and head.name in _INT_UNSAFE_HEADS:
+            return False
+        stack.extend(node.args)
+    return True
+
+
+def _calls_symbol(body: MExpr, name: str) -> bool:
+    for sub in body.subexpressions():
+        if not sub.is_atom() and isinstance(sub.head, MSymbol) \
+                and sub.head.name == name:
+            return True
+    return False
+
+
+def enable_hotspot(evaluator, threshold: Optional[int] = None):
+    """Attach a profiler to an engine session (idempotent)."""
+    if getattr(evaluator, "hotspot", None) is None:
+        evaluator.hotspot = HotspotProfiler(threshold=threshold)
+    return evaluator.hotspot
+
+
+def disable_hotspot(evaluator) -> None:
+    evaluator.hotspot = None

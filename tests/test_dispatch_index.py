@@ -1,0 +1,164 @@
+"""The DownValue dispatch index: discrimination, ordering, invalidation.
+
+The index (`engine/definitions.DownValueIndex`) may only ever *exclude*
+rules that provably cannot match; candidate order must equal the original
+specificity order; and any mutation of the rule list — including ``Block``'s
+snapshot restore — must invalidate it.
+"""
+
+import pytest
+
+from repro.engine import Evaluator
+from repro.engine.definitions import DownValueIndex
+from repro.mexpr import full_form, parse
+
+
+@pytest.fixture()
+def session():
+    return Evaluator()
+
+
+def _index_of(session, name) -> DownValueIndex:
+    return session.state.lookup(name).dispatch_index()
+
+
+class TestDiscrimination:
+    def test_literal_rules_bucket_by_first_argument(self, session):
+        session.run("f[0] = 100")
+        session.run("f[1] = 200")
+        session.run("f[n_] := n * 10")
+        index = _index_of(session, "f")
+        zero_call = parse("f[0]")
+        candidates = list(index.candidates(zero_call))
+        # f[1] is excluded outright; f[0] and the general rule remain
+        assert len(candidates) == 2
+        assert full_form(candidates[0].lhs) == "f[0]"
+        assert session.run("f[0]").to_python() == 100
+        assert session.run("f[1]").to_python() == 200
+        assert session.run("f[7]").to_python() == 70
+
+    def test_arity_discrimination(self, session):
+        session.run("g[x_] := 1")
+        session.run("g[x_, y_] := 2")
+        index = _index_of(session, "g")
+        assert len(list(index.candidates(parse("g[a]")))) == 1
+        assert len(list(index.candidates(parse("g[a, b]")))) == 1
+        assert len(list(index.candidates(parse("g[a, b, c]")))) == 0
+        assert session.run("g[1]").to_python() == 1
+        assert session.run("g[1, 2]").to_python() == 2
+        assert full_form(session.run("g[1, 2, 3]")) == "g[1, 2, 3]"
+
+    def test_variadic_rules_are_candidates_at_every_arity(self, session):
+        session.run("h[xs__] := Length[{xs}]")
+        session.run("h[x_, y_] := 99")
+        for call in ("h[a]", "h[a, b]", "h[a, b, c]"):
+            assert list(
+                _index_of(session, "h").candidates(parse(call))
+            ), call
+        assert session.run("h[1]").to_python() == 1
+        assert session.run("h[1, 2]").to_python() == 99  # specificity wins
+        assert session.run("h[1, 2, 3]").to_python() == 3
+
+    def test_structured_literal_first_argument(self, session):
+        session.run("p[{1, 2}] = 10")
+        session.run("p[x_] := 0")
+        assert session.run("p[{1, 2}]").to_python() == 10
+        assert session.run("p[{2, 1}]").to_python() == 0
+        index = _index_of(session, "p")
+        assert len(list(index.candidates(parse("p[{2, 1}]")))) == 1
+
+    def test_conditioned_argument_is_never_excluded(self, session):
+        session.run("q[n_ /; n > 10] := 1")
+        session.run("q[n_] := 2")
+        assert session.run("q[11]").to_python() == 1
+        assert session.run("q[5]").to_python() == 2
+        index = _index_of(session, "q")
+        assert len(list(index.candidates(parse("q[3]")))) == 2
+
+    def test_pattern_first_argument_stays_in_arity_bucket(self, session):
+        session.run("r[0, y_] := y")
+        session.run("r[x_, y_] := r[x - 1, y + 1]")
+        assert session.run("r[3, 0]").to_python() == 3
+
+
+class TestOrdering:
+    def test_candidates_preserve_specificity_order(self, session):
+        # insertion order scrambled; specificity sorting puts literals first
+        session.run("s[n_] := -1")
+        session.run("s[0] = 10")
+        session.run("s[1] = 11")
+        rules = [full_form(dv.lhs) for dv in session.state.lookup("s").down_values]
+        candidates = [
+            full_form(dv.lhs)
+            for dv in _index_of(session, "s").candidates(parse("s[0]"))
+        ]
+        # candidate order is a subsequence of the full rule order
+        positions = [rules.index(c) for c in candidates]
+        assert positions == sorted(positions)
+        assert candidates[0] == "s[0]"
+
+    def test_merge_across_buckets_respects_rule_order(self, session):
+        session.run("t[0] = 1")           # literal bucket
+        session.run("t[n_Integer] := 2")  # arity bucket
+        session.run("t[xs__] := 3")       # general bucket
+        candidates = [
+            full_form(dv.lhs)
+            for dv in _index_of(session, "t").candidates(parse("t[0]"))
+        ]
+        rules = [full_form(dv.lhs) for dv in session.state.lookup("t").down_values]
+        assert candidates == rules  # all three apply, in order
+        assert session.run("t[0]").to_python() == 1
+        assert session.run("t[5]").to_python() == 2
+        assert session.run("t[1.5]").to_python() == 3
+
+
+class TestInvalidation:
+    def test_replacing_a_rule_in_place_invalidates(self, session):
+        session.run("u[0] = 1")
+        session.run("u[n_] := 2")
+        first = _index_of(session, "u")
+        session.run("u[0] = 42")  # identical lhs: replaced in place
+        second = _index_of(session, "u")
+        assert second is not first
+        assert session.run("u[0]").to_python() == 42
+
+    def test_clear_invalidates(self, session):
+        session.run("v[0] = 1")
+        session.run("Clear[v]")
+        assert full_form(session.run("v[0]")) == "v[0]"
+        session.run("v[0] = 2")
+        assert session.run("v[0]").to_python() == 2
+
+    def test_block_restore_invalidates(self, session):
+        session.run("w[n_] := 1")
+        assert session.run("w[5]").to_python() == 1
+        result = session.run("Block[{w}, w[n_] := 2; w[5]]")
+        assert result.to_python() == 2
+        # the snapshot restore swapped the rule list; the index must follow
+        assert session.run("w[5]").to_python() == 1
+
+    def test_index_is_cached_until_rules_change(self, session):
+        session.run("x0[n_] := n")
+        first = _index_of(session, "x0")
+        assert _index_of(session, "x0") is first
+        session.run("x0[0] = 9")
+        assert _index_of(session, "x0") is not first
+
+
+class TestSpecificityCache:
+    def test_specificity_memoized_on_down_values(self, session):
+        session.run("y0[0] = 1")
+        session.run("y0[n_] := 2")
+        for down_value in session.state.lookup("y0").down_values:
+            assert down_value.specificity is not None
+
+    def test_thousand_rule_table_dispatches_correctly(self, session):
+        for index in range(300):
+            session.run(f"big[{index}] = {index * index}")
+        session.run("big[n_] := -1")
+        assert session.run("big[7]").to_python() == 49
+        assert session.run("big[299]").to_python() == 299 * 299
+        assert session.run("big[300]").to_python() == -1
+        index = _index_of(session, "big")
+        # literal dispatch looks at 2 candidates, not 301
+        assert len(list(index.candidates(parse("big[250]")))) == 2

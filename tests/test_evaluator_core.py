@@ -4,6 +4,7 @@ import pytest
 
 from repro.engine import Evaluator
 from repro.errors import WolframIterationError
+from repro.mexpr import full_form
 
 
 class TestInfiniteEvaluation:
@@ -190,3 +191,43 @@ class TestStateInvalidations:
 
     def test_clear(self, run):
         assert run("q = 5; Clear[q]; q") == "q"
+
+
+class TestFixedPointAndAtomFastPath:
+    """The atom fast path and the hash-short-circuited fixed-point check
+    must not change observable evaluation semantics."""
+
+    def test_own_value_symbols_still_reevaluate(self, run):
+        # symbols are atoms but carry OwnValues: the fast path must not
+        # skip their lookup
+        assert run("x1 = 7; x1") == "7"
+        # `=` captures the value; `:=` re-reads the OwnValue on each use
+        assert run("y1 = x1; x1 = 8; y1") == "7"
+        assert run("y2 := x1; x1 = 9; y2") == "9"
+
+    def test_chained_own_values_resolve_to_fixed_point(self, run):
+        assert run("a1 = b1; b1 = c1; c1 = 3; a1") == "3"
+
+    def test_non_symbol_atoms_are_self_evaluating(self, run):
+        assert run("5") == "5"
+        assert run("2.5") == "2.5"
+        assert run('"text"') == '"text"'
+
+    def test_delayed_definitions_track_rebinding(self, run):
+        # the stamp cache keys on state_version; rebinding must flow through
+        assert run("base = 1; view := base + 1; base = 10; view") == "11"
+
+    def test_fixed_point_terminates_on_equal_rebuild(self, run):
+        # Orderless canonicalisation rebuilds an equal expression; the
+        # hash short-circuit must still detect the fixed point
+        assert run("c0 + b0 + a0") == "Plus[a0, b0, c0]"
+        assert run("Plus[a0, b0, c0]") == "Plus[a0, b0, c0]"
+
+    def test_evaluation_stamp_not_shared_across_sessions(self):
+        first = Evaluator()
+        second = Evaluator()
+        assert full_form(first.run("m = 1; m")) == "1"
+        # a different session with a different binding must not reuse
+        # any evaluated-stamp from the first
+        assert full_form(second.run("m = 2; m")) == "2"
+        assert full_form(first.run("m")) == "1"

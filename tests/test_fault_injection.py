@@ -255,3 +255,73 @@ class TestInjectorMechanics:
             with pytest.raises(RuntimeError):
                 with inject_faults(Fault("vm.instruction", "runtime")):
                     pass
+
+
+class TestPromotedFunctionFaults:
+    """Tier-up meets guarded execution: a profile-promoted artifact that
+    soft-fails demotes through the same circuit breaker as an explicit
+    ``FunctionCompile``, attributed to the *symbol* in the failure log."""
+
+    @pytest.fixture()
+    def promoted(self, hosted):
+        hosted.hotspot.threshold = 4
+        hosted.run("dbl[n_] := n + n")
+        for _ in range(6):
+            assert hosted.run("dbl[3]").to_python() == 6
+        assert "dbl" in hosted.hotspot.promoted
+        assert hosted.hotspot.promoted["dbl"].tier_kind == "compiled"
+        return hosted
+
+    def test_three_soft_failures_demote_the_promoted_artifact(self, promoted):
+        with inject_faults(Fault("abort.check", "runtime", times=3)):
+            for _ in range(3):
+                # each call soft-fails in the compiled prologue and the
+                # artifact's internal fallback still answers
+                assert promoted.run("dbl[10]").to_python() == 20
+        entry = promoted.hotspot.promoted["dbl"]
+        assert entry.artifact_tier() is Tier.BYTECODE
+        # the failure log names the promoted symbol, not a synthetic id
+        assert [t.transition for t in failure_transitions("dbl")] == [
+            (Tier.COMPILED, Tier.BYTECODE)
+        ]
+        # the demoted tier keeps serving the promoted dispatch path
+        assert promoted.run("dbl[21]").to_python() == 42
+        assert "dbl" in promoted.hotspot.promoted
+
+    def test_exhausting_the_breaker_withdraws_the_promotion(self, promoted):
+        with inject_faults(Fault("abort.check", "runtime", times=3)):
+            for _ in range(3):
+                promoted.run("dbl[10]")
+        with inject_faults(Fault("vm.instruction", "runtime", times=3)):
+            for _ in range(3):
+                assert promoted.run("dbl[10]").to_python() == 20
+        # the breaker bottomed out at the interpreter tier; the next
+        # dispatch withdraws the promotion entirely
+        assert promoted.run("dbl[4]").to_python() == 8
+        assert "dbl" not in promoted.hotspot.promoted
+        assert any(
+            e.name == "dbl" and e.action == "demoted"
+            for e in promoted.hotspot.events
+        )
+        assert [t.transition for t in failure_transitions("dbl")] == [
+            (Tier.COMPILED, Tier.BYTECODE),
+            (Tier.BYTECODE, Tier.INTERPRETER),
+        ]
+        # the known-bad definition stays blocked while it stays hot ...
+        for _ in range(10):
+            assert promoted.run("dbl[4]").to_python() == 8
+        assert "dbl" not in promoted.hotspot.promoted
+        # ... and redefinition lifts the block
+        promoted.run("dbl[n_] := n * 2")
+        for _ in range(6):
+            assert promoted.run("dbl[5]").to_python() == 10
+        assert "dbl" in promoted.hotspot.promoted
+
+    def test_injected_fault_leaves_no_corrupted_state(self, promoted):
+        before = _session_snapshot(promoted, "dbl")
+        with inject_faults(Fault("abort.check", "overflow", after=1)):
+            assert promoted.run("dbl[6]").to_python() == 12
+        assert active_guard() is None
+        assert not promoted.abort_pending()
+        assert _session_snapshot(promoted, "dbl") == before
+        assert promoted.run("dbl[2]").to_python() == 4

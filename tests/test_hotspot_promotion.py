@@ -1,0 +1,305 @@
+"""Profile-guided tier-up: promotion, gating, invalidation, demotion.
+
+The promotion half of tier governance (`runtime/hotspot.py`): hot DownValue
+definitions are synthesized into typed functions and promoted to the
+compiled/bytecode tiers; the existing circuit breaker demotes a bad
+promotion; any redefinition invalidates the promoted artifact in the same
+``state_version`` bump.
+"""
+
+import pytest
+
+from repro.compiler import install_engine_support
+from repro.compiler.api import clear_failure_records, failure_records
+from repro.engine import Evaluator
+from repro.mexpr import full_form, parse
+from repro.runtime.guard import Tier
+from repro.runtime.hotspot import (
+    DEFAULT_THRESHOLD,
+    HotspotProfiler,
+    disable_hotspot,
+    enable_hotspot,
+    threshold_from_environment,
+)
+
+
+@pytest.fixture()
+def hosted():
+    session = Evaluator(recursion_limit=8192)
+    install_engine_support(session)
+    session.hotspot.threshold = 4
+    return session
+
+
+@pytest.fixture(autouse=True)
+def _clean_failure_log():
+    clear_failure_records()
+    yield
+    clear_failure_records()
+
+
+def _define_fib(session):
+    session.run("fib[0] = 0")
+    session.run("fib[1] = 1")
+    session.run("fib[n_] := fib[n-1] + fib[n-2]")
+
+
+class TestPromotion:
+    def test_recursive_fib_promotes_and_stays_correct(self, hosted):
+        _define_fib(hosted)
+        assert hosted.run("fib[20]").to_python() == 6765
+        assert "fib" in hosted.hotspot.promoted
+        entry = hosted.hotspot.promoted["fib"]
+        assert entry.tier_kind == "compiled"
+        # promoted dispatch produces the same values as rule dispatch
+        assert hosted.run("fib[25]").to_python() == 75025
+        assert entry.hits > 0
+
+    def test_multi_rule_literal_synthesis_preserves_rule_order(self, hosted):
+        """Multiple literal base cases fold into an If chain in rule order."""
+        hosted.run("step[0] = 100")
+        hosted.run("step[1] = 200")
+        hosted.run("step[2] = 300")
+        hosted.run("step[n_] := n * 10")
+        for _ in range(6):
+            assert hosted.run("step[7]").to_python() == 70
+        assert "step" in hosted.hotspot.promoted
+        assert hosted.run("step[0]").to_python() == 100
+        assert hosted.run("step[1]").to_python() == 200
+        assert hosted.run("step[2]").to_python() == 300
+        assert hosted.run("step[3]").to_python() == 30
+
+    def test_promotion_event_and_stats_table(self, hosted):
+        _define_fib(hosted)
+        hosted.run("fib[15]")
+        events = [(e.name, e.action) for e in hosted.hotspot.events]
+        assert ("fib", "promoted") in events
+        rows = hosted.hotspot.table()
+        assert rows and rows[0][0] == "fib"
+        assert rows[0][2] == "promoted:compiled"
+
+    def test_real_typed_definition_promotes(self, hosted):
+        hosted.run("scale[x_Real] := x * 2.0 + 1.0")
+        for _ in range(6):
+            assert hosted.run("scale[3.0]").to_python() == 7.0
+        assert "scale" in hosted.hotspot.promoted
+        assert hosted.run("scale[0.5]").to_python() == 2.0
+
+    def test_bare_evaluator_has_no_profiler(self):
+        session = Evaluator()
+        assert session.hotspot is None
+        session.run("f[n_] := n + 1")
+        for _ in range(40):
+            assert session.run("f[1]").to_python() == 2
+
+    def test_enable_hotspot_is_idempotent(self):
+        session = Evaluator()
+        first = enable_hotspot(session, threshold=7)
+        second = enable_hotspot(session, threshold=99)
+        assert first is second
+        assert session.hotspot.threshold == 7
+        disable_hotspot(session)
+        assert session.hotspot is None
+
+
+class TestGating:
+    def test_symbolic_arguments_fall_through_to_rules(self, hosted):
+        hosted.run("twice[n_] := n + n")
+        for _ in range(6):
+            hosted.run("twice[3]")
+        assert "twice" in hosted.hotspot.promoted
+        # a symbolic argument fails the type gate; the general rule still
+        # applies interpretively
+        assert full_form(hosted.run("twice[y]")) == "Plus[y, y]"
+        # the promotion survives the gated call and keeps working
+        assert "twice" in hosted.hotspot.promoted
+        assert hosted.run("twice[21]").to_python() == 42
+
+    def test_out_of_range_integer_is_evaluated_exactly(self, hosted):
+        hosted.run("dbl[n_] := n + n")
+        for _ in range(6):
+            hosted.run("dbl[3]")
+        assert "dbl" in hosted.hotspot.promoted
+        huge = 2 ** 80
+        assert hosted.run(f"dbl[{huge}]").to_python() == 2 * huge
+        # no soft-failure message: the gate declined before the artifact ran
+        assert not hosted.messages
+
+    def test_observed_int_gate_rejects_reals(self, hosted):
+        hosted.run("dbl[n_] := n + n")
+        for _ in range(6):
+            hosted.run("dbl[3]")
+        assert "dbl" in hosted.hotspot.promoted
+        assert hosted.hotspot.promoted["dbl"].kinds == ("i",)
+        assert hosted.run("dbl[1.25]").to_python() == 2.5
+
+    def test_unsupported_bodies_are_blocked_not_promoted(self, hosted):
+        hosted.run('name[n_] := StringJoin["x", "y"]')
+        for _ in range(8):
+            hosted.run("name[1]")
+        assert "name" not in hosted.hotspot.promoted
+        assert any(e.action == "blocked" for e in hosted.hotspot.events)
+
+    def test_integer_division_is_never_promoted(self, hosted):
+        """Machine integer division (5/2 -> 2) would diverge from the
+        engine's real-valued division (5/2 -> 2.5)."""
+        hosted.run("half[n_] := n / 2")
+        for _ in range(8):
+            result = hosted.run("half[5]")
+        assert "half" not in hosted.hotspot.promoted
+        assert result.to_python() == 2.5
+
+    def test_overflow_soft_fails_to_exact_interpretation(self, hosted):
+        hosted.run("cube[n_] := n*n*n")
+        for _ in range(6):
+            assert hosted.run("cube[5]").to_python() == 125
+        assert "cube" in hosted.hotspot.promoted
+        # 1e10^3 overflows int64 in the artifact; the interpreter answers
+        value = hosted.run("cube[10000000000]").to_python()
+        assert value == 10 ** 30
+        assert failure_records(kind="IntegerOverflow")
+        assert any("reverting to uncompiled" in m for m in hosted.messages)
+
+
+class TestInvalidation:
+    def test_set_invalidates_in_same_state_version_bump(self, hosted):
+        hosted.run("g[0] = 0")
+        hosted.run("g[n_] := g[n-1] + 2")
+        assert hosted.run("g[10]").to_python() == 20
+        assert "g" in hosted.hotspot.promoted
+        stale = hosted.hotspot.promoted["g"]
+        version_before = hosted.state.state_version
+        hosted.run("g[n_] := g[n-1] + 3")  # one Set, one version bump
+        assert hosted.state.state_version == version_before + 1
+        # the very next call sees the new rule, not the stale artifact
+        assert hosted.run("g[10]").to_python() == 30
+        assert hosted.hotspot.promoted.get("g") is not stale
+        assert any(
+            e.name == "g" and e.action == "invalidated"
+            for e in hosted.hotspot.events
+        )
+
+    def test_clear_invalidates_promotion(self, hosted):
+        hosted.run("h[n_] := n + 1")
+        for _ in range(6):
+            hosted.run("h[1]")
+        assert "h" in hosted.hotspot.promoted
+        hosted.run("Clear[h]")
+        assert full_form(hosted.run("h[1]")) == "h[1]"
+        hosted.run("h[n_] := n + 5")
+        assert hosted.run("h[1]").to_python() == 6
+
+    def test_block_scoped_redefinition_is_honoured(self, hosted):
+        hosted.run("k[n_] := n + 1")
+        for _ in range(6):
+            hosted.run("k[1]")
+        assert "k" in hosted.hotspot.promoted
+        result = hosted.run("Block[{k}, k[n_] := n + 100; k[1]]")
+        assert result.to_python() == 101
+        # after the Block exits the original definition is live again
+        assert hosted.run("k[1]").to_python() == 2
+
+
+class TestDemotion:
+    def test_exhausted_breaker_withdraws_the_promotion(self, hosted):
+        hosted.run("p[n_] := n + 1")
+        for _ in range(6):
+            hosted.run("p[1]")
+        entry = hosted.hotspot.promoted["p"]
+        # force the artifact's breaker all the way down
+        entry.artifact._breaker.tier = Tier.INTERPRETER
+        assert hosted.run("p[41]").to_python() == 42
+        assert "p" not in hosted.hotspot.promoted
+        assert any(
+            e.name == "p" and e.action == "demoted"
+            for e in hosted.hotspot.events
+        )
+        # blocked: staying hot does not re-promote the known-bad definition
+        for _ in range(10):
+            hosted.run("p[1]")
+        assert "p" not in hosted.hotspot.promoted
+        # ... until the definition changes
+        hosted.run("p[n_] := n + 2")
+        for _ in range(6):
+            hosted.run("p[1]")
+        assert "p" in hosted.hotspot.promoted
+
+    def test_bytecode_tier_promotion_when_compiled_tier_unavailable(
+        self, hosted, monkeypatch
+    ):
+        from repro.errors import CompilerError
+
+        def refuse(*args, **kwargs):
+            raise CompilerError("compiled tier unavailable in this test")
+
+        monkeypatch.setattr("repro.compiler.api.FunctionCompile", refuse)
+        hosted.run("q[n_] := n * 3")
+        for _ in range(6):
+            assert hosted.run("q[2]").to_python() == 6
+        assert "q" in hosted.hotspot.promoted
+        assert hosted.hotspot.promoted["q"].tier_kind == "bytecode"
+        assert hosted.run("q[14]").to_python() == 42
+
+    def test_recursive_definition_needs_the_compiled_tier(
+        self, hosted, monkeypatch
+    ):
+        from repro.errors import CompilerError
+
+        def refuse(*args, **kwargs):
+            raise CompilerError("compiled tier unavailable in this test")
+
+        monkeypatch.setattr("repro.compiler.api.FunctionCompile", refuse)
+        _define_fib(hosted)
+        assert hosted.run("fib[15]").to_python() == 610
+        # the VM has no self-call: recursion is not promoted to bytecode
+        assert "fib" not in hosted.hotspot.promoted
+
+
+class TestThresholdKnob:
+    def test_environment_threshold(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HOTSPOT_THRESHOLD", "3")
+        assert threshold_from_environment() == 3
+        profiler = HotspotProfiler()
+        assert profiler.threshold == 3
+
+    def test_environment_threshold_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_HOTSPOT_THRESHOLD", raising=False)
+        assert threshold_from_environment() == DEFAULT_THRESHOLD
+        monkeypatch.setenv("REPRO_HOTSPOT_THRESHOLD", "not-a-number")
+        assert threshold_from_environment() == DEFAULT_THRESHOLD
+        monkeypatch.setenv("REPRO_HOTSPOT_THRESHOLD", "-5")
+        assert threshold_from_environment() == 1
+
+    def test_below_threshold_no_promotion(self):
+        session = Evaluator()
+        install_engine_support(session)
+        session.hotspot.threshold = 1000
+        session.run("r[n_] := n + 1")
+        for _ in range(20):
+            session.run("r[1]")
+        assert "r" not in session.hotspot.promoted
+        assert session.hotspot.counts["r"] == 20
+
+
+class TestStatsSurface:
+    def test_stats_report_includes_hot_function_table(self, hosted):
+        import io
+
+        from repro.__main__ import _print_session_stats
+
+        _define_fib(hosted)
+        hosted.run("fib[15]")
+        out = io.StringIO()
+        _print_session_stats(hosted, out)
+        text = out.getvalue()
+        assert "hot functions" in text
+        assert "fib" in text
+        assert "promoted:compiled" in text
+
+    def test_parse_roundtrip_for_promoted_result(self, hosted):
+        """Promoted results re-enter the evaluator as ordinary MExprs."""
+        _define_fib(hosted)
+        hosted.run("fib[15]")
+        assert full_form(parse("fib[10] + fib[10]")) == \
+            "Plus[fib[10], fib[10]]"
+        assert hosted.run("fib[10] + fib[10]").to_python() == 110

@@ -161,3 +161,70 @@ class TestSubexpressions:
     def test_includes_heads(self):
         node = expr("f", 1)
         assert S.f in list(node.subexpressions())
+
+
+class TestCloneAcrossTheMRO:
+    """`clone()` must copy payload slots declared on base classes too
+    (``type(self).__slots__`` only sees the leaf class's slots)."""
+
+    @pytest.mark.parametrize("atom", [
+        MInteger(42),
+        MReal(2.5),
+        MComplex(complex(1, -2)),
+        MString("hello"),
+        MSymbol("sym"),
+    ])
+    def test_each_atom_type_clones_its_payload(self, atom):
+        cloned = atom.clone()
+        assert cloned is not atom
+        assert type(cloned) is type(atom)
+        assert cloned == atom
+        assert hash(cloned) == hash(atom)
+
+    def test_clone_copies_inherited_slot_state(self):
+        """A subclass adding its own slot must still clone the base payload."""
+
+        class TaggedInteger(MInteger):
+            __slots__ = ("tag",)
+
+            def __init__(self, value, tag):
+                super().__init__(value)
+                self.tag = tag
+
+        original = TaggedInteger(7, "hot")
+        cloned = original.clone()
+        assert cloned.value == 7      # inherited slot (the historical bug)
+        assert cloned.tag == "hot"    # leaf slot
+        assert cloned == original
+
+    def test_clone_drops_metadata_on_atoms(self):
+        atom = MInteger(5)
+        atom.set_property("binding", "x$1")
+        cloned = atom.clone()
+        assert not cloned.has_property("binding")
+        assert cloned == atom
+
+    def test_normal_clone_is_deep(self):
+        node = expr("f", expr("g", 1), "s")
+        cloned = node.clone()
+        assert cloned == node
+        assert cloned.args[0] is not node.args[0]
+
+
+class TestStructureKeyCaching:
+    def test_structure_key_is_cached(self):
+        node = expr("f", 1, 2)
+        first = node.structure_key()
+        assert node.structure_key() is first
+
+    def test_cached_hash_short_circuits_inequality(self):
+        a, b = expr("f", 1), expr("f", 2)
+        hash(a), hash(b)  # populate both caches
+        assert a != b
+        assert a == expr("f", 1)
+
+    def test_metadata_does_not_affect_keys(self):
+        a, b = expr("f", 1), expr("f", 1)
+        a.set_property("k", "v")
+        assert a.structure_key() == b.structure_key()
+        assert a == b

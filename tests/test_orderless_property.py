@@ -1,0 +1,145 @@
+"""Canonical (Orderless) ordering: the structural key vs the legacy key.
+
+The historical comparator printed every normal expression to its
+``full_form`` string and compared strings; the new comparator
+(`engine.evaluator.canonical_order_key`) compares cached structural keys.
+The two provably agree wherever string ordering coincides with structural
+ordering, which the property test below pins down on a mixed
+integer/real/string/symbol/normal domain:
+
+* top-level atoms order by value/name in both schemes (integers bounded so
+  the legacy ``float()`` conversion is exact);
+* normal expressions are restricted to lowercase symbol heads with
+  single-digit-integer or lowercase-symbol arguments — in that domain the
+  ``", "``/``"["`` separators sort below every payload character, so string
+  prefix order equals left-to-right structural order.
+
+Outside that domain the schemes *deliberately* diverge — the new key orders
+``f[2]`` before ``f[10]`` (numeric intent) where the string comparator put
+``f[10]`` first, and it no longer overflows on huge integers.  Those are
+regression-tested explicitly below.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Evaluator
+from repro.engine.evaluator import canonical_order_key
+from repro.mexpr import full_form, parse
+from repro.mexpr.atoms import (
+    MComplex,
+    MInteger,
+    MReal,
+    MString,
+    MSymbol,
+)
+from repro.mexpr.expr import MExprNormal
+
+
+def _legacy_order_key(expression):
+    """The pre-PR comparator, verbatim (modulo the module move)."""
+    if isinstance(expression, MInteger):
+        return (0, float(expression.value), "")
+    if isinstance(expression, MReal):
+        return (0, expression.value, "")
+    if isinstance(expression, MString):
+        return (1, 0.0, expression.value)
+    if isinstance(expression, MSymbol):
+        return (2, 0.0, expression.name)
+    return (3, float(len(expression.args)), full_form(expression))
+
+
+_names = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=3)
+
+_top_atoms = st.one_of(
+    st.integers(min_value=-(10 ** 6), max_value=10 ** 6).map(MInteger),
+    st.floats(
+        allow_nan=False, allow_infinity=False,
+        min_value=-1e6, max_value=1e6,
+    ).map(MReal),
+    st.text(max_size=6).map(MString),
+    _names.map(MSymbol),
+)
+
+_nested_args = st.one_of(
+    st.integers(min_value=0, max_value=9).map(MInteger),
+    _names.map(MSymbol),
+)
+
+_normals = st.builds(
+    lambda head, args: MExprNormal(MSymbol(head), args),
+    _names,
+    st.lists(_nested_args, max_size=4),
+)
+
+_elements = st.one_of(_top_atoms, _normals)
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.lists(_elements, max_size=12))
+def test_structural_comparator_matches_legacy_on_agreement_domain(items):
+    legacy = sorted(items, key=_legacy_order_key)
+    structural = sorted(items, key=canonical_order_key)
+    assert [full_form(a) for a in legacy] == [full_form(b) for b in structural]
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(_elements, max_size=10))
+def test_structural_key_is_a_total_order(items):
+    keys = [canonical_order_key(item) for item in items]
+    # sorting never raises (shape-uniform keys) and is deterministic
+    assert sorted(keys) == sorted(reversed(keys))
+
+
+class TestDeliberateDivergence:
+    def test_numeric_arguments_sort_numerically_not_lexically(self):
+        two, ten = parse("f[2]"), parse("f[10]")
+        assert canonical_order_key(two) < canonical_order_key(ten)
+        # the legacy string comparator put "f[10]" before "f[2]"
+        assert _legacy_order_key(ten) < _legacy_order_key(two)
+
+    def test_huge_integers_do_not_overflow(self):
+        huge = MInteger(10 ** 400)
+        small = MInteger(3)
+        assert canonical_order_key(small) < canonical_order_key(huge)
+        try:
+            _legacy_order_key(huge)
+            legacy_overflowed = False
+        except OverflowError:
+            legacy_overflowed = True
+        assert legacy_overflowed
+
+    def test_complex_keys_are_shape_uniform(self):
+        mixed = [
+            MComplex(complex(2, 1)),
+            parse("f[]"),
+            MComplex(complex(1, 5)),
+            parse("g[a, b]"),
+            MInteger(7),
+        ]
+        ordered = sorted(mixed, key=canonical_order_key)  # must not raise
+        assert isinstance(ordered[0], MInteger)
+        complexes = [e for e in ordered if isinstance(e, MComplex)]
+        assert [c.value for c in complexes] == [complex(1, 5), complex(2, 1)]
+
+
+class TestEngineIntegration:
+    def test_orderless_plus_canonicalisation(self):
+        session = Evaluator()
+        result = session.run("c + a + b + x2 + x10")
+        assert full_form(result) == "Plus[a, b, c, x10, x2]"
+
+    def test_numbers_sort_before_symbols(self):
+        session = Evaluator()
+        result = session.run("z + 1.5 + w")
+        assert full_form(result) == "Plus[1.5, w, z]"
+
+    def test_sort_builtin_uses_the_same_key(self):
+        session = Evaluator()
+        result = session.run("Sort[{f[10], f[2], b, 1}]")
+        assert full_form(result) == "List[1, b, f[2], f[10]]"
+
+    def test_order_keys_are_cached(self):
+        expression = parse("f[1, 2, 3]")
+        first = canonical_order_key(expression)
+        assert canonical_order_key(expression) is first

@@ -147,6 +147,55 @@ def test_tierup_speedup_factor(capsys):
     assert result["factor"] > 1.0
 
 
+# -- tracing-overhead smoke (the observability acceptance gate) --------------
+
+
+def measure_trace_overhead(trace_path: str | None = None,
+                           reps: int = 5) -> dict:
+    """Traced vs untraced interpreted fib, interleaved rep-for-rep.
+
+    Interleaving means machine noise hits both arms equally; the CI gate
+    asserts the traced/untraced ratio stays under 1.5x (the *disabled*
+    path is held to <2% separately — see tests/test_observe.py for the
+    structural guard-flag checks).  When ``trace_path`` is given, the
+    accumulated Chrome trace is written there for artifact upload.
+    """
+    from repro.observe import disable_tracing, enable_tracing
+
+    plain = _fib_session(promote=False)
+    instrumented = _fib_session(promote=False)
+    call = parse(FIB_CALL)
+    plain.evaluate(parse(FIB_WARMUP))
+    instrumented.evaluate(parse(FIB_WARMUP))
+
+    t_plain = t_traced = float("inf")
+    tracer = None
+    for _ in range(reps):
+        # evaluate_protected on both arms: it is the span-emitting entry
+        # point, so the artifact gets real spans and the arms stay symmetric
+        start = time.perf_counter()
+        plain.evaluate_protected(call)
+        t_plain = min(t_plain, time.perf_counter() - start)
+
+        tracer = enable_tracing(tracer)
+        try:
+            start = time.perf_counter()
+            instrumented.evaluate_protected(call)
+            t_traced = min(t_traced, time.perf_counter() - start)
+        finally:
+            disable_tracing()
+
+    if trace_path and tracer is not None:
+        tracer.write_chrome_trace(trace_path)
+    return {
+        "workload": f"interpreted {FIB_CALL}",
+        "untraced_seconds": t_plain,
+        "traced_seconds": t_traced,
+        "ratio": t_traced / t_plain,
+        "trace_events": len(tracer.events) if tracer is not None else 0,
+    }
+
+
 # -- the trajectory runner ---------------------------------------------------
 
 
@@ -159,7 +208,23 @@ def _timed(fn, reps: int = 3) -> float:
     return best
 
 
-def main() -> None:
+def main(argv=None) -> int:
+    import sys
+
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "--trace-overhead":
+        trace_path = arguments[1] if len(arguments) > 1 else None
+        result = measure_trace_overhead(trace_path)
+        print(json.dumps(result, indent=2))
+        if trace_path:
+            print(f"trace artifact -> {trace_path}")
+        if result["ratio"] >= 1.5:
+            print(f"FAIL: traced/untraced ratio {result['ratio']:.2f} "
+                  ">= 1.5x budget")
+            return 1
+        print(f"ok: traced/untraced ratio {result['ratio']:.2f} < 1.5x")
+        return 0
+
     record = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "tierup": measure_tierup_factor(),
@@ -185,6 +250,7 @@ def main() -> None:
     path.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
     print(json.dumps(record, indent=2))
     print(f"appended to {path}")
+    return 0
 
 
 if __name__ == "__main__":

@@ -1,19 +1,39 @@
 """An interactive session in the style of the paper's Figure 1 notebook.
 
-Run:  python -m repro [--stats]
+Run:  python -m repro [--stats] [--trace FILE] [--metrics [FILE]] [-e EXPR]...
 
 Each input gets an ``In[n]``/``Out[n]`` pair; ``FunctionCompile`` and
 ``Compile`` are available (F1), aborts are Ctrl-C (F3), and the session
 state persists across inputs, exactly as §2.3's programming-environment
 constraints require ("sessions cannot crash, code must be abortable").
 
-``--stats`` prints, at session end, each compiled function's
-:class:`~repro.runtime.guard.FallbackStats` (per-tier calls, soft
-failures, circuit-breaker tier) and the guarded-execution failure log.
+Flags
+-----
+
+``-e EXPR`` (repeatable)
+    Batch mode: evaluate each expression in order in one session and
+    exit instead of starting the REPL.
+
+``--trace FILE``
+    Record structured events (evaluator spans, pipeline passes, tier
+    transitions; see :mod:`repro.observe`) and write a Chrome-trace JSON
+    file loadable in ``chrome://tracing`` / Perfetto.  The ``REPRO_TRACE``
+    environment variable supplies a default path.
+
+``--metrics [FILE]``
+    Dump the metrics registry (counters + histograms) as JSON at session
+    end — to ``FILE``, or to stdout when no file is given.
+
+``--stats``
+    Print, at session end, each compiled function's
+    :class:`~repro.runtime.guard.FallbackStats` (per-tier calls, soft
+    failures, circuit-breaker tier) and the guarded-execution failure log.
 """
 
 from __future__ import annotations
 
+import argparse
+import os
 import sys
 import threading
 
@@ -21,6 +41,7 @@ from repro.compiler import install_engine_support
 from repro.engine import Evaluator
 from repro.errors import ReproError
 from repro.mexpr import full_form, parse
+from repro.observe import trace as _trace
 
 
 def _print_session_stats(session, out) -> None:
@@ -126,17 +147,91 @@ def repl(input_stream=None, output=None, show_stats: bool = False) -> int:
     return 0
 
 
-def main(argv=None) -> int:
+def batch(sources, show_stats: bool = False, output=None) -> int:
+    """Evaluate each ``-e`` expression in order in one shared session."""
+    out = output or sys.stdout
+    session = Evaluator()
+    install_engine_support(session)
+    status = 0
+    for counter, source in enumerate(sources, 1):
+        try:
+            expression = parse(source)
+        except ReproError as error:
+            out.write(f"Syntax: {error}\n")
+            status = 1
+            continue
+        try:
+            value = session.evaluate_protected(expression)
+        except ReproError as error:  # §2.3: the session must not crash
+            session.message(f"{type(error).__name__}: {error}")
+            value = None
+        for message in session.messages:
+            out.write(message + "\n")
+        session.messages.clear()
+        if value is not None and full_form(value) != "Null":
+            out.write(f"Out[{counter}]= {full_form(value)}\n")
+    if show_stats:
+        _print_session_stats(session, out)
+    return status
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Wolfram Language compiler reproduction session",
+    )
+    parser.add_argument(
+        "-e", "--evaluate", action="append", default=[], metavar="EXPR",
+        dest="expressions",
+        help="evaluate EXPR and exit (repeatable; shares one session)",
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE",
+        default=os.environ.get("REPRO_TRACE") or None,
+        help="write a Chrome-trace JSON of the session's structured "
+             "events (default: $REPRO_TRACE when set)",
+    )
+    parser.add_argument(
+        "--metrics", nargs="?", const="-", default=None, metavar="FILE",
+        help="dump the metrics registry as JSON to FILE (stdout if "
+             "omitted) at session end",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print guarded-execution and hotspot statistics at exit",
+    )
+    return parser
+
+
+def main(argv=None, input_stream=None, output=None) -> int:
     arguments = list(sys.argv[1:] if argv is None else argv)
-    show_stats = "--stats" in arguments
-    unknown = [a for a in arguments if a not in ("--stats",)]
-    if unknown:
-        sys.stderr.write(
-            f"unknown arguments: {' '.join(unknown)}\n"
-            "usage: python -m repro [--stats]\n"
-        )
-        return 2
-    return repl(show_stats=show_stats)
+    try:
+        args = _parser().parse_args(arguments)
+    except SystemExit as error:  # argparse exits; the CLI returns codes
+        return int(error.code or 0)
+    out = output or sys.stdout
+    tracer = None
+    if args.trace or args.metrics:
+        tracer = _trace.enable_tracing()
+    try:
+        if args.expressions:
+            status = batch(args.expressions, show_stats=args.stats,
+                           output=out)
+        else:
+            status = repl(input_stream, out, show_stats=args.stats)
+    finally:
+        if tracer is not None:
+            _trace.disable_tracing()
+            if args.trace:
+                tracer.write_chrome_trace(args.trace)
+                out.write(f"trace: {len(tracer.events)} events -> "
+                          f"{args.trace}\n")
+            if args.metrics == "-":
+                out.write(tracer.metrics.to_json() + "\n")
+            elif args.metrics:
+                with open(args.metrics, "w", encoding="utf-8") as handle:
+                    handle.write(tracer.metrics.to_json() + "\n")
+    return status
 
 
 if __name__ == "__main__":

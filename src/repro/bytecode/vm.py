@@ -14,7 +14,10 @@ Register machine execution with the baseline's characteristic costs (§6):
   tensor allocations (memory budgets), so ``TimeConstrained`` and
   ``MemoryConstrained`` bound bytecode execution too;
 * each instruction boundary is a named fault-injection site
-  (``vm.instruction``), so tests can prove mid-loop unwinds are clean.
+  (``vm.instruction``), so tests can prove mid-loop unwinds are clean;
+* when tracing is enabled (:mod:`repro.observe`) each ``run`` emits a
+  ``vm.run`` span and the ``vm.instructions`` / ``vm.dispatches``
+  counters; disabled, the loop pays one ``None`` test per instruction.
 """
 
 from __future__ import annotations
@@ -30,6 +33,7 @@ from repro.errors import (
     WolframAbort,
     WolframRuntimeError,
 )
+from repro.observe import trace as _trace
 from repro.runtime.guard import charge_memory, guard_checkpoint
 from repro.testing import faults as _faults
 
@@ -151,6 +155,25 @@ class WVM:
 
     def run(self, instructions: list[Instruction], constants: list,
             arguments: list, register_total: int):
+        tracer = _trace.TRACER
+        if tracer is None:
+            return self._run(instructions, constants, arguments,
+                             register_total, None)
+        start = tracer.now()
+        executed_box = [0]
+        try:
+            return self._run(instructions, constants, arguments,
+                             register_total, executed_box)
+        finally:
+            metrics = tracer.metrics
+            metrics.count("vm.dispatches")
+            metrics.count("vm.instructions", executed_box[0])
+            tracer.complete("vm.run", "bytecode", start,
+                            instructions=executed_box[0])
+
+    def _run(self, instructions: list[Instruction], constants: list,
+             arguments: list, register_total: int,
+             executed_box: Optional[list]):
         regs: list = [None] * max(register_total, 1)
         pc = 0
         count = len(instructions)
@@ -159,6 +182,8 @@ class WVM:
         while pc < count:
             if _faults._INJECTOR is not None:
                 _faults.fire("vm.instruction")
+            if executed_box is not None:
+                executed_box[0] += 1
             ins = instructions[pc]
             op = ins.op
             operands = ins.operands

@@ -146,6 +146,7 @@ def CompileToIR(
             "toString": program.to_string,
             "program": lambda: program,
             "passTimings": lambda: program.metadata.get("passTimings", []),
+            "passReport": lambda: program.metadata.get("passReport", {}),
         },
     )
 

@@ -3,7 +3,12 @@
 Each stage is a pass over the AST or IR; users can inject their own passes
 at any point (§4.7).  Per-pass wall-clock timings are recorded (the internal
 benchmark suite of §6 "measures ... time to run specific passes") and can be
-streamed to a ``PassLogger``.
+streamed to a ``PassLogger``; :meth:`CompilerPipeline.pass_report`
+aggregates repeated runs of the same pass (the optimizer loops to a fixed
+point, so most passes run several times) into per-name call counts and
+totals, and when tracing is enabled (:mod:`repro.observe`) every pass also
+emits a ``pass:<name>`` span carrying its IR node-count delta plus a
+``pipeline.pass.<name>`` timing histogram.
 
 The resolve stage can introduce untyped instructions (inlined Wolfram-level
 implementations), turning the TWIR back into a WIR; the pipeline re-runs
@@ -53,7 +58,17 @@ from repro.errors import CompilerError
 from repro.mexpr.atoms import MSymbol
 from repro.mexpr.expr import MExpr
 from repro.mexpr.symbols import is_head
+from repro.observe import trace as _trace
 from repro.runtime.packed import PackedArray
+
+
+def _ir_size(subject) -> int:
+    """Instruction count of a function module (or whole program module)."""
+    if isinstance(subject, ProgramModule):
+        return sum(
+            _ir_size(function) for function in subject.functions.values()
+        )
+    return sum(1 for _ in subject.instructions())
 
 
 @dataclass
@@ -80,18 +95,58 @@ class CompilerPipeline:
         self.options = options or CompilerOptions()
         self.user_passes = list(user_passes or [])
         self.pass_timings: list[tuple[str, float]] = []
+        #: per-pass-name aggregation: repeated runs of the same pass (the
+        #: optimizer loops to a fixed point) *accumulate* here instead of
+        #: silently overwriting each other
+        self.pass_totals: dict[str, dict] = {}
 
     # -- logging ------------------------------------------------------------------
 
-    def _timed(self, name: str, thunk: Callable):
+    def _timed(self, name: str, thunk: Callable, subject=None):
+        tracer = _trace.TRACER
+        nodes_before = (
+            _ir_size(subject) if tracer is not None and subject is not None
+            else None
+        )
         start = time.perf_counter()
         result = thunk()
         elapsed = time.perf_counter() - start
         self.pass_timings.append((name, elapsed))
+        total = self.pass_totals.get(name)
+        if total is None:
+            total = self.pass_totals[name] = {"calls": 0, "seconds": 0.0}
+        total["calls"] += 1
+        total["seconds"] += elapsed
+        if tracer is not None:
+            tracer.metrics.observe(f"pipeline.pass.{name}", elapsed)
+            args = {"pass": name}
+            if nodes_before is not None:
+                nodes_after = _ir_size(subject)
+                args["ir_nodes_before"] = nodes_before
+                args["ir_nodes_after"] = nodes_after
+                args["ir_nodes_delta"] = nodes_after - nodes_before
+            tracer.complete(
+                f"pass:{name}", "pipeline", tracer.since(start), **args
+            )
         logger = self.options.pass_logger
         if logger is not None:
             logger(name, elapsed)
         return result
+
+    def pass_report(self) -> dict[str, dict]:
+        """Aggregated per-pass timings: ``{name: {calls, seconds}}``.
+
+        Unlike the raw ``pass_timings`` event list, repeated runs of one
+        pass sum their durations and count their invocations, so the report
+        answers "what did this pass cost in total" directly.
+        """
+        return {
+            name: dict(total)
+            for name, total in sorted(
+                self.pass_totals.items(),
+                key=lambda item: -item[1]["seconds"],
+            )
+        }
 
     def _run_user_passes(self, stage: str, payload):
         for user_pass in self.user_passes:
@@ -102,7 +157,8 @@ class CompilerPipeline:
             ):
                 continue
             result = self._timed(
-                f"user:{user_pass.name}", lambda: user_pass.run(payload)
+                f"user:{user_pass.name}", lambda: user_pass.run(payload),
+                subject=payload if stage != "ast" else None,
             )
             if stage == "ast" and result is not None:
                 payload = result
@@ -182,8 +238,12 @@ class CompilerPipeline:
         self._optimize(program)
         self._semantic_passes(program)
         for function_module in program.functions.values():
-            self._timed("lint", lambda f=function_module: lint(f))
+            self._timed(
+                "lint", lambda f=function_module: lint(f),
+                subject=function_module,
+            )
         program.metadata["passTimings"] = list(self.pass_timings)
+        program.metadata["passReport"] = self.pass_report()
         return program
 
     def _lower(self, name, parameters, body, constants=None) -> FunctionModule:
@@ -244,11 +304,13 @@ class CompilerPipeline:
                     self._timed(
                         f"infer:{function_module.name}",
                         lambda f=function_module, i=inference: i.run(f),
+                        subject=function_module,
                     )
                     dirty = True
                 needs_reinference = self._timed(
                     f"resolve:{function_module.name}",
                     lambda f=function_module: resolver.run(f),
+                    subject=function_module,
                 )
                 dirty |= needs_reinference
             if not dirty:
@@ -264,28 +326,35 @@ class CompilerPipeline:
                 changed |= self._timed(
                     "constant-hoisting",
                     lambda f=function_module: hoist_constants(f),
+                    subject=function_module,
                 )
                 changed |= self._timed(
                     "constant-propagation",
                     lambda f=function_module: constant_propagation(f),
+                    subject=function_module,
                 )
                 changed |= self._timed(
                     "boolean-simplification",
                     lambda f=function_module: simplify_boolean_comparisons(f),
+                    subject=function_module,
                 )
                 changed |= self._timed(
                     "dead-branch-deletion",
                     lambda f=function_module: delete_dead_blocks(f),
+                    subject=function_module,
                 )
                 changed |= self._timed(
-                    "block-fusion", lambda f=function_module: fuse_blocks(f)
+                    "block-fusion", lambda f=function_module: fuse_blocks(f),
+                    subject=function_module,
                 )
                 changed |= self._timed(
                     "cse",
                     lambda f=function_module: common_subexpression_elimination(f),
+                    subject=function_module,
                 )
                 changed |= self._timed(
-                    "dce", lambda f=function_module: dead_code_elimination(f)
+                    "dce", lambda f=function_module: dead_code_elimination(f),
+                    subject=function_module,
                 )
                 if not changed:
                     break
@@ -299,6 +368,7 @@ class CompilerPipeline:
                 self._timed(
                     "index-check-elision",
                     lambda f=function_module: elide_index_checks(f),
+                    subject=function_module,
                 )
                 from repro.compiler.twir.overflow_elision import (
                     elide_counter_overflow_checks,
@@ -307,11 +377,13 @@ class CompilerPipeline:
                 self._timed(
                     "counter-overflow-elision",
                     lambda f=function_module: elide_counter_overflow_checks(f),
+                    subject=function_module,
                 )
             if self.options.copy_insertion:
                 self._timed(
                     "copy-insertion",
                     lambda f=function_module: insert_copies(f),
+                    subject=function_module,
                 )
                 # after copy insertion, PartSet results alias their operand
                 from repro.compiler.twir.alias_collapse import (
@@ -321,11 +393,13 @@ class CompilerPipeline:
                 self._timed(
                     "alias-collapse",
                     lambda f=function_module: collapse_mutation_aliases(f),
+                    subject=function_module,
                 )
             if self.options.abort_handling:
                 self._timed(
                     "abort-insertion",
                     lambda f=function_module: insert_abort_checks(f),
+                    subject=function_module,
                 )
             else:
                 strip_abort_checks(function_module)
@@ -333,6 +407,7 @@ class CompilerPipeline:
                 self._timed(
                     "memory-management",
                     lambda f=function_module: insert_memory_management(f),
+                    subject=function_module,
                 )
 
 

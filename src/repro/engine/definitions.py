@@ -23,6 +23,7 @@ from typing import Iterator, Optional
 
 from repro.mexpr.atoms import MSymbol
 from repro.mexpr.expr import MExpr
+from repro.observe import trace as _trace
 
 #: heads introducing pattern semantics; a subtree containing none of these
 #: matches only by structural equality (see ``patterns._match_one``)
@@ -107,6 +108,14 @@ class DownValueIndex:
         )
         fixed = self._by_arity.get(arity, ())
         general = self._general
+        tracer = _trace.TRACER
+        if tracer is not None:
+            # hit: literal first-argument discrimination found a bucket;
+            # miss: the lookup fell through to arity/general candidates
+            tracer.metrics.count(
+                "eval.dispatch_index.hits" if literal
+                else "eval.dispatch_index.misses"
+            )
         # fast paths: at most one non-empty bucket needs no position merge
         if not general:
             if not fixed:

@@ -47,6 +47,7 @@ from repro.mexpr.atoms import MComplex, MInteger, MReal, MString, MSymbol
 from repro.mexpr.expr import MExpr, MExprNormal
 from repro.mexpr.parser import parse
 from repro.mexpr.symbols import S, head_name, is_head
+from repro.observe import trace as _trace
 from repro.runtime.guard import _tls as _guard_tls
 
 _EVALUATED_STAMP = "$evalv"
@@ -93,6 +94,17 @@ class Evaluator:
 
     def evaluate_protected(self, expression: MExpr) -> MExpr:
         """Evaluate, converting an abort into the ``$Aborted`` sentinel."""
+        tracer = _trace.TRACER
+        if tracer is None:
+            return self._evaluate_protected(expression)
+        with tracer.span(
+            "eval.evaluate",
+            "evaluator",
+            head=head_name(expression) or type(expression).__name__,
+        ):
+            return self._evaluate_protected(expression)
+
+    def _evaluate_protected(self, expression: MExpr) -> MExpr:
         try:
             return self.evaluate(expression)
         except WolframAbort:
@@ -132,11 +144,14 @@ class Evaluator:
                 f"$RecursionLimit of {self.recursion_limit} exceeded"
             )
         self._depth += 1
+        tracer = _trace.TRACER  # one attribute load; None on the fast path
         try:
             current = expression
             for _ in range(self.iteration_limit):
                 if self._is_stamped(current):
                     return current
+                if tracer is not None:
+                    tracer.metrics.count("eval.fixed_point_iterations")
                 result = self._evaluate_once(current)
                 # cheap checks first: identity, then (cached) hashes — a hash
                 # mismatch proves inequality without walking either tree
@@ -345,6 +360,9 @@ class Evaluator:
             if bindings is not None:
                 if hotspot is not None:
                     hotspot.record(self, name, definition, expression)
+                tracer = _trace.TRACER
+                if tracer is not None:
+                    tracer.metrics.count("eval.rule_applications")
                 return substitute(down_value.rhs, bindings)
         return None
 

@@ -1,0 +1,144 @@
+"""Counters and histograms for the observability layer (`repro.observe`).
+
+A :class:`MetricsRegistry` is a flat namespace of monotonically increasing
+**counters** (``count("eval.rule_applications")``) and value-recording
+**histograms** (``observe("pipeline.pass.cse", seconds)``).  Metric names
+are dotted paths whose first segment names the subsystem that emits them —
+``eval.*``, ``vm.*``, ``pipeline.*``, ``hotspot.*``, ``guard.*`` — so a
+JSON export groups naturally.
+
+The registry is deliberately dumb: plain dict updates under the GIL, no
+locks, no background flushing.  The evaluator runs one computation per
+session thread, and the hot-path contract lives one level up — nothing in
+this module is ever called when tracing is disabled (see
+:mod:`repro.observe.trace` for the module-level guard flag).
+
+Snapshots round-trip through JSON losslessly::
+
+    registry.to_json() == MetricsRegistry.from_json(registry.to_json()).to_json()
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+
+class Histogram:
+    """Streaming summary of observed values: count/total/min/max.
+
+    We keep moments, not buckets: the consumers (the ``--metrics`` report,
+    the perf-smoke job) want per-pass totals and extremes, and a fixed
+    bucket layout would bake in assumptions about units.
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: dict) -> "Histogram":
+        histogram = cls()
+        histogram.count = data["count"]
+        histogram.total = data["total"]
+        histogram.minimum = data["min"]
+        histogram.maximum = data["max"]
+        return histogram
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Histogram n={self.count} total={self.total:.6g} "
+            f"min={self.minimum} max={self.maximum}>"
+        )
+
+
+class MetricsRegistry:
+    """A named collection of counters and histograms with JSON export."""
+
+    def __init__(self):
+        self.counters: dict[str, int] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def count(self, name: str, delta: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + delta
+
+    def observe(self, name: str, value: float) -> None:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.record(value)
+
+    # -- reading -------------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def histogram(self, name: str) -> Optional[Histogram]:
+        return self.histograms.get(name)
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.histograms.clear()
+
+    # -- export --------------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "histograms": {
+                name: histogram.snapshot()
+                for name, histogram in sorted(self.histograms.items())
+            },
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsRegistry":
+        registry = cls()
+        registry.counters.update(data.get("counters", {}))
+        for name, snapshot in data.get("histograms", {}).items():
+            registry.histograms[name] = Histogram.from_snapshot(snapshot)
+        return registry
+
+    @classmethod
+    def from_json(cls, text: str) -> "MetricsRegistry":
+        return cls.from_dict(json.loads(text))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, MetricsRegistry):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<MetricsRegistry counters={len(self.counters)} "
+            f"histograms={len(self.histograms)}>"
+        )

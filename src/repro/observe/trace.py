@@ -1,0 +1,268 @@
+"""Structured-event tracing with a zero-overhead-when-disabled guard.
+
+The tracer answers the question the static ``--stats`` table cannot:
+*where does the time go* across the three execution tiers and the compiler
+pipeline.  It records two event shapes:
+
+* **spans** — named intervals with wall-clock start/duration, emitted by
+  the evaluator (top-level evaluations), the compiler pipeline (one span
+  per pass, with IR node-count deltas), the WVM (per run), and the hotspot
+  profiler (promotion attempts);
+* **instant events** — point occurrences such as ``tier.promote``,
+  ``tier.demote``, and ``guard.trip``, carrying structured ``args``.
+
+Hot-path contract
+-----------------
+
+The module-level :data:`TRACER` is the *only* thing instrumentation sites
+touch when tracing is off: one module-attribute load and a ``None`` test,
+the same disarmed-cost discipline :mod:`repro.testing.faults` uses for its
+injection sites.  No formatting, no allocation, no clock read happens
+unless a tracer is installed.  Sites look like::
+
+    from repro.observe import trace as _trace
+    ...
+    tracer = _trace.TRACER
+    if tracer is not None:
+        tracer.metrics.count("eval.rule_applications")
+
+Export
+------
+
+:meth:`Tracer.chrome_trace` renders the recorded events in the Chrome
+trace-event JSON format (the ``[{"ph": "X", "ts": ..., "dur": ...}, ...]``
+array form), loadable in ``chrome://tracing`` and Perfetto;
+:meth:`Tracer.write_chrome_trace` writes it to a file.  Timestamps are
+microseconds relative to tracer creation.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.observe.metrics import MetricsRegistry
+
+
+@dataclass
+class SpanRecord:
+    """One finished interval (or instant, when ``duration`` is ``None``)."""
+
+    name: str
+    category: str
+    #: seconds since the tracer's origin
+    start: float
+    #: seconds; ``None`` marks an instant event
+    duration: Optional[float]
+    #: structured payload (symbol names, counts, IR sizes, ...)
+    args: dict = field(default_factory=dict)
+    #: name of the enclosing span on the same thread, "" at top level
+    parent: str = ""
+    #: nesting depth at emission time (0 = top level)
+    depth: int = 0
+    thread: int = 0
+
+    def is_span(self) -> bool:
+        return self.duration is not None
+
+
+class Tracer:
+    """Collects spans, instant events, and metrics for one tracing session."""
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.events: list[SpanRecord] = []
+        self._origin = time.perf_counter()
+        self._tls = threading.local()
+        #: appends come from the session's worker thread *and* the main
+        #: thread (the REPL evaluates off-thread); list.append is atomic
+        #: under the GIL, so no lock is needed for the record stream
+
+    # -- clock ---------------------------------------------------------------
+
+    def now(self) -> float:
+        """Seconds since tracer creation (the span timebase)."""
+        return time.perf_counter() - self._origin
+
+    def since(self, perf_counter_value: float) -> float:
+        """Convert a raw ``time.perf_counter()`` reading to the timebase."""
+        return perf_counter_value - self._origin
+
+    def _stack(self) -> list:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    # -- spans ---------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, category: str = "repro", **args) -> Iterator[SpanRecord]:
+        """Record a named interval around the block (nesting-aware)."""
+        stack = self._stack()
+        record = SpanRecord(
+            name=name,
+            category=category,
+            start=self.now(),
+            duration=None,
+            args=dict(args),
+            parent=stack[-1].name if stack else "",
+            depth=len(stack),
+            thread=threading.get_ident(),
+        )
+        stack.append(record)
+        try:
+            yield record
+        finally:
+            stack.pop()
+            record.duration = self.now() - record.start
+            self.events.append(record)
+
+    def complete(
+        self, name: str, category: str, start: float, **args
+    ) -> SpanRecord:
+        """Record an already-finished interval begun at ``start`` (a value
+        from :meth:`now`); for sites where a ``with`` block is awkward."""
+        stack = self._stack()
+        record = SpanRecord(
+            name=name,
+            category=category,
+            start=start,
+            duration=self.now() - start,
+            args=dict(args),
+            parent=stack[-1].name if stack else "",
+            depth=len(stack),
+            thread=threading.get_ident(),
+        )
+        self.events.append(record)
+        return record
+
+    # -- instants and counters ----------------------------------------------
+
+    def event(self, name: str, category: str = "repro", **args) -> SpanRecord:
+        """Record an instant event (``tier.promote``, ``guard.trip``, ...)."""
+        stack = self._stack()
+        record = SpanRecord(
+            name=name,
+            category=category,
+            start=self.now(),
+            duration=None,
+            args=dict(args),
+            parent=stack[-1].name if stack else "",
+            depth=len(stack),
+            thread=threading.get_ident(),
+        )
+        self.events.append(record)
+        return record
+
+    def count(self, name: str, delta: int = 1) -> None:
+        self.metrics.count(name, delta)
+
+    # -- queries -------------------------------------------------------------
+
+    def spans(self, name: Optional[str] = None,
+              category: Optional[str] = None) -> list[SpanRecord]:
+        found = [e for e in self.events if e.is_span()]
+        if name is not None:
+            found = [e for e in found if e.name == name]
+        if category is not None:
+            found = [e for e in found if e.category == category]
+        return found
+
+    def instants(self, name: Optional[str] = None) -> list[SpanRecord]:
+        found = [e for e in self.events if not e.is_span()]
+        if name is not None:
+            found = [e for e in found if e.name == name]
+        return found
+
+    def categories(self) -> set[str]:
+        return {e.category for e in self.events}
+
+    # -- Chrome-trace export --------------------------------------------------
+
+    def chrome_trace(self) -> list[dict]:
+        """The trace-event array (``chrome://tracing`` / Perfetto JSON)."""
+        out = []
+        for record in self.events:
+            entry = {
+                "name": record.name,
+                "cat": record.category,
+                "ts": record.start * 1e6,
+                "pid": 1,
+                "tid": record.thread % 100000,
+                "args": _jsonable(record.args),
+            }
+            if record.is_span():
+                entry["ph"] = "X"
+                entry["dur"] = record.duration * 1e6
+            else:
+                entry["ph"] = "i"
+                entry["s"] = "t"  # thread-scoped instant
+            out.append(entry)
+        return out
+
+    def write_chrome_trace(self, path: str) -> str:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.chrome_trace(), handle, indent=1)
+        return path
+
+
+def _jsonable(args: dict) -> dict:
+    """Chrome-trace ``args`` must be JSON-serializable; stringify the rest."""
+    out = {}
+    for key, value in args.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        else:
+            out[key] = str(value)
+    return out
+
+
+# -- the module-level guard flag ----------------------------------------------------
+
+#: the active tracer; ``None`` when tracing is disabled (the common case).
+#: Hot paths load this attribute and test ``is not None`` — nothing else.
+TRACER: Optional[Tracer] = None
+
+
+def active_tracer() -> Optional[Tracer]:
+    return TRACER
+
+
+def enable_tracing(tracer: Optional[Tracer] = None) -> Tracer:
+    """Install (and return) the process-wide tracer."""
+    global TRACER
+    if tracer is None:
+        tracer = Tracer()
+    TRACER = tracer
+    return tracer
+
+
+def disable_tracing() -> Optional[Tracer]:
+    """Remove the active tracer and return it (for inspection/export)."""
+    global TRACER
+    tracer = TRACER
+    TRACER = None
+    return tracer
+
+
+@contextmanager
+def with_tracing(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Scope tracing to a block — the test/benchmark entry point.
+
+    Not reentrant: nested ``with_tracing`` blocks would silently splice
+    streams, so a second activation raises while one is live (mirroring
+    :func:`repro.testing.faults.inject_faults`).
+    """
+    global TRACER
+    if TRACER is not None:
+        raise RuntimeError("tracing is already enabled")
+    active = enable_tracing(tracer)
+    try:
+        yield active
+    finally:
+        TRACER = None

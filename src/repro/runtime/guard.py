@@ -28,6 +28,21 @@ engine session polls only the guards its own thread entered.  With no
 active guard every checkpoint is a single attribute load and ``None`` test,
 so unguarded execution — including standalone exported code (§4.6) — pays
 essentially nothing.
+
+Event vocabulary (emitted through :mod:`repro.observe` when tracing is
+enabled; emission sits on the raise/transition paths only, so the per-step
+checkpoint cost is unchanged):
+
+``guard.trip``
+    a constraint expired; args: ``kind`` ("deadline" | "steps" | "memory"),
+    ``label`` (the guard's label, e.g. "TimeConstrained"), and the
+    used/budget pair for budget kinds;
+``tier.demote``
+    a :class:`CircuitBreaker` demoted its function one tier; args:
+    ``symbol`` (the function the breaker is attributed to), ``from``/``to``
+    tier names, and ``kind`` (the failure class that tripped it).  The same
+    transition is always recorded as a :class:`FailureRecord` in
+    :data:`FAILURE_LOG` whether or not tracing is on.
 """
 
 from __future__ import annotations
@@ -40,6 +55,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Iterator, Optional
 
+from repro import observe as _observe
 from repro.errors import WolframBudgetError, WolframTimeoutError
 from repro.testing import faults as _faults
 
@@ -106,6 +122,11 @@ class ExecutionGuard:
                     guard.step_budget is not None
                     and guard.steps_used > guard.step_budget
                 ):
+                    _observe.event(
+                        "guard.trip", "guard", kind="steps",
+                        label=guard.label, used=guard.steps_used,
+                        budget=guard.step_budget,
+                    )
                     raise WolframBudgetError(
                         "steps",
                         f"evaluation-step budget of {guard.step_budget} "
@@ -116,6 +137,10 @@ class ExecutionGuard:
                 if now is None:
                     now = time.monotonic()
                 if now > guard.deadline:
+                    _observe.event(
+                        "guard.trip", "guard", kind="deadline",
+                        label=guard.label,
+                    )
                     raise WolframTimeoutError(guard=guard)
             guard = guard.parent
 
@@ -125,6 +150,11 @@ class ExecutionGuard:
             if guard.memory_budget is not None:
                 guard.memory_used += nbytes
                 if guard.memory_used > guard.memory_budget:
+                    _observe.event(
+                        "guard.trip", "guard", kind="memory",
+                        label=guard.label, used=guard.memory_used,
+                        budget=guard.memory_budget,
+                    )
                     raise WolframBudgetError(
                         "memory",
                         f"memory budget of {guard.memory_budget} bytes "
@@ -361,6 +391,10 @@ class CircuitBreaker:
             self.function, tier, kind, message, transition=(tier, target)
         )
         self.tier = target
+        _observe.event(
+            "tier.demote", "guard", symbol=self.function, kind=kind,
+            **{"from": tier.value, "to": target.value},
+        )
 
     def tripped(self, tier: Tier) -> bool:
         return self.failures[tier] >= self.threshold

@@ -28,6 +28,29 @@ Governance invariants:
   never coerced.
 
 The hotness threshold is ``REPRO_HOTSPOT_THRESHOLD`` (default 16).
+
+Event vocabulary (emitted through :mod:`repro.observe` when tracing is
+enabled; every event carries ``symbol=<name>``):
+
+``hotspot.promote`` (span)
+    one promotion attempt — synthesis, compilability gating, and tier
+    compilation — timed end to end;
+``tier.promote``
+    promotion succeeded; args add ``tier`` ("compiled" | "bytecode") and
+    ``applications`` (the profile count that triggered it);
+``tier.demote``
+    a promoted artifact's breaker exhausted all tiers and the promotion
+    was withdrawn; args add ``from``/``to`` tier names (per-failure breaker
+    demotions are emitted by :mod:`repro.runtime.guard` under the same
+    event name);
+``tier.invalidate``
+    the promotion was dropped because the definition changed (``Set``,
+    ``Clear``, ``Block`` restore) or was explicitly invalidated;
+``tier.blocked``
+    the definition failed the promotion gate; args add ``reason``.
+
+The same transitions are always recorded as :class:`PromotionEvent` audit
+rows (``--stats``) whether or not tracing is on.
 """
 
 from __future__ import annotations
@@ -36,6 +59,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import observe as _observe
 from repro.errors import WolframAbort
 from repro.mexpr.atoms import MInteger, MReal, MSymbol
 from repro.mexpr.expr import MExpr, MExprNormal
@@ -155,6 +179,11 @@ class HotspotProfiler:
                 PromotionEvent(name, "demoted", Tier.INTERPRETER.value,
                                "circuit breaker exhausted all tiers")
             )
+            _observe.event(
+                "tier.demote", "hotspot", symbol=name,
+                reason="promotion withdrawn: breaker exhausted all tiers",
+                **{"from": entry.tier_kind, "to": Tier.INTERPRETER.value},
+            )
             return None
         arguments = expression.args
         if len(arguments) != len(entry.gate_types):
@@ -211,6 +240,8 @@ class HotspotProfiler:
             PromotionEvent(name, "invalidated", entry.tier_kind,
                            "definition changed")
         )
+        _observe.event("tier.invalidate", "hotspot", symbol=name,
+                       reason="definition changed")
         return False
 
     def invalidate(self, name: str) -> None:
@@ -222,6 +253,8 @@ class HotspotProfiler:
                 PromotionEvent(name, "invalidated", entry.tier_kind,
                                "explicit invalidation")
             )
+            _observe.event("tier.invalidate", "hotspot", symbol=name,
+                           reason="explicit invalidation")
 
     def table(self) -> list[tuple]:
         """Rows for the ``--stats`` report: hottest functions first."""
@@ -244,6 +277,13 @@ class HotspotProfiler:
     # -- promotion -----------------------------------------------------------
 
     def _attempt_promotion(self, evaluator, name, definition, expression):
+        with _observe.span("hotspot.promote", "hotspot", symbol=name):
+            self._attempt_promotion_inner(
+                evaluator, name, definition, expression
+            )
+
+    def _attempt_promotion_inner(self, evaluator, name, definition,
+                                 expression):
         plan = self._synthesize(name, definition, expression)
         if plan is None:
             self._block(name, definition, "definition is not promotable")
@@ -270,12 +310,15 @@ class HotspotProfiler:
             PromotionEvent(name, "promoted", tier_kind,
                            f"after {self.counts[name]} applications")
         )
+        _observe.event("tier.promote", "hotspot", symbol=name,
+                       tier=tier_kind, applications=self.counts[name])
 
     def _block(self, name, definition, reason: str) -> None:
         self._blocked[name] = tuple(definition.down_values)
         self.events.append(
             PromotionEvent(name, "blocked", Tier.INTERPRETER.value, reason)
         )
+        _observe.event("tier.blocked", "hotspot", symbol=name, reason=reason)
 
     def _compile_plan(self, evaluator, name, plan):
         typed_params = [

@@ -11,22 +11,16 @@ Abort checking toggles per function via ``AbortHandling`` — the paper's
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
 from repro.benchsuite import data as workloads
 from repro.benchsuite import programs
 from repro.compiler import FunctionCompile
+from repro.perflab import stats
 
 
 def _best(fn, *args, reps=3):
-    out = float("inf")
-    for _ in range(reps):
-        start = time.perf_counter()
-        fn(*args)
-        out = min(out, time.perf_counter() - start)
-    return out
+    return stats.best_of(fn, *args, repeats=reps)
 
 
 @pytest.fixture(scope="module")

@@ -10,12 +10,11 @@ load.
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
 from repro.benchsuite import programs, reference
 from repro.compiler import FunctionCompile
+from repro.perflab import stats
 
 
 @pytest.fixture(scope="module")
@@ -50,16 +49,8 @@ def test_constant_handling_ablation(setup, capsys):
     assert "list(_consts[" in naive.generated_source
     assert "list(_consts[" not in hoisted.generated_source
 
-    def best(fn, reps=3):
-        out = float("inf")
-        for _ in range(reps):
-            start = time.perf_counter()
-            fn(limit)
-            out = min(out, time.perf_counter() - start)
-        return out
-
-    t_hoisted = best(hoisted)
-    t_naive = best(naive)
+    t_hoisted = stats.best_of(hoisted, limit)
+    t_naive = stats.best_of(naive, limit)
     with capsys.disabled():
         print(f"\nConstant-array handling (PrimeQ): hoisted "
               f"{t_hoisted*1000:.1f}ms, naive {t_naive*1000:.1f}ms "

@@ -10,13 +10,12 @@ the F5 copy.
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
 from repro.benchsuite import data as workloads
 from repro.benchsuite import programs
 from repro.compiler import FunctionCompile
+from repro.perflab import stats
 from repro.runtime import PackedArray
 
 
@@ -59,17 +58,9 @@ def test_copy_ablation_factor(qsort_input, capsys):
     in_place(packed, _less)
     assert packed.to_nested() == sorted(qsort_input)
 
-    def best(fn, reps=3):
-        out = float("inf")
-        for _ in range(reps):
-            start = time.perf_counter()
-            fn()
-            out = min(out, time.perf_counter() - start)
-        return out
-
-    t_copy = best(lambda: with_copy(qsort_input, _less))
+    t_copy = stats.best_of(lambda: with_copy(qsort_input, _less))
     fresh = PackedArray.from_nested(list(qsort_input), "Integer64")
-    t_in_place = best(lambda: in_place(fresh, _less))
+    t_in_place = stats.best_of(lambda: in_place(fresh, _less))
     factor = t_copy / t_in_place
     with capsys.disabled():
         print(f"\nF5 copy cost (QSort): with copy {t_copy*1000:.1f}ms, "

@@ -9,13 +9,12 @@ call) and report both against the hand-optimized reference.
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
 from repro.benchsuite import data as workloads
 from repro.benchsuite import programs, reference
 from repro.compiler import FunctionCompile
+from repro.perflab import stats
 
 
 @pytest.fixture(scope="module")
@@ -46,17 +45,9 @@ def test_inlining_ablation_factor(points, capsys):
     no_inline = FunctionCompile(programs.NEW_MANDELBROT, InlinePolicy=None)
     assert _drive(inlined, points) == _drive(no_inline, points)
 
-    def best(fn, reps=3):
-        out = float("inf")
-        for _ in range(reps):
-            start = time.perf_counter()
-            _drive(fn, points)
-            out = min(out, time.perf_counter() - start)
-        return out
-
-    t_in = best(inlined)
-    t_out = best(no_inline)
-    t_c = best(reference.mandelbrot_point)
+    t_in = stats.best_of(_drive, inlined, points)
+    t_out = stats.best_of(_drive, no_inline, points)
+    t_c = stats.best_of(_drive, reference.mandelbrot_point, points)
 
     with capsys.disabled():
         print(f"\nInlining ablation (Mandelbrot): reference {t_c*1000:.1f}ms,"

@@ -7,13 +7,12 @@ speedup factor is printed and asserted > 1.
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
 from repro.compiler import disable_auto_compilation, enable_auto_compilation
 from repro.engine import Evaluator
 from repro.mexpr import parse
+from repro.perflab import stats
 
 EQUATION = "FindRoot[Sin[x] + E^x, {x, 0}]"
 HARDER = "FindRoot[Cos[x]*Exp[x] - x*x + Sin[3.0*x], {x, 0.5}]"
@@ -65,16 +64,8 @@ def test_autocompile_speedup_factor(capsys):
     enable_auto_compilation(compiled)
     _solve_many(compiled, HARDER, 1)  # compile outside the timed region
 
-    def best(evaluator, reps=3):
-        out = float("inf")
-        for _ in range(reps):
-            start = time.perf_counter()
-            _solve_many(evaluator, HARDER, 10)
-            out = min(out, time.perf_counter() - start)
-        return out
-
-    t_interp = best(interpreted)
-    t_compiled = best(compiled)
+    t_interp = stats.best_of(_solve_many, interpreted, HARDER, 10)
+    t_compiled = stats.best_of(_solve_many, compiled, HARDER, 10)
     factor = t_interp / t_compiled
     with capsys.disabled():
         print(f"\nFindRoot auto-compilation speedup: {factor:.2f}x "

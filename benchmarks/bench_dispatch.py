@@ -1,6 +1,8 @@
 """Evaluator dispatch microbenchmarks + the tier-up speedup smoke test.
 
-Three workloads exercise the PR's hot paths:
+Three workloads exercise the engine's hot paths (the session builders
+live in :mod:`repro.benchsuite.dispatch`, shared with the perflab
+registry):
 
 * **recursive fib DownValues** — the profile-guided tier-up target: with
   hotspot promotion the definition compiles after crossing the hotness
@@ -10,83 +12,51 @@ Three workloads exercise the PR's hot paths:
 * **1k-rule dispatch** — stresses the DownValue dispatch index (literal
   first-argument discrimination instead of a 1000-rule linear scan).
 
-``test_tierup_speedup_factor`` mirrors ``bench_autocompile_findroot.py``'s
-assertion style: the measured factor is printed, and the assertion is the
-timing-robust ``> 1`` (the PR's acceptance target is ≥2×; see
-BENCH_evaluator.json for the recorded trajectory).
+Timing goes through :mod:`repro.perflab.stats` (warmup, gc paused,
+min/median/MAD) — the script no longer carries its own best-of loops.
 
-Run ``python benchmarks/bench_dispatch.py`` to append a result record to
-``BENCH_evaluator.json``.
+Run ``python benchmarks/bench_dispatch.py`` to record a dispatch-suite
+trajectory point (delegates to ``python -m repro bench --suite dispatch``,
+which appends a schema-versioned record to ``BENCH_evaluator.json``), or
+``--trace-overhead [FILE]`` for the observability overhead gates.
 """
 
 from __future__ import annotations
 
 import json
-import time
-from pathlib import Path
 
-import pytest
-
-from repro.compiler import install_engine_support
+from repro.benchsuite import dispatch
 from repro.engine import Evaluator
 from repro.mexpr import parse
+from repro.perflab import stats
 
 FIB_CALL = "fib[19]"
 FIB_WARMUP = "fib[16]"
-
-
-def _fib_session(promote: bool) -> Evaluator:
-    session = Evaluator(recursion_limit=8192)
-    if promote:
-        install_engine_support(session)
-        session.hotspot.threshold = 8
-    session.run("fib[0] = 0")
-    session.run("fib[1] = 1")
-    session.run("fib[n_] := fib[n-1] + fib[n-2]")
-    return session
-
-
-def _orderless_session() -> Evaluator:
-    return Evaluator()
-
-
-def _orderless_source(width: int = 60) -> str:
-    # reversed symbolic terms: every evaluation pass re-sorts all of them
-    terms = " + ".join(f"z{index}" for index in range(width, 0, -1))
-    return f"f[{terms}]"
-
-
-def _ruletable_session(rules: int = 1000) -> Evaluator:
-    session = Evaluator()
-    for index in range(rules):
-        session.run(f"table[{index}] = {index * index}")
-    session.run("table[n_] := -1")
-    return session
 
 
 # -- pytest-benchmark trajectory benchmarks ---------------------------------
 
 
 def test_fib_interpreted(benchmark):
-    session = _fib_session(promote=False)
+    session = dispatch.fib_session(promote=False)
     benchmark(lambda: session.evaluate(parse(FIB_CALL)))
 
 
 def test_fib_promoted(benchmark):
-    session = _fib_session(promote=True)
+    session = dispatch.fib_session(promote=True)
     session.evaluate(parse(FIB_WARMUP))  # cross the threshold before timing
     assert "fib" in session.hotspot.promoted
     benchmark(lambda: session.evaluate(parse(FIB_CALL)))
 
 
 def test_orderless_plus(benchmark):
-    session = _orderless_session()
-    source = _orderless_source()
+    session = Evaluator()
+    source = dispatch.orderless_source()
     benchmark(lambda: session.evaluate(parse(source)))
 
 
 def test_thousand_rule_dispatch(benchmark):
-    session = _ruletable_session()
+    session = dispatch.ruletable_session()
     calls = [parse(f"table[{index}]") for index in range(0, 1000, 97)]
 
     def lookup_all():
@@ -99,38 +69,30 @@ def test_thousand_rule_dispatch(benchmark):
 # -- the CI perf-smoke assertion --------------------------------------------
 
 
-def _best_of(session: Evaluator, source: str, reps: int = 3,
-             inner: int = 1) -> float:
-    best = float("inf")
-    for _ in range(reps):
-        start = time.perf_counter()
-        for _ in range(inner):
-            session.evaluate(parse(source))
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
 def measure_tierup_factor() -> dict:
-    interpreted = _fib_session(promote=False)
-    promoted = _fib_session(promote=True)
+    interpreted = dispatch.fib_session(promote=False)
+    promoted = dispatch.fib_session(promote=True)
     promoted.evaluate(parse(FIB_WARMUP))  # promotion outside the timed region
     assert "fib" in promoted.hotspot.promoted
 
-    t_interpreted = _best_of(interpreted, FIB_CALL)
-    t_promoted = _best_of(promoted, FIB_CALL, inner=5) / 5
+    call = parse(FIB_CALL)
+    s_interpreted, _ = stats.measure(interpreted.evaluate, call,
+                                     repeats=3, warmup=0)
+    s_promoted, _ = stats.measure(promoted.evaluate, call,
+                                  repeats=3, warmup=0, inner=5)
     return {
         "workload": f"recursive-downvalue {FIB_CALL}",
-        "interpreted_seconds": t_interpreted,
-        "promoted_seconds": t_promoted,
-        "factor": t_interpreted / t_promoted,
+        "interpreted_seconds": s_interpreted.best,
+        "promoted_seconds": s_promoted.best,
+        "factor": s_interpreted.best / s_promoted.best,
         "promoted_tier": promoted.hotspot.promoted["fib"].tier_kind,
     }
 
 
 def test_tierup_speedup_factor(capsys):
-    """Promotion must beat interpretation; the PR targets ≥2×."""
-    interpreted = _fib_session(promote=False)
-    promoted = _fib_session(promote=True)
+    """Promotion must beat interpretation; the PR targets >=2x."""
+    interpreted = dispatch.fib_session(promote=False)
+    promoted = dispatch.fib_session(promote=True)
     promoted.evaluate(parse(FIB_WARMUP))
     assert "fib" in promoted.hotspot.promoted
 
@@ -147,65 +109,91 @@ def test_tierup_speedup_factor(capsys):
     assert result["factor"] > 1.0
 
 
-# -- tracing-overhead smoke (the observability acceptance gate) --------------
+# -- tracing-overhead smoke (the observability acceptance gates) --------------
 
 
 def measure_trace_overhead(trace_path: str | None = None,
                            reps: int = 5) -> dict:
-    """Traced vs untraced interpreted fib, interleaved rep-for-rep.
+    """Traced vs disabled-tracer vs plain interpreted fib, interleaved
+    rep-for-rep.
 
-    Interleaving means machine noise hits both arms equally; the CI gate
-    asserts the traced/untraced ratio stays under 1.5x (the *disabled*
-    path is held to <2% separately — see tests/test_observe.py for the
-    structural guard-flag checks).  When ``trace_path`` is given, the
-    accumulated Chrome trace is written there for artifact upload.
+    Interleaving means machine noise hits all arms equally.  Two gates:
+
+    * the **traced** arm (tracer active, spans recorded) must stay under
+      1.5x the plain arm;
+    * the **disabled** arm (``repro.observe`` imported, tracing off — the
+      module-level ``TRACER`` guard short-circuits) must stay within the
+      measurement's own noise of the plain arm, judged by the
+      :mod:`repro.perflab.stats` dispersion of the interleaved samples.
+
+    When ``trace_path`` is given, the accumulated Chrome trace is written
+    there for artifact upload.
     """
     from repro.observe import disable_tracing, enable_tracing
 
-    plain = _fib_session(promote=False)
-    instrumented = _fib_session(promote=False)
+    plain = dispatch.fib_session(promote=False)
+    disabled = dispatch.fib_session(promote=False)
+    instrumented = dispatch.fib_session(promote=False)
     call = parse(FIB_CALL)
-    plain.evaluate(parse(FIB_WARMUP))
-    instrumented.evaluate(parse(FIB_WARMUP))
+    for session in (plain, disabled, instrumented):
+        session.evaluate(parse(FIB_WARMUP))
 
-    t_plain = t_traced = float("inf")
+    t_plain: list = []
+    t_disabled: list = []
+    t_traced: list = []
     tracer = None
+    import time
     for _ in range(reps):
-        # evaluate_protected on both arms: it is the span-emitting entry
+        # evaluate_protected on all arms: it is the span-emitting entry
         # point, so the artifact gets real spans and the arms stay symmetric
         start = time.perf_counter()
         plain.evaluate_protected(call)
-        t_plain = min(t_plain, time.perf_counter() - start)
+        t_plain.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        disabled.evaluate_protected(call)
+        t_disabled.append(time.perf_counter() - start)
 
         tracer = enable_tracing(tracer)
         try:
             start = time.perf_counter()
             instrumented.evaluate_protected(call)
-            t_traced = min(t_traced, time.perf_counter() - start)
+            t_traced.append(time.perf_counter() - start)
         finally:
             disable_tracing()
 
     if trace_path and tracer is not None:
         tracer.write_chrome_trace(trace_path)
+    s_plain = stats.Sample(tuple(t_plain))
+    s_disabled = stats.Sample(tuple(t_disabled))
+    s_traced = stats.Sample(tuple(t_traced))
+    dispersion = max(s_plain.rel_dispersion, s_disabled.rel_dispersion)
     return {
         "workload": f"interpreted {FIB_CALL}",
-        "untraced_seconds": t_plain,
-        "traced_seconds": t_traced,
-        "ratio": t_traced / t_plain,
+        "untraced_seconds": s_plain.best,
+        "disabled_seconds": s_disabled.best,
+        "traced_seconds": s_traced.best,
+        "ratio": s_traced.best / s_plain.best,
+        "disabled_ratio": s_disabled.best / s_plain.best,
+        "rel_dispersion": dispersion,
+        # within-noise budget for the disabled arm: at least 25%, widened
+        # to 5x the interleaved samples' own relative MAD on noisy boxes
+        "disabled_budget": 1.0 + max(0.25, 5.0 * dispersion),
         "trace_events": len(tracer.events) if tracer is not None else 0,
     }
 
 
+def test_disabled_tracer_within_noise(capsys):
+    """The TRACER-guard fast path must be indistinguishable from plain."""
+    result = measure_trace_overhead(reps=3)
+    with capsys.disabled():
+        print(f"\ndisabled-tracer ratio on {result['workload']}: "
+              f"{result['disabled_ratio']:.3f} "
+              f"(budget {result['disabled_budget']:.2f})")
+    assert result["disabled_ratio"] < result["disabled_budget"]
+
+
 # -- the trajectory runner ---------------------------------------------------
-
-
-def _timed(fn, reps: int = 3) -> float:
-    best = float("inf")
-    for _ in range(reps):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
 
 
 def main(argv=None) -> int:
@@ -218,39 +206,29 @@ def main(argv=None) -> int:
         print(json.dumps(result, indent=2))
         if trace_path:
             print(f"trace artifact -> {trace_path}")
+        status = 0
         if result["ratio"] >= 1.5:
             print(f"FAIL: traced/untraced ratio {result['ratio']:.2f} "
                   ">= 1.5x budget")
-            return 1
-        print(f"ok: traced/untraced ratio {result['ratio']:.2f} < 1.5x")
-        return 0
+            status = 1
+        else:
+            print(f"ok: traced/untraced ratio {result['ratio']:.2f} < 1.5x")
+        if result["disabled_ratio"] >= result["disabled_budget"]:
+            print(f"FAIL: disabled-tracer ratio "
+                  f"{result['disabled_ratio']:.3f} >= "
+                  f"{result['disabled_budget']:.2f} noise budget")
+            status = 1
+        else:
+            print(f"ok: disabled-tracer ratio "
+                  f"{result['disabled_ratio']:.3f} within noise "
+                  f"(budget {result['disabled_budget']:.2f})")
+        return status
 
-    record = {
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "tierup": measure_tierup_factor(),
-    }
+    # the dispatch trajectory lives in the perflab now: one shared
+    # timing core, schema-versioned records, comparator-ready
+    from repro.perflab.cli import main as bench_main
 
-    orderless = _orderless_session()
-    source = _orderless_source()
-    record["orderless_plus_seconds"] = _timed(
-        lambda: orderless.evaluate(parse(source))
-    )
-
-    table = _ruletable_session()
-    calls = [parse(f"table[{index}]") for index in range(0, 1000, 7)]
-    record["thousand_rule_dispatch_seconds"] = _timed(
-        lambda: [table.evaluate(call) for call in calls]
-    )
-
-    path = Path(__file__).resolve().parent.parent / "BENCH_evaluator.json"
-    history = []
-    if path.exists():
-        history = json.loads(path.read_text(encoding="utf-8"))
-    history.append(record)
-    path.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
-    print(json.dumps(record, indent=2))
-    print(f"appended to {path}")
-    return 0
+    return bench_main(["--suite", "dispatch", *arguments])
 
 
 if __name__ == "__main__":

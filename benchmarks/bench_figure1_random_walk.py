@@ -8,8 +8,6 @@ ordering interpreter > bytecode > new compiler.
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
 from repro.benchsuite import programs
@@ -17,6 +15,7 @@ from repro.bytecode import compile_function
 from repro.compiler import FunctionCompile
 from repro.engine import Evaluator
 from repro.mexpr import expr, parse
+from repro.perflab import stats
 
 
 @pytest.fixture(scope="module")
@@ -61,17 +60,9 @@ def test_figure1_ordering(tiers, walk_length, capsys):
     interpreted, bytecode, compiled = tiers
     n = max(walk_length // 20, 100)  # equal small length for all three
 
-    def best(fn, reps=3):
-        out = float("inf")
-        for _ in range(reps):
-            start = time.perf_counter()
-            fn(n)
-            out = min(out, time.perf_counter() - start)
-        return out
-
-    t_interp = best(interpreted, reps=1)
-    t_bytecode = best(bytecode)
-    t_new = best(compiled)
+    t_interp = stats.best_of(interpreted, n, repeats=1)
+    t_bytecode = stats.best_of(bytecode, n)
+    t_new = stats.best_of(compiled, n)
     with capsys.disabled():
         print(f"\nFigure 1 @ len={n}: interpreter {t_interp*1000:.1f}ms, "
               f"bytecode {t_bytecode*1000:.1f}ms "

@@ -1,6 +1,8 @@
 """An interactive session in the style of the paper's Figure 1 notebook.
 
 Run:  python -m repro [--stats] [--trace FILE] [--metrics [FILE]] [-e EXPR]...
+      python -m repro bench [--suite S] [--filter NAME] [--compare]
+                            [--report FILE] [--trace-dir DIR]
 
 Each input gets an ``In[n]``/``Out[n]`` pair; ``FunctionCompile`` and
 ``Compile`` are available (F1), aborts are Ctrl-C (F3), and the session
@@ -28,6 +30,15 @@ Flags
     Print, at session end, each compiled function's
     :class:`~repro.runtime.guard.FallbackStats` (per-tier calls, soft
     failures, circuit-breaker tier) and the guarded-execution failure log.
+
+Subcommands
+-----------
+
+``bench``
+    The performance lab (:mod:`repro.perflab`): run the registered
+    benchmark suites, append schema-versioned records to the
+    ``BENCH_*.json`` trajectory files, and compare against the baseline.
+    See ``python -m repro bench --help``.
 """
 
 from __future__ import annotations
@@ -205,6 +216,10 @@ def _parser() -> argparse.ArgumentParser:
 
 def main(argv=None, input_stream=None, output=None) -> int:
     arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "bench":
+        from repro.perflab.cli import main as bench_main
+
+        return bench_main(arguments[1:], output=output)
     try:
         args = _parser().parse_args(arguments)
     except SystemExit as error:  # argparse exits; the CLI returns codes

@@ -1,0 +1,56 @@
+"""Evaluator dispatch / tier-up workload builders (§6's engine hot paths).
+
+Shared substrate for ``benchmarks/bench_dispatch.py`` and the perflab
+registry (``repro.perflab.registry``): the recursive-fib DownValue
+session that the hotspot profiler promotes, the deep Orderless ``Plus``
+canonicalization stress, and the 1000-rule dispatch-index stress.
+"""
+
+from __future__ import annotations
+
+from repro.engine import Evaluator
+
+
+def fib_session(promote: bool, threshold: int = 8,
+                recursion_limit: int = 8192) -> Evaluator:
+    """A session with the recursive fib DownValues; with ``promote`` the
+    hotspot profiler tiers the definition up after ``threshold`` calls."""
+    from repro.compiler import install_engine_support
+
+    session = Evaluator(recursion_limit=recursion_limit)
+    if promote:
+        install_engine_support(session)
+        session.hotspot.threshold = threshold
+    session.run("fib[0] = 0")
+    session.run("fib[1] = 1")
+    session.run("fib[n_] := fib[n-1] + fib[n-2]")
+    return session
+
+
+def fib_workload(scale: float) -> tuple:
+    """``(warmup_call, timed_call, expected_value)`` sized to the scale:
+    the full fib[19] workload from paper-adjacent runs, a lighter fib for
+    tiny smoke/test scales where an exponential interpreter walk would
+    dominate the suite."""
+    n = 19 if scale >= 0.03 else 14
+    warmup = n - 3
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, a + b
+    return f"fib[{warmup}]", f"fib[{n}]", a
+
+
+def orderless_source(width: int = 60) -> str:
+    """Reversed symbolic terms: every evaluation pass re-sorts all of them."""
+    terms = " + ".join(f"z{index}" for index in range(width, 0, -1))
+    return f"f[{terms}]"
+
+
+def ruletable_session(rules: int = 1000) -> Evaluator:
+    """One symbol with ``rules`` literal DownValues plus a catch-all —
+    the dispatch-index workload."""
+    session = Evaluator()
+    for index in range(rules):
+        session.run(f"table[{index}] = {index * index}")
+    session.run("table[n_] := -1")
+    return session

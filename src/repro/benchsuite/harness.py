@@ -10,9 +10,8 @@ annotated (as in the figure), and QSort reported unsupported for bytecode.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Optional
 
 from repro.benchsuite import data as workloads
 from repro.benchsuite import programs, reference
@@ -21,6 +20,7 @@ from repro.compiler import FunctionCompile
 from repro.engine import Evaluator
 from repro.errors import BytecodeCompilerError
 from repro.mexpr import parse
+from repro.perflab import stats as perfstats
 
 
 @dataclass
@@ -29,6 +29,8 @@ class TierResult:
     seconds: Optional[float]
     checksum: object = None
     note: str = ""
+    #: the full repeat statistics behind ``seconds`` (a perflab Sample)
+    sample: Optional[perfstats.Sample] = None
 
 
 @dataclass
@@ -39,19 +41,19 @@ class BenchmarkResult:
     def ratio(self, tier: str, baseline: str = "c_port") -> Optional[float]:
         base = self.tiers.get(baseline)
         other = self.tiers.get(tier)
-        if base is None or other is None or other.seconds is None:
+        if base is None or other is None:
+            return None
+        if base.seconds is None or other.seconds is None:
             return None
         return other.seconds / base.seconds
 
 
-def _best_time(callable_, *args, repeats: int = 3) -> tuple[float, object]:
-    best = float("inf")
-    result = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result = callable_(*args)
-        best = min(best, time.perf_counter() - start)
-    return best, result
+def _best_time(callable_, *args, repeats: int = 3,
+               warmup: int = 0) -> tuple[perfstats.Sample, object]:
+    """One tier's timed region, via the shared perflab timing core
+    (gc paused, per-repeat samples kept for min/median/MAD)."""
+    return perfstats.measure(callable_, *args, repeats=repeats,
+                             warmup=warmup)
 
 
 def _tensor_checksum(value) -> object:
@@ -80,12 +82,19 @@ class Figure2Harness:
     BENCHMARKS = ("fnv1a", "mandelbrot", "dot", "blur", "histogram",
                   "primeq", "qsort")
 
-    def __init__(self, scale: Optional[float] = None, repeats: int = 3):
+    def __init__(self, scale: Optional[float] = None, repeats: int = 3,
+                 warmup: int = 0):
         self.sizes = workloads.figure2_sizes(scale)
         self.repeats = repeats
+        self.warmup = warmup
         self.evaluator = Evaluator()
 
     # -- tier construction helpers --------------------------------------------------
+
+    def _time(self, callable_, *args, repeats: Optional[int] = None):
+        return _best_time(callable_, *args,
+                          repeats=self.repeats if repeats is None else repeats,
+                          warmup=self.warmup)
 
     def _new(self, source: str, **options):
         return FunctionCompile(source, evaluator=self.evaluator, **options)
@@ -112,16 +121,18 @@ class Figure2Harness:
             programs.BYTECODE_FNV1A_SPECS, programs.BYTECODE_FNV1A_BODY
         )
         result = BenchmarkResult("fnv1a")
-        t, c = _best_time(reference.fnv1a_c_port, text, repeats=self.repeats)
-        result.tiers["c_port"] = TierResult("c_port", t, c)
-        t, c = _best_time(reference.fnv1a_idiomatic, text, repeats=self.repeats)
-        result.tiers["idiomatic"] = TierResult("idiomatic", t, c)
-        t, c = _best_time(new, text, repeats=self.repeats)
-        result.tiers["new"] = TierResult("new", t, c)
-        t, c = _best_time(bytecode, codes, repeats=self.repeats)
+        s, c = self._time(reference.fnv1a_c_port, text)
+        result.tiers["c_port"] = TierResult("c_port", s.best, c, sample=s)
+        s, c = self._time(reference.fnv1a_idiomatic, text)
+        result.tiers["idiomatic"] = TierResult("idiomatic", s.best, c,
+                                               sample=s)
+        s, c = self._time(new, text)
+        result.tiers["new"] = TierResult("new", s.best, c, sample=s)
+        s, c = self._time(bytecode, codes)
         result.tiers["bytecode"] = TierResult(
-            "bytecode", t, c,
+            "bytecode", s.best, c,
             note="int64 character-code vector workaround (§6)",
+            sample=s,
         )
         self._verify(result)
         return result
@@ -140,14 +151,16 @@ class Figure2Harness:
             return total
 
         result = BenchmarkResult("mandelbrot")
-        t, c = _best_time(drive, reference.mandelbrot_point,
-                          repeats=self.repeats)
-        result.tiers["c_port"] = TierResult("c_port", t, c)
-        result.tiers["idiomatic"] = TierResult("idiomatic", t, c)
-        t, c = _best_time(drive, new, repeats=self.repeats)
-        result.tiers["new"] = TierResult("new", t, c)
-        t, c = _best_time(drive, bytecode, repeats=max(1, self.repeats - 2))
-        result.tiers["bytecode"] = TierResult("bytecode", t, c)
+        s, c = self._time(drive, reference.mandelbrot_point)
+        result.tiers["c_port"] = TierResult("c_port", s.best, c, sample=s)
+        result.tiers["idiomatic"] = TierResult(
+            "idiomatic", s.best, c, sample=s,
+            note="same measurement as c_port (no distinct idiomatic variant)",
+        )
+        s, c = self._time(drive, new)
+        result.tiers["new"] = TierResult("new", s.best, c, sample=s)
+        s, c = self._time(drive, bytecode, repeats=max(1, self.repeats - 2))
+        result.tiers["bytecode"] = TierResult("bytecode", s.best, c, sample=s)
         self._verify(result)
         return result
 
@@ -160,15 +173,23 @@ class Figure2Harness:
             programs.BYTECODE_DOT_SPECS, programs.BYTECODE_DOT_BODY
         )
         result = BenchmarkResult("dot")
-        t, c = _best_time(reference.dot_reference, a, b, repeats=self.repeats)
-        result.tiers["c_port"] = TierResult("c_port", t, _tensor_checksum(c))
-        result.tiers["idiomatic"] = result.tiers["c_port"]
-        t, c = _best_time(new, a, b, repeats=self.repeats)
-        result.tiers["new"] = TierResult("new", t, _tensor_checksum(c))
-        t, c = _best_time(bytecode, a, b, repeats=self.repeats)
+        s, c = self._time(reference.dot_reference, a, b)
+        result.tiers["c_port"] = TierResult("c_port", s.best,
+                                            _tensor_checksum(c), sample=s)
+        # distinct object: sharing the TierResult lets a note mutation on
+        # one tier silently edit the other
+        result.tiers["idiomatic"] = TierResult(
+            "idiomatic", s.best, _tensor_checksum(c), sample=s,
+            note="same measurement as c_port (no distinct idiomatic variant)",
+        )
+        s, c = self._time(new, a, b)
+        result.tiers["new"] = TierResult("new", s.best, _tensor_checksum(c),
+                                         sample=s)
+        s, c = self._time(bytecode, a, b)
         result.tiers["bytecode"] = TierResult(
-            "bytecode", t, _tensor_checksum(c),
+            "bytecode", s.best, _tensor_checksum(c),
             note="all tiers call the same BLAS (§6: MKL everywhere)",
+            sample=s,
         )
         self._verify(result)
         return result
@@ -182,20 +203,21 @@ class Figure2Harness:
             programs.BYTECODE_BLUR_SPECS, programs.BYTECODE_BLUR_BODY
         )
         result = BenchmarkResult("blur")
-        t, c = _best_time(reference.blur_c_port, flat, side, side,
-                          repeats=self.repeats)
-        result.tiers["c_port"] = TierResult("c_port", t, _tensor_checksum(c))
-        t, c = _best_time(reference.blur_idiomatic, flat, side, side,
-                          repeats=self.repeats)
-        result.tiers["idiomatic"] = TierResult("idiomatic", t,
-                                               _tensor_checksum(c))
-        t, c = _best_time(new, nested, repeats=self.repeats)
-        result.tiers["new"] = TierResult("new", t, _tensor_checksum(c))
-        t, c = _best_time(bytecode, flat, side, side,
+        s, c = self._time(reference.blur_c_port, flat, side, side)
+        result.tiers["c_port"] = TierResult("c_port", s.best,
+                                            _tensor_checksum(c), sample=s)
+        s, c = self._time(reference.blur_idiomatic, flat, side, side)
+        result.tiers["idiomatic"] = TierResult("idiomatic", s.best,
+                                               _tensor_checksum(c), sample=s)
+        s, c = self._time(new, nested)
+        result.tiers["new"] = TierResult("new", s.best, _tensor_checksum(c),
+                                         sample=s)
+        s, c = self._time(bytecode, flat, side, side,
                           repeats=max(1, self.repeats - 2))
         result.tiers["bytecode"] = TierResult(
-            "bytecode", t, _tensor_checksum(c),
+            "bytecode", s.best, _tensor_checksum(c),
             note="flat rank-1 layout (no efficient rank-2 support)",
+            sample=s,
         )
         self._verify(result)
         return result
@@ -207,17 +229,17 @@ class Figure2Harness:
             programs.BYTECODE_HISTOGRAM_SPECS, programs.BYTECODE_HISTOGRAM_BODY
         )
         result = BenchmarkResult("histogram")
-        t, c = _best_time(reference.histogram_c_port, data,
-                          repeats=self.repeats)
-        result.tiers["c_port"] = TierResult("c_port", t, c)
-        t, c = _best_time(reference.histogram_idiomatic, data,
-                          repeats=self.repeats)
-        result.tiers["idiomatic"] = TierResult("idiomatic", t, c)
-        t, c = _best_time(new, data, repeats=self.repeats)
-        result.tiers["new"] = TierResult("new", t, _tensor_checksum(c))
-        t, c = _best_time(bytecode, data, repeats=max(1, self.repeats - 2))
-        result.tiers["bytecode"] = TierResult("bytecode", t,
-                                              _tensor_checksum(c))
+        s, c = self._time(reference.histogram_c_port, data)
+        result.tiers["c_port"] = TierResult("c_port", s.best, c, sample=s)
+        s, c = self._time(reference.histogram_idiomatic, data)
+        result.tiers["idiomatic"] = TierResult("idiomatic", s.best, c,
+                                               sample=s)
+        s, c = self._time(new, data)
+        result.tiers["new"] = TierResult("new", s.best, _tensor_checksum(c),
+                                         sample=s)
+        s, c = self._time(bytecode, data, repeats=max(1, self.repeats - 2))
+        result.tiers["bytecode"] = TierResult("bytecode", s.best,
+                                              _tensor_checksum(c), sample=s)
         self._verify(result)
         return result
 
@@ -233,15 +255,17 @@ class Figure2Harness:
             programs.BYTECODE_PRIMEQ_SPECS, programs.BYTECODE_PRIMEQ_BODY
         )
         result = BenchmarkResult("primeq")
-        t, c = _best_time(reference.primeq_count_c_port, limit, table,
-                          repeats=self.repeats)
-        result.tiers["c_port"] = TierResult("c_port", t, c)
-        result.tiers["idiomatic"] = result.tiers["c_port"]
-        t, c = _best_time(new, limit, repeats=self.repeats)
-        result.tiers["new"] = TierResult("new", t, c)
-        t, c = _best_time(bytecode, limit, table, witnesses,
+        s, c = self._time(reference.primeq_count_c_port, limit, table)
+        result.tiers["c_port"] = TierResult("c_port", s.best, c, sample=s)
+        result.tiers["idiomatic"] = TierResult(
+            "idiomatic", s.best, c, sample=s,
+            note="same measurement as c_port (no distinct idiomatic variant)",
+        )
+        s, c = self._time(new, limit)
+        result.tiers["new"] = TierResult("new", s.best, c, sample=s)
+        s, c = self._time(bytecode, limit, table, witnesses,
                           repeats=max(1, self.repeats - 2))
-        result.tiers["bytecode"] = TierResult("bytecode", t, c)
+        result.tiers["bytecode"] = TierResult("bytecode", s.best, c, sample=s)
         self._verify(result)
         return result
 
@@ -253,12 +277,15 @@ class Figure2Harness:
         def py_less(a, b):
             return a < b
 
-        t, c = _best_time(reference.qsort_c_port, data, py_less,
-                          repeats=self.repeats)
-        result.tiers["c_port"] = TierResult("c_port", t, c)
-        result.tiers["idiomatic"] = result.tiers["c_port"]
-        t, c = _best_time(new, data, py_less, repeats=self.repeats)
-        result.tiers["new"] = TierResult("new", t, _tensor_checksum(c))
+        s, c = self._time(reference.qsort_c_port, data, py_less)
+        result.tiers["c_port"] = TierResult("c_port", s.best, c, sample=s)
+        result.tiers["idiomatic"] = TierResult(
+            "idiomatic", s.best, c, sample=s,
+            note="same measurement as c_port (no distinct idiomatic variant)",
+        )
+        s, c = self._time(new, data, py_less)
+        result.tiers["new"] = TierResult("new", s.best, _tensor_checksum(c),
+                                         sample=s)
         # the bytecode compiler rejects the comparator argument (L1)
         try:
             compile_function(
@@ -308,11 +335,14 @@ class Figure2Harness:
             else:
                 bytecode_text = f"{min(bytecode_ratio, 2.5):.2f}"
                 actual_text = f"{bytecode_ratio:.1f}x"
+            # a tier that failed to run leaves its ratio None (e.g. a
+            # new-tier compile failure) — render a dash, don't crash
+            new_text = f"{new_ratio:.2f}x" if new_ratio is not None else "—"
             idiomatic_text = (
                 f"{idiomatic_ratio:.2f}x" if idiomatic_ratio else "—"
             )
             lines.append(
-                f"{result.name:<12} {new_ratio:>13.2f}x {idiomatic_text:>13} "
+                f"{result.name:<12} {new_text:>14} {idiomatic_text:>13} "
                 f"{bytecode_text:>24} {actual_text:>16}"
             )
         return "\n".join(lines)

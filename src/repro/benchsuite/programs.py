@@ -289,3 +289,14 @@ Function[{Typed[len, "MachineInteger"]},
 
 #: Rabin–Miller witness list shared by every tier
 RM_WITNESSES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37]
+
+# -- §2.2: the soft-failure transcript workload -----------------------------------------------
+
+#: iterative fib — overflows Integer64 at i = 93 and reverts to the
+#: interpreter's bignums, reproducing the paper's ``cfib[200]`` transcript
+#: (shared by ``benchmarks/bench_soft_failure.py`` and the perflab)
+ITERATIVE_FIB = (
+    'Function[{Typed[n, "MachineInteger"]},'
+    ' Module[{a = 0, b = 1, i = 1},'
+    '  While[i <= n, Module[{t = a + b}, a = b; b = t]; i = i + 1]; a]]'
+)

@@ -1,0 +1,56 @@
+"""``repro.perflab`` — the continuous performance-observability subsystem.
+
+Where :mod:`repro.observe` answers *where does the time go inside one
+run* (spans, counters, Chrome traces), the perflab answers *how does
+performance move across commits*: one declarative registry of every
+benchmark in the repo, one rigorous timing core, one schema-versioned
+trajectory store, and one comparator that tells improvement from noise
+from regression.  Driven by ``python -m repro bench``.
+
+Modules
+-------
+
+``stats``     shared timing core (warmup, gc paused, min/median/MAD,
+              dispersion flag) — also used by the Figure-2 harness and
+              the ``benchmarks/*.py`` scripts
+``registry``  ``BenchSpec`` table wrapping every workload (Figure 2,
+              dispatch/tier-up, ablations, FindRoot auto-compile,
+              compile time, soft failure)
+``runner``    executes specs, captures per-benchmark traces and an
+              embedded ``repro.observe`` metrics snapshot
+``store``     appends schema-v1 records to ``BENCH_*.json`` (and
+              migrates pre-schema records on first touch)
+``compare``   noise-aware improved/stable/noisy/regressed verdicts
+``report``    the markdown report with the Figure-2 normalized table
+``cli``       the ``python -m repro bench`` subcommand
+
+Only :mod:`~repro.perflab.stats` is imported eagerly: the registry pulls
+in the benchmark suite (which itself uses the timing core), so the
+heavier modules load on first attribute access.
+"""
+
+from repro.perflab.stats import (  # noqa: F401
+    Sample,
+    best_of,
+    mad,
+    measure,
+    median,
+    noise_threshold,
+    scalar,
+)
+
+__all__ = [
+    "Sample", "best_of", "mad", "measure", "median", "noise_threshold",
+    "scalar",
+    "stats", "registry", "runner", "store", "compare", "report", "cli",
+]
+
+_LAZY = ("registry", "runner", "store", "compare", "report", "cli")
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        import importlib
+
+        return importlib.import_module(f"repro.perflab.{name}")
+    raise AttributeError(f"module 'repro.perflab' has no attribute {name!r}")

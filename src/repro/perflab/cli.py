@@ -1,0 +1,155 @@
+"""``python -m repro bench`` — the unified benchmark entry point.
+
+One invocation replaces the eleven per-script commands: select specs
+(``--suite``/``--filter``), run them through the rigorous timing core,
+append schema-versioned records to the ``BENCH_*.json`` trajectory
+files, and optionally diff against the trajectory baseline
+(``--compare``), render a markdown report (``--report``), and capture
+per-benchmark Chrome traces (``--trace-dir``).
+
+Exit status: non-zero only when ``--compare`` finds a regression beyond
+the noise-widened threshold; ``noisy`` verdicts soft-warn and pass —
+the CI perf job relies on exactly this contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.benchsuite.data import bench_scale
+from repro.perflab import compare as comparison
+from repro.perflab import report as reporting
+from repro.perflab.registry import RunConfig, SUITES, resolve_specs
+from repro.perflab.runner import run_specs
+from repro.perflab.store import ARTIFACT_FILES, TrajectoryStore, default_root
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="run the registered benchmark suites and append "
+                    "schema-versioned records to the BENCH_*.json "
+                    "performance trajectory",
+    )
+    parser.add_argument(
+        "--suite", default="smoke",
+        help=f"suite to run: one of {sorted(SUITES)}, 'smoke' "
+             "(fast CI subset, the default), or 'all'",
+    )
+    parser.add_argument(
+        "--filter", dest="name_filter", default=None, metavar="NAME",
+        help="only specs whose name contains NAME "
+             "(e.g. 'figure2.fnv1a', 'ablation')",
+    )
+    parser.add_argument(
+        "--compare", action="store_true",
+        help="diff the new records against the trajectory baseline and "
+             "print a per-measurement verdict (exit 1 on regression)",
+    )
+    parser.add_argument(
+        "--report", metavar="FILE", default=None,
+        help="write the markdown perf report to FILE",
+    )
+    parser.add_argument(
+        "--trace-dir", metavar="DIR", default=None,
+        help="capture a per-benchmark Chrome trace of each spec's probe "
+             "run into DIR",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="workload scale (default: REPRO_BENCH_SCALE or the CI size)",
+    )
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repeats per measurement (default 3)")
+    parser.add_argument("--warmup", type=int, default=1,
+                        help="untimed warmup iterations (default 1)")
+    parser.add_argument(
+        "--bench-dir", metavar="DIR", default=None,
+        help="directory holding the BENCH_*.json files "
+             "(default: the repo root)",
+    )
+    parser.add_argument(
+        "--no-append", action="store_true",
+        help="run and compare without writing the trajectory files",
+    )
+    parser.add_argument("--list", action="store_true", dest="list_specs",
+                        help="list the selected specs and exit")
+    return parser
+
+
+def main(argv=None, output=None) -> int:
+    out = output or sys.stdout
+    try:
+        args = _parser().parse_args(
+            list(sys.argv[2:] if argv is None else argv))
+    except SystemExit as error:
+        return int(error.code or 0)
+
+    try:
+        specs = resolve_specs(args.suite, args.name_filter)
+    except ValueError as error:
+        out.write(f"error: {error}\n")
+        return 2
+    if not specs:
+        out.write(f"error: no benchmarks match --suite {args.suite!r}"
+                  f" --filter {args.name_filter!r}\n")
+        return 2
+    if args.list_specs:
+        for spec in specs:
+            out.write(f"{spec.name:<34} [{spec.suite} -> "
+                      f"{ARTIFACT_FILES[spec.artifact]}] {spec.title}\n")
+        return 0
+
+    scale = args.scale if args.scale is not None else bench_scale()
+    config = RunConfig(scale=scale, repeats=args.repeats,
+                       warmup=args.warmup, trace_dir=args.trace_dir)
+    store = TrajectoryStore(args.bench_dir or default_root())
+
+    out.write(f"perflab: {len(specs)} benchmark(s), suite={args.suite}, "
+              f"scale={scale}, repeats={args.repeats}\n")
+    records = run_specs(specs, config, suite_label=args.suite,
+                        store=store, out=out)
+
+    # baselines come from the trajectory as it stood BEFORE this run
+    baselines = {}
+    verdicts = {}
+    for artifact, record in sorted(records.items()):
+        trajectory = store.load(artifact)
+        baselines[artifact] = comparison.baseline_record(
+            trajectory, scale=scale)
+        if args.compare:
+            verdicts[artifact] = comparison.compare_records(
+                record, baselines[artifact])
+
+    if not args.no_append:
+        for artifact, record in sorted(records.items()):
+            path = store.append(artifact, record)
+            out.write(f"appended record -> {path}\n")
+
+    status = 0
+    if args.compare:
+        out.write("\n-- trajectory comparison --\n")
+        for artifact in sorted(verdicts):
+            for verdict in verdicts[artifact]:
+                out.write(verdict.describe() + "\n")
+        worst = comparison.worst_status(
+            [v for vs in verdicts.values() for v in vs])
+        if worst == "regressed":
+            out.write("\nFAIL: at least one benchmark regressed beyond "
+                      "the noise threshold\n")
+            status = 1
+        elif worst == "noisy":
+            out.write("\nwarning: movement beyond the base threshold but "
+                      "within measurement noise (soft-warn, not failing)\n")
+        else:
+            out.write(f"\nok: trajectory {worst}\n")
+
+    if args.report:
+        text = reporting.render_markdown(records, verdicts, baselines)
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        out.write(f"report -> {args.report}\n")
+    if args.trace_dir:
+        out.write(f"traces -> {args.trace_dir}\n")
+    return status

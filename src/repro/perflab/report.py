@@ -1,0 +1,140 @@
+"""The markdown perf report: run metadata, the paper-style Figure-2
+normalized table, per-measurement trajectory verdicts, and a digest of
+the embedded observability metrics."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.perflab.compare import Verdict, worst_status
+
+_STATUS_GLYPH = {
+    "improved": "✅ improved",
+    "stable": "· stable",
+    "noisy": "〰 noisy",
+    "regressed": "❌ regressed",
+    "new": "• new",
+}
+
+
+def render_markdown(records: dict, verdicts: dict,
+                    baselines: Optional[dict] = None) -> str:
+    """``records``/``verdicts``/``baselines`` map artifact name ->
+    record / list[Verdict] / baseline record (or None)."""
+    lines = ["# Perflab report", ""]
+    meta_record = next(iter(records.values()), None)
+    if meta_record is not None:
+        commit = meta_record.get("commit") or "unknown"
+        dirty = " (dirty)" if meta_record.get("dirty") else ""
+        host = meta_record.get("host") or {}
+        lines += [
+            f"- **commit**: `{commit}`{dirty}",
+            f"- **timestamp**: {meta_record.get('timestamp')}",
+            f"- **suite**: {meta_record.get('suite')} at scale "
+            f"{meta_record.get('scale')}",
+            f"- **host**: {host.get('implementation', '?')} "
+            f"{host.get('python', '?')} on {host.get('platform', '?')} "
+            f"({host.get('cpu_count', '?')} cpus)",
+            "",
+        ]
+
+    figure2 = _figure2_rows(records)
+    if figure2:
+        lines += [
+            "## Figure 2 — slowdown vs hand-optimized reference",
+            "",
+            "Normalized to the hand-optimized C-port stand-in; bytecode is"
+            " display-capped at 2.5 with the actual factor annotated, as in"
+            " the paper's figure.",
+            "",
+            "| benchmark | new compiler | bytecode (capped 2.5) |"
+            " bytecode actual |",
+            "|---|---|---|---|",
+        ]
+        lines += figure2
+        lines.append("")
+
+    all_verdicts = [v for vs in verdicts.values() for v in vs]
+    if all_verdicts:
+        lines += [
+            "## Trajectory verdicts",
+            "",
+            f"Overall: **{worst_status(all_verdicts)}**",
+            "",
+            "| benchmark | measurement | status | delta | baseline |"
+            " current |",
+            "|---|---|---|---|---|---|",
+        ]
+        for verdict in sorted(all_verdicts,
+                              key=lambda v: (v.benchmark, v.measurement)):
+            lines.append(_verdict_row(verdict))
+        lines.append("")
+
+    metric_lines = _metrics_digest(records)
+    if metric_lines:
+        lines += ["## Observability snapshot", ""] + metric_lines + [""]
+    return "\n".join(lines)
+
+
+def _figure2_rows(records: dict) -> list:
+    record = records.get("figure2")
+    if not record:
+        return []
+    rows = []
+    for name, entry in sorted(record.get("benchmarks", {}).items()):
+        if not name.startswith("figure2."):
+            continue
+        measurements = entry.get("measurements", {})
+        new_ratio = measurements.get("new_vs_c_ratio")
+        bytecode_ratio = measurements.get("bytecode_vs_c_ratio")
+        new_text = (f"{new_ratio['median']:.2f}x"
+                    if new_ratio is not None else "—")
+        if bytecode_ratio is None:
+            capped_text, actual_text = "unsupported", "—"
+        else:
+            actual = bytecode_ratio["median"]
+            capped_text = f"{min(actual, 2.5):.2f}"
+            actual_text = f"{actual:.1f}x"
+        rows.append(f"| {name.split('.', 1)[1]} | {new_text} |"
+                    f" {capped_text} | {actual_text} |")
+    return rows
+
+
+def _verdict_row(verdict: Verdict) -> str:
+    status = _STATUS_GLYPH.get(verdict.status, verdict.status)
+    if verdict.status == "new" or verdict.delta is None:
+        delta_text, base_text = "—", "—"
+    else:
+        sign = "+" if verdict.delta >= 0 else ""
+        delta_text = f"{sign}{verdict.delta * 100:.1f}%"
+        base_text = _value(verdict.baseline, verdict.unit)
+    return (
+        f"| {verdict.benchmark} | {verdict.measurement} | {status} |"
+        f" {delta_text} | {base_text} |"
+        f" {_value(verdict.current, verdict.unit)} |"
+    )
+
+
+def _value(value: Optional[float], unit: str) -> str:
+    if value is None:
+        return "—"
+    if unit == "seconds":
+        return f"{value:.3f}s" if value >= 1.0 else f"{value * 1000:.3g}ms"
+    return f"{value:.3g}{'x' if unit == 'x' else ''}"
+
+
+def _metrics_digest(records: dict, limit: int = 12) -> list:
+    lines = []
+    for artifact, record in sorted(records.items()):
+        metrics = record.get("metrics") or {}
+        counters = metrics.get("counters") or {}
+        if not counters:
+            continue
+        lines.append(f"**{artifact}** probe counters "
+                     f"({len(counters)} total):")
+        lines.append("")
+        top = sorted(counters.items(), key=lambda kv: -kv[1])[:limit]
+        for name, value in top:
+            lines.append(f"- `{name}` = {value}")
+        lines.append("")
+    return lines

@@ -1,0 +1,123 @@
+"""Executes registry specs and assembles trajectory records.
+
+The runner keeps the measurement honest by construction:
+
+* the **timed region is never traced** — spec ``run`` callables execute
+  with no active tracer, so the trajectory is not polluted by
+  observability overhead;
+* each spec's **probe** (a small representative workload) then runs under
+  a fresh :class:`repro.observe.Tracer`; its counters and histograms are
+  merged into a per-artifact metrics snapshot embedded in the record, and
+  with ``trace_dir`` set the probe's Chrome trace is written to
+  ``<trace_dir>/<spec>.json`` for artifact upload;
+* probe failures are recorded in the benchmark's ``meta``, never fatal —
+  a broken trace hook must not lose a trajectory point.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.perflab import stats
+from repro.perflab.registry import BenchSpec, RunConfig, SpecResult
+from repro.perflab.store import TrajectoryStore, make_record
+
+
+def _merge_metrics(target: dict, snapshot: dict) -> None:
+    """Fold one tracer's registry snapshot into the artifact-level one."""
+    for name, value in snapshot.get("counters", {}).items():
+        counters = target.setdefault("counters", {})
+        counters[name] = counters.get(name, 0) + value
+    for name, hist in snapshot.get("histograms", {}).items():
+        histograms = target.setdefault("histograms", {})
+        existing = histograms.get(name)
+        if existing is None:
+            histograms[name] = dict(hist)
+            continue
+        existing["count"] += hist["count"]
+        existing["total"] += hist["total"]
+        for key, pick in (("min", min), ("max", max)):
+            values = [v for v in (existing.get(key), hist.get(key))
+                      if v is not None]
+            existing[key] = pick(values) if values else None
+
+
+def _run_probe(spec: BenchSpec, config: RunConfig,
+               entry: dict, metrics: dict) -> None:
+    """The traced companion run: metrics snapshot + optional Chrome trace."""
+    if spec.probe is None:
+        return
+    from repro.observe import trace as _trace
+
+    if _trace.TRACER is not None:  # respect an outer tracing session
+        entry["meta"]["probe_skipped"] = "tracing already enabled"
+        return
+    tracer = _trace.enable_tracing()
+    try:
+        spec.probe(config)
+    except Exception as error:  # never lose the trajectory point
+        entry["meta"]["probe_error"] = f"{type(error).__name__}: {error}"
+    finally:
+        _trace.disable_tracing()
+    _merge_metrics(metrics, tracer.metrics.as_dict())
+    if config.trace_dir:
+        trace_dir = Path(config.trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        tracer.write_chrome_trace(str(trace_dir / f"{spec.name}.json"))
+
+
+def run_specs(specs, config: RunConfig, suite_label: str,
+              store: Optional[TrajectoryStore] = None,
+              out=None) -> dict:
+    """Run every spec, grouped by artifact; returns
+    ``{artifact: record}`` (unappended — the CLI owns persistence)."""
+    out = out or sys.stdout
+    grouped: dict = {}
+    metrics_by_artifact: dict = {}
+    for spec in specs:
+        out.write(f"  running {spec.name} ...")
+        out.flush()
+        # a spin-loop timing taken adjacent to each spec: machine-speed
+        # drift *within* a run (CPU contention comes in bursts longer
+        # than one spec but shorter than the whole suite) is corrected
+        # per benchmark by the comparator, not just per record
+        calibration = stats.calibrate(repeats=3)
+        result: SpecResult = spec.run(config)
+        entry = {
+            "title": spec.title,
+            "verified": result.verified,
+            "calibration_seconds": calibration,
+            "measurements": result.measurements,
+            "meta": dict(result.meta),
+        }
+        metrics = metrics_by_artifact.setdefault(spec.artifact, {})
+        _run_probe(spec, config, entry, metrics)
+        grouped.setdefault(spec.artifact, {})[spec.name] = entry
+        headline = _headline(result)
+        verified = "ok" if result.verified else "UNVERIFIED"
+        out.write(f" {headline} [{verified}]\n")
+    root = store.root if store is not None else None
+    return {
+        artifact: make_record(
+            suite=suite_label,
+            scale=config.scale,
+            benchmarks=benchmarks,
+            metrics=metrics_by_artifact.get(artifact) or None,
+            root=root,
+        )
+        for artifact, benchmarks in grouped.items()
+    }
+
+
+def _headline(result: SpecResult) -> str:
+    """One human-readable number for the progress line."""
+    measurements = result.measurements
+    for key in ("factor", "new_vs_c_ratio"):
+        if key in measurements:
+            return f"{key}={measurements[key]['median']:.2f}x"
+    for key, measurement in measurements.items():
+        if measurement.get("unit") == "seconds":
+            return f"{key}={measurement['median'] * 1000:.2f}ms"
+    return f"{len(measurements)} measurements"

@@ -1,0 +1,215 @@
+"""The shared timing core for the performance lab.
+
+Every timed region in the repo — the Figure-2 harness tiers, the dispatch
+microbenchmarks, the ablations, the `python -m repro bench` runner — goes
+through :func:`measure`, replacing the copy-pasted ``perf_counter``
+best-of-N loops the benchmark scripts previously carried.  The discipline:
+
+* **warmup iterations** run before anything is timed (caches, promotion,
+  and allocator state settle outside the measured region);
+* **gc is paused** while the clock runs (collection pauses are the single
+  largest source of CPython timing outliers) and restored afterwards;
+* every repeat is kept, so a :class:`Sample` can report **min / median /
+  MAD** instead of a bare minimum, plus a **dispersion flag** — when
+  MAD/median exceeds the noise threshold the measurement is marked noisy
+  and downstream comparisons widen their regression thresholds instead of
+  crying wolf.
+
+Measurements serialize to a flat dict (:meth:`Sample.as_measurement`,
+:func:`scalar`) that the trajectory store appends to the ``BENCH_*.json``
+files and the comparator consumes.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+#: default relative-dispersion limit above which a measurement is "noisy"
+DEFAULT_NOISE_THRESHOLD = 0.15
+
+
+def noise_threshold(default: float = DEFAULT_NOISE_THRESHOLD) -> float:
+    """The MAD/median ratio above which a sample is flagged noisy
+    (``REPRO_BENCH_NOISE`` overrides the default)."""
+    raw = os.environ.get("REPRO_BENCH_NOISE")
+    if raw is None:
+        return default
+    return float(raw)
+
+
+def median(values) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("median of an empty sample")
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mad(values, center: Optional[float] = None) -> float:
+    """Median absolute deviation — the robust spread the comparator uses."""
+    center = median(values) if center is None else center
+    return median([abs(v - center) for v in values])
+
+
+@dataclass(frozen=True)
+class Sample:
+    """The timed repeats of one benchmark region, with robust summaries."""
+
+    samples: tuple
+    warmup: int = 0
+    unit: str = "seconds"
+    #: spin-loop timings taken immediately before each repeat — the
+    #: machine-speed witness that lets the comparator cancel load bursts
+    calibrations: Optional[tuple] = None
+
+    @property
+    def repeats(self) -> int:
+        return len(self.samples)
+
+    @property
+    def best(self) -> float:
+        return min(self.samples)
+
+    @property
+    def median(self) -> float:
+        return median(self.samples)
+
+    @property
+    def mad(self) -> float:
+        return mad(self.samples)
+
+    @property
+    def rel_dispersion(self) -> float:
+        """MAD / median; 0.0 for single-repeat or zero-median samples."""
+        center = self.median
+        if center <= 0.0 or self.repeats < 2:
+            return 0.0
+        return self.mad / center
+
+    @property
+    def noisy(self) -> bool:
+        return self.rel_dispersion > noise_threshold()
+
+    @property
+    def best_units(self) -> Optional[float]:
+        """Best repeat in machine-neutral work units: each repeat divided
+        by the spin-loop time observed right before it, so a load burst
+        that slows both proportionally cancels out."""
+        if not self.calibrations:
+            return None
+        return min(raw / cal
+                   for raw, cal in zip(self.samples, self.calibrations))
+
+    def as_measurement(self, direction: str = "lower") -> dict:
+        """The serialized form stored in BENCH records and compared
+        across the trajectory."""
+        measurement = {
+            "unit": self.unit,
+            "direction": direction,
+            "best": self.best,
+            "median": self.median,
+            "mad": self.mad,
+            "repeats": self.repeats,
+            "noisy": self.noisy,
+        }
+        units = self.best_units
+        if units is not None:
+            measurement["best_units"] = units
+        return measurement
+
+
+def ratio_sample(numerator: Sample, denominator: Sample,
+                 unit: str = "x") -> Sample:
+    """Pairwise per-repeat ratios of two timed samples.
+
+    A speedup factor published as a bare scalar has zero spread, so the
+    comparator can't widen its threshold when the underlying timings are
+    jittery; pairing repeat ``i`` of each arm keeps the dispersion."""
+    pairs = zip(numerator.samples, denominator.samples)
+    return Sample(tuple(n / d for n, d in pairs), unit=unit)
+
+
+def scalar(value: float, direction: str = "lower",
+           unit: str = "seconds") -> dict:
+    """A single observed value in measurement form (ratios, factors, and
+    migrated v0 records that kept only one number)."""
+    return {
+        "unit": unit,
+        "direction": direction,
+        "best": value,
+        "median": value,
+        "mad": 0.0,
+        "repeats": 1,
+        "noisy": False,
+    }
+
+
+def measure(callable_, *args, repeats: int = 3, warmup: int = 1,
+            inner: int = 1, unit: str = "seconds"):
+    """Time ``callable_(*args)``: warmup runs, then ``repeats`` timed
+    iterations (each averaging ``inner`` back-to-back calls) with gc
+    paused.  Returns ``(Sample, last_result)``.
+
+    A fixed spin loop is timed immediately before every repeat — a
+    machine-speed witness captured *inside* the load burst that may be
+    slowing the repeat itself, so the trajectory comparator can judge
+    ``raw / calibration`` work units instead of raw wall time.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    result = None
+    for _ in range(warmup):
+        result = callable_(*args)
+    samples = []
+    calibrations = []
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            cal_start = time.perf_counter()
+            _calibration_workload()
+            calibrations.append(time.perf_counter() - cal_start)
+            start = time.perf_counter()
+            for _ in range(inner):
+                result = callable_(*args)
+            samples.append((time.perf_counter() - start) / inner)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    sample = Sample(tuple(samples), warmup=warmup, unit=unit,
+                    calibrations=tuple(calibrations))
+    return sample, result
+
+
+def best_of(callable_, *args, repeats: int = 3, warmup: int = 0,
+            inner: int = 1) -> float:
+    """Minimum over ``repeats`` timed runs — the drop-in replacement for
+    the scripts' hand-rolled best-of loops."""
+    sample, _ = measure(callable_, *args, repeats=repeats, warmup=warmup,
+                        inner=inner)
+    return sample.best
+
+
+def _calibration_workload() -> int:
+    total = 0
+    for i in range(200_000):
+        total += i * i
+    return total
+
+
+def calibrate(repeats: int = 5) -> float:
+    """Best-of timing of a fixed pure-Python spin loop.
+
+    Stored in every trajectory record; the comparator divides the two
+    records' calibrations to correct for machine-speed drift (CPU
+    contention, frequency scaling, a different host) so a uniformly
+    slower box doesn't read as a code regression.
+    """
+    sample, _ = measure(_calibration_workload, repeats=repeats, warmup=1)
+    return sample.best

@@ -1,0 +1,212 @@
+"""The performance-trajectory store: schema-versioned ``BENCH_*.json``.
+
+Each artifact file holds a JSON array of **records**, one per benchmark
+run, appended over the repo's life so any PR can be diffed against the
+trajectory.  Schema v1 (``"schema": 1``)::
+
+    {
+      "schema": 1,
+      "timestamp": "2026-08-06T12:00:00",
+      "commit": "b0917ca...",          # git HEAD at run time (None outside git)
+      "dirty": false,                   # uncommitted changes present?
+      "host": {"python": ..., "implementation": ..., "platform": ...,
+               "machine": ..., "cpu_count": ...},
+      "scale": 0.05,                    # REPRO_BENCH_SCALE / --scale
+      "suite": "smoke",
+      "benchmarks": {
+        "<spec name>": {
+          "title": ...,
+          "verified": true,             # checksum/answer verification ran
+          "measurements": {"<key>": {unit, direction, best, median, mad,
+                                     repeats, noisy}},
+          "meta": {...}
+        }
+      },
+      "metrics": {...}                  # embedded repro.observe snapshot
+    }
+
+Records written before this schema existed (the bare dicts
+``bench_dispatch.py`` used to append to ``BENCH_evaluator.json``) are
+migrated on load by :func:`migrate`; appending through the store rewrites
+the file fully migrated, so old artifacts converge to v1 on first touch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.perflab.stats import calibrate, scalar
+
+SCHEMA_VERSION = 1
+
+#: logical artifact name -> file at the repo root
+ARTIFACT_FILES = {
+    "figure2": "BENCH_figure2.json",
+    "compiler": "BENCH_compiler.json",
+    "evaluator": "BENCH_evaluator.json",
+}
+
+
+def host_fingerprint() -> dict:
+    """Enough machine identity to judge whether two records are comparable."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def git_revision(root) -> tuple:
+    """``(commit_sha, dirty)`` for the repo at ``root``; ``(None, None)``
+    outside a git checkout or without a git binary."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=str(root),
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"], cwd=str(root),
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+        return sha, bool(status)
+    except Exception:
+        return None, None
+
+
+def make_record(suite: str, scale: float, benchmarks: dict,
+                metrics: Optional[dict] = None,
+                root: Optional[Path] = None) -> dict:
+    commit, dirty = git_revision(root or Path.cwd())
+    return {
+        "schema": SCHEMA_VERSION,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "commit": commit,
+        "dirty": dirty,
+        "host": host_fingerprint(),
+        "scale": scale,
+        "suite": suite,
+        #: fixed spin-loop timing for machine-speed drift correction
+        "calibration_seconds": calibrate(),
+        "benchmarks": benchmarks,
+        "metrics": metrics,
+    }
+
+
+# -- migration ---------------------------------------------------------------
+
+
+def migrate(raw: dict) -> dict:
+    """Bring a stored record to the current schema (v1 passes through)."""
+    if raw.get("schema") == SCHEMA_VERSION:
+        return raw
+    if "schema" in raw:
+        raise ValueError(f"unknown BENCH record schema {raw['schema']!r}")
+    return _migrate_v0(raw)
+
+
+def _migrate_v0(raw: dict) -> dict:
+    """The pre-perflab ``bench_dispatch.py`` record shape: a timestamp,
+    a ``tierup`` dict, and two bare seconds values — no commit, host, or
+    repeat statistics (hence ``repeats: 1`` scalars)."""
+    benchmarks: dict = {}
+    tierup = raw.get("tierup")
+    if tierup:
+        benchmarks["dispatch.tierup"] = {
+            "title": "profile-guided tier-up (recursive fib)",
+            "verified": None,
+            "measurements": {
+                "interpreted_seconds": scalar(tierup["interpreted_seconds"]),
+                "promoted_seconds": scalar(tierup["promoted_seconds"]),
+                "factor": scalar(tierup["factor"], direction="higher",
+                                 unit="x"),
+            },
+            "meta": {
+                "workload": tierup.get("workload"),
+                "promoted_tier": tierup.get("promoted_tier"),
+            },
+        }
+    if "orderless_plus_seconds" in raw:
+        benchmarks["dispatch.orderless_plus"] = {
+            "title": "deep Orderless Plus canonicalization",
+            "verified": None,
+            "measurements": {
+                "seconds": scalar(raw["orderless_plus_seconds"]),
+            },
+            "meta": {},
+        }
+    if "thousand_rule_dispatch_seconds" in raw:
+        benchmarks["dispatch.thousand_rule"] = {
+            "title": "1000-rule DownValue dispatch",
+            "verified": None,
+            "measurements": {
+                "seconds": scalar(raw["thousand_rule_dispatch_seconds"]),
+            },
+            "meta": {},
+        }
+    return {
+        "schema": SCHEMA_VERSION,
+        "timestamp": raw.get("timestamp"),
+        "commit": None,
+        "dirty": None,
+        "host": None,
+        "scale": None,
+        "suite": "dispatch",
+        "calibration_seconds": None,
+        "benchmarks": benchmarks,
+        "metrics": None,
+        "migrated_from": 0,
+    }
+
+
+# -- the store ----------------------------------------------------------------
+
+
+class TrajectoryStore:
+    """Reads and appends the per-artifact trajectory files under ``root``."""
+
+    def __init__(self, root=None):
+        self.root = Path(root) if root is not None else Path.cwd()
+
+    def path(self, artifact: str) -> Path:
+        try:
+            return self.root / ARTIFACT_FILES[artifact]
+        except KeyError:
+            raise ValueError(
+                f"unknown artifact {artifact!r}; "
+                f"expected one of {sorted(ARTIFACT_FILES)}"
+            ) from None
+
+    def load(self, artifact: str) -> list:
+        """The artifact's trajectory, migrated to the current schema."""
+        path = self.path(artifact)
+        if not path.exists():
+            return []
+        raw = json.loads(path.read_text(encoding="utf-8"))
+        return [migrate(record) for record in raw]
+
+    def append(self, artifact: str, record: dict) -> Path:
+        """Append ``record``, rewriting any pre-v1 history migrated."""
+        history = self.load(artifact)
+        history.append(record)
+        path = self.path(artifact)
+        path.write_text(json.dumps(history, indent=2) + "\n",
+                        encoding="utf-8")
+        return path
+
+
+def default_root() -> Path:
+    """The repo root when run from a checkout (walk up from this file
+    until a BENCH/pyproject marker), else the current directory."""
+    here = Path(__file__).resolve()
+    for candidate in here.parents:
+        if (candidate / "pyproject.toml").exists():
+            return candidate
+    return Path.cwd()

@@ -34,6 +34,29 @@ class TestFigure2Correctness:
         assert "unsupported" in table
         assert "2.5" in table  # the display cap from the figure
 
+    def test_format_table_none_ratio(self, harness):
+        # a benchmark whose new tier failed to run: ratio("new") is None
+        # and the table must render a dash, not crash on the format spec
+        from repro.benchsuite.harness import BenchmarkResult, TierResult
+
+        broken = BenchmarkResult("broken")
+        broken.tiers["c_port"] = TierResult("c_port", 0.5)
+        broken.tiers["new"] = TierResult("new", None,
+                                         note="compile failed")
+        table = harness.format_table([broken])
+        assert "broken" in table
+        assert "—" in table
+
+    @pytest.mark.parametrize("name", ["dot", "primeq", "qsort"])
+    def test_idiomatic_tier_is_distinct_object(self, harness, name):
+        # the idiomatic tier reuses the c_port *measurement* for these
+        # kernels but must not alias the same TierResult object — a
+        # mutation of one tier's fields must never leak into the other
+        result = harness.run(name)
+        idiomatic = result.tiers["idiomatic"]
+        assert idiomatic is not result.tiers["c_port"]
+        assert "same measurement as c_port" in idiomatic.note
+
 
 class TestReferenceImplementations:
     def test_fnv_variants_agree(self):

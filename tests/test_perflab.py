@@ -1,0 +1,393 @@
+"""The performance lab: registry completeness, record schema and
+migration, comparator verdicts on synthetic trajectories, and a
+tiny-scale end-to-end ``python -m repro bench`` smoke run."""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.perflab import compare, stats, store
+from repro.perflab.registry import ALL_SPECS, SUITES, resolve_specs
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+# -- registry ----------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_spec_names_unique_and_suites_known(self):
+        names = [spec.name for spec in ALL_SPECS]
+        assert len(names) == len(set(names))
+        for spec in ALL_SPECS:
+            assert spec.suite in SUITES
+            assert spec.artifact in store.ARTIFACT_FILES
+
+    def test_smoke_suite_spans_every_artifact(self):
+        # the CI smoke run must append to all three trajectory files
+        artifacts = {spec.artifact for spec in resolve_specs("smoke")}
+        assert artifacts == set(store.ARTIFACT_FILES)
+
+    def test_every_suite_resolves(self):
+        for suite in SUITES:
+            assert resolve_specs(suite)
+        assert len(resolve_specs("all")) == len(ALL_SPECS)
+
+    def test_unknown_suite_raises(self):
+        with pytest.raises(ValueError):
+            resolve_specs("nonesuch")
+
+    def test_experiments_regen_commands_have_registered_specs(self):
+        """Every `python -m repro bench` command EXPERIMENTS.md publishes
+        must select at least one registered spec."""
+        text = (REPO_ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+        commands = re.findall(r"python -m repro bench([^`\n]*)", text)
+        assert commands, "EXPERIMENTS.md no longer documents repro bench"
+        checked = 0
+        for arg_string in commands:
+            if "<suite>" in arg_string:  # the usage template
+                continue
+            tokens = arg_string.split()
+            suite = name_filter = None
+            for key, value in zip(tokens, tokens[1:]):
+                if key == "--suite":
+                    suite = value
+                elif key == "--filter":
+                    name_filter = value
+            if suite is None and name_filter is None:
+                continue  # bare mention (e.g. `--list`)
+            specs = resolve_specs(suite or "all", name_filter)
+            assert specs, f"no spec matches documented command:{arg_string}"
+            checked += 1
+        assert checked >= 6  # figure2 + ablations + evaluator + compiler...
+
+
+# -- timing core -------------------------------------------------------------
+
+
+class TestStats:
+    def test_median_and_mad(self):
+        assert stats.median([3, 1, 2]) == 2
+        assert stats.median([1, 2, 3, 4]) == 2.5
+        assert stats.mad([1, 1, 5]) == 0  # median of |v - 1| = [0, 0, 4]
+
+    def test_sample_summaries_and_noise_flag(self):
+        quiet = stats.Sample((1.0, 1.01, 1.02))
+        assert quiet.best == 1.0
+        assert not quiet.noisy
+        jittery = stats.Sample((1.0, 2.0, 10.0))
+        assert jittery.rel_dispersion == 0.5  # mad 1.0 / median 2.0
+        assert jittery.noisy
+
+    def test_noise_threshold_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_NOISE", "0.6")
+        assert not stats.Sample((1.0, 2.0, 10.0)).noisy
+
+    def test_measure_returns_sample_result_and_calibrations(self):
+        sample, result = stats.measure(lambda: 41 + 1, repeats=2, warmup=1)
+        assert result == 42
+        assert sample.repeats == 2
+        assert len(sample.calibrations) == 2
+        assert sample.best_units is not None
+        measurement = sample.as_measurement()
+        assert measurement["unit"] == "seconds"
+        assert measurement["best_units"] > 0
+
+    def test_best_units_cancels_proportional_slowdown(self):
+        # repeat 0 ran on a 2x-slower machine state: raw doubled, but so
+        # did the spin-loop witness — identical work units
+        sample = stats.Sample((0.2, 0.1), calibrations=(0.02, 0.01))
+        assert sample.best_units == pytest.approx(10.0)
+
+    def test_ratio_sample_pairs_repeats(self):
+        num = stats.Sample((4.0, 8.0))
+        den = stats.Sample((1.0, 2.0))
+        ratio = stats.ratio_sample(num, den)
+        assert ratio.samples == (4.0, 4.0)
+        assert ratio.unit == "x"
+
+    def test_scalar_shape(self):
+        measurement = stats.scalar(7.0, direction="higher", unit="x")
+        assert measurement["best"] == measurement["median"] == 7.0
+        assert measurement["repeats"] == 1
+
+
+# -- store: schema + migration ----------------------------------------------
+
+
+def _entry(best: float, **extra) -> dict:
+    return {
+        "title": "synthetic",
+        "verified": True,
+        "measurements": {"seconds": _m(best)},
+        "meta": {},
+        **extra,
+    }
+
+
+def _m(best: float, *, mad: float = 0.0, direction: str = "lower",
+       unit: str = "seconds", **extra) -> dict:
+    return {
+        "unit": unit,
+        "direction": direction,
+        "best": best,
+        "median": best,
+        "mad": mad,
+        "repeats": 3,
+        "noisy": False,
+        **extra,
+    }
+
+
+class TestStore:
+    def test_record_roundtrip(self, tmp_path):
+        record = store.make_record(
+            "smoke", 0.05, {"bench.x": _entry(0.01)}, root=REPO_ROOT)
+        assert record["schema"] == store.SCHEMA_VERSION
+        assert record["calibration_seconds"] > 0
+        assert record["host"]["cpu_count"] >= 1
+        trajectory_store = store.TrajectoryStore(tmp_path)
+        path = trajectory_store.append("evaluator", record)
+        assert path.name == "BENCH_evaluator.json"
+        loaded = trajectory_store.load("evaluator")
+        assert loaded == [record]
+
+    def test_v0_record_migrates(self):
+        raw = {
+            "timestamp": "2026-08-01T00:00:00",
+            "tierup": {
+                "workload": "recursive-downvalue fib[19]",
+                "interpreted_seconds": 0.8,
+                "promoted_seconds": 0.01,
+                "factor": 80.0,
+                "promoted_tier": "compiled",
+            },
+            "orderless_plus_seconds": 0.002,
+            "thousand_rule_dispatch_seconds": 0.004,
+        }
+        migrated = store.migrate(raw)
+        assert migrated["schema"] == store.SCHEMA_VERSION
+        assert migrated["migrated_from"] == 0
+        benchmarks = migrated["benchmarks"]
+        assert set(benchmarks) == {
+            "dispatch.tierup", "dispatch.orderless_plus",
+            "dispatch.thousand_rule",
+        }
+        factor = benchmarks["dispatch.tierup"]["measurements"]["factor"]
+        assert factor["best"] == 80.0
+        assert factor["direction"] == "higher"
+
+    def test_append_rewrites_legacy_file_migrated(self, tmp_path):
+        legacy = [{"timestamp": "t", "orderless_plus_seconds": 0.002}]
+        (tmp_path / "BENCH_evaluator.json").write_text(json.dumps(legacy))
+        trajectory_store = store.TrajectoryStore(tmp_path)
+        record = store.make_record("smoke", 0.05, {"b": _entry(0.01)})
+        trajectory_store.append("evaluator", record)
+        on_disk = json.loads(
+            (tmp_path / "BENCH_evaluator.json").read_text())
+        assert [r["schema"] for r in on_disk] == [1, 1]
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError):
+            store.migrate({"schema": 99})
+
+    def test_unknown_artifact_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            store.TrajectoryStore(tmp_path).path("nonesuch")
+
+
+# -- comparator --------------------------------------------------------------
+
+
+class TestComparator:
+    def test_missing_baseline_is_new(self):
+        verdict = compare.classify(_m(0.1), None)
+        assert verdict.status == "new"
+
+    def test_identical_is_stable(self):
+        verdict = compare.classify(_m(0.1), _m(0.1))
+        assert verdict.status == "stable"
+        assert verdict.delta == 0.0
+
+    def test_synthetic_2x_slowdown_regresses(self):
+        verdict = compare.classify(_m(0.2), _m(0.1))
+        assert verdict.status == "regressed"
+        assert verdict.delta == pytest.approx(1.0)
+
+    def test_synthetic_4x_speedup_improves(self):
+        verdict = compare.classify(_m(0.05), _m(0.2))
+        assert verdict.status == "improved"
+
+    def test_dispersed_sample_goes_noisy_not_regressed(self):
+        # relative MAD 0.3 widens the threshold to 4 x 0.3 = 1.2: the
+        # +100% move lands between base and widened -> noisy soft-warn
+        verdict = compare.classify(_m(0.2, mad=0.06), _m(0.1))
+        assert verdict.status == "noisy"
+
+    def test_higher_direction_drop_regresses(self):
+        current = _m(4.0, direction="higher", unit="x")
+        baseline = _m(10.0, direction="higher", unit="x")
+        verdict = compare.classify(current, baseline)
+        assert verdict.status == "regressed"
+        assert verdict.delta == pytest.approx(0.6)
+
+    def test_gate_false_caps_at_noisy(self):
+        verdict = compare.classify(_m(0.2, gate=False), _m(0.1))
+        assert verdict.status == "noisy"
+
+    def test_sub_timer_floor_movement_is_stable(self):
+        # 80us -> 120us is +50%, but under the 1ms floor: timer noise
+        verdict = compare.classify(_m(0.00012), _m(0.00008))
+        assert verdict.status == "stable"
+
+    def test_work_units_cancel_machine_drift(self):
+        # raw time doubled, but so did the spin-loop witness: the 2x
+        # slower machine must not read as a code regression
+        current = _m(0.2, best_units=10.0)
+        baseline = _m(0.1, best_units=10.0)
+        verdict = compare.classify(current, baseline)
+        assert verdict.status == "stable"
+
+    def test_work_units_expose_real_regression(self):
+        current = _m(0.2, best_units=20.0)
+        baseline = _m(0.1, best_units=10.0)
+        verdict = compare.classify(current, baseline)
+        assert verdict.status == "regressed"
+
+    def test_threshold_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_THRESHOLD", "2.0")
+        verdict = compare.classify(_m(0.2), _m(0.1))
+        assert verdict.status == "stable"
+
+    def test_per_measurement_threshold_override(self):
+        verdict = compare.classify(_m(0.2, threshold=2.5), _m(0.1))
+        assert verdict.status == "stable"
+
+    def test_record_calibration_rescales_seconds_baseline(self):
+        current = {
+            "calibration_seconds": 0.02,  # this machine is 2x slower
+            "benchmarks": {"b": {"measurements": {"seconds": _m(0.2)}}},
+        }
+        baseline = {
+            "calibration_seconds": 0.01,
+            "benchmarks": {"b": {"measurements": {"seconds": _m(0.1)}}},
+        }
+        (verdict,) = compare.compare_records(current, baseline)
+        assert verdict.status == "stable"
+
+    def test_per_benchmark_calibration_preferred(self):
+        # the record-level calibration says "same speed" but the
+        # benchmark-adjacent witness caught the 2x burst
+        current = {
+            "calibration_seconds": 0.01,
+            "benchmarks": {"b": {
+                "calibration_seconds": 0.02,
+                "measurements": {"seconds": _m(0.2)},
+            }},
+        }
+        baseline = {
+            "calibration_seconds": 0.01,
+            "benchmarks": {"b": {
+                "calibration_seconds": 0.01,
+                "measurements": {"seconds": _m(0.1)},
+            }},
+        }
+        (verdict,) = compare.compare_records(current, baseline)
+        assert verdict.status == "stable"
+
+    def test_calibration_ratio_clamped(self):
+        ratio = compare.calibration_ratio(
+            {"calibration_seconds": 1.0}, {"calibration_seconds": 0.001})
+        assert ratio == 4.0
+
+    def test_baseline_record_prefers_same_scale(self):
+        trajectory = [
+            {"scale": 0.05, "suite": "smoke"},
+            {"scale": 1.0, "suite": "figure2"},
+        ]
+        assert compare.baseline_record(trajectory, scale=0.05) == \
+            trajectory[0]
+        assert compare.baseline_record(trajectory) == trajectory[1]
+        assert compare.baseline_record([]) is None
+
+    def test_worst_status_ordering(self):
+        def verdicts(*statuses):
+            return [compare.Verdict("b", "m", s, 1.0) for s in statuses]
+
+        assert compare.worst_status([]) == "stable"
+        assert compare.worst_status(
+            verdicts("improved", "noisy", "stable")) == "noisy"
+        assert compare.worst_status(
+            verdicts("stable", "regressed", "noisy")) == "regressed"
+
+
+# -- end to end --------------------------------------------------------------
+
+
+@pytest.mark.slow
+class TestEndToEnd:
+    def _run(self, tmp_path, *extra):
+        import io
+
+        from repro.perflab.cli import main
+
+        buffer = io.StringIO()
+        status = main(
+            ["--suite", "smoke", "--scale", "0.004", "--repeats", "2",
+             "--bench-dir", str(tmp_path), *extra],
+            output=buffer,
+        )
+        return status, buffer.getvalue()
+
+    def test_smoke_run_appends_verdicts_and_reports(self, tmp_path,
+                                                    monkeypatch):
+        # the test verifies the plumbing (records, verdicts, exit
+        # contract), not this machine's noise profile: at repeats=2 and
+        # tiny scale a loaded CI box can exceed the default threshold,
+        # so pin a generous one for determinism
+        monkeypatch.setenv("REPRO_BENCH_THRESHOLD", "3.0")
+        report = tmp_path / "report.md"
+        traces = tmp_path / "traces"
+        status, output = self._run(
+            tmp_path, "--compare", "--report", str(report),
+            "--trace-dir", str(traces))
+        assert status == 0, output
+        # every measurement is new on the first run
+        assert " new " in output or "new" in output
+        # one record per artifact file, all schema-versioned
+        for filename in store.ARTIFACT_FILES.values():
+            records = json.loads((tmp_path / filename).read_text())
+            assert len(records) == 1
+            assert records[0]["schema"] == store.SCHEMA_VERSION
+            assert records[0]["suite"] == "smoke"
+            assert records[0]["benchmarks"]
+        report_text = report.read_text()
+        assert "Figure 2" in report_text
+        assert "Trajectory verdicts" in report_text
+        assert any(traces.glob("*.json"))
+
+        # run 2, identical code: must compare clean against run 1
+        status, output = self._run(tmp_path, "--compare")
+        assert status == 0, output
+        assert "FAIL" not in output
+        for filename in store.ARTIFACT_FILES.values():
+            records = json.loads((tmp_path / filename).read_text())
+            assert len(records) == 2
+
+    def test_list_mode_runs_nothing(self, tmp_path):
+        import io
+
+        from repro.perflab.cli import main
+
+        buffer = io.StringIO()
+        status = main(["--suite", "all", "--list",
+                       "--bench-dir", str(tmp_path)], output=buffer)
+        assert status == 0
+        listing = buffer.getvalue()
+        for spec in ALL_SPECS:
+            assert spec.name in listing
+        assert not list(tmp_path.glob("BENCH_*.json"))

@@ -1,0 +1,15 @@
+Function[{Typed[img, TypeSpecifier["Tensor"["Real64", 1]]],
+          Typed[h, "MachineInteger"],
+          Typed[w, "MachineInteger"]},
+  Module[{out = ConstantArray[0.0, h * w], row = 2, col = 2, acc = 0.0},
+    While[row <= h - 1,
+      col = 2;
+      While[col <= w - 1,
+        acc = img[[(row - 2) * w + col]]
+            + img[[(row - 1) * w + col - 1]]
+            + img[[(row - 1) * w + col + 1]]
+            + img[[row * w + col]];
+        out[[(row - 1) * w + col]] = acc / 4.0;
+        col = col + 1];
+      row = row + 1];
+    out]]

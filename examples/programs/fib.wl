@@ -1,0 +1,6 @@
+Function[{Typed[n, "MachineInteger"]},
+  Module[{a = 0, b = 1, i = 1},
+    While[i <= n,
+      Module[{t = a + b}, a = b; b = t];
+      i = i + 1];
+    a]]

@@ -1,0 +1,6 @@
+Function[{Typed[pixel0, "ComplexReal64"]},
+  Module[{iters = 1, maxIters = 1000, pixel = pixel0},
+    While[iters < maxIters && Abs[pixel] < 2,
+      pixel = pixel^2 + pixel0;
+      iters = iters + 1];
+    iters]]

@@ -39,6 +39,12 @@ Subcommands
     benchmark suites, append schema-versioned records to the
     ``BENCH_*.json`` trajectory files, and compare against the baseline.
     See ``python -m repro bench --help``.
+
+``lint``
+    Source-level static analysis (:mod:`repro.analyze.lint`): unbound
+    symbols, arity mismatches, unreachable branches, and
+    compiler-unsupported constructs annotated with their fallback tier.
+    See ``python -m repro lint --help``.
 """
 
 from __future__ import annotations
@@ -220,6 +226,10 @@ def main(argv=None, input_stream=None, output=None) -> int:
         from repro.perflab.cli import main as bench_main
 
         return bench_main(arguments[1:], output=output)
+    if arguments and arguments[0] == "lint":
+        from repro.analyze.lint import run_lint_cli
+
+        return run_lint_cli(arguments[1:], output=output)
     try:
         args = _parser().parse_args(arguments)
     except SystemExit as error:  # argparse exits; the CLI returns codes

@@ -1,0 +1,119 @@
+"""Structured diagnostics shared by the IR verifier and the source lint.
+
+Every machine-checked finding — a violated IR invariant, an unbound symbol,
+an arity mismatch — is reported as a :class:`Diagnostic` instead of a bare
+assert or an ad-hoc string.  One shape serves all four analysis layers
+(verifier, sanitizer, lint, differential oracle), so CLI output, CI logs,
+and ``--stats``/JSON consumers render findings uniformly.
+
+A diagnostic names the *invariant* it checks (a stable dotted id such as
+``ssa.dominance`` or ``lint.unbound-symbol``) plus whatever location is
+known at that analysis layer: function/block/instruction for IR findings,
+source name/offset/line/column for lint findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: diagnostic severities, in increasing order of badness
+SEVERITIES = ("info", "warning", "error")
+
+
+@dataclass
+class Diagnostic:
+    """One analysis finding, uniform across verifier and lint layers."""
+
+    #: stable dotted invariant/check id (``cfg.terminated``, ``lint.arity``)
+    invariant: str
+    #: human-readable description of the violation
+    message: str
+    severity: str = "error"
+    #: IR location (verifier findings)
+    function: Optional[str] = None
+    block: Optional[str] = None
+    instruction: Optional[str] = None
+    #: source location (lint findings)
+    source: Optional[str] = None
+    position: Optional[int] = None
+    line: Optional[int] = None
+    column: Optional[int] = None
+    #: free-form structured payload (fallback tier, expected/actual types...)
+    data: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def is_error(self) -> bool:
+        return self.severity == "error"
+
+    def location(self) -> str:
+        """The most specific location this diagnostic knows about."""
+        if self.source is not None:
+            where = self.source
+            if self.line is not None:
+                where += f":{self.line}"
+                if self.column is not None:
+                    where += f":{self.column}"
+            return where
+        parts = [p for p in (self.function, self.block) if p]
+        return "/".join(parts) if parts else "<unknown>"
+
+    def to_dict(self) -> dict:
+        """Stable JSON shape for ``--stats``/CI consumers.
+
+        Keys are always present (``null`` when unknown) so downstream
+        tooling can rely on the schema without version sniffing.
+        """
+        return {
+            "invariant": self.invariant,
+            "severity": self.severity,
+            "message": self.message,
+            "function": self.function,
+            "block": self.block,
+            "instruction": self.instruction,
+            "source": self.source,
+            "position": self.position,
+            "line": self.line,
+            "column": self.column,
+            "data": dict(self.data),
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.severity}: [{self.invariant}] {self.location()}: "
+            f"{self.message}"
+        )
+
+
+def errors(diagnostics: list[Diagnostic]) -> list[Diagnostic]:
+    return [d for d in diagnostics if d.severity == "error"]
+
+
+def worst_severity(diagnostics: list[Diagnostic]) -> Optional[str]:
+    worst = None
+    for diagnostic in diagnostics:
+        if worst is None or (
+            SEVERITIES.index(diagnostic.severity) > SEVERITIES.index(worst)
+        ):
+            worst = diagnostic.severity
+    return worst
+
+
+def format_report(diagnostics: list[Diagnostic]) -> str:
+    """One finding per line, errors first, stable within severity."""
+    ordered = sorted(
+        diagnostics,
+        key=lambda d: (-SEVERITIES.index(d.severity), d.invariant),
+    )
+    return "\n".join(str(d) for d in ordered)
+
+
+def position_to_line_column(text: str, position: int) -> tuple[int, int]:
+    """1-based (line, column) of a character offset into ``text``."""
+    clamped = max(0, min(position, len(text)))
+    line = text.count("\n", 0, clamped) + 1
+    last_newline = text.rfind("\n", 0, clamped)
+    return line, clamped - last_newline

@@ -1,0 +1,458 @@
+"""Differential-testing oracle: three tiers, one answer (``pytest -m differential``).
+
+The reproduction has three ways to run a program — the interpreter
+(:class:`~repro.engine.Evaluator`), the legacy bytecode VM
+(:func:`repro.bytecode.compile_function`), and the new compiler
+(:func:`repro.compiler.FunctionCompile`).  §2.2's compatibility constraint
+says they must agree wherever their subsets overlap.  This module checks
+that mechanically:
+
+* a **seeded generator** (plain :mod:`random`, no external dependency)
+  builds terminating statement programs over the common compilable subset —
+  integer kernels (arithmetic, ``Mod``/``Abs``/``Min``/``Max``, bounded
+  ``While``, ``If``) and real kernels (``Sin``/``Cos`` keep values bounded);
+* each program runs on **all three tiers** with the same argument;
+* results are compared exactly for integers and with an
+  :func:`math.isclose` tolerance for reals (the tiers may legitimately
+  differ in float summation order);
+* a mismatch is **shrunk** to a minimal reproducer by deleting statements
+  and reducing the trip count while the disagreement persists.
+
+Seeds make every run reproducible: ``run_differential(count, seed=...)``
+with the same arguments generates the same programs.  CI runs a budgeted
+smoke (``REPRO_DIFF_COUNT`` / ``REPRO_DIFF_BUDGET``) and uploads shrunk
+reproducers written to ``REPRO_DIFF_ARTIFACTS``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: comparison tolerance for real-valued kernels; loose enough for
+#: re-association across tiers, tight enough to catch real bugs
+REAL_TOLERANCE = 1e-8
+
+_TIERS = ("interpreter", "bytecode", "compiled")
+
+
+# -- program specs -----------------------------------------------------------
+
+
+@dataclass
+class _Spec:
+    """A structured program the shrinker can edit statement-by-statement."""
+
+    kind: str  # 'integer' | 'real'
+    prologue: list[str]
+    loop: list[str]
+    trips: int
+    epilogue: list[str]
+
+    def body(self) -> str:
+        zero = "0" if self.kind == "integer" else "0.0"
+        scale = "1000" if self.kind == "integer" else "1000.0"
+        statements = [
+            *self.prologue,
+            "i = 1",
+            f"While[i <= {self.trips}, "
+            + "; ".join([*self.loop, "i = i + 1"]) + "]",
+            *self.epilogue,
+            f"a + {scale} * b",
+        ]
+        return (
+            f"Module[{{a = {zero}, b = {zero}, i = 0}}, "
+            + "; ".join(statements) + "]"
+        )
+
+    def statement_count(self) -> int:
+        return len(self.prologue) + len(self.loop) + len(self.epilogue)
+
+
+class _Generator:
+    """Seeded random programs over the subset all three tiers support."""
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+
+    def spec(self) -> _Spec:
+        kind = "real" if self.rng.random() < 0.35 else "integer"
+        expression = (
+            self._integer_expression if kind == "integer"
+            else self._real_expression
+        )
+        condition = (
+            self._integer_condition if kind == "integer"
+            else self._real_condition
+        )
+        statement = lambda: self._statement(expression, condition)  # noqa: E731
+        return _Spec(
+            kind=kind,
+            prologue=[statement() for _ in range(self.rng.randint(1, 3))],
+            loop=[statement() for _ in range(self.rng.randint(1, 3))],
+            trips=self.rng.randint(0, 6),
+            epilogue=[statement() for _ in range(self.rng.randint(0, 2))],
+        )
+
+    def argument(self, kind: str):
+        if kind == "integer":
+            return self.rng.randint(-10, 10)
+        return round(self.rng.uniform(-2.0, 2.0), 3)
+
+    def _statement(self, expression, condition) -> str:
+        target = self.rng.choice(["a", "b"])
+        if self.rng.random() < 0.25:
+            return (
+                f"{target} = If[{condition()}, {expression()}, "
+                f"{expression()}]"
+            )
+        return f"{target} = {expression()}"
+
+    # integer kernels: values stay small (trips <= 6, multiplier is i or x)
+
+    def _integer_expression(self) -> str:
+        pick = self.rng.randrange(7)
+        if pick == 0:
+            return str(self.rng.randint(-20, 20))
+        if pick == 1:
+            return self.rng.choice(["a", "b", "x", "i"])
+        if pick == 2:
+            variable = self.rng.choice(["a", "b", "x", "i"])
+            return f"({variable} + {self.rng.randint(-20, 20)})"
+        if pick == 3:
+            return (
+                f"({self.rng.choice(['a', 'b'])} * "
+                f"{self.rng.choice(['x', 'i'])})"
+            )
+        if pick == 4:
+            return (
+                f"Mod[{self.rng.choice(['a', 'b', 'x'])}, "
+                f"{self.rng.randint(2, 9)}]"
+            )
+        if pick == 5:
+            return f"Abs[{self.rng.choice(['a', 'b', 'x'])}]"
+        return f"{self.rng.choice(['Max', 'Min'])}[a, b]"
+
+    def _integer_condition(self) -> str:
+        pick = self.rng.randrange(3)
+        if pick == 0:
+            return (
+                f"{self._integer_expression()} < "
+                f"{self._integer_expression()}"
+            )
+        if pick == 1:
+            return f"{self._integer_expression()} > {self.rng.randint(-20, 20)}"
+        return f"EvenQ[{self._integer_expression()}]"
+
+    # real kernels: Sin/Cos keep accumulators bounded, no EvenQ/Mod
+
+    def _real_literal(self) -> str:
+        return repr(round(self.rng.uniform(-2.0, 2.0), 3))
+
+    def _real_expression(self) -> str:
+        pick = self.rng.randrange(6)
+        if pick == 0:
+            return self._real_literal()
+        if pick == 1:
+            return self.rng.choice(["a", "b", "x"])
+        if pick == 2:
+            variable = self.rng.choice(["a", "b", "x"])
+            return f"({variable} + {self._real_literal()})"
+        if pick == 3:
+            return f"({self.rng.choice(['a', 'b', 'x'])} * 0.5)"
+        if pick == 4:
+            function = self.rng.choice(["Sin", "Cos"])
+            return f"{function}[{self.rng.choice(['a', 'b', 'x'])}]"
+        if self.rng.random() < 0.5:
+            return f"Abs[{self.rng.choice(['a', 'b', 'x'])}]"
+        return f"{self.rng.choice(['Max', 'Min'])}[a, b]"
+
+    def _real_condition(self) -> str:
+        if self.rng.random() < 0.5:
+            return "a < b"
+        return f"{self.rng.choice(['a', 'b', 'x'])} > {self._real_literal()}"
+
+
+# -- results -----------------------------------------------------------------
+
+
+@dataclass
+class Mismatch:
+    """One disagreement between tiers, with its shrunk reproducer."""
+
+    seed: int
+    index: int
+    kind: str
+    argument: object
+    body: str
+    results: dict
+    shrunk_body: Optional[str] = None
+    shrunk_results: Optional[dict] = None
+
+    def reproducer(self) -> str:
+        """The smallest body known to disagree (shrunk when available)."""
+        return self.shrunk_body or self.body
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "index": self.index,
+            "kind": self.kind,
+            "argument": self.argument,
+            "body": self.body,
+            "results": {k: repr(v) for k, v in self.results.items()},
+            "shrunk_body": self.shrunk_body,
+            "shrunk_results": (
+                {k: repr(v) for k, v in self.shrunk_results.items()}
+                if self.shrunk_results else None
+            ),
+        }
+
+
+@dataclass
+class OracleReport:
+    seed: int
+    attempted: int = 0
+    agreed: int = 0
+    elapsed: float = 0.0
+    mismatches: list = field(default_factory=list)
+
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "attempted": self.attempted,
+            "agreed": self.agreed,
+            "elapsed": round(self.elapsed, 3),
+            "mismatches": [m.to_dict() for m in self.mismatches],
+        }
+
+    def summary(self) -> str:
+        return (
+            f"differential oracle: {self.agreed}/{self.attempted} programs "
+            f"agree across {len(_TIERS)} tiers "
+            f"({len(self.mismatches)} mismatch(es), "
+            f"{self.elapsed:.1f}s, seed={self.seed})"
+        )
+
+
+class _TierError:
+    """Sentinel result when a tier raised instead of returning a value."""
+
+    def __init__(self, error: BaseException):
+        self.kind = type(error).__name__
+        self.message = str(error)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _TierError) and other.kind == self.kind
+
+    def __repr__(self) -> str:
+        return f"<{self.kind}: {self.message}>"
+
+
+# -- the oracle --------------------------------------------------------------
+
+
+class DifferentialOracle:
+    """Run seeded random programs on all three tiers and compare."""
+
+    #: run cap for the shrinker: each candidate reduction costs three
+    #: compilations, so the budget is bounded even for large programs
+    MAX_SHRINK_RUNS = 120
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.generator = _Generator(random.Random(seed))
+        from repro.engine import Evaluator
+
+        self._evaluator = Evaluator()
+
+    # -- execution ----------------------------------------------------------
+
+    def run_tiers(self, kind: str, body: str, argument) -> dict:
+        """Evaluate ``Function[{x}, body][argument]`` on every tier."""
+        results = {}
+        for tier in _TIERS:
+            try:
+                results[tier] = getattr(self, f"_run_{tier}")(
+                    kind, body, argument
+                )
+            except Exception as error:  # noqa: BLE001 — recorded, compared
+                results[tier] = _TierError(error)
+        return results
+
+    def _run_interpreter(self, kind: str, body: str, argument):
+        literal = self._literal(argument)
+        return self._evaluator.run(
+            f"Function[{{x}}, {body}][{literal}]"
+        ).to_python()
+
+    def _run_bytecode(self, kind: str, body: str, argument):
+        from repro.bytecode import compile_function
+        from repro.mexpr import parse
+
+        pattern = "_Integer" if kind == "integer" else "_Real"
+        compiled = compile_function(
+            parse(f"{{{{x, {pattern}}}}}"), parse(body), self._evaluator
+        )
+        return compiled(argument)
+
+    def _run_compiled(self, kind: str, body: str, argument):
+        from repro.compiler import FunctionCompile
+
+        type_name = "MachineInteger" if kind == "integer" else "Real64"
+        compiled = FunctionCompile(
+            f'Function[{{Typed[x, "{type_name}"]}}, {body}]'
+        )
+        return compiled(argument)
+
+    @staticmethod
+    def _literal(argument) -> str:
+        text = repr(argument)
+        return f"({text})" if text.startswith("-") else text
+
+    # -- comparison ---------------------------------------------------------
+
+    @staticmethod
+    def agree(left, right) -> bool:
+        if isinstance(left, _TierError) or isinstance(right, _TierError):
+            return left == right
+        if isinstance(left, float) or isinstance(right, float):
+            try:
+                return math.isclose(
+                    float(left), float(right),
+                    rel_tol=REAL_TOLERANCE, abs_tol=REAL_TOLERANCE,
+                )
+            except (TypeError, ValueError):
+                return False
+        return left == right
+
+    def consistent(self, results: dict) -> bool:
+        baseline = results["interpreter"]
+        return all(
+            self.agree(baseline, results[tier]) for tier in _TIERS[1:]
+        )
+
+    # -- shrinking ----------------------------------------------------------
+
+    def shrink(self, spec: _Spec, argument) -> tuple[str, dict]:
+        """Minimize ``spec`` while the tiers still disagree.
+
+        Greedy delta-debugging over the statement lists plus trip-count
+        reduction, iterated to a fixed point (bounded by
+        :data:`MAX_SHRINK_RUNS` tier-triple executions).
+        """
+        runs = 0
+        best = spec
+        best_results = self.run_tiers(spec.kind, spec.body(), argument)
+
+        def still_fails(candidate: _Spec):
+            nonlocal runs
+            runs += 1
+            results = self.run_tiers(candidate.kind, candidate.body(),
+                                     argument)
+            return (not self.consistent(results)), results
+
+        improved = True
+        while improved and runs < self.MAX_SHRINK_RUNS:
+            improved = False
+            for section in ("prologue", "loop", "epilogue"):
+                statements = getattr(best, section)
+                for index in range(len(statements)):
+                    reduced = _Spec(**vars(best))
+                    reduced_statements = list(statements)
+                    del reduced_statements[index]
+                    setattr(reduced, section, reduced_statements)
+                    fails, results = still_fails(reduced)
+                    if fails:
+                        best, best_results = reduced, results
+                        improved = True
+                        break
+                if improved or runs >= self.MAX_SHRINK_RUNS:
+                    break
+            if not improved and best.trips > 0 and runs < self.MAX_SHRINK_RUNS:
+                reduced = _Spec(**vars(best))
+                reduced.trips = best.trips - 1
+                fails, results = still_fails(reduced)
+                if fails:
+                    best, best_results = reduced, results
+                    improved = True
+        return best.body(), best_results
+
+    # -- the main loop ------------------------------------------------------
+
+    def run(self, count: int = 50, time_budget: Optional[float] = None,
+            shrink: bool = True, progress=None) -> OracleReport:
+        """Generate and cross-check ``count`` programs (or until budget)."""
+        report = OracleReport(seed=self.seed)
+        start = time.perf_counter()
+        for index in range(count):
+            if (
+                time_budget is not None
+                and time.perf_counter() - start > time_budget
+            ):
+                break
+            spec = self.generator.spec()
+            argument = self.generator.argument(spec.kind)
+            body = spec.body()
+            results = self.run_tiers(spec.kind, body, argument)
+            report.attempted += 1
+            if self.consistent(results):
+                report.agreed += 1
+            else:
+                mismatch = Mismatch(
+                    seed=self.seed, index=index, kind=spec.kind,
+                    argument=argument, body=body, results=results,
+                )
+                if shrink:
+                    mismatch.shrunk_body, mismatch.shrunk_results = (
+                        self.shrink(spec, argument)
+                    )
+                report.mismatches.append(mismatch)
+            if progress is not None and (index + 1) % 25 == 0:
+                progress(index + 1, count)
+        report.elapsed = time.perf_counter() - start
+        return report
+
+
+def run_differential(
+    count: Optional[int] = None,
+    seed: Optional[int] = None,
+    time_budget: Optional[float] = None,
+    artifacts_dir: Optional[str] = None,
+) -> OracleReport:
+    """One-call entry point with CI-friendly environment defaults.
+
+    * ``REPRO_DIFF_COUNT`` — programs to generate (default 50);
+    * ``REPRO_DIFF_SEED`` — generator seed (default 0);
+    * ``REPRO_DIFF_BUDGET`` — wall-clock budget in seconds (default none);
+    * ``REPRO_DIFF_ARTIFACTS`` — directory for shrunk-reproducer JSON files.
+    """
+    if count is None:
+        count = int(os.environ.get("REPRO_DIFF_COUNT", "50"))
+    if seed is None:
+        seed = int(os.environ.get("REPRO_DIFF_SEED", "0"))
+    if time_budget is None:
+        raw = os.environ.get("REPRO_DIFF_BUDGET", "")
+        time_budget = float(raw) if raw else None
+    if artifacts_dir is None:
+        artifacts_dir = os.environ.get("REPRO_DIFF_ARTIFACTS") or None
+    oracle = DifferentialOracle(seed=seed)
+    report = oracle.run(count=count, time_budget=time_budget)
+    if artifacts_dir and report.mismatches:
+        os.makedirs(artifacts_dir, exist_ok=True)
+        for mismatch in report.mismatches:
+            path = os.path.join(
+                artifacts_dir,
+                f"mismatch-seed{seed}-{mismatch.index}.json",
+            )
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(mismatch.to_dict(), handle, indent=2)
+    return report

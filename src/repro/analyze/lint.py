@@ -1,0 +1,680 @@
+"""Source-level lint over MExpr programs (``python -m repro lint``).
+
+The compiler reports most programming errors only when (or after) a
+function is compiled — an unbound symbol surfaces as a
+:class:`~repro.errors.BindingError` mid-pipeline, an unsupported construct
+silently falls back to a slower tier at *call* time.  This linter runs the
+cheap static checks up front, before any compilation, and reports them as
+structured :class:`~repro.analyze.diagnostics.Diagnostic` records with
+source positions:
+
+* ``lint.unbound-symbol`` — a lowercase (user-variable) symbol is used
+  outside any binding construct (Function parameters, ``Module``/``Block``/
+  ``With`` locals, iterator specs, ``Set`` targets, pattern names);
+* ``lint.symbolic`` — an uppercase symbol that is neither a known head nor
+  a constant; it stays symbolic at runtime (warning);
+* ``lint.arity`` — a call whose argument count matches no declaration of
+  the head (structural heads use a builtin table, library heads use the
+  default :class:`~repro.compiler.types.environment.TypeEnvironment`);
+* ``lint.unreachable-branch`` — a branch dead under a literal condition
+  (``If[True, a, b]`` never reaches ``b``; ``While[False, body]`` never
+  runs ``body``);
+* ``lint.unsupported`` — a head the new compiler cannot lower, annotated
+  with the tier the call will fall back to (``bytecode`` when the legacy
+  compiler's table covers it, else ``interpreter``);
+* ``lint.unknown-head`` — a head no tier knows at all;
+* ``lint.type-spec`` — a malformed ``Typed``/``TypeSpecifier`` annotation.
+
+Positions: MExpr nodes carry no source offsets (only lexer tokens do), so
+the linter re-locates each symbol sighting by scanning the source text for
+word-boundary occurrences in tree-walk order.  That recovers exact
+line/column for straight-line code and a close approximation around
+operator sugar; every diagnostic still carries the symbol name even when
+no occurrence is found.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.analyze.diagnostics import Diagnostic, position_to_line_column
+from repro.errors import ReproError
+from repro.mexpr.atoms import MSymbol
+from repro.mexpr.expr import MExpr
+from repro.mexpr.parser import parse
+from repro.mexpr.symbols import head_name, is_head
+
+#: symbols that are always bound (language constants and common sentinels)
+KNOWN_CONSTANTS = frozenset({
+    "True", "False", "Null", "None", "All", "Automatic",
+    "Pi", "E", "I", "Infinity", "EulerGamma", "GoldenRatio", "Degree",
+    "$Aborted", "$Failed", "$MachineEpsilon", "$MaxMachineInteger",
+})
+
+#: control/scoping heads every tier understands; (min, max) argument counts
+#: (``None`` max = variadic).  These are checked structurally instead of
+#: against the type environment because they are syntax, not functions.
+STRUCTURAL_ARITIES: dict[str, tuple[int, Optional[int]]] = {
+    "If": (2, 4),
+    "Which": (2, None),
+    "Switch": (3, None),
+    "While": (1, 2),
+    "For": (3, 4),
+    "Do": (2, None),
+    "Table": (1, None),
+    "Sum": (2, None),
+    "Product": (2, None),
+    "Module": (2, 2),
+    "Block": (2, 2),
+    "With": (2, 2),
+    "Function": (1, 3),
+    "CompoundExpression": (1, None),
+    "Set": (2, 2),
+    "SetDelayed": (2, 2),
+    "Typed": (2, 2),
+    "TypeSpecifier": (1, None),
+    "KernelFunction": (1, 1),
+    "Return": (0, 1),
+    "Break": (0, 0),
+    "Continue": (0, 0),
+    "Part": (2, None),
+    "Increment": (1, 1),
+    "Decrement": (1, 1),
+    "PreIncrement": (1, 1),
+    "PreDecrement": (1, 1),
+    "AddTo": (2, 2),
+    "SubtractFrom": (2, 2),
+    "TimesBy": (2, 2),
+    "DivideBy": (2, 2),
+    "Slot": (0, 1),
+    "SlotSequence": (0, 1),
+    "List": (0, None),
+}
+
+#: heads that bind no names but whose args the walker must not treat as
+#: expressions (patterns, type specifiers)
+_PATTERN_HEADS = frozenset({
+    "Blank", "BlankSequence", "BlankNullSequence", "Pattern",
+})
+
+_scope_capabilities_cache: Optional[tuple] = None
+
+
+def _capabilities() -> tuple[set, set, set, object, set]:
+    """(compiled, bytecode, interpreted) head sets + type env + macro heads.
+
+    Built lazily once per process: the default environments are module
+    singletons, so the sets only need computing on first lint.
+    """
+    global _scope_capabilities_cache
+    if _scope_capabilities_cache is None:
+        from repro.bytecode.supported import (
+            BINARY_OPS,
+            COMPARISON_OPS,
+            STRUCTURED,
+            TENSOR_FUNCTIONS,
+            UNARY_MATH,
+        )
+        from repro.compiler.macros import default_macro_environment
+        from repro.compiler.types.builtin_env import default_environment
+        from repro.engine.builtins.support import registry
+
+        env = default_environment()
+        macro_heads = set(default_macro_environment().heads())
+        compiled = (
+            env.function_names() | macro_heads | set(STRUCTURAL_ARITIES)
+            | _PATTERN_HEADS
+        )
+        bytecode = (
+            set(BINARY_OPS) | set(COMPARISON_OPS) | set(UNARY_MATH)
+            | set(STRUCTURED) | set(TENSOR_FUNCTIONS)
+        )
+        interpreted = set(registry())
+        _scope_capabilities_cache = (
+            compiled, bytecode, interpreted, env, macro_heads,
+        )
+    return _scope_capabilities_cache
+
+
+class _Scope:
+    """A chained set of bound names (Function params, Module locals...)."""
+
+    __slots__ = ("parent", "names")
+
+    def __init__(self, parent: Optional["_Scope"] = None):
+        self.parent = parent
+        self.names: set[str] = set()
+
+    def bound(self, name: str) -> bool:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.names:
+                return True
+            scope = scope.parent
+        return False
+
+    def child(self) -> "_Scope":
+        return _Scope(self)
+
+
+_WORD = r"(?<![A-Za-z0-9$`]){}(?![A-Za-z0-9$`])"
+
+
+class _Locator:
+    """Recover source offsets for symbol sightings in tree-walk order.
+
+    For each distinct name, all word-boundary occurrences in the source are
+    enumerated once; each sighting during the walk consumes the next one.
+    The walk is pre-order, which matches textual order for everything the
+    compilable subset writes, so the n-th sighting of ``i`` lands on the
+    n-th ``i`` in the file.
+    """
+
+    def __init__(self, text: Optional[str]):
+        self.text = text or ""
+        self._occurrences: dict[str, list[int]] = {}
+        self._cursor: dict[str, int] = {}
+
+    def next(self, name: str) -> Optional[int]:
+        if not self.text:
+            return None
+        if name not in self._occurrences:
+            pattern = _WORD.format(re.escape(name))
+            self._occurrences[name] = [
+                m.start() for m in re.finditer(pattern, self.text)
+            ]
+            self._cursor[name] = 0
+        spots = self._occurrences[name]
+        index = self._cursor[name]
+        if index < len(spots):
+            self._cursor[name] = index + 1
+            return spots[index]
+        return spots[-1] if spots else None
+
+
+class _Linter:
+    def __init__(self, source_text: Optional[str], name: str):
+        self.source_name = name
+        self.locator = _Locator(source_text)
+        self.diagnostics: list[Diagnostic] = []
+
+    # -- reporting ----------------------------------------------------------
+
+    def report(self, invariant: str, message: str, severity: str = "error",
+               position: Optional[int] = None, **data) -> None:
+        line = column = None
+        if position is not None and self.locator.text:
+            line, column = position_to_line_column(self.locator.text, position)
+        self.diagnostics.append(Diagnostic(
+            invariant=invariant,
+            message=message,
+            severity=severity,
+            source=self.source_name,
+            position=position,
+            line=line,
+            column=column,
+            data=data,
+        ))
+
+    # -- walking ------------------------------------------------------------
+
+    def lint(self, node: MExpr) -> list[Diagnostic]:
+        self._walk(node, _Scope())
+        return self.diagnostics
+
+    def _walk(self, node: MExpr, scope: _Scope) -> None:
+        if isinstance(node, MSymbol):
+            self._check_symbol(node, scope)
+            return
+        if node.is_atom():
+            return
+        hname = head_name(node)
+        if hname is None:
+            # function-valued head (Function[...][x] etc.): walk everything
+            self._walk(node.head, scope)
+            for arg in node.args:
+                self._walk(arg, scope)
+            return
+        head_position = self.locator.next(hname)
+        self._check_head(hname, node, head_position, scope)
+        handler = getattr(self, f"_walk_{hname}", None)
+        if handler is not None:
+            handler(node, scope, head_position)
+            return
+        if hname in _PATTERN_HEADS:
+            return  # pattern structure, not expressions
+        for arg in node.args:
+            self._walk(arg, scope)
+
+    # -- symbol binding -----------------------------------------------------
+
+    def _check_symbol(self, node: MSymbol, scope: _Scope) -> None:
+        name = node.name
+        position = self.locator.next(name)
+        if scope.bound(name) or name in KNOWN_CONSTANTS:
+            return
+        compiled, bytecode, interpreted, _env, _macros = _capabilities()
+        if name in compiled or name in bytecode or name in interpreted:
+            return  # a known head used as a function value
+        if name[:1].islower():
+            self.report(
+                "lint.unbound-symbol",
+                f"symbol '{name}' is used but never bound",
+                position=position, symbol=name,
+            )
+        else:
+            self.report(
+                "lint.symbolic",
+                f"symbol '{name}' is unknown and stays symbolic at runtime",
+                severity="warning", position=position, symbol=name,
+            )
+
+    # -- head checks --------------------------------------------------------
+
+    def _check_head(self, hname: str, node: MExpr,
+                    position: Optional[int], scope: _Scope) -> None:
+        nargs = len(node.args)
+        if hname in STRUCTURAL_ARITIES:
+            low, high = STRUCTURAL_ARITIES[hname]
+            if nargs < low or (high is not None and nargs > high):
+                expected = (
+                    f"{low}" if high == low
+                    else f"{low}+" if high is None
+                    else f"{low}-{high}"
+                )
+                self.report(
+                    "lint.arity",
+                    f"{hname} takes {expected} argument(s), got {nargs}",
+                    position=position, head=hname, count=nargs,
+                )
+            self._check_unreachable(hname, node, position)
+            return
+        if scope.bound(hname):
+            return  # a local variable applied as a function: assume ok
+        compiled, bytecode, interpreted, env, macro_heads = _capabilities()
+        if hname in macro_heads or hname in _PATTERN_HEADS:
+            return  # macros normalize their own argument shapes
+        arities = {
+            d.arity() for d in env.declarations(hname)
+        } - {None}
+        if arities:
+            if nargs not in arities:
+                wanted = ", ".join(str(a) for a in sorted(arities))
+                self.report(
+                    "lint.arity",
+                    f"{hname} takes {wanted} argument(s), got {nargs}",
+                    position=position, head=hname, count=nargs,
+                    expected=sorted(arities),
+                )
+            return
+        if hname in compiled:
+            return
+        if hname in bytecode or hname in interpreted:
+            tier = "bytecode" if hname in bytecode else "interpreter"
+            self.report(
+                "lint.unsupported",
+                f"'{hname}' is not supported by the compiler; calls fall "
+                f"back to the {tier} tier",
+                severity="warning", position=position,
+                head=hname, fallback=tier,
+            )
+            return
+        self.report(
+            "lint.unknown-head",
+            f"'{hname}' is not known to any execution tier",
+            severity="warning", position=position, head=hname,
+        )
+
+    def _check_unreachable(self, hname: str, node: MExpr,
+                           position: Optional[int]) -> None:
+        args = node.args
+        if hname == "If" and args:
+            condition = args[0]
+            if _is_symbol(condition, "True") and len(args) >= 3:
+                self.report(
+                    "lint.unreachable-branch",
+                    "If condition is literally True; the else-branch is "
+                    "unreachable",
+                    severity="warning", position=position, branch="else",
+                )
+            elif _is_symbol(condition, "False") and len(args) >= 2:
+                self.report(
+                    "lint.unreachable-branch",
+                    "If condition is literally False; the then-branch is "
+                    "unreachable",
+                    severity="warning", position=position, branch="then",
+                )
+        elif hname == "While" and args and _is_symbol(args[0], "False"):
+            self.report(
+                "lint.unreachable-branch",
+                "While condition is literally False; the body never runs",
+                severity="warning", position=position, branch="body",
+            )
+
+    # -- scoping constructs -------------------------------------------------
+
+    def _walk_Function(self, node: MExpr, scope: _Scope,
+                       position: Optional[int]) -> None:
+        args = node.args
+        inner = scope.child()
+        if len(args) >= 2:
+            params = args[0]
+            if is_head(params, "List"):
+                for param in params.args:
+                    self._bind_parameter(param, inner)
+            else:
+                self._bind_parameter(params, inner)
+            bodies = args[1:]
+        else:
+            bodies = args  # slot-based Function[body]
+        for body in bodies:
+            self._walk(body, inner)
+
+    def _bind_parameter(self, param: MExpr, scope: _Scope) -> None:
+        if isinstance(param, MSymbol):
+            self.locator.next(param.name)
+            scope.names.add(param.name)
+            return
+        if is_head(param, "Typed") and len(param.args) == 2:
+            self.locator.next("Typed")
+            target = param.args[0]
+            if isinstance(target, MSymbol):
+                self.locator.next(target.name)
+                scope.names.add(target.name)
+            self._check_type_specifier(param.args[1])
+            return
+        self._walk(param, scope)
+
+    def _check_type_specifier(self, spec: MExpr) -> None:
+        from repro.compiler.types.specifier import parse_type_specifier
+
+        try:
+            parse_type_specifier(spec)
+        except ReproError as error:
+            self.report(
+                "lint.type-spec",
+                f"malformed type specifier: {error}",
+                position=self.locator.next(head_name(spec))
+                if not spec.is_atom() else None,
+            )
+
+    def _walk_Typed(self, node: MExpr, scope: _Scope,
+                    position: Optional[int]) -> None:
+        if len(node.args) == 2:
+            self._walk(node.args[0], scope)
+            self._check_type_specifier(node.args[1])
+        else:
+            for arg in node.args:
+                self._walk(arg, scope)
+
+    def _walk_scoping(self, node: MExpr, scope: _Scope) -> None:
+        """Module/Block/With: ``{v, w = init, ...}`` then the body."""
+        args = node.args
+        if not args:
+            return
+        inner = scope.child()
+        declarations = args[0]
+        entries = declarations.args if is_head(declarations, "List") else ()
+        if is_head(declarations, "List"):
+            self.locator.next("List")
+        for entry in entries:
+            if isinstance(entry, MSymbol):
+                self.locator.next(entry.name)
+                inner.names.add(entry.name)
+            elif is_head(entry, "Set") and len(entry.args) == 2:
+                self.locator.next("Set")
+                target, init = entry.args
+                # initializers see the outer scope plus earlier locals
+                self._walk(init, inner)
+                if isinstance(target, MSymbol):
+                    self.locator.next(target.name)
+                    inner.names.add(target.name)
+                else:
+                    self._walk(target, inner)
+            else:
+                self._walk(entry, inner)
+        for body in args[1:]:
+            self._walk(body, inner)
+
+    _walk_Module = _walk_Block = _walk_With = (
+        lambda self, node, scope, position: self._walk_scoping(node, scope)
+    )
+
+    def _walk_iteration(self, node: MExpr, scope: _Scope) -> None:
+        """Table/Do/Sum/Product: body first, then iterator specs."""
+        args = node.args
+        if not args:
+            return
+        inner = scope.child()
+        for spec in args[1:]:
+            if is_head(spec, "List") and spec.args:
+                self.locator.next("List")
+                iterator = spec.args[0]
+                for bound in spec.args[1:]:
+                    self._walk(bound, scope)
+                if isinstance(iterator, MSymbol):
+                    self.locator.next(iterator.name)
+                    inner.names.add(iterator.name)
+                else:
+                    self._walk(iterator, scope)
+            else:
+                self._walk(spec, scope)  # plain count: Do[body, n]
+        self._walk(args[0], inner)
+
+    _walk_Table = _walk_Do = _walk_Sum = _walk_Product = (
+        lambda self, node, scope, position: self._walk_iteration(node, scope)
+    )
+
+    def _walk_For(self, node: MExpr, scope: _Scope,
+                  position: Optional[int]) -> None:
+        args = node.args
+        if not args:
+            return
+        inner = scope.child()
+        self._walk_statement(args[0], inner)  # For's init Set binds its var
+        for arg in args[1:]:
+            self._walk(arg, inner)
+
+    def _walk_CompoundExpression(self, node: MExpr, scope: _Scope,
+                                 position: Optional[int]) -> None:
+        for statement in node.args:
+            self._walk_statement(statement, scope)
+
+    def _walk_statement(self, statement: MExpr, scope: _Scope) -> None:
+        """A sequential statement: ``Set`` binds its target *going forward*."""
+        if (
+            (is_head(statement, "Set") or is_head(statement, "SetDelayed"))
+            and len(statement.args) == 2
+        ):
+            hname = head_name(statement)
+            self.locator.next(hname)
+            target, value = statement.args
+            if isinstance(target, MSymbol):
+                self.locator.next(target.name)
+                if hname == "Set":
+                    self._walk(value, scope)
+                else:
+                    inner = scope.child()
+                    inner.names.add(target.name)
+                    self._walk(value, inner)
+                scope.names.add(target.name)
+                return
+            if not target.is_atom():
+                # f[x_, ...] := body — bind f and the pattern names
+                fname = head_name(target)
+                inner = scope.child()
+                if fname is not None:
+                    self.locator.next(fname)
+                    scope.names.add(fname)
+                    inner.names.add(fname)
+                for name in _pattern_names(target):
+                    inner.names.add(name)
+                self._walk(value, inner)
+                return
+        self._walk(statement, scope)
+
+    def _walk_Set(self, node: MExpr, scope: _Scope,
+                  position: Optional[int]) -> None:
+        # a Set outside CompoundExpression still binds in the current scope
+        if len(node.args) == 2:
+            target, value = node.args
+            if isinstance(target, MSymbol):
+                self.locator.next(target.name)
+                self._walk(value, scope)
+                scope.names.add(target.name)
+                return
+        for arg in node.args:
+            self._walk(arg, scope)
+
+    _walk_SetDelayed = _walk_Set
+
+    def _walk_KernelFunction(self, node: MExpr, scope: _Scope,
+                             position: Optional[int]) -> None:
+        # KernelFunction bodies run in the interpreter; their free symbols
+        # resolve against the session, not the compile-time scope.
+        return
+
+
+def _is_symbol(node: MExpr, name: str) -> bool:
+    return isinstance(node, MSymbol) and node.name == name
+
+
+def _pattern_names(node: MExpr) -> set[str]:
+    names: set[str] = set()
+    if node.is_atom():
+        return names
+    if head_name(node) == "Pattern" and node.args:
+        first = node.args[0]
+        if isinstance(first, MSymbol):
+            names.add(first.name)
+    for arg in node.args:
+        names |= _pattern_names(arg)
+    return names
+
+
+# -- public API -------------------------------------------------------------
+
+
+def lint_program(node: MExpr, source_text: Optional[str] = None,
+                 name: str = "<input>",
+                 assume_bound: Optional[set] = None) -> list[Diagnostic]:
+    """Lint one parsed MExpr program; positions require ``source_text``.
+
+    ``assume_bound`` pre-binds names supplied externally — the
+    ``constants={...}`` argument of ``FunctionCompile`` injects module
+    constants the source never declares.
+    """
+    linter = _Linter(source_text, name)
+    scope = _Scope()
+    scope.names |= set(assume_bound or ())
+    linter._walk(node, scope)
+    return linter.diagnostics
+
+
+def lint_text(source: str, name: str = "<input>",
+              assume_bound: Optional[set] = None) -> list[Diagnostic]:
+    """Parse and lint ``source``; parse failures become diagnostics too."""
+    try:
+        node = parse(source)
+    except ReproError as error:
+        line = column = None
+        position = getattr(error, "pos", None)
+        if isinstance(position, int):
+            line, column = position_to_line_column(source, position)
+        return [Diagnostic(
+            invariant="lint.parse",
+            message=str(error),
+            source=name,
+            position=position if isinstance(position, int) else None,
+            line=line,
+            column=column,
+        )]
+    return lint_program(node, source_text=source, name=name,
+                        assume_bound=assume_bound)
+
+
+# -- CLI (``python -m repro lint``) -----------------------------------------
+
+
+def run_lint_cli(argv, output=None) -> int:
+    """``python -m repro lint [FILES...] [-e EXPR] [--bench] [--json]``."""
+    import argparse
+    import json
+    import sys
+
+    from repro.analyze.diagnostics import errors, format_report
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="Source-level lint for Wolfram-style programs",
+    )
+    parser.add_argument("files", nargs="*", metavar="FILE",
+                        help="source files to lint (.wl / .m / .txt)")
+    parser.add_argument("-e", "--expression", action="append", default=[],
+                        metavar="EXPR", dest="expressions",
+                        help="lint EXPR given on the command line")
+    parser.add_argument("--bench", action="store_true",
+                        help="lint the benchmark suite's compiled programs")
+    parser.add_argument("--json", action="store_true",
+                        help="emit diagnostics as a JSON array")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero on warnings too")
+    parser.add_argument("--assume", action="append", default=[],
+                        metavar="NAME", dest="assumed",
+                        help="treat NAME as externally bound (a module "
+                             "constant injected at compile time)")
+    try:
+        args = parser.parse_args(list(argv))
+    except SystemExit as error:
+        return int(error.code or 0)
+    out = output or sys.stdout
+
+    assumed = set(args.assumed)
+    sources: list[tuple[str, str, set]] = []
+    for path in args.files:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                sources.append((path, handle.read(), assumed))
+        except OSError as error:
+            out.write(f"error: cannot read {path}: {error}\n")
+            return 2
+    for index, text in enumerate(args.expressions, 1):
+        sources.append((f"<expr:{index}>", text, assumed))
+    if args.bench:
+        from repro.benchsuite import programs as bench
+
+        # constants the harness injects via ``FunctionCompile(constants=...)``
+        bench_constants = {"primeTable", "witnesses"}
+        for attr in sorted(vars(bench)):
+            if attr.startswith(("NEW_", "ITERATIVE_")):
+                value = getattr(bench, attr)
+                if isinstance(value, str):
+                    sources.append((
+                        f"<bench:{attr}>", value, assumed | bench_constants,
+                    ))
+    if not sources:
+        parser.print_usage(out)
+        return 2
+
+    all_diagnostics: list[Diagnostic] = []
+    for name, text, bound in sources:
+        all_diagnostics.extend(lint_text(text, name=name, assume_bound=bound))
+    if args.json:
+        out.write(json.dumps(
+            [d.to_dict() for d in all_diagnostics], indent=2,
+        ) + "\n")
+    elif all_diagnostics:
+        out.write(format_report(all_diagnostics) + "\n")
+    problem_count = len(all_diagnostics)
+    error_count = len(errors(all_diagnostics))
+    # With --json the output stream must stay parseable JSON, so the
+    # human summary is routed to stderr instead.
+    summary_out = sys.stderr if args.json else out
+    summary_out.write(
+        f"lint: {len(sources)} source(s), {error_count} error(s), "
+        f"{problem_count - error_count} warning(s)\n"
+    )
+    if error_count or (args.strict and problem_count):
+        return 1
+    return 0

@@ -17,8 +17,27 @@ predicated on them (``Conditioned``), and the ablation benchmarks flip them:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Any, Optional
+
+#: accepted spellings of the ``REPRO_VERIFY_IR`` environment knob
+_VERIFY_MODES = {
+    "0": "off", "off": "off", "false": "off", "": "off",
+    "1": "final", "on": "final", "true": "final", "final": "final",
+    "each": "each", "all": "each",
+}
+
+
+def _verify_ir_default() -> str:
+    """Resolve ``REPRO_VERIFY_IR`` (0|1|each) to a verifier mode.
+
+    Read at option-construction time, so tests and CI can flip the
+    environment without rebuilding pipelines.  Unknown spellings fall back
+    to ``off`` — the sanitizer must never be the thing that breaks a build.
+    """
+    raw = os.environ.get("REPRO_VERIFY_IR", "").strip().lower()
+    return _VERIFY_MODES.get(raw, "off")
 
 
 @dataclass(frozen=True)
@@ -37,6 +56,11 @@ class CompilerOptions:
     pass_logger: Optional[Any] = None
     lazy_jit: bool = False
     argument_alias: bool = False
+    #: IR-verifier sanitizer mode: 'off' (default), 'final' (verify the
+    #: finished program once), 'each' (LLVM-style verify-each: after
+    #: lowering and after every pass, attributing violations to the
+    #: offending pass).  Defaults from the ``REPRO_VERIFY_IR`` env knob.
+    verify_ir: str = field(default_factory=_verify_ir_default)
 
     def with_(self, **changes) -> "CompilerOptions":
         return replace(self, **changes)
@@ -57,6 +81,7 @@ class CompilerOptions:
             "PassLogger": "pass_logger",
             "LazyJIT": "lazy_jit",
             "ArgumentAlias": "argument_alias",
+            "VerifyIR": "verify_ir",
         }
         translated = {}
         for key, value in rules.items():
@@ -67,5 +92,14 @@ class CompilerOptions:
                 value = 0
             if field_name == "inline_policy" and value is None:
                 value = "none"
+            if field_name == "verify_ir":
+                # WL spellings: True/False/"Each" alongside the env forms
+                if value is True:
+                    value = "final"
+                elif value is False or value is None:
+                    value = "off"
+                else:
+                    value = _VERIFY_MODES.get(str(value).strip().lower(),
+                                              "off")
             translated[field_name] = value
         return cls(**translated)

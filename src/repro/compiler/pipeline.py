@@ -99,6 +99,14 @@ class CompilerPipeline:
         #: optimizer loops to a fixed point) *accumulate* here instead of
         #: silently overwriting each other
         self.pass_totals: dict[str, dict] = {}
+        #: IR-verifier sanitizer bookkeeping: wall-clock and run count are
+        #: tracked *outside* pass_timings/pass_totals so enabling
+        #: ``verify_ir`` never skews ``pass_report()`` (the perflab
+        #: ``compile_time`` spec measures passes, not the sanitizer)
+        self.verify_seconds: float = 0.0
+        self.verify_runs: int = 0
+        #: the program being compiled, for cross-function call checks
+        self._program = None
 
     # -- logging ------------------------------------------------------------------
 
@@ -131,7 +139,48 @@ class CompilerPipeline:
         logger = self.options.pass_logger
         if logger is not None:
             logger(name, elapsed)
+        # verify-each sanitizer: check every invariant after the pass ran
+        # and attribute any violation to this pass by name.  Runs *after*
+        # the timing/tracing block above, so verifier wall-clock is
+        # excluded from the pass's own span and report entry.
+        if self.options.verify_ir == "each" and subject is not None:
+            self.verify(name, subject)
         return result
+
+    def verify(self, pass_name: str, subject) -> None:
+        """Run the IR verifier over ``subject`` (a function or program)
+        and raise :class:`~repro.errors.VerificationError` naming
+        ``pass_name`` if an invariant is broken.
+
+        Verifier time accumulates in :attr:`verify_seconds` (surfaced as a
+        ``verify:<pass>`` span and the ``pipeline.verify`` histogram when
+        tracing), never in :meth:`pass_report` pass timings.
+        """
+        from repro.analyze.verify import (
+            raise_on_errors,
+            verify_function,
+            verify_program,
+        )
+
+        start = time.perf_counter()
+        if isinstance(subject, ProgramModule):
+            diagnostics = verify_program(subject)
+            function_name = ""
+        else:
+            diagnostics = verify_function(subject, program=self._program)
+            function_name = subject.name
+        elapsed = time.perf_counter() - start
+        self.verify_seconds += elapsed
+        self.verify_runs += 1
+        tracer = _trace.TRACER
+        if tracer is not None:
+            tracer.metrics.observe("pipeline.verify", elapsed)
+            tracer.metrics.count("analyze.verify.runs")
+            tracer.complete(
+                f"verify:{pass_name}", "analyze", tracer.since(start),
+                diagnostics=len(diagnostics),
+            )
+        raise_on_errors(diagnostics, pass_name, function=function_name)
 
     def pass_report(self) -> dict[str, dict]:
         """Aggregated per-pass timings: ``{name: {calls, seconds}}``.
@@ -225,25 +274,37 @@ class CompilerPipeline:
         body = self._run_user_passes("ast", body)
         body = self.expand_macros(body)
 
-        main = self._lower(
-            name, parameters, body, constants=constants
-        )
-        main.information["ArgumentAlias"] = self.options.argument_alias
-        main.information["Profile"] = self.options.profile
-        program.add_function(main, main=True)
-        program.metadata["options"] = self.options
-
-        self._infer_and_resolve(program)
-        _prune_unreachable_functions(program)
-        self._optimize(program)
-        self._semantic_passes(program)
-        for function_module in program.functions.values():
-            self._timed(
-                "lint", lambda f=function_module: lint(f),
-                subject=function_module,
+        self._program = program
+        try:
+            main = self._lower(
+                name, parameters, body, constants=constants
             )
+            main.information["ArgumentAlias"] = self.options.argument_alias
+            main.information["Profile"] = self.options.profile
+            program.add_function(main, main=True)
+            program.metadata["options"] = self.options
+
+            self._infer_and_resolve(program)
+            _prune_unreachable_functions(program)
+            self._optimize(program)
+            self._semantic_passes(program)
+            for function_module in program.functions.values():
+                self._timed(
+                    "lint", lambda f=function_module: lint(f),
+                    subject=function_module,
+                )
+            if self.options.verify_ir in ("final", "each"):
+                self.verify("final", program)
+        finally:
+            self._program = None
         program.metadata["passTimings"] = list(self.pass_timings)
         program.metadata["passReport"] = self.pass_report()
+        if self.options.verify_ir != "off":
+            program.metadata["verify"] = {
+                "mode": self.options.verify_ir,
+                "runs": self.verify_runs,
+                "seconds": self.verify_seconds,
+            }
         return program
 
     def _lower(self, name, parameters, body, constants=None) -> FunctionModule:
@@ -254,6 +315,10 @@ class CompilerPipeline:
             return lowerer.lower(parameters, body)
 
         module = self._timed(f"lower:{name}", lower)
+        # the lowering thunk builds the module, so _timed cannot verify it
+        # as a subject; sanitize its output here before user passes see it
+        if self.options.verify_ir == "each":
+            self.verify(f"lower:{name}", module)
         self._run_user_passes("wir", module)
         return module
 

@@ -99,6 +99,7 @@ def insert_memory_management(function: FunctionModule) -> int:
             ):
                 new_instructions.append(MemoryAcquireInstr(None, [result]))
                 inserted += 1
+            released_here: set[int] = set()
             for operand in instruction.operands:
                 if (
                     managed(operand)
@@ -108,7 +109,10 @@ def insert_memory_management(function: FunctionModule) -> int:
                     and operand.id not in out_ids
                     and operand.id not in aliased_onward
                     and operand is not result
+                    # repeated operands (e * e) hold ONE reference: one release
+                    and operand.id not in released_here
                 ):
+                    released_here.add(operand.id)
                     new_instructions.append(
                         MemoryReleaseInstr(None, [operand])
                     )

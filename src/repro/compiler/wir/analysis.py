@@ -72,7 +72,15 @@ def compute_dominators(function: FunctionModule) -> dict[str, Optional[str]]:
 
 
 def dominates(idom: dict[str, Optional[str]], a: str, b: str) -> bool:
-    """Does block ``a`` dominate block ``b``?"""
+    """Does block ``a`` dominate block ``b``?
+
+    Blocks absent from ``idom`` are unreachable; dominance is undefined
+    there, and answering ``False`` keeps unreachable self-loops out of
+    :func:`find_natural_loops` (they never execute, so treating them as
+    loops would make passes instrument dead code).
+    """
+    if a not in idom or b not in idom:
+        return False
     current: Optional[str] = b
     while current is not None:
         if current == a:

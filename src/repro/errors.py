@@ -178,3 +178,78 @@ class CodegenError(CompilerError):
 
 class LintError(CompilerError):
     """The IR linter found a violated invariant (e.g. broken SSA)."""
+
+
+class StaticAnalysisError(CompilerError):
+    """Base for machine-checked findings from :mod:`repro.analyze`.
+
+    Carries structured :class:`~repro.analyze.diagnostics.Diagnostic`
+    records and serializes them with a stable ``to_dict()`` shape so
+    ``--stats``/JSON consumers report analysis failures uniformly with the
+    guarded-execution failure log.
+    """
+
+    kind = "StaticAnalysis"
+
+    def __init__(self, message: str, diagnostics: list = ()):  # noqa: D401
+        super().__init__(message)
+        self.diagnostics = list(diagnostics)
+
+    def to_dict(self) -> dict:
+        return {
+            "error": type(self).__name__,
+            "kind": self.kind,
+            "message": str(self),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+
+class VerificationError(StaticAnalysisError):
+    """The IR verifier found a violated invariant after a named pass.
+
+    ``pass_name`` attributes the corruption to the *offending pass* (the
+    LLVM ``-verify-each`` workflow): the invariants held before the pass
+    ran and are broken after it.
+    """
+
+    kind = "IRVerification"
+
+    def __init__(self, pass_name: str, diagnostics: list,
+                 function: str = ""):
+        self.pass_name = pass_name
+        self.function = function
+        lines = [str(d) for d in list(diagnostics)[:5]]
+        more = len(diagnostics) - len(lines)
+        if more > 0:
+            lines.append(f"... and {more} more")
+        where = f" in function {function}" if function else ""
+        summary = "\n  ".join(lines)
+        super().__init__(
+            f"IR verification failed after pass '{pass_name}'{where}:\n"
+            f"  {summary}",
+            diagnostics,
+        )
+
+    def to_dict(self) -> dict:
+        payload = super().to_dict()
+        payload["pass"] = self.pass_name
+        payload["function"] = self.function or None
+        return payload
+
+
+class SourceLintError(StaticAnalysisError):
+    """Source-level lint found error-severity diagnostics (strict mode)."""
+
+    kind = "SourceLint"
+
+    def __init__(self, diagnostics: list, source: str = "<input>"):
+        self.source = source
+        super().__init__(
+            f"lint found {len(diagnostics)} problem(s) in {source}",
+            diagnostics,
+        )
+
+    def to_dict(self) -> dict:
+        payload = super().to_dict()
+        payload["source"] = self.source
+        return payload

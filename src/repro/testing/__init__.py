@@ -2,8 +2,16 @@
 
 :mod:`repro.testing.faults` is the deterministic fault-injection harness the
 robustness suite uses to prove every fallback path unwinds cleanly.
+:mod:`repro.testing.corrupt` is the ``corrupt-ir`` fault class: deliberately
+broken pipeline passes that the verify-each sanitizer must catch and
+attribute by name.
 """
 
+from repro.testing.corrupt import (
+    CORRUPTIONS,
+    CorruptionUnapplicable,
+    corrupt_ir_pass,
+)
 from repro.testing.faults import (
     Fault,
     FaultInjector,
@@ -13,8 +21,11 @@ from repro.testing.faults import (
 )
 
 __all__ = [
+    "CORRUPTIONS",
+    "CorruptionUnapplicable",
     "Fault",
     "FaultInjector",
+    "corrupt_ir_pass",
     "fire",
     "inject_faults",
     "injection_active",

@@ -1,0 +1,160 @@
+"""The ``corrupt-ir`` fault class: break an IR invariant mid-pipeline.
+
+The verify-each sanitizer's whole promise is *attribution* — when a pass
+corrupts the IR, the resulting :class:`~repro.errors.VerificationError`
+must name that pass, not whichever later pass happened to trip over the
+damage.  That promise is only testable by actually corrupting the IR from
+inside the pipeline, which is what this module does: each corruption is a
+deliberately broken :class:`~repro.compiler.pipeline.UserPass` that mutates
+the :class:`~repro.compiler.wir.function_module.FunctionModule` it is
+handed, violating exactly one named invariant.
+
+=====================  ==========================================  ==============
+corruption             mutation                                    invariant hit
+=====================  ==========================================  ==============
+``drop-terminator``    clears one block's terminator               ``cfg.terminated``
+``bad-target``         retargets a jump at a nonexistent block     ``cfg.target``
+``duplicate-def``      re-defines an existing value with a Copy    ``ssa.unique-def``
+``dangling-operand``   swaps an operand for an undefined value     ``ssa.dominance``
+``phi-edge``           adds a phi edge from a non-predecessor      ``phi.edges``
+``type-mismatch``      forces a non-Boolean branch condition type  ``type.branch``
+=====================  ==========================================  ==============
+
+Usage (the robustness suite's pattern)::
+
+    pipeline = CompilerPipeline(
+        options=CompilerOptions(verify_ir="each"),
+        user_passes=[corrupt_ir_pass("drop-terminator")],
+    )
+    with pytest.raises(VerificationError) as failure:
+        pipeline.compile_program(source_function)
+    assert failure.value.pass_name == "user:corrupt-ir[drop-terminator]"
+
+Corruptions fire on hit counts like :class:`~repro.testing.faults.Fault`
+(``after`` skips the first N functions through the pass), so multi-function
+programs can target a specific function deterministically.
+"""
+
+from __future__ import annotations
+
+# NOTE: compiler modules are imported lazily inside the mutators —
+# ``repro.testing`` is pulled in by ``repro.runtime.guard`` during engine
+# initialization, long before the compiler package finishes importing.
+
+
+class CorruptionUnapplicable(AssertionError):
+    """The module has no site for the requested corruption (e.g. a
+    straight-line function has no phi to damage) — a test-setup bug, so
+    an assertion rather than a compiler error."""
+
+
+def _first_function(subject):
+    from repro.compiler.wir.function_module import ProgramModule
+
+    if isinstance(subject, ProgramModule):
+        return next(iter(subject.functions.values()))
+    return subject
+
+
+def _drop_terminator(subject) -> None:
+    function = _first_function(subject)
+    for block in function.ordered_blocks():
+        if block.terminator is not None:
+            block.terminator = None
+            return
+    raise CorruptionUnapplicable("no terminated block to corrupt")
+
+
+def _bad_target(subject) -> None:
+    from repro.compiler.wir.instructions import BranchInstr, JumpInstr
+
+    function = _first_function(subject)
+    for block in function.ordered_blocks():
+        if isinstance(block.terminator, JumpInstr):
+            block.terminator.target = "no-such-block"
+            return
+        if isinstance(block.terminator, BranchInstr):
+            block.terminator.true_target = "no-such-block"
+            return
+    raise CorruptionUnapplicable("no jump/branch terminator to corrupt")
+
+
+def _duplicate_def(subject) -> None:
+    from repro.compiler.wir.instructions import CopyInstr
+
+    function = _first_function(subject)
+    for block in function.ordered_blocks():
+        for instruction in block.instructions:
+            if instruction.result is not None:
+                block.instructions.append(
+                    CopyInstr(instruction.result, [instruction.result])
+                )
+                return
+    raise CorruptionUnapplicable("no defining instruction to duplicate")
+
+
+def _dangling_operand(subject) -> None:
+    from repro.compiler.wir.instructions import Value
+
+    function = _first_function(subject)
+    for block in function.ordered_blocks():
+        for instruction in block.instructions:
+            if instruction.operands:
+                ghost = Value("ghost", type_=instruction.operands[0].type)
+                instruction.operands[0] = ghost
+                return
+    raise CorruptionUnapplicable("no operand-bearing instruction to corrupt")
+
+
+def _phi_edge(subject) -> None:
+    function = _first_function(subject)
+    for block in function.ordered_blocks():
+        for phi in block.phis:
+            phi.incoming.append(("no-such-predecessor", phi.incoming[0][1]))
+            return
+    raise CorruptionUnapplicable("no phi to corrupt (function has no loops)")
+
+
+def _type_mismatch(subject) -> None:
+    from repro.compiler.wir.instructions import BranchInstr
+
+    function = _first_function(subject)
+    for block in function.ordered_blocks():
+        if isinstance(block.terminator, BranchInstr):
+            condition = block.terminator.condition
+            condition.type = function.result_type
+            return
+    raise CorruptionUnapplicable("no branch condition to corrupt")
+
+
+#: corruption name -> mutator over a FunctionModule/ProgramModule
+CORRUPTIONS = {
+    "drop-terminator": _drop_terminator,
+    "bad-target": _bad_target,
+    "duplicate-def": _duplicate_def,
+    "dangling-operand": _dangling_operand,
+    "phi-edge": _phi_edge,
+    "type-mismatch": _type_mismatch,
+}
+
+
+def corrupt_ir_pass(corruption: str = "drop-terminator",
+                    stage: str = "wir", after: int = 0):
+    """A ``UserPass`` that applies ``corruption`` to the ``after``-th
+    module through the given ``stage`` ('wir' or 'twir')."""
+    from repro.compiler.pipeline import UserPass
+
+    mutator = CORRUPTIONS.get(corruption)
+    if mutator is None:
+        raise ValueError(
+            f"unknown corruption {corruption!r}; "
+            f"choose from {sorted(CORRUPTIONS)}"
+        )
+    state = {"seen": 0}
+
+    def run(subject) -> None:
+        state["seen"] += 1
+        if state["seen"] == after + 1:
+            mutator(subject)
+
+    return UserPass(stage=stage, run=run, name=f"corrupt-ir[{corruption}]")

@@ -1,0 +1,117 @@
+"""The differential oracle (repro.analyze.differ): generator determinism,
+three-tier agreement, mismatch shrinking, and the CI smoke entry point."""
+
+import pytest
+
+from repro.analyze import DifferentialOracle, run_differential
+from repro.analyze.differ import _Generator, _TierError
+import random
+
+
+class TestGenerator:
+    def test_same_seed_same_programs(self):
+        generator_a = _Generator(random.Random(7))
+        generator_b = _Generator(random.Random(7))
+        for _ in range(10):
+            spec_a, spec_b = generator_a.spec(), generator_b.spec()
+            assert spec_a.body() == spec_b.body()
+            assert generator_a.argument(spec_a.kind) == (
+                generator_b.argument(spec_b.kind)
+            )
+
+    def test_programs_terminate_quickly(self):
+        generator = _Generator(random.Random(3))
+        for _ in range(20):
+            spec = generator.spec()
+            assert 0 <= spec.trips <= 6
+            assert spec.statement_count() >= 2
+
+
+class TestComparison:
+    def test_integers_compared_exactly(self):
+        assert DifferentialOracle.agree(3, 3)
+        assert not DifferentialOracle.agree(3, 4)
+
+    def test_reals_compared_with_tolerance(self):
+        assert DifferentialOracle.agree(1.0, 1.0 + 1e-12)
+        assert not DifferentialOracle.agree(1.0, 1.001)
+
+    def test_matching_errors_agree(self):
+        left = _TierError(ZeroDivisionError("x"))
+        right = _TierError(ZeroDivisionError("y"))
+        assert DifferentialOracle.agree(left, right)
+        assert not DifferentialOracle.agree(left, 3)
+
+
+class TestOracle:
+    def test_small_run_agrees(self):
+        report = DifferentialOracle(seed=11).run(count=15)
+        assert report.ok(), [m.to_dict() for m in report.mismatches]
+        assert report.attempted == 15
+        assert report.agreed == 15
+
+    def test_time_budget_stops_early(self):
+        report = DifferentialOracle(seed=1).run(
+            count=10_000, time_budget=0.5
+        )
+        assert report.attempted < 10_000
+
+    def test_report_serializes(self):
+        report = DifferentialOracle(seed=2).run(count=3)
+        payload = report.to_dict()
+        assert payload["seed"] == 2
+        assert payload["attempted"] == 3
+        assert "agree across 3 tiers" in report.summary()
+
+
+class _BrokenCompiledTier(DifferentialOracle):
+    """A deliberately wrong compiled tier: off by one on integer kernels."""
+
+    def _run_compiled(self, kind, body, argument):
+        result = super()._run_compiled(kind, body, argument)
+        if kind == "integer" and isinstance(result, int):
+            return result + 1
+        return result
+
+
+class TestShrinking:
+    def test_mismatch_detected_and_shrunk(self):
+        oracle = _BrokenCompiledTier(seed=5)
+        report = oracle.run(count=12)
+        assert report.mismatches
+        mismatch = next(
+            m for m in report.mismatches if m.kind == "integer"
+        )
+        assert mismatch.shrunk_body is not None
+        # the shrunk reproducer must still disagree...
+        assert not oracle.consistent(mismatch.shrunk_results)
+        # ...and must be no larger than the original program
+        assert len(mismatch.shrunk_body) <= len(mismatch.body)
+
+    def test_artifacts_written(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_DIFF_ARTIFACTS", str(tmp_path))
+        monkeypatch.setenv("REPRO_DIFF_COUNT", "8")
+        import repro.analyze.differ as differ_module
+
+        monkeypatch.setattr(
+            differ_module, "DifferentialOracle", _BrokenCompiledTier
+        )
+        report = differ_module.run_differential(seed=5)
+        if report.mismatches:  # guaranteed with the broken tier
+            files = list(tmp_path.glob("mismatch-*.json"))
+            assert len(files) == len(report.mismatches)
+
+
+@pytest.mark.differential
+class TestCiSmoke:
+    """The CI ``static-analysis`` job's budgeted fuzz: ≥200 seeded programs
+    across all three tiers with zero mismatches (``pytest -m differential``)."""
+
+    def test_two_hundred_programs_agree(self):
+        report = run_differential(count=200, seed=0, time_budget=60.0)
+        assert report.ok(), [m.to_dict() for m in report.mismatches]
+        assert report.attempted >= 200
+
+    def test_alternate_seed_agrees(self):
+        report = run_differential(count=100, seed=20260806, time_budget=30.0)
+        assert report.ok(), [m.to_dict() for m in report.mismatches]

@@ -325,3 +325,69 @@ class TestPromotedFunctionFaults:
         assert not promoted.abort_pending()
         assert _session_snapshot(promoted, "dbl") == before
         assert promoted.run("dbl[2]").to_python() == 4
+
+
+class TestCorruptIrFaults:
+    """The ``corrupt-ir`` fault class: a deliberately broken pass must be
+    caught by the verify-each sanitizer and attributed *by name*."""
+
+    SOURCE = (
+        'Function[{Typed[x, "MachineInteger"]},'
+        ' Module[{a = 0, i = 1}, While[i <= x, a = a + i; i = i + 1]; a]]'
+    )
+
+    def corrupted_pipeline(self, corruption, stage="wir"):
+        from repro.compiler.options import CompilerOptions
+        from repro.compiler.pipeline import CompilerPipeline
+        from repro.testing import corrupt_ir_pass
+
+        return CompilerPipeline(
+            options=CompilerOptions(verify_ir="each"),
+            user_passes=[corrupt_ir_pass(corruption, stage=stage)],
+        )
+
+    @pytest.mark.parametrize("corruption, stage, invariant", [
+        ("drop-terminator", "wir", "cfg.terminated"),
+        ("bad-target", "wir", "cfg.target"),
+        ("duplicate-def", "wir", "ssa.unique-def"),
+        ("dangling-operand", "wir", "ssa.dominance"),
+        ("phi-edge", "wir", "phi.edges"),
+        ("type-mismatch", "twir", "type.branch"),
+    ])
+    def test_corruption_caught_and_attributed(self, corruption, stage,
+                                              invariant):
+        from repro.errors import VerificationError
+
+        pipeline = self.corrupted_pipeline(corruption, stage=stage)
+        with pytest.raises(VerificationError) as failure:
+            pipeline.compile_program(parse(self.SOURCE))
+        assert failure.value.pass_name == f"user:corrupt-ir[{corruption}]"
+        assert any(
+            d.invariant == invariant for d in failure.value.diagnostics
+        ), failure.value.diagnostics
+
+    def test_corruption_unnoticed_without_sanitizer(self):
+        # the same corruption with verify_ir='off' sails past the pass
+        # boundary — the whole reason the sanitizer exists.  (It may still
+        # blow up later in codegen, but not as a VerificationError.)
+        from repro.compiler.options import CompilerOptions
+        from repro.compiler.pipeline import CompilerPipeline
+        from repro.errors import VerificationError
+        from repro.testing import corrupt_ir_pass
+
+        pipeline = CompilerPipeline(
+            options=CompilerOptions(verify_ir="off"),
+            user_passes=[corrupt_ir_pass("duplicate-def")],
+        )
+        try:
+            pipeline.compile_program(parse(self.SOURCE))
+        except VerificationError:  # pragma: no cover - would be a bug
+            pytest.fail("verifier ran despite verify_ir='off'")
+        except Exception:
+            pass  # downstream breakage is allowed, attribution is lost
+
+    def test_unknown_corruption_rejected(self):
+        from repro.testing import corrupt_ir_pass
+
+        with pytest.raises(ValueError):
+            corrupt_ir_pass("no-such-corruption")

@@ -1,8 +1,11 @@
 """An interactive session in the style of the paper's Figure 1 notebook.
 
-Run:  python -m repro [--stats] [--trace FILE] [--metrics [FILE]] [-e EXPR]...
+Run:  python -m repro [--stats [DUMP]] [--trace FILE] [--metrics [FILE]]
+                      [-e EXPR]...
       python -m repro bench [--suite S] [--filter NAME] [--compare]
                             [--report FILE] [--trace-dir DIR]
+      python -m repro serve [--port N] [--loadgen | --chaos]
+                            [--dump-stats PATH]
 
 Each input gets an ``In[n]``/``Out[n]`` pair; ``FunctionCompile`` and
 ``Compile`` are available (F1), aborts are Ctrl-C (F3), and the session
@@ -26,10 +29,13 @@ Flags
     Dump the metrics registry (counters + histograms) as JSON at session
     end — to ``FILE``, or to stdout when no file is given.
 
-``--stats``
-    Print, at session end, each compiled function's
+``--stats [DUMP]``
+    With no argument: print, at session end, each compiled function's
     :class:`~repro.runtime.guard.FallbackStats` (per-tier calls, soft
     failures, circuit-breaker tier) and the guarded-execution failure log.
+    With a ``DUMP`` path (a stats file written by ``python -m repro serve
+    --dump-stats``): render the server's per-session breaker and failure
+    tables instead of starting a session.
 
 Subcommands
 -----------
@@ -45,6 +51,13 @@ Subcommands
     symbols, arity mismatches, unreachable branches, and
     compiler-unsupported constructs annotated with their fallback tier.
     See ``python -m repro lint --help``.
+
+``serve``
+    The resilient multi-tenant engine server (:mod:`repro.server`):
+    copy-on-write session isolation over a shared base image, admission
+    control with load shedding, circuit breakers, and graceful
+    degradation; ``--loadgen``/``--chaos`` drive it in-process.  See
+    ``python -m repro serve --help`` and DESIGN.md §10.
 """
 
 from __future__ import annotations
@@ -102,6 +115,89 @@ def _print_session_stats(session, out) -> None:
                 f"  #{record.sequence} {record.function} "
                 f"{record.tier.value}: {record.kind}{arrow}\n"
             )
+
+
+def _print_server_stats(path: str, out) -> int:
+    """The ``--stats DUMP`` report: per-session breaker/failure tables
+    rendered from a server stats dump (``repro serve --dump-stats``)."""
+    import json
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            dump = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        out.write(f"cannot read stats dump {path!r}: {error}\n")
+        return 1
+    if dump.get("kind") != "repro-server-stats":
+        out.write(f"{path!r} is not a repro server stats dump "
+                  f"(kind={dump.get('kind')!r})\n")
+        return 1
+
+    totals = dump.get("requests", {})
+    out.write(f"-- server summary (uptime "
+              f"{dump.get('uptime_seconds', 0.0):.1f}s) --\n")
+    out.write(
+        f"requests {totals.get('requests', 0)}  ok {totals.get('ok', 0)}  "
+        f"failed {totals.get('failed', 0)}  shed {totals.get('shed', 0)}  "
+        f"retries {totals.get('retries', 0)}  "
+        f"evicted {totals.get('evicted', 0)}\n"
+    )
+    pressure = dump.get("pressure", {})
+    out.write(f"shed rate {dump.get('shed_rate', 0.0):.1%}  "
+              f"pressure {pressure.get('level', 'NORMAL')}  "
+              f"demotions {pressure.get('demotions', 0)}\n")
+
+    sessions = dump.get("sessions", {})
+    breakers = dump.get("breakers", {}).get("sessions", {})
+    out.write("\n-- sessions --\n")
+    out.write(
+        f"{'session':<12} {'tenant':<10} {'state':<8} {'tier cap':<12} "
+        f"{'requests':>8} {'ok':>6} {'soft':>5} {'shed':>5} "
+        f"{'breaker':<9} {'opened':>6}\n"
+    )
+    for session_id in sorted(sessions):
+        info = sessions[session_id]
+        breaker = breakers.get(session_id, {})
+        out.write(
+            f"{session_id:<12} {str(info.get('tenant') or '-'):<10} "
+            f"{info.get('state', '?'):<8} {info.get('tier_cap', '?'):<12} "
+            f"{info.get('requests', 0):>8} {info.get('ok', 0):>6} "
+            f"{info.get('soft_failures', 0):>5} "
+            f"{info.get('rejected', 0):>5} "
+            f"{breaker.get('state', '-'):<9} "
+            f"{breaker.get('times_opened', 0):>6}\n"
+        )
+
+    tenants = dump.get("breakers", {}).get("tenants", {})
+    if tenants:
+        out.write("\n-- tenant breakers --\n")
+        out.write(f"{'tenant':<12} {'state':<9} {'in window':>9} "
+                  f"{'opened':>6}\n")
+        for tenant_id in sorted(tenants):
+            breaker = tenants[tenant_id]
+            out.write(
+                f"{tenant_id:<12} {breaker.get('state', '?'):<9} "
+                f"{breaker.get('failures_in_window', 0):>9} "
+                f"{breaker.get('times_opened', 0):>6}\n"
+            )
+
+    kinds_by_session = {
+        session_id: info.get("failure_kinds") or {}
+        for session_id, info in sessions.items()
+        if info.get("failure_kinds")
+    }
+    if kinds_by_session:
+        out.write("\n-- failure kinds --\n")
+        for session_id in sorted(kinds_by_session):
+            kinds = kinds_by_session[session_id]
+            rendered = "  ".join(
+                f"{kind}:{count}" for kind, count in sorted(kinds.items())
+            )
+            out.write(f"{session_id:<12} {rendered}\n")
+    evicted = dump.get("evicted_sessions") or []
+    if evicted:
+        out.write(f"\nevicted sessions: {', '.join(evicted)}\n")
+    return 0
 
 
 def repl(input_stream=None, output=None, show_stats: bool = False) -> int:
@@ -214,8 +310,10 @@ def _parser() -> argparse.ArgumentParser:
              "omitted) at session end",
     )
     parser.add_argument(
-        "--stats", action="store_true",
-        help="print guarded-execution and hotspot statistics at exit",
+        "--stats", nargs="?", const=True, default=False, metavar="DUMP",
+        help="print guarded-execution and hotspot statistics at exit; "
+             "with a DUMP path (from 'repro serve --dump-stats'), render "
+             "the server's per-session breaker/failure tables instead",
     )
     return parser
 
@@ -230,11 +328,17 @@ def main(argv=None, input_stream=None, output=None) -> int:
         from repro.analyze.lint import run_lint_cli
 
         return run_lint_cli(arguments[1:], output=output)
+    if arguments and arguments[0] == "serve":
+        from repro.server.cli import main as serve_main
+
+        return serve_main(arguments[1:])
     try:
         args = _parser().parse_args(arguments)
     except SystemExit as error:  # argparse exits; the CLI returns codes
         return int(error.code or 0)
     out = output or sys.stdout
+    if isinstance(args.stats, str):
+        return _print_server_stats(args.stats, out)
     tracer = None
     if args.trace or args.metrics:
         tracer = _trace.enable_tracing()

@@ -14,12 +14,19 @@ structurally equal to the call's first argument), and candidates are yielded
 in the original specificity order.  Any mutation of the rule list —
 including ``Block``'s snapshot restore, which swaps in a different list
 object — invalidates the index.
+
+:class:`KernelState` optionally layers a mutable per-session *overlay* over
+an immutable shared *base* mapping (see the class docstring) — the
+copy-on-write split the multi-tenant server (:mod:`repro.server`) builds
+its session isolation on.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from types import MappingProxyType
+from typing import Iterator, Mapping, Optional
 
 from repro.mexpr.atoms import MSymbol
 from repro.mexpr.expr import MExpr
@@ -180,28 +187,94 @@ class Definition:
         )
 
 
+#: distance between the version ranges handed to sessions sharing a base
+#: layer; one session would need a million definition changes to walk into
+#: its neighbour's range
+_VERSION_STRIDE = 1 << 20
+
+_version_slots = itertools.count(1)
+
+
 class KernelState:
-    """The mutable global symbol table of one interpreter session.
+    """The mutable symbol table of one interpreter session.
 
     ``state_version`` is bumped on every definition change; evaluated-result
     caching in the evaluator is keyed on it, so assignments correctly
     invalidate previously "fully evaluated" subtrees.
+
+    A state may be layered over an immutable shared **base** (``base=``, a
+    read-only ``name -> Definition`` mapping produced by :meth:`freeze`):
+    ``lookup`` falls through to the base, while every mutation path funnels
+    through :meth:`definition`, which first copies the base entry into the
+    per-session **overlay** (copy-on-write).  Base ``Definition`` objects
+    are therefore never mutated by a session — the only write that ever
+    lands on them is the idempotent lazy ``_index`` cache, which any racer
+    rebuilds to an identical value — so thousands of sessions can share one
+    warmed image of builtins, attribute sets, and dispatch indexes.
+
+    Sessions over a base also take **disjoint ``state_version`` ranges**:
+    evaluated-subtree stamps (``$evalv``) live on the ``MExpr`` nodes
+    themselves, and base-image expressions are shared across sessions — if
+    two sessions counted versions from the same origin, a stamp written by
+    one could read as "fully evaluated" in the other despite their overlays
+    differing.
     """
 
-    def __init__(self):
+    def __init__(self, base: Optional[Mapping[str, Definition]] = None):
         self._definitions: dict[str, Definition] = {}
-        self.state_version = 0
+        #: the immutable shared layer; ``None`` for a plain standalone state
+        self._base = base
+        self.state_version = (
+            0 if base is None else next(_version_slots) * _VERSION_STRIDE
+        )
         self._module_counter = 0
 
     def definition(self, name: str) -> Definition:
         existing = self._definitions.get(name)
         if existing is None:
-            existing = Definition(name=name)
+            shared = self._base.get(name) if self._base is not None else None
+            # copy-on-write: the caller holds a mutation intent, so the
+            # shared entry must never be handed out directly
+            existing = (
+                shared.snapshot() if shared is not None
+                else Definition(name=name)
+            )
             self._definitions[name] = existing
         return existing
 
     def lookup(self, name: str) -> Optional[Definition]:
-        return self._definitions.get(name)
+        found = self._definitions.get(name)
+        if found is None and self._base is not None:
+            return self._base.get(name)
+        return found
+
+    # -- base/overlay layering ----------------------------------------------
+
+    def freeze(self) -> Mapping[str, Definition]:
+        """A read-only view of this state's definitions, usable as the
+        ``base`` layer of overlay sessions.
+
+        The caller promises not to mutate the frozen state afterwards
+        (:class:`repro.server.base.BaseImage` enforces this by discarding
+        the warming session once frozen).  Dispatch indexes are pre-built so
+        overlay sessions share them instead of each paying the first-call
+        rebuild.
+        """
+        for definition in self._definitions.values():
+            if definition.down_values:
+                definition.dispatch_index()
+        return MappingProxyType(dict(self._definitions))
+
+    @property
+    def base(self) -> Optional[Mapping[str, Definition]]:
+        return self._base
+
+    def overlay_size(self) -> int:
+        """Number of definitions this session has written over the base."""
+        return len(self._definitions)
+
+    def overlay_names(self) -> list[str]:
+        return list(self._definitions)
 
     def touch(self) -> None:
         self.state_version += 1
@@ -213,10 +286,14 @@ class KernelState:
         self.touch()
 
     def clear(self, name: str) -> None:
-        definition = self._definitions.get(name)
-        if definition is not None:
-            definition.clear_values()
-            self.touch()
+        if self._definitions.get(name) is None and (
+            self._base is None or self._base.get(name) is None
+        ):
+            return  # nothing to clear at either layer
+        # goes through definition() so clearing a base-layer symbol writes
+        # an emptied overlay entry instead of touching the shared base
+        self.definition(name).clear_values()
+        self.touch()
 
     def add_down_value(self, name: str, down_value: DownValue) -> None:
         definition = self.definition(name)

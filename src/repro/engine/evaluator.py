@@ -65,8 +65,11 @@ class Evaluator:
         self,
         recursion_limit: int = 1024,
         iteration_limit: int = 4096,
+        state: Optional[KernelState] = None,
     ):
-        self.state = KernelState()
+        #: ``state`` lets a host supply a prepared table — the multi-tenant
+        #: server passes an overlay over its shared warmed base image
+        self.state = state if state is not None else KernelState()
         self.recursion_limit = recursion_limit
         self.iteration_limit = iteration_limit
         self._depth = 0

@@ -98,6 +98,43 @@ class WolframBudgetError(WolframRuntimeError):
         self.guard = guard
 
 
+class RejectedError(ReproError):
+    """The engine server's admission control refused a request.
+
+    Raised *before* any evaluation work happens — by load shedding when the
+    bounded queue is saturated, or by an open per-session / per-tenant
+    circuit breaker.  Carries machine-actionable backoff guidance:
+    ``reason`` names the refusing stage (``"queue-full"``,
+    ``"session-breaker-open"``, ``"tenant-breaker-open"``,
+    ``"session-limit"``) and ``retry_after`` is the suggested client
+    backoff in seconds (``None`` means the condition will not clear on its
+    own).  Serializes with a stable :meth:`to_dict` shape for the wire
+    protocol and the ``--stats`` dump.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        message: str = "",
+        retry_after=None,
+        scope: str = "",
+    ):
+        super().__init__(message or reason)
+        self.reason = reason
+        self.retry_after = retry_after
+        #: the session or tenant id the refusal is scoped to, if any
+        self.scope = scope
+
+    def to_dict(self) -> dict:
+        return {
+            "error": "RejectedError",
+            "reason": self.reason,
+            "message": str(self),
+            "retry_after": self.retry_after,
+            "scope": self.scope or None,
+        }
+
+
 #: Python exceptions the compiled-code wrappers treat as *soft* runtime
 #: failures (F2).  Programming errors — AttributeError, TypeError, NameError
 #: — are deliberately absent: those indicate a compiler bug and propagate.

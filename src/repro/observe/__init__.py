@@ -25,6 +25,21 @@ event / metric                  emitted by
 ``tier.invalidate``             promotion dropped on redefinition (instant)
 ``tier.blocked``                definition failed the promotion gate (instant)
 ``guard.trip``                  deadline/step/memory budget expiry (instant)
+``server.request`` (span)       one engine-server request, ``session=``,
+                                ``tenant=``
+``server.requests``             requests received (counter); ``server.ok``,
+                                ``server.failures``, ``server.retries``,
+                                ``server.shed``, ``server.admitted`` alongside
+``server.queue_depth``          admission queue depth at each enqueue
+                                (histogram)
+``server.retry``                one backoff retry (instant, ``attempt=``,
+                                ``delay=``)
+``server.breaker``              request-breaker transition (instant,
+                                ``scope=``, ``from=``, ``to=``)
+``server.pressure``             memory-pressure level change (instant,
+                                ``from=``, ``to=``, ``used_bytes=``)
+``server.session``              session lifecycle (instant, ``action=``
+                                created/evicted)
 ==============================  =================================================
 
 Usage::

@@ -29,7 +29,8 @@ from typing import Callable, Optional
 
 from repro.perflab import stats
 
-SUITES = ("figure2", "dispatch", "evaluator", "ablations", "compiler")
+SUITES = ("figure2", "dispatch", "evaluator", "ablations", "compiler",
+          "server")
 
 
 @dataclass(frozen=True)
@@ -501,6 +502,69 @@ def _compile_time_probe(config: RunConfig) -> None:
     FunctionCompile(programs.NEW_FNV1A)  # pipeline.pass.<name> histograms
 
 
+# -- the engine server under load --------------------------------------------
+
+
+def _server_load_run(config: RunConfig) -> SpecResult:
+    """The multi-session server's latency distribution and overload
+    behaviour: a healthy run measures p50/p99 and throughput across
+    ``config.repeats`` full load-generator passes, then a deliberately
+    starved configuration (one worker, a two-deep queue) verifies the
+    admission controller sheds rather than queues without bound."""
+    from repro.server import LoadSpec, ServerConfig, run_load
+
+    requests = max(5, int(50 * config.scale))
+    spec = LoadSpec(clients=6, requests_per_client=requests, seed=7)
+    p50s, p99s, rates = [], [], []
+    all_ok = True
+    for repeat in range(max(1, config.repeats)):
+        report, _stats = run_load(config=ServerConfig(), spec=spec)
+        all_ok = all_ok and report.failed == 0 and report.shed == 0
+        p50s.append(report.p50)
+        p99s.append(report.p99)
+        rates.append(report.throughput)
+
+    overload = ServerConfig(max_concurrent=1, queue_limit=2)
+    overload_report, _stats = run_load(
+        config=overload,
+        spec=LoadSpec(clients=12, requests_per_client=requests, seed=7),
+    )
+    shed_engaged = overload_report.shed > 0
+    shed_bounded = overload_report.shed_rate < 1.0
+
+    p99 = stats.Sample(samples=tuple(p99s)).as_measurement()
+    p99["gate"] = False  # the tail swings with scheduler jitter
+    throughput = stats.Sample(
+        samples=tuple(rates), unit="rps").as_measurement(direction="higher")
+    throughput["gate"] = False  # the reciprocal surface of the latencies
+    shed = stats.scalar(overload_report.shed_rate, unit="fraction")
+    shed["gate"] = False  # informational: proves shedding engages
+    return SpecResult(
+        {
+            "latency_p50_seconds": stats.Sample(
+                samples=tuple(p50s)).as_measurement(),
+            "latency_p99_seconds": p99,
+            "throughput_rps": throughput,
+            "overload_shed_rate": shed,
+        },
+        meta={
+            "clients": spec.clients,
+            "requests_per_client": requests,
+            "overload": "1 worker, queue_limit 2, 12 clients",
+        },
+        verified=all_ok and shed_engaged and shed_bounded,
+    )
+
+
+def _server_load_probe(config: RunConfig) -> None:
+    from repro.server import LoadSpec, ServerConfig, run_load
+
+    # a small pass under the tracer: server.request spans, queue-depth
+    # histograms, admission counters
+    run_load(config=ServerConfig(max_concurrent=2, queue_limit=4),
+             spec=LoadSpec(clients=3, requests_per_client=3, seed=7))
+
+
 # -- the table ---------------------------------------------------------------
 
 
@@ -549,6 +613,9 @@ def _specs() -> tuple:
         BenchSpec("compiler.compile_time", "compiler", "compiler",
                   "compile time per Figure-2 program (§5)",
                   _compile_time_run, _compile_time_probe, smoke=True),
+        BenchSpec("server.loadgen", "server", "server",
+                  "multi-session server under load (p50/p99, shed rate)",
+                  _server_load_run, _server_load_probe),
     )
 
 

@@ -50,6 +50,7 @@ ARTIFACT_FILES = {
     "figure2": "BENCH_figure2.json",
     "compiler": "BENCH_compiler.json",
     "evaluator": "BENCH_evaluator.json",
+    "server": "BENCH_server.json",
 }
 
 

@@ -20,8 +20,9 @@ polls at its existing abort checkpoints:
   argues tiered runtimes must: after ``threshold`` soft failures at a tier a
   function *demotes itself* (compiled → bytecode → interpreter) and stops
   re-attempting the failing tier.  Every transition is recorded as a
-  :class:`FailureRecord` in the global :data:`FAILURE_LOG`, queryable from
-  ``repro.compiler.api``.
+  :class:`FailureRecord` in the global :data:`FAILURE_LOG` — a bounded,
+  thread-safe ring buffer (capacity ``REPRO_FAILURE_LOG_MAX``, default
+  1024) queryable from ``repro.compiler.api``.
 
 Guards are thread-local: the REPL evaluates on a worker thread and each
 engine session polls only the guards its own thread entered.  With no
@@ -47,9 +48,10 @@ checkpoint cost is unchanged):
 
 from __future__ import annotations
 
-import itertools
+import os
 import threading
 import time
+from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from enum import Enum
@@ -265,9 +267,6 @@ DEMOTION: dict[Tier, Tier] = {
     Tier.BYTECODE: Tier.INTERPRETER,
 }
 
-_record_counter = itertools.count(1)
-
-
 @dataclass(frozen=True)
 class FailureRecord:
     """One soft failure or tier transition, as observed by the guard layer."""
@@ -281,12 +280,42 @@ class FailureRecord:
     transition: Optional[tuple[Tier, Tier]] = None
 
 
-class FailureLog:
-    """A bounded, queryable log of :class:`FailureRecord` entries."""
+#: ring-buffer capacity of the process-wide failure log; bounded so a
+#: long-running multi-tenant server cannot leak memory through it
+DEFAULT_FAILURE_LOG_MAX = 1024
+_FAILURE_LOG_ENV = "REPRO_FAILURE_LOG_MAX"
 
-    def __init__(self, capacity: int = 4096):
-        self.capacity = capacity
-        self._records: list[FailureRecord] = []
+
+def failure_log_capacity_from_environment() -> int:
+    raw = os.environ.get(_FAILURE_LOG_ENV)
+    if raw is None:
+        return DEFAULT_FAILURE_LOG_MAX
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return DEFAULT_FAILURE_LOG_MAX
+
+
+class FailureLog:
+    """A bounded, thread-safe, queryable ring of :class:`FailureRecord`.
+
+    The ring (``collections.deque(maxlen=capacity)``) drops the *oldest*
+    records once full, so ``failure_records()`` always reflects the most
+    recent failures and the log's footprint is O(capacity) no matter how
+    long the process serves.  Capacity defaults to ``REPRO_FAILURE_LOG_MAX``
+    (:data:`DEFAULT_FAILURE_LOG_MAX` when unset).  All access is serialized
+    by a lock: sessions on concurrent server worker threads record into the
+    same process-wide log.
+    """
+
+    def __init__(self, capacity: Optional[int] = None):
+        self.capacity = (
+            capacity if capacity is not None
+            else failure_log_capacity_from_environment()
+        )
+        self._records: deque[FailureRecord] = deque(maxlen=self.capacity)
+        self._sequence = 0  # counts every record ever made, past evictions
+        self._lock = threading.Lock()
 
     def record(
         self,
@@ -296,17 +325,17 @@ class FailureLog:
         message: str = "",
         transition: Optional[tuple[Tier, Tier]] = None,
     ) -> FailureRecord:
-        entry = FailureRecord(
-            sequence=next(_record_counter),
-            function=function,
-            tier=tier,
-            kind=kind,
-            message=message,
-            transition=transition,
-        )
-        self._records.append(entry)
-        if len(self._records) > self.capacity:
-            del self._records[: len(self._records) - self.capacity]
+        with self._lock:
+            self._sequence += 1
+            entry = FailureRecord(
+                sequence=self._sequence,
+                function=function,
+                tier=tier,
+                kind=kind,
+                message=message,
+                transition=transition,
+            )
+            self._records.append(entry)  # deque maxlen evicts the oldest
         return entry
 
     def records(
@@ -315,14 +344,15 @@ class FailureLog:
         tier: Optional[Tier] = None,
         kind: Optional[str] = None,
     ) -> list[FailureRecord]:
-        found = self._records
+        with self._lock:
+            found: list[FailureRecord] = list(self._records)
         if function is not None:
             found = [r for r in found if r.function == function]
         if tier is not None:
             found = [r for r in found if r.tier == tier]
         if kind is not None:
             found = [r for r in found if r.kind == kind]
-        return list(found)
+        return found
 
     def transitions(
         self, function: Optional[str] = None
@@ -332,10 +362,12 @@ class FailureLog:
         ]
 
     def clear(self) -> None:
-        self._records.clear()
+        with self._lock:
+            self._records.clear()
 
     def __len__(self) -> int:
-        return len(self._records)
+        with self._lock:
+            return len(self._records)
 
 
 #: the process-wide failure log (queryable via ``repro.compiler.api``)
@@ -366,24 +398,30 @@ class CircuitBreaker:
         self.tier = start
         self.failures: dict[Tier, int] = {t: 0 for t in Tier}
         self.log = log if log is not None else FAILURE_LOG
+        #: serializes counters and the tier transition: concurrent server
+        #: sessions may fail the same function on different worker threads,
+        #: and exactly one racing failure must carry the demotion record
+        self._lock = threading.Lock()
 
     def record_failure(self, tier: Tier, kind: str, message: str = "") -> Tier:
         """Count one soft failure; returns the (possibly demoted) tier."""
         self.log.record(self.function, tier, kind, message)
-        self.failures[tier] += 1
-        if (
-            tier is self.tier
-            and tier in DEMOTION
-            and self.failures[tier] >= self.threshold
-        ):
-            self._demote(tier, kind=f"CircuitOpen:{kind}")
-        return self.tier
+        with self._lock:
+            self.failures[tier] += 1
+            if (
+                tier is self.tier
+                and tier in DEMOTION
+                and self.failures[tier] >= self.threshold
+            ):
+                self._demote(tier, kind=f"CircuitOpen:{kind}")
+            return self.tier
 
     def unavailable(self, tier: Tier, reason: str) -> Tier:
         """Declare a tier unusable (compile/translate failure); demote now."""
-        if tier is self.tier and tier in DEMOTION:
-            self._demote(tier, kind="TierUnavailable", message=reason)
-        return self.tier
+        with self._lock:
+            if tier is self.tier and tier in DEMOTION:
+                self._demote(tier, kind="TierUnavailable", message=reason)
+            return self.tier
 
     def _demote(self, tier: Tier, kind: str, message: str = "") -> None:
         target = DEMOTION[tier]
@@ -400,8 +438,9 @@ class CircuitBreaker:
         return self.failures[tier] >= self.threshold
 
     def reset(self) -> None:
-        self.tier = self.start
-        self.failures = {t: 0 for t in Tier}
+        with self._lock:
+            self.tier = self.start
+            self.failures = {t: 0 for t in Tier}
 
 
 @dataclass

@@ -56,6 +56,7 @@ rows (``--stats``) whether or not tracing is on.
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -145,8 +146,19 @@ class _Plan:
     recursive: bool
 
 
+#: tier ordering for the degradation cap, hottest highest
+_TIER_RANK = {Tier.COMPILED: 2, Tier.BYTECODE: 1, Tier.INTERPRETER: 0}
+
+
 class HotspotProfiler:
-    """Counts DownValue applications and promotes past the threshold."""
+    """Counts DownValue applications and promotes past the threshold.
+
+    The promotion table is shared mutable state when a session's requests
+    run on changing server worker threads, so every structural mutation
+    (promotion, withdrawal, invalidation) happens under an ``RLock``; the
+    per-dispatch counter bumps stay lock-free — a lost increment only
+    shifts promotion by one application.
+    """
 
     def __init__(self, threshold: Optional[int] = None):
         self.threshold = (
@@ -155,10 +167,14 @@ class HotspotProfiler:
         self.counts: dict[str, int] = {}
         self.promoted: dict[str, PromotedFunction] = {}
         self.events: list[PromotionEvent] = []
+        #: the hottest tier promotion may target; lowered by the server's
+        #: graceful-degradation path (see :meth:`demote_all`)
+        self.max_tier: Tier = Tier.COMPILED
         #: definitions that failed the gate, keyed to the exact rule tuple
         #: that failed — redefinition clears the block
         self._blocked: dict[str, tuple] = {}
         self._in_progress: set[str] = set()
+        self._lock = threading.RLock()
 
     # -- dispatch-side API (called from Evaluator._apply_down_values) --------
 
@@ -167,24 +183,30 @@ class HotspotProfiler:
         entry = self.promoted.get(name)
         if entry is None:
             return None
-        if not self._validate(evaluator, name, definition, entry):
-            return None
-        if entry.artifact_tier() is Tier.INTERPRETER:
-            # the breaker walked the artifact all the way down: interpreting
-            # *through* the artifact adds pure overhead, so withdraw the
-            # promotion and block re-promotion until the rules change
-            del self.promoted[name]
-            self._blocked[name] = entry.rules
-            self.events.append(
-                PromotionEvent(name, "demoted", Tier.INTERPRETER.value,
-                               "circuit breaker exhausted all tiers")
-            )
-            _observe.event(
-                "tier.demote", "hotspot", symbol=name,
-                reason="promotion withdrawn: breaker exhausted all tiers",
-                **{"from": entry.tier_kind, "to": Tier.INTERPRETER.value},
-            )
-            return None
+        with self._lock:
+            if self.promoted.get(name) is not entry:
+                return None  # a racer invalidated or withdrew it
+            if not self._validate(evaluator, name, definition, entry):
+                return None
+            if entry.artifact_tier() is Tier.INTERPRETER:
+                # the breaker walked the artifact all the way down:
+                # interpreting *through* the artifact adds pure overhead, so
+                # withdraw the promotion and block re-promotion until the
+                # rules change
+                del self.promoted[name]
+                self._blocked[name] = entry.rules
+                self.events.append(
+                    PromotionEvent(name, "demoted", Tier.INTERPRETER.value,
+                                   "circuit breaker exhausted all tiers")
+                )
+                _observe.event(
+                    "tier.demote", "hotspot", symbol=name,
+                    reason="promotion withdrawn: breaker exhausted all tiers",
+                    **{"from": entry.tier_kind, "to": Tier.INTERPRETER.value},
+                )
+                return None
+        # the type gate and the artifact call run outside the lock: the
+        # artifact is where the time goes, and it never mutates the table
         arguments = expression.args
         if len(arguments) != len(entry.gate_types):
             return None
@@ -210,11 +232,14 @@ class HotspotProfiler:
         self.counts[name] = count
         if count < self.threshold or name in self.promoted:
             return
-        if name in self._in_progress:
-            return
-        if self._blocked.get(name) == tuple(definition.down_values):
-            return
-        self._in_progress.add(name)
+        if self.max_tier is Tier.INTERPRETER:
+            return  # degraded to the floor: promotion disabled outright
+        with self._lock:
+            if name in self.promoted or name in self._in_progress:
+                return
+            if self._blocked.get(name) == tuple(definition.down_values):
+                return
+            self._in_progress.add(name)
         try:
             self._attempt_promotion(evaluator, name, definition, expression)
         finally:
@@ -246,15 +271,44 @@ class HotspotProfiler:
 
     def invalidate(self, name: str) -> None:
         """Explicitly drop a promotion (test/tooling hook)."""
-        entry = self.promoted.pop(name, None)
-        if entry is not None:
-            self.counts[name] = 0
-            self.events.append(
-                PromotionEvent(name, "invalidated", entry.tier_kind,
-                               "explicit invalidation")
-            )
-            _observe.event("tier.invalidate", "hotspot", symbol=name,
-                           reason="explicit invalidation")
+        with self._lock:
+            entry = self.promoted.pop(name, None)
+            if entry is not None:
+                self.counts[name] = 0
+                self.events.append(
+                    PromotionEvent(name, "invalidated", entry.tier_kind,
+                                   "explicit invalidation")
+                )
+                _observe.event("tier.invalidate", "hotspot", symbol=name,
+                               reason="explicit invalidation")
+
+    def demote_all(self, cap: Tier, reason: str = "degradation") -> int:
+        """Cap promotion at ``cap`` and withdraw hotter live promotions.
+
+        The graceful-degradation hook of the multi-tenant server: under
+        memory pressure sessions step down compiled → bytecode →
+        interpreter.  Returns the number of promotions withdrawn.  Raising
+        the cap back re-enables promotion, and withdrawn functions
+        re-promote once they get hot again — their profile counts restart
+        from zero.
+        """
+        with self._lock:
+            self.max_tier = cap
+            withdrawn = 0
+            for name, entry in list(self.promoted.items()):
+                if _TIER_RANK[Tier(entry.tier_kind)] <= _TIER_RANK[cap]:
+                    continue
+                del self.promoted[name]
+                self.counts[name] = 0
+                withdrawn += 1
+                self.events.append(
+                    PromotionEvent(name, "demoted", cap.value, reason)
+                )
+                _observe.event(
+                    "tier.demote", "hotspot", symbol=name, reason=reason,
+                    **{"from": entry.tier_kind, "to": cap.value},
+                )
+            return withdrawn
 
     def table(self) -> list[tuple]:
         """Rows for the ``--stats`` report: hottest functions first."""
@@ -328,18 +382,19 @@ class HotspotProfiler:
         function = MExprNormal(
             S.Function, [MExprNormal(S.List, list(typed_params)), plan.body]
         )
-        try:
-            from repro.compiler.api import FunctionCompile
+        if self.max_tier is Tier.COMPILED:
+            try:
+                from repro.compiler.api import FunctionCompile
 
-            artifact = FunctionCompile(function, evaluator=evaluator)
-            # attribute breaker records to the engine-level symbol, so
-            # failure_records() reads naturally in --stats
-            artifact._breaker.function = name
-            return artifact, "compiled"
-        except WolframAbort:
-            raise
-        except Exception:
-            pass
+                artifact = FunctionCompile(function, evaluator=evaluator)
+                # attribute breaker records to the engine-level symbol, so
+                # failure_records() reads naturally in --stats
+                artifact._breaker.function = name
+                return artifact, "compiled"
+            except WolframAbort:
+                raise
+            except Exception:
+                pass
         if plan.recursive:
             # the VM has no direct self-call; recursion would bounce through
             # the interpreter escape on every frame

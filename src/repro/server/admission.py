@@ -1,0 +1,144 @@
+"""Admission control: per-request budgets, a bounded queue, load shedding.
+
+Every accepted request runs under an :class:`~repro.runtime.guard.
+ExecutionGuard` derived from a :class:`RequestBudget` — the deadline /
+step / memory budgets PR 1 built for ``TimeConstrained`` become the
+server's fairness mechanism: no single request can hold a worker slot
+longer than the budget allows, whatever the tenant submitted.
+
+Concurrency is a two-stage funnel:
+
+1. **shed or queue** — at most ``queue_limit`` requests may be *waiting*
+   for a worker slot.  A request arriving past that bound is shed
+   immediately with a structured :class:`~repro.errors.RejectedError`
+   (``reason="queue-full"``) carrying a ``retry_after`` hint scaled by the
+   current depth, so clients back off harder the deeper the overload;
+2. **run** — at most ``max_concurrent`` requests hold executor slots.
+
+Shedding at the door instead of timing out in the queue keeps the
+server's latency distribution honest under overload: a request we cannot
+serve within its deadline is cheaper to refuse in microseconds than to
+fail in seconds (the classic load-shedding argument).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from contextlib import asynccontextmanager
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import observe as _observe
+from repro.errors import RejectedError
+from repro.runtime.guard import ExecutionGuard
+
+
+@dataclass(frozen=True)
+class RequestBudget:
+    """The resource envelope one request may consume."""
+
+    deadline_seconds: Optional[float] = 1.0
+    steps: Optional[int] = 2_000_000
+    memory_bytes: Optional[int] = 64 * 1024 * 1024
+
+    def make_guard(self, label: str = "server.request") -> ExecutionGuard:
+        return ExecutionGuard(
+            deadline=(
+                time.monotonic() + self.deadline_seconds
+                if self.deadline_seconds is not None else None
+            ),
+            step_budget=self.steps,
+            memory_budget=self.memory_bytes,
+            label=label,
+        )
+
+    def scaled(self, factor: float) -> "RequestBudget":
+        """A proportionally tighter budget (degraded-mode admission)."""
+        return RequestBudget(
+            deadline_seconds=(
+                self.deadline_seconds * factor
+                if self.deadline_seconds is not None else None
+            ),
+            steps=int(self.steps * factor) if self.steps is not None else None,
+            memory_bytes=(
+                int(self.memory_bytes * factor)
+                if self.memory_bytes is not None else None
+            ),
+        )
+
+
+class AdmissionController:
+    """The bounded queue in front of the worker pool."""
+
+    def __init__(
+        self,
+        max_concurrent: int = 4,
+        queue_limit: int = 32,
+        base_retry_after: float = 0.05,
+    ):
+        self.max_concurrent = max_concurrent
+        self.queue_limit = queue_limit
+        self.base_retry_after = base_retry_after
+        self.waiting = 0
+        self.running = 0
+        self.shed = 0
+        self.admitted = 0
+        self.peak_queue_depth = 0
+        self._slots: Optional[asyncio.Semaphore] = None
+
+    def _semaphore(self) -> asyncio.Semaphore:
+        # created lazily so the controller binds to the loop that serves it
+        if self._slots is None:
+            self._slots = asyncio.Semaphore(self.max_concurrent)
+        return self._slots
+
+    def queue_depth(self) -> int:
+        return self.waiting
+
+    @asynccontextmanager
+    async def slot(self):
+        """Admit (or shed) one request; hold a worker slot for the block."""
+        if self.waiting >= self.queue_limit:
+            self.shed += 1
+            _observe.count("server.shed")
+            retry_after = self.base_retry_after * (
+                1.0 + self.waiting / max(1, self.queue_limit)
+            )
+            raise RejectedError(
+                "queue-full",
+                f"admission queue is saturated ({self.waiting} waiting, "
+                f"limit {self.queue_limit})",
+                retry_after=retry_after,
+            )
+        semaphore = self._semaphore()
+        self.waiting += 1
+        self.peak_queue_depth = max(self.peak_queue_depth, self.waiting)
+        tracer = _observe.active_tracer()
+        if tracer is not None:
+            tracer.metrics.observe("server.queue_depth", self.waiting)
+        try:
+            # a cancelled wait leaves the semaphore un-acquired, so the
+            # finally below is the only bookkeeping needed on that path
+            await semaphore.acquire()
+        finally:
+            self.waiting -= 1
+        self.running += 1
+        self.admitted += 1
+        _observe.count("server.admitted")
+        try:
+            yield
+        finally:
+            self.running -= 1
+            semaphore.release()
+
+    def snapshot(self) -> dict:
+        return {
+            "waiting": self.waiting,
+            "running": self.running,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "queue_limit": self.queue_limit,
+            "max_concurrent": self.max_concurrent,
+            "peak_queue_depth": self.peak_queue_depth,
+        }

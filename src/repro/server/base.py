@@ -1,0 +1,84 @@
+"""The shared warmed base image multi-tenant sessions are layered over.
+
+One process hosts thousands of sessions, but almost everything a session
+needs is identical across tenants: the builtin table, the attribute sets,
+and — when the operator supplies a *prelude* of shared definitions — the
+DownValue rule lists and their dispatch indexes.  :class:`BaseImage` warms
+exactly one :class:`~repro.engine.evaluator.Evaluator` with that prelude,
+freezes its :class:`~repro.engine.definitions.KernelState` into an
+immutable mapping, and then stamps out per-session evaluators whose states
+are copy-on-write overlays (``KernelState(base=...)``): a session that
+redefines a prelude symbol gets a private copy, and nothing a session
+writes is ever observable from another session.
+
+This is the Futamura-projection reading of the server tier (PAPERS.md,
+Williams & Perugini): the frozen image is the engine *specialized* to a
+fixed definition set, paid for once at boot instead of once per session.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+from repro.engine.definitions import Definition, KernelState
+from repro.engine.evaluator import Evaluator
+from repro.errors import ReproError
+
+
+class BaseImageError(ReproError):
+    """The prelude failed to evaluate while warming the base image."""
+
+
+class BaseImage:
+    """An immutable, shared ``name -> Definition`` layer plus a factory
+    for session evaluators layered over it."""
+
+    def __init__(self, prelude: Iterable[str] = ()):
+        self.prelude = tuple(prelude)
+        warmer = Evaluator()
+        for source in self.prelude:
+            try:
+                warmer.run(source)
+            except ReproError as error:
+                raise BaseImageError(
+                    f"prelude expression {source!r} failed: {error}"
+                ) from error
+        if warmer.messages:
+            raise BaseImageError(
+                "prelude produced messages: " + "; ".join(warmer.messages)
+            )
+        #: the frozen layer; ``freeze`` pre-builds every dispatch index so
+        #: sessions share them instead of paying the first-call rebuild
+        self.definitions: Mapping[str, Definition] = warmer.state.freeze()
+        # the warming evaluator is discarded here — nothing holds a mutable
+        # handle to the frozen definitions
+
+    def __len__(self) -> int:
+        return len(self.definitions)
+
+    def create_state(self) -> KernelState:
+        """A fresh copy-on-write overlay state sharing this image."""
+        return KernelState(base=self.definitions)
+
+    def create_evaluator(
+        self,
+        recursion_limit: int = 1024,
+        iteration_limit: int = 4096,
+        compile_support: bool = True,
+        hotspot_threshold: Optional[int] = None,
+    ) -> Evaluator:
+        """A fully equipped session evaluator over a fresh overlay."""
+        evaluator = Evaluator(
+            recursion_limit=recursion_limit,
+            iteration_limit=iteration_limit,
+            state=self.create_state(),
+        )
+        if compile_support:
+            from repro.compiler import install_engine_support
+            from repro.runtime.hotspot import enable_hotspot
+
+            install_engine_support(evaluator)
+            if hotspot_threshold is not None:
+                evaluator.hotspot = None
+                enable_hotspot(evaluator, threshold=hotspot_threshold)
+        return evaluator

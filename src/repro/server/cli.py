@@ -1,0 +1,199 @@
+"""``python -m repro serve`` — the server's command-line front door.
+
+Two modes:
+
+* **network** (default): a newline-delimited-JSON TCP protocol.  Each
+  request line is ``{"expr": "...", "session": "...", "tenant": "..."}``
+  (``session`` defaults to one id per connection); special ops are
+  ``{"op": "stats"}``, ``{"op": "abort", "session": "..."}`` and
+  ``{"op": "ping"}``.  Each response line is the structured
+  :class:`~repro.server.core.Response` envelope.
+* **--loadgen / --chaos**: spin up an in-process server, drive it with
+  the load generator or the chaos harness, print the report, and (with
+  ``--dump-stats PATH``) write the full stats dump — the file
+  ``python -m repro --stats PATH`` renders as per-session tables.
+
+The protocol is deliberately line-oriented and dependency-free so a
+shell one-liner is a client::
+
+    printf '{"expr": "1 + 1"}\\n' | nc localhost 7311
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import itertools
+import json
+import sys
+from typing import Optional
+
+from repro.server.chaos import ChaosSpec, run_chaos
+from repro.server.core import EngineServer, ServerConfig
+from repro.server.loadgen import LoadSpec, run_load
+
+DEFAULT_PORT = 7311
+
+_connection_ids = itertools.count(1)
+
+
+def build_parser(parser: Optional[argparse.ArgumentParser] = None
+                 ) -> argparse.ArgumentParser:
+    if parser is None:
+        parser = argparse.ArgumentParser(prog="repro serve")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+    parser.add_argument("--prelude", metavar="FILE", default=None,
+                        help="file of definitions warmed into the shared "
+                        "base image (one expression per line)")
+    parser.add_argument("--max-concurrent", type=int, default=4)
+    parser.add_argument("--queue-limit", type=int, default=32)
+    parser.add_argument("--deadline", type=float, default=1.0,
+                        help="per-request deadline budget, seconds")
+    parser.add_argument("--dump-stats", metavar="PATH", default=None,
+                        help="write the server stats dump here on exit")
+    parser.add_argument("--loadgen", action="store_true",
+                        help="run the load generator in-process and exit")
+    parser.add_argument("--chaos", action="store_true",
+                        help="run the chaos harness in-process and exit")
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--requests", type=int, default=25,
+                        help="requests per client (loadgen/chaos)")
+    parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> ServerConfig:
+    from repro.server.admission import RequestBudget
+
+    prelude: tuple = ()
+    if args.prelude:
+        with open(args.prelude, "r", encoding="utf-8") as handle:
+            prelude = tuple(
+                line.strip() for line in handle
+                if line.strip() and not line.strip().startswith("#")
+            )
+    config = ServerConfig(
+        prelude=prelude,
+        max_concurrent=args.max_concurrent,
+        queue_limit=args.queue_limit,
+    )
+    config.budget = RequestBudget(deadline_seconds=args.deadline)
+    return config
+
+
+async def handle_connection(server: EngineServer,
+                            reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter) -> None:
+    default_session = f"conn{next(_connection_ids)}"
+
+    async def reply(payload: dict) -> None:
+        writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+        await writer.drain()
+
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            text = line.decode("utf-8", errors="replace").strip()
+            if not text:
+                continue
+            try:
+                request = json.loads(text)
+            except json.JSONDecodeError as error:
+                await reply({"ok": False,
+                             "error": {"kind": "BadRequest",
+                                       "message": str(error)}})
+                continue
+            op = request.get("op", "eval")
+            if op == "ping":
+                await reply({"ok": True, "result": "pong"})
+            elif op == "stats":
+                await reply({"ok": True, "stats": server.stats()})
+            elif op == "abort":
+                found = server.abort_session(
+                    request.get("session", default_session)
+                )
+                await reply({"ok": found})
+            elif op == "eval":
+                response = await server.submit(
+                    str(request.get("expr", "")),
+                    session_id=request.get("session", default_session),
+                    tenant=request.get("tenant"),
+                )
+                await reply(response.to_dict())
+            else:
+                await reply({"ok": False,
+                             "error": {"kind": "BadRequest",
+                                       "message": f"unknown op {op!r}"}})
+    except (asyncio.CancelledError, ConnectionResetError):
+        pass  # server shutdown or client gone: close quietly
+    finally:
+        writer.close()
+
+
+async def serve(config: ServerConfig, host: str, port: int,
+                dump_stats: Optional[str] = None) -> None:
+    engine = EngineServer(config=config)
+    tcp = await asyncio.start_server(
+        lambda r, w: handle_connection(engine, r, w), host, port
+    )
+    address = tcp.sockets[0].getsockname()
+    print(f"repro engine server listening on {address[0]}:{address[1]} "
+          f"({len(engine.base_image)} base definitions)")
+    try:
+        async with tcp:
+            await tcp.serve_forever()
+    finally:
+        if dump_stats:
+            engine.dump_stats(dump_stats)
+        await engine.close()
+
+
+def _print_report(title: str, report: dict) -> None:
+    print(title)
+    width = max(len(key) for key in report)
+    for key, value in report.items():
+        if isinstance(value, float):
+            value = f"{value:.6g}"
+        print(f"  {key:<{width}}  {value}")
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = config_from_args(args)
+    if args.loadgen:
+        spec = LoadSpec(clients=args.clients,
+                        requests_per_client=args.requests, seed=args.seed)
+        report, stats = run_load(config=config, spec=spec)
+        _print_report("load generator report:", report.to_dict())
+        if args.dump_stats:
+            _write_stats(args.dump_stats, stats)
+        return 0
+    if args.chaos:
+        spec = ChaosSpec(requests_per_client=args.requests, seed=args.seed)
+        report, stats = run_chaos(config=config, spec=spec)
+        _print_report("chaos report:", report.to_dict())
+        if args.dump_stats:
+            _write_stats(args.dump_stats, stats)
+        crashed = [sid for sid, info in stats["sessions"].items()
+                   if info["state"] == "crashed"]
+        return 1 if crashed else 0
+    try:
+        asyncio.run(serve(config, args.host, args.port,
+                          dump_stats=args.dump_stats))
+    except KeyboardInterrupt:
+        print("server stopped", file=sys.stderr)
+    return 0
+
+
+def _write_stats(path: str, stats: dict) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(stats, handle, indent=2)
+        handle.write("\n")
+    print(f"stats dump written to {path}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,60 @@
+"""Retry with exponential backoff and full jitter for transient failures.
+
+Only *transient* soft failures are retried — failure kinds the operator
+declares recoverable (an injected chaos fault, a transient resource blip).
+Guard expiries are never retried: a deadline that expired once is expired
+on every slower retry too, and step/memory budgets measure the request
+itself, not the weather.  Hard errors propagate immediately.
+
+Backoff follows the AWS "full jitter" scheme: attempt ``n`` sleeps a
+uniform random draw from ``[0, min(max_delay, base * 2^n)]``.  Jitter
+comes from a seeded per-policy :class:`random.Random`, so tests and the
+chaos suite replay identical schedules.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import FrozenSet
+
+from repro.errors import (
+    GUARD_EXCEPTIONS,
+    WolframRuntimeError,
+)
+
+#: failure kinds retried by default; "Injected" is the chaos harness's
+#: transient fault, "Transient" the conventional operator-facing kind
+DEFAULT_TRANSIENT_KINDS = frozenset({"Transient", "Injected"})
+
+
+@dataclass
+class RetryPolicy:
+    """How many times, how long, and what qualifies as transient."""
+
+    attempts: int = 3
+    base_delay: float = 0.01
+    max_delay: float = 0.25
+    transient_kinds: FrozenSet[str] = DEFAULT_TRANSIENT_KINDS
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def is_transient(self, error: BaseException) -> bool:
+        if isinstance(error, GUARD_EXCEPTIONS):
+            return False  # an expired budget stays expired
+        return (
+            isinstance(error, WolframRuntimeError)
+            and error.kind in self.transient_kinds
+        )
+
+    def delay(self, attempt: int) -> float:
+        """Full-jitter backoff for retry number ``attempt`` (1-based)."""
+        ceiling = min(self.max_delay, self.base_delay * (2 ** (attempt - 1)))
+        return self._rng.uniform(0.0, ceiling)
+
+    def schedule(self) -> list[float]:
+        """The delays a fully failing call would sleep (for reports)."""
+        return [self.delay(n) for n in range(1, self.attempts)]

@@ -1,0 +1,543 @@
+"""Unit tests for ``repro.server``: admission, breakers, retry,
+degradation, and the ``EngineServer`` request path."""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+
+import pytest
+
+from repro.errors import RejectedError, WolframTimeoutError
+from repro.errors import WolframRuntimeError
+from repro.runtime.guard import Tier
+from repro.server import (
+    AdmissionController,
+    BaseImage,
+    BaseImageError,
+    BreakerBoard,
+    DegradationManager,
+    EngineServer,
+    LoadSpec,
+    PressureLevel,
+    RequestBreaker,
+    RequestBudget,
+    RetryPolicy,
+    ServerConfig,
+    generate,
+)
+from repro.server.session import Outcome, SessionState
+
+
+def run_async(coroutine):
+    return asyncio.run(coroutine)
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# -- admission ---------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_budget_guard_and_scaling(self):
+        budget = RequestBudget(deadline_seconds=2.0, steps=1000,
+                               memory_bytes=4096)
+        guard = budget.make_guard(label="t")
+        assert guard.step_budget == 1000
+        assert guard.memory_budget == 4096
+        assert guard.remaining_time() is not None
+        scaled = budget.scaled(0.5)
+        assert scaled.deadline_seconds == 1.0
+        assert scaled.steps == 500
+        assert scaled.memory_bytes == 2048
+        unlimited = RequestBudget(None, None, None).scaled(0.25)
+        assert unlimited.deadline_seconds is None
+
+    def test_sheds_past_queue_limit(self):
+        async def scenario():
+            controller = AdmissionController(max_concurrent=1, queue_limit=1)
+            release = asyncio.Event()
+
+            async def occupant():
+                async with controller.slot():
+                    await release.wait()
+
+            async def waiter():
+                async with controller.slot():
+                    pass
+
+            holder = asyncio.ensure_future(occupant())
+            await asyncio.sleep(0.01)
+            queued = asyncio.ensure_future(waiter())
+            await asyncio.sleep(0.01)  # one waiting: the queue is full
+            with pytest.raises(RejectedError) as excinfo:
+                async with controller.slot():
+                    pass
+            assert excinfo.value.reason == "queue-full"
+            assert excinfo.value.retry_after > 0
+            release.set()
+            await holder
+            await queued
+            return controller
+
+        controller = run_async(scenario())
+        assert controller.shed == 1
+        assert controller.admitted == 2
+        assert controller.waiting == 0
+        assert controller.running == 0
+        assert controller.peak_queue_depth == 1
+
+    def test_rejected_error_envelope(self):
+        error = RejectedError("queue-full", "busy", retry_after=0.25,
+                              scope="s1")
+        payload = error.to_dict()
+        assert payload["reason"] == "queue-full"
+        assert payload["retry_after"] == 0.25
+        assert payload["scope"] == "s1"
+        assert payload["error"] == "RejectedError"
+
+
+# -- breakers ----------------------------------------------------------------
+
+
+class TestRequestBreaker:
+    def make(self, **kwargs):
+        clock = FakeClock()
+        defaults = dict(threshold=3, window=30.0, cooldown=1.0,
+                        max_cooldown=8.0, clock=clock)
+        defaults.update(kwargs)
+        return RequestBreaker("s1", **defaults), clock
+
+    def test_trips_at_threshold(self):
+        breaker, _clock = self.make()
+        breaker.record_failure("Timeout")
+        breaker.record_failure("Timeout")
+        breaker.admit()  # still closed
+        breaker.record_failure("Timeout")
+        with pytest.raises(RejectedError) as excinfo:
+            breaker.admit()
+        assert excinfo.value.reason == "session-breaker-open"
+        assert 0 < excinfo.value.retry_after <= 1.0
+
+    def test_half_open_probe_then_close(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure("Timeout")
+        clock.advance(1.5)
+        breaker.admit()  # the probe
+        assert breaker.state == "half-open"
+        with pytest.raises(RejectedError):
+            breaker.admit()  # only one probe at a time
+        breaker.record_success()
+        assert breaker.state == "closed"
+        breaker.admit()
+
+    def test_reopen_doubles_cooldown(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure("Timeout")
+        first = breaker.retry_after()
+        clock.advance(1.5)
+        breaker.admit()
+        breaker.record_failure("Timeout")  # the probe failed: re-open
+        second = breaker.retry_after()
+        assert second > first
+        assert second == pytest.approx(2.0)
+        # cap: repeated failures never exceed max_cooldown
+        for _ in range(6):
+            clock.advance(10.0)
+            breaker.admit()
+            breaker.record_failure("Timeout")
+        assert breaker.retry_after() <= 8.0
+
+    def test_rolling_window_ages_out_failures(self):
+        breaker, clock = self.make(window=5.0)
+        breaker.record_failure("Timeout")
+        breaker.record_failure("Timeout")
+        clock.advance(6.0)
+        breaker.record_failure("Timeout")  # the first two aged out
+        assert breaker.state == "closed"
+
+    def test_board_scopes_session_and_tenant(self):
+        clock = FakeClock()
+        board = BreakerBoard(session_threshold=2, tenant_threshold=4,
+                             clock=clock)
+        # two sessions of one tenant fail alternately: each session stays
+        # under its threshold... until it doesn't, and later the tenant trips
+        board.record("a", "acme", ok=False, kind="Timeout")
+        board.record("b", "acme", ok=False, kind="Timeout")
+        board.admit("a", "acme")
+        board.record("a", "acme", ok=False, kind="Timeout")
+        with pytest.raises(RejectedError) as excinfo:
+            board.admit("a", "acme")  # session a tripped (2 failures)
+        assert excinfo.value.reason == "session-breaker-open"
+        board.admit("b", "acme")  # b is still fine
+        board.record("b", "acme", ok=False, kind="Timeout")
+        with pytest.raises(RejectedError) as excinfo:
+            board.admit("c", "acme")  # 4 tenant-wide failures: tenant open
+        assert excinfo.value.reason == "tenant-breaker-open"
+        snapshot = board.snapshot()
+        assert snapshot["tenants"]["acme"]["state"] == "open"
+        board.drop_session("a")
+        assert "a" not in board.snapshot()["sessions"]
+
+
+# -- retry -------------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_transience_classification(self):
+        policy = RetryPolicy()
+        assert policy.is_transient(WolframRuntimeError("Transient", "x"))
+        assert policy.is_transient(WolframRuntimeError("Injected", "x"))
+        assert not policy.is_transient(WolframRuntimeError("Overflow", "x"))
+        assert not policy.is_transient(WolframTimeoutError("deadline"))
+
+    def test_deterministic_jittered_schedule(self):
+        first = RetryPolicy(attempts=4, seed=42).schedule()
+        second = RetryPolicy(attempts=4, seed=42).schedule()
+        assert first == second
+        assert len(first) == 3
+        assert all(0.0 <= delay <= 0.25 for delay in first)
+        assert RetryPolicy(attempts=4, seed=1).schedule() != first
+
+    def test_delay_ceiling_grows_then_caps(self):
+        policy = RetryPolicy(attempts=10, base_delay=0.01, max_delay=0.04,
+                             seed=0)
+        # the *ceiling* doubles per attempt then caps; sample many draws
+        draws = [max(policy.delay(attempt) for _ in range(200))
+                 for attempt in (1, 3, 9)]
+        assert draws[0] <= 0.01
+        assert draws[1] <= 0.04
+        assert draws[2] <= 0.04
+
+
+# -- degradation -------------------------------------------------------------
+
+
+class _StubSession:
+    def __init__(self, idle: float = 0.0, memory: int = 0):
+        self.idle = idle
+        self.memory = memory
+        self.caps: list = []
+        self.state = SessionState.IDLE
+
+    def apply_tier_cap(self, cap, reason=""):
+        self.caps.append(cap)
+        return 1 if self.caps and cap is not Tier.COMPILED else 0
+
+    def idle_seconds(self, now=None):
+        return self.idle
+
+    def memory_estimate(self):
+        return self.memory
+
+
+class TestDegradation:
+    def make(self):
+        reading = {"bytes": 0}
+        manager = DegradationManager(
+            soft_limit_bytes=1000, hard_limit_bytes=2000, idle_ttl=10.0,
+            memory_probe=lambda: reading["bytes"],
+        )
+        return manager, reading
+
+    def test_levels_and_budget_scale(self):
+        manager, reading = self.make()
+        sessions = {"s": _StubSession()}
+        control = manager.evaluate(sessions, now=0.0)
+        assert control["level"] is PressureLevel.NORMAL
+        assert control["budget_scale"] == 1.0
+        reading["bytes"] = 1500
+        control = manager.evaluate(sessions, now=0.0)
+        assert control["level"] is PressureLevel.ELEVATED
+        assert control["budget_scale"] == 0.5
+        assert sessions["s"].caps[-1] is Tier.BYTECODE
+        reading["bytes"] = 2500
+        control = manager.evaluate(sessions, now=0.0)
+        assert control["level"] is PressureLevel.CRITICAL
+        assert control["budget_scale"] == 0.25
+        assert sessions["s"].caps[-1] is Tier.INTERPRETER
+
+    def test_hysteresis_holds_level_near_boundary(self):
+        manager, reading = self.make()
+        sessions: dict = {}
+        reading["bytes"] = 1100
+        assert manager.evaluate(sessions)["level"] is PressureLevel.ELEVATED
+        reading["bytes"] = 950  # above soft*0.9: still elevated
+        assert manager.evaluate(sessions)["level"] is PressureLevel.ELEVATED
+        reading["bytes"] = 800  # below the hysteresis band: recovered
+        assert manager.evaluate(sessions)["level"] is PressureLevel.NORMAL
+
+    def test_critical_evicts_only_cold_sessions(self):
+        manager, reading = self.make()
+        cold = _StubSession(idle=60.0)
+        warm = _StubSession(idle=1.0)
+        reading["bytes"] = 3000
+        control = manager.evaluate({"cold": cold, "warm": warm}, now=0.0)
+        assert set(control["evict"]) == {"cold"}
+        assert manager.snapshot()["evicted"] == 1
+
+    def test_default_probe_sums_session_estimates(self):
+        manager = DegradationManager(soft_limit_bytes=100,
+                                     hard_limit_bytes=200)
+        sessions = {"a": _StubSession(memory=80), "b": _StubSession(memory=70)}
+        assert manager.pressure_bytes(sessions.values()) == 150
+        assert manager.evaluate(sessions)["level"] is PressureLevel.ELEVATED
+
+
+# -- the server core ---------------------------------------------------------
+
+
+class TestEngineServer:
+    def make(self, **overrides) -> EngineServer:
+        config = ServerConfig(prelude=("double[x_] := x * 2",))
+        for key, value in overrides.items():
+            setattr(config, key, value)
+        return EngineServer(config=config)
+
+    def test_submit_roundtrip_and_isolation(self):
+        async def scenario(server):
+            ok = await server.submit("double[21]", session_id="a")
+            masked = await server.submit("double[x_] := 0; double[21]",
+                                         session_id="b")
+            again = await server.submit("double[21]", session_id="a")
+            return ok, masked, again
+
+        server = self.make()
+        ok, masked, again = run_async(scenario(server))
+        assert (ok.ok, ok.result) == (True, "42")
+        assert masked.result == "0"
+        assert again.result == "42"
+        payload = ok.to_dict()
+        assert payload["ok"] and payload["result"] == "42"
+
+    def test_failures_are_soft_and_tracked(self):
+        async def scenario(server):
+            return await server.submit("missing[", session_id="a")
+
+        server = self.make()
+        response = run_async(scenario(server))
+        assert not response.ok
+        assert response.error["kind"]
+        session = server.sessions["a"]
+        assert session.state is SessionState.IDLE
+        assert session.stats.soft_failures == 1
+        assert session.snapshot()["failure_kinds"]
+
+    def test_guard_budget_enforced_per_request(self):
+        server = self.make()
+        server.config.budget = RequestBudget(
+            deadline_seconds=5.0, steps=2_000, memory_bytes=None
+        )
+
+        async def scenario():
+            runaway = await server.submit(
+                "Do[Length[Range[10]], {i, 100000}]", session_id="a"
+            )
+            healthy = await server.submit("double[2]", session_id="b")
+            return runaway, healthy
+
+        runaway, healthy = run_async(scenario())
+        assert not runaway.ok
+        assert healthy.ok  # one tenant's budget trip never hurts another
+
+    def test_session_limit_rejects(self):
+        server = self.make(max_sessions=1)
+
+        async def scenario():
+            await server.submit("1 + 1", session_id="a")
+            return await server.submit("1 + 1", session_id="b")
+
+        response = run_async(scenario())
+        assert response.rejected
+        assert response.error["reason"] == "session-limit"
+
+    def test_tenant_mismatch_rejects(self):
+        server = self.make()
+
+        async def scenario():
+            await server.submit("1", session_id="a", tenant="t1")
+            return await server.submit("2", session_id="a", tenant="t2")
+
+        response = run_async(scenario())
+        assert response.rejected
+        assert response.error["reason"] == "tenant-mismatch"
+
+    def test_breaker_opens_after_repeated_failures(self):
+        server = self.make(breaker_threshold=2)
+
+        async def scenario():
+            for _ in range(2):
+                await server.submit("oops[", session_id="a")
+            return await server.submit("1 + 1", session_id="a")
+
+        response = run_async(scenario())
+        assert response.rejected
+        assert response.error["reason"] == "session-breaker-open"
+        assert response.retry_after > 0
+
+    def test_transient_failures_retry_until_success(self, monkeypatch):
+        server = self.make()
+        server.config.retry = RetryPolicy(attempts=3, base_delay=0.001,
+                                          max_delay=0.002)
+        session = run_async(self._prime(server))
+        outcomes = [
+            Outcome(ok=False, error_kind="Transient", error_message="blip",
+                    transient=True),
+            Outcome(ok=False, error_kind="Transient", error_message="blip",
+                    transient=True),
+            Outcome(ok=True, value="42"),
+        ]
+        monkeypatch.setattr(type(session), "execute",
+                            lambda self, source, budget: outcomes.pop(0))
+        response = run_async(server.submit("whatever", session_id="a"))
+        assert response.ok and response.result == "42"
+        assert response.retries == 2
+        assert server.totals["retries"] == 2
+
+    def test_transient_failures_respect_attempt_bound(self, monkeypatch):
+        server = self.make()
+        server.config.retry = RetryPolicy(attempts=2, base_delay=0.001,
+                                          max_delay=0.002)
+        session = run_async(self._prime(server))
+        monkeypatch.setattr(
+            type(session), "execute",
+            lambda self, source, budget: Outcome(
+                ok=False, error_kind="Transient", error_message="blip",
+                transient=True,
+            ),
+        )
+        response = run_async(server.submit("whatever", session_id="a"))
+        assert not response.ok
+        assert response.retries == 1  # attempts=2 -> exactly one retry
+
+    async def _prime(self, server):
+        await server.submit("1 + 1", session_id="a")
+        return server.sessions["a"]
+
+    def test_guard_trips_never_retry(self):
+        server = self.make()
+        server.config.budget = RequestBudget(deadline_seconds=5.0,
+                                             steps=1_000, memory_bytes=None)
+
+        async def scenario():
+            return await server.submit("Do[i, {i, 100000}]", session_id="a")
+
+        response = run_async(scenario())
+        assert not response.ok
+        assert response.retries == 0
+
+    def test_degradation_demotes_and_evicts(self):
+        reading = {"bytes": 0}
+        config = ServerConfig()
+        server = EngineServer(config=config,
+                              memory_probe=lambda: reading["bytes"])
+        server.degrade.soft_limit_bytes = 1000
+        server.degrade.hard_limit_bytes = 2000
+        server.degrade.idle_ttl = 0.0
+
+        async def scenario():
+            await server.submit("1 + 1", session_id="old")
+            reading["bytes"] = 5000  # critical from here on
+            response = await server.submit("2 + 2", session_id="fresh")
+            return response
+
+        response = run_async(scenario())
+        assert response.ok
+        # the idle "old" session was evicted by the critical sweep; the
+        # session serving the request survived it
+        assert "old" not in server.sessions
+        assert "fresh" in server.sessions
+        assert "old" in server.stats()["evicted_sessions"]
+        assert server.sessions["fresh"].tier_cap is Tier.INTERPRETER
+
+    def test_stats_dump_shape(self, tmp_path):
+        server = self.make()
+        run_async(server.submit("double[2]", session_id="a", tenant="t"))
+        path = tmp_path / "dump.json"
+        server.dump_stats(str(path))
+        dump = json.loads(path.read_text())
+        assert dump["kind"] == "repro-server-stats"
+        assert dump["schema"] == 1
+        assert dump["requests"]["ok"] == 1
+        assert "a" in dump["sessions"]
+        assert dump["breakers"]["sessions"]["a"]["state"] == "closed"
+        assert dump["base_image_definitions"] >= 1
+
+    def test_base_image_rejects_bad_prelude(self):
+        with pytest.raises(BaseImageError):
+            BaseImage(prelude=("this is not [ valid",))
+
+
+# -- load generator ----------------------------------------------------------
+
+
+class TestLoadGenerator:
+    def test_deterministic_load_and_report_math(self):
+        from repro.server.loadgen import percentile
+
+        assert percentile([], 0.5) == 0.0
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+        assert percentile([3.0, 1.0, 2.0], 0.99) == 3.0
+
+        async def scenario():
+            server = EngineServer(config=ServerConfig())
+            spec = LoadSpec(clients=4, requests_per_client=6, seed=3)
+            report = await generate(server, spec)
+            await server.close()
+            return report
+
+        report = run_async(scenario())
+        assert report.requests == 24
+        assert report.ok == 24
+        assert report.shed_rate == 0.0
+        assert report.p99 >= report.p50 >= 0.0
+        payload = report.to_dict()
+        assert payload["throughput_rps"] > 0
+
+
+# -- the --stats DUMP renderer ----------------------------------------------
+
+
+class TestStatsRenderer:
+    def test_renders_tables_from_dump(self, tmp_path):
+        from repro.__main__ import main as repro_main
+
+        server = EngineServer(
+            config=ServerConfig(prelude=("double[x_] := x * 2",))
+        )
+
+        async def scenario():
+            await server.submit("double[4]", session_id="a", tenant="t1")
+            await server.submit("oops[", session_id="b", tenant="t2")
+
+        run_async(scenario())
+        path = tmp_path / "stats.json"
+        server.dump_stats(str(path))
+        out = io.StringIO()
+        assert repro_main(["--stats", str(path)], output=out) == 0
+        text = out.getvalue()
+        assert "-- sessions --" in text
+        assert "-- tenant breakers --" in text
+        assert "a" in text and "t1" in text
+        assert "-- failure kinds --" in text
+
+    def test_rejects_non_dump_files(self, tmp_path):
+        from repro.__main__ import main as repro_main
+
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"kind": "something-else"}))
+        out = io.StringIO()
+        assert repro_main(["--stats", str(path)], output=out) == 1
+        assert "not a repro server stats dump" in out.getvalue()

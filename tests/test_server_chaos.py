@@ -1,0 +1,181 @@
+"""The server chaos suite (``pytest -m chaos``; the CI ``server-chaos``
+job runs exactly this).
+
+Adversarial tenants — runaway loops, poisoned recursive definitions,
+memory spikes, mid-evaluation aborts — are driven through the normal
+request path alongside healthy traffic, and the suite asserts the
+server's containment invariants:
+
+* zero crashed sessions, ever;
+* healthy sessions keep completing while the chaos runs;
+* misbehaving sessions are isolated by their circuit breakers, healthy
+  breakers stay closed;
+* no cross-session definition leakage (a poisoned definition is
+  invisible everywhere but its own session);
+* the shed rate stays strictly below 100% — overload sheds, it never
+  blackholes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.server import (
+    ChaosSpec,
+    EngineServer,
+    RequestBudget,
+    RetryPolicy,
+    ServerConfig,
+    unleash,
+)
+
+pytestmark = pytest.mark.chaos
+
+
+def chaos_config() -> ServerConfig:
+    config = ServerConfig(
+        max_concurrent=2,
+        queue_limit=8,
+        breaker_threshold=3,
+        tenant_breaker_threshold=9,
+        breaker_cooldown=0.2,
+        prelude=("stable[x_] := x + 1",),
+    )
+    config.budget = RequestBudget(deadline_seconds=0.4, steps=200_000,
+                                  memory_bytes=8 * 1024 * 1024)
+    config.retry = RetryPolicy(attempts=2, base_delay=0.005, max_delay=0.02)
+    return config
+
+
+def run_chaos_round(seed: int, spec: ChaosSpec | None = None):
+    async def scenario():
+        server = EngineServer(config=chaos_config())
+        try:
+            report = await unleash(
+                server,
+                spec if spec is not None else ChaosSpec(
+                    adversaries=3, healthy_clients=3,
+                    requests_per_client=4, seed=seed,
+                ),
+            )
+            probes = {}
+            for index in range(3):
+                response = await server.submit(
+                    f"poison{index}[0]", session_id="leak-probe",
+                    tenant="auditor",
+                )
+                probes[index] = response
+            stats = server.stats()
+            return report, stats, probes
+        finally:
+            await server.close()
+
+    return asyncio.run(scenario())
+
+
+class TestChaosContainment:
+    def test_no_crashes_healthy_completes_breakers_isolate(self):
+        report, stats, probes = run_chaos_round(seed=1)
+
+        # 1. zero crashed sessions
+        crashed = [sid for sid, info in stats["sessions"].items()
+                   if info["state"] == "crashed"]
+        assert crashed == []
+        assert report.requests > 0
+
+        # 2. healthy sessions keep completing
+        assert report.healthy_requests > 0
+        assert report.healthy_success_rate >= 0.9
+
+        # 3. adversaries were contained, not served to completion
+        assert report.adversary_contained > 0
+
+        # 4. healthy breakers closed; the healthy tenant never tripped
+        breakers = stats["breakers"]["sessions"]
+        for session_id, info in breakers.items():
+            if session_id.startswith("good"):
+                assert info["state"] == "closed", session_id
+                assert info["times_opened"] == 0
+        tenant_breakers = stats["breakers"]["tenants"]
+        assert tenant_breakers["healthy"]["times_opened"] == 0
+
+        # 5. misbehaving sessions tripped at least one breaker
+        opened = [sid for sid, info in breakers.items()
+                  if info["times_opened"] > 0]
+        assert opened
+        assert all(sid.startswith("bad") for sid in opened)
+
+        # 6. shed rate strictly below 100%
+        assert 0.0 <= report.shed_rate < 1.0
+        assert stats["shed_rate"] < 1.0
+
+    def test_no_cross_session_definition_leakage(self):
+        report, stats, probes = run_chaos_round(seed=2)
+        poisoned = report.behaviour_counts.get("poison", 0)
+        # the auditor session must see every poison symbol as undefined:
+        # its call returns unevaluated (or is shed — never a recursion blow)
+        for index, response in probes.items():
+            if response.ok:
+                assert response.result == f"poison{index}[0]"
+            else:
+                assert response.rejected or response.error["kind"] in (
+                    "Aborted",
+                )
+        # and the poison stayed *somewhere*: sessions that defined it have
+        # overlay entries, the auditor has none for those symbols
+        if poisoned:
+            bad_overlays = [info["overlay_definitions"]
+                            for sid, info in stats["sessions"].items()
+                            if sid.startswith("bad")]
+            assert any(count > 0 for count in bad_overlays)
+
+    def test_abort_leaves_session_reusable(self):
+        async def scenario():
+            server = EngineServer(config=chaos_config())
+            try:
+                async def fire():
+                    await asyncio.sleep(0.05)
+                    server.abort_session("victim")
+
+                aborter = asyncio.ensure_future(fire())
+                slow = await server.submit(
+                    "Module[{acc = 0}, Do[acc = acc + i, {i, 2000000}]; acc]",
+                    session_id="victim",
+                )
+                await aborter
+                followup = await server.submit("1 + 1", session_id="victim")
+                return slow, followup, server.stats()
+            finally:
+                await server.close()
+
+        slow, followup, stats = asyncio.run(scenario())
+        assert not slow.ok  # aborted or budget-tripped, never served
+        assert followup.ok and followup.result == "2"
+        assert stats["sessions"]["victim"]["state"] == "idle"
+
+    def test_memory_spike_is_contained(self):
+        async def scenario():
+            server = EngineServer(config=chaos_config())
+            try:
+                spike = await server.submit(
+                    "Total[Table[i * i, {i, 400000}]]", session_id="hog",
+                )
+                healthy = await server.submit("stable[41]", session_id="ok")
+                return spike, healthy
+            finally:
+                await server.close()
+
+        spike, healthy = asyncio.run(scenario())
+        assert not spike.ok
+        assert spike.error["kind"] in ("BudgetExhausted", "Timeout")
+        assert healthy.ok and healthy.result == "42"
+
+    def test_chaos_is_deterministic_in_shape(self):
+        # same seed, same adversarial request sequence: the behaviour mix
+        # is identical run to run (latencies differ, the workload doesn't)
+        first, _, _ = run_chaos_round(seed=3)
+        second, _, _ = run_chaos_round(seed=3)
+        assert first.behaviour_counts == second.behaviour_counts
+        assert first.adversary_requests == second.adversary_requests

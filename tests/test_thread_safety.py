@@ -1,0 +1,228 @@
+"""Thread-safety regression tests for the runtime guard layer (S2).
+
+The server executes requests on a worker pool, so the process-wide
+structures requests share — the failure-log ring buffer, per-function
+circuit breakers, and the hotspot promotion table — are hammered here
+from many threads at once.  Before the locks these tests pin down, the
+races were: lost failure-log records, duplicated breaker demotion
+records, double-withdrawn promotions (KeyError), and torn tier counters.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.runtime.guard import (
+    DEFAULT_FAILURE_LOG_MAX,
+    CircuitBreaker,
+    FailureLog,
+    Tier,
+    failure_log_capacity_from_environment,
+)
+
+THREADS = 8
+ROUNDS = 200
+
+
+def hammer(worker, threads: int = THREADS):
+    """Run ``worker(index)`` in ``threads`` threads behind one barrier."""
+    barrier = threading.Barrier(threads)
+    errors: list = []
+
+    def entry(index: int) -> None:
+        barrier.wait()
+        try:
+            worker(index)
+        except Exception as error:  # pragma: no cover - the failure signal
+            errors.append(error)
+
+    pool = [threading.Thread(target=entry, args=(i,)) for i in range(threads)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    assert errors == []
+
+
+class TestFailureLogRing:
+    def test_bounded_capacity(self):
+        log = FailureLog(capacity=16)
+        for index in range(100):
+            log.record(f"f{index}", Tier.COMPILED, "Overflow", "boom")
+        records = log.records()
+        assert len(records) == 16
+        # the ring keeps the newest records
+        assert records[-1].function == "f99"
+        assert records[0].function == "f84"
+        # sequence numbers keep counting past evictions
+        assert records[-1].sequence == 100
+
+    def test_default_capacity_from_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAILURE_LOG_MAX", raising=False)
+        assert failure_log_capacity_from_environment() == \
+            DEFAULT_FAILURE_LOG_MAX
+        monkeypatch.setenv("REPRO_FAILURE_LOG_MAX", "7")
+        assert failure_log_capacity_from_environment() == 7
+        assert FailureLog().capacity == 7
+        monkeypatch.setenv("REPRO_FAILURE_LOG_MAX", "not-a-number")
+        assert failure_log_capacity_from_environment() == \
+            DEFAULT_FAILURE_LOG_MAX
+
+    def test_concurrent_records_none_lost(self):
+        log = FailureLog(capacity=THREADS * ROUNDS + 10)
+
+        def worker(index: int) -> None:
+            for round_number in range(ROUNDS):
+                log.record(f"t{index}", Tier.BYTECODE, "Overflow",
+                           f"r{round_number}")
+
+        hammer(worker)
+        assert len(log) == THREADS * ROUNDS
+        sequences = [record.sequence for record in log.records()]
+        assert sequences == sorted(sequences)
+        assert len(set(sequences)) == THREADS * ROUNDS
+
+    def test_concurrent_records_with_small_ring(self):
+        log = FailureLog(capacity=32)
+
+        def worker(index: int) -> None:
+            for round_number in range(ROUNDS):
+                log.record(f"t{index}", Tier.COMPILED, "Overflow",
+                           f"r{round_number}")
+                if round_number % 50 == 0:
+                    log.records(function=f"t{index}")  # reads interleave
+
+        hammer(worker)
+        assert len(log) == 32
+
+
+class TestCircuitBreakerThreads:
+    def test_exactly_one_demotion_per_tier(self):
+        log = FailureLog(capacity=10_000)
+        breaker = CircuitBreaker("hot", log=log, threshold=THREADS * ROUNDS)
+
+        def worker(index: int) -> None:
+            for _ in range(ROUNDS):
+                breaker.record_failure(Tier.COMPILED, "Overflow", "boom")
+
+        hammer(worker)
+        # every failure was counted (no torn increments)...
+        assert breaker.failures[Tier.COMPILED] == THREADS * ROUNDS
+        # ...and the threshold crossing demoted exactly once
+        demotions = [record for record in log.records()
+                     if record.transition is not None]
+        assert len(demotions) == 1
+        assert breaker.tier is Tier.BYTECODE
+
+    def test_concurrent_reset_and_failures(self):
+        breaker = CircuitBreaker("hot", log=FailureLog(capacity=64),
+                                 threshold=3)
+
+        def worker(index: int) -> None:
+            for _ in range(ROUNDS):
+                if index % 2:
+                    breaker.record_failure(Tier.COMPILED, "Overflow", "x")
+                else:
+                    breaker.reset()
+                    breaker.tripped(Tier.COMPILED)
+
+        hammer(worker)
+        assert breaker.tier in (Tier.COMPILED, Tier.BYTECODE)
+
+
+def _entry(name: str, tier: Tier):
+    from repro.runtime.hotspot import PromotedFunction
+
+    class _Artifact:
+        def __init__(self):
+            self.breaker = CircuitBreaker(name, log=FailureLog(capacity=4))
+
+        def __call__(self, *args):
+            return None
+
+    return PromotedFunction(
+        name=name, artifact=_Artifact(), tier_kind=tier.value,
+        gate_types=(), kinds=(), state_version=0, rules_list=[], rules=(),
+    )
+
+
+class TestHotspotTableThreads:
+    def _profiler(self):
+        from repro.runtime.hotspot import HotspotProfiler
+
+        return HotspotProfiler(threshold=5)
+
+    def test_concurrent_invalidate_and_demote(self):
+        profiler = self._profiler()
+
+        def refill() -> None:
+            with profiler._lock:
+                for name in ("f", "g", "h"):
+                    profiler.promoted[name] = _entry(name, Tier.COMPILED)
+
+        refill()
+
+        def worker(index: int) -> None:
+            for round_number in range(ROUNDS):
+                if index == 0 and round_number % 10 == 0:
+                    refill()
+                elif index % 3 == 0:
+                    profiler.demote_all(Tier.INTERPRETER, reason="test")
+                    profiler.demote_all(Tier.COMPILED, reason="recover")
+                elif index % 3 == 1:
+                    profiler.invalidate("f")
+                    profiler.invalidate("g")
+                else:
+                    profiler.invalidate("h")
+
+        hammer(worker)
+
+    def test_demote_all_caps_future_promotions(self):
+        profiler = self._profiler()
+        profiler.demote_all(Tier.INTERPRETER)
+        for _ in range(20):
+            # past the threshold, record() must hit the max_tier floor and
+            # return before touching evaluator/definition at all
+            profiler.record(None, "f", None, None)
+        assert profiler.promoted == {}
+        assert profiler.max_tier is Tier.INTERPRETER
+
+    def test_demote_all_reports_withdrawn_count(self):
+        profiler = self._profiler()
+        for name, tier in (("a", Tier.COMPILED), ("b", Tier.BYTECODE)):
+            profiler.promoted[name] = _entry(name, tier)
+        # capping at bytecode withdraws only the compiled entry
+        assert profiler.demote_all(Tier.BYTECODE) == 1
+        assert sorted(profiler.promoted) == ["b"]
+        assert profiler.demote_all(Tier.INTERPRETER) == 1
+        assert profiler.promoted == {}
+
+
+@pytest.mark.slow
+class TestGuardedSessionThreads:
+    def test_parallel_sessions_share_one_base(self):
+        """End-to-end: many worker threads each run a private session over
+        one frozen base, concurrently, with redefinitions in flight."""
+        from repro.engine import Evaluator
+        from repro.mexpr import full_form, parse
+        from repro.server import BaseImage
+
+        base = BaseImage(prelude=("mix[x_] := x * 2",))
+
+        def worker(index: int) -> None:
+            session = Evaluator(state=base.create_state())
+            for round_number in range(40):
+                value = session.evaluate(parse(f"mix[{round_number}]"))
+                expected = (round_number * 2 if index % 2 == 0
+                            else round_number * 3)
+                if index % 2 and round_number == 0:
+                    session.run("mix[x_] := x * 3")
+                    continue
+                if index % 2 and round_number > 0:
+                    assert full_form(value) == str(round_number * 3)
+                else:
+                    assert full_form(value) == str(expected)
+
+        hammer(worker)

@@ -350,28 +350,44 @@ class HotspotProfiler:
         if artifact is None:
             self._block(name, definition, "no tier accepted the definition")
             return
-        self.promoted[name] = PromotedFunction(
-            name=name,
-            artifact=artifact,
-            tier_kind=tier_kind,
-            gate_types=plan.gate_types,
-            kinds=plan.kinds,
-            state_version=evaluator.state.state_version,
-            rules_list=definition.down_values,
-            rules=tuple(definition.down_values),
-        )
-        self.events.append(
-            PromotionEvent(name, "promoted", tier_kind,
-                           f"after {self.counts[name]} applications")
-        )
+        with self._lock:
+            # compilation ran outside the lock; the server's degradation
+            # path may have lowered the cap meanwhile (``demote_all`` only
+            # withdraws entries already in the table).  Installing an
+            # over-cap artifact now would stick until the *next* cap
+            # change, so re-check and drop it instead.
+            if _TIER_RANK[Tier(tier_kind)] > _TIER_RANK[self.max_tier]:
+                self.events.append(
+                    PromotionEvent(name, "blocked", self.max_tier.value,
+                                   "tier cap lowered during promotion")
+                )
+                _observe.event("tier.blocked", "hotspot", symbol=name,
+                               reason="tier cap lowered during promotion")
+                return
+            self.promoted[name] = PromotedFunction(
+                name=name,
+                artifact=artifact,
+                tier_kind=tier_kind,
+                gate_types=plan.gate_types,
+                kinds=plan.kinds,
+                state_version=evaluator.state.state_version,
+                rules_list=definition.down_values,
+                rules=tuple(definition.down_values),
+            )
+            self.events.append(
+                PromotionEvent(name, "promoted", tier_kind,
+                               f"after {self.counts[name]} applications")
+            )
         _observe.event("tier.promote", "hotspot", symbol=name,
                        tier=tier_kind, applications=self.counts[name])
 
     def _block(self, name, definition, reason: str) -> None:
-        self._blocked[name] = tuple(definition.down_values)
-        self.events.append(
-            PromotionEvent(name, "blocked", Tier.INTERPRETER.value, reason)
-        )
+        with self._lock:
+            self._blocked[name] = tuple(definition.down_values)
+            self.events.append(
+                PromotionEvent(name, "blocked", Tier.INTERPRETER.value,
+                               reason)
+            )
         _observe.event("tier.blocked", "hotspot", symbol=name, reason=reason)
 
     def _compile_plan(self, evaluator, name, plan):

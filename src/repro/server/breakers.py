@@ -19,7 +19,11 @@ cannot starve healthy neighbours.
     (exponential backoff at the breaker level);
 ``half-open``
     after the cooldown one *probe* request is admitted; success closes the
-    breaker and resets the backoff, failure re-opens it.
+    breaker and resets the backoff, failure re-opens it.  A probe that is
+    admitted here but then rejected downstream (queue full, session limit,
+    tenant mismatch) reports neither success nor failure — the caller must
+    :meth:`~RequestBreaker.abandon_probe` it, or the breaker would stay
+    half-open with a phantom probe forever.
 
 The clock is injectable so tests drive the state machine deterministically.
 All transitions emit ``server.breaker`` events through :mod:`repro.observe`.
@@ -69,8 +73,14 @@ class RequestBreaker:
 
     # -- admission ----------------------------------------------------------
 
-    def admit(self) -> None:
-        """Raise :class:`RejectedError` unless a request may proceed."""
+    def admit(self) -> bool:
+        """Raise :class:`RejectedError` unless a request may proceed.
+
+        Returns whether this caller holds the half-open probe slot; a
+        probe-holding request that never reaches ``record_success`` /
+        ``record_failure`` (rejected downstream, internal error) must call
+        :meth:`abandon_probe` to hand the slot back.
+        """
         with self._lock:
             now = self.clock()
             if self.state == OPEN:
@@ -83,7 +93,7 @@ class RequestBreaker:
                     )
                 self._transition(HALF_OPEN)
                 self._probe_in_flight = True
-                return  # this caller is the probe
+                return True  # this caller is the probe
             if self.state == HALF_OPEN:
                 if self._probe_in_flight:
                     raise RejectedError(
@@ -94,6 +104,19 @@ class RequestBreaker:
                         scope=self.scope,
                     )
                 self._probe_in_flight = True
+                return True
+            return False
+
+    def abandon_probe(self) -> None:
+        """Release a held probe slot without recording an outcome.
+
+        The probe request was rejected before it could run, so it proved
+        nothing about the scope's health: stay half-open and let the next
+        admitted request become the probe instead.
+        """
+        with self._lock:
+            if self.state == HALF_OPEN and self._probe_in_flight:
+                self._probe_in_flight = False
 
     # -- outcome reporting --------------------------------------------------
 
@@ -215,11 +238,31 @@ class BreakerBoard:
                 )
             return breaker
 
-    def admit(self, session_id: str, tenant_id: Optional[str]) -> None:
-        """Tenant breaker first (the wider scope), then the session's."""
+    def admit(self, session_id: str,
+              tenant_id: Optional[str]) -> list[RequestBreaker]:
+        """Tenant breaker first (the wider scope), then the session's.
+
+        Returns the breakers whose half-open probe slot this request now
+        holds; the caller must either report an outcome through
+        :meth:`record` or :meth:`RequestBreaker.abandon_probe` each of
+        them.  If the session breaker refuses after the tenant breaker
+        granted its probe, the tenant probe is released here — otherwise
+        the tenant would stay half-open with a phantom probe.
+        """
+        probes: list[RequestBreaker] = []
         if tenant_id is not None:
-            self.tenant(tenant_id).admit()
-        self.session(session_id).admit()
+            tenant = self.tenant(tenant_id)
+            if tenant.admit():
+                probes.append(tenant)
+        session = self.session(session_id)
+        try:
+            if session.admit():
+                probes.append(session)
+        except RejectedError:
+            for breaker in probes:
+                breaker.abandon_probe()
+            raise
+        return probes
 
     def record(self, session_id: str, tenant_id: Optional[str],
                ok: bool, kind: str = "failure") -> None:

@@ -20,7 +20,9 @@ The request path is a small state machine (DESIGN.md §10)::
   are serialized by a per-session lock, so a session never races itself.
 * **retry** — transient soft failures re-run with exponential backoff and
   full jitter (:class:`~repro.server.retry.RetryPolicy`), never past the
-  attempt bound, never for guard expiries.
+  attempt bound, never for guard expiries.  Each attempt acquires its own
+  admission slot: a backoff sleep never pins worker capacity, and a retry
+  arriving into a saturated queue is shed like any other request.
 * **degrade** — every request ticks the
   :class:`~repro.server.degrade.DegradationManager`: under pressure
   sessions step compiled → bytecode → interpreter, and at critical
@@ -190,41 +192,59 @@ class EngineServer:
                 )
             except RejectedError as rejection:
                 return self._rejected(rejection, session_id, tenant, start)
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:
+                # the no-crash invariant holds at the protocol boundary even
+                # for faults the request path never classifies — e.g.
+                # ``run_in_executor`` racing ``close()``
+                self.totals["failed"] += 1
+                _observe.count("server.failures")
+                return Response(
+                    ok=False, session=session_id, tenant=tenant,
+                    error={
+                        "kind": "InternalError",
+                        "message": f"{type(error).__name__}: {error}",
+                    },
+                    latency_seconds=self.clock() - start,
+                )
 
     async def _submit_inner(self, source: str, session_id: str,
                             tenant: Optional[str], start: float) -> Response:
-        self.breakers.admit(session_id, tenant)
-        session = self._session(session_id, tenant)
-        pending = self._pending.get(session_id, 0)
-        if pending >= self.config.session_queue_limit:
-            self.admission.shed += 1
-            _observe.count("server.shed")
-            raise RejectedError(
-                "session-queue-full",
-                f"session {session_id!r} already has {pending} requests "
-                "queued",
-                retry_after=self.config.budget.deadline_seconds,
-                scope=session_id,
-            )
-        self._pending[session_id] = pending + 1
+        probes = self.breakers.admit(session_id, tenant)
         try:
-            lock = self._locks.setdefault(session_id, asyncio.Lock())
-            async with lock:
-                async with self.admission.slot():
-                    control = self.degrade.evaluate(self.sessions)
-                    self._apply_evictions(control["evict"], keep=session_id)
-                    budget = self.config.budget.scaled(
-                        control["budget_scale"]
-                    )
+            session = self._session(session_id, tenant)
+            pending = self._pending.get(session_id, 0)
+            if pending >= self.config.session_queue_limit:
+                self.admission.shed += 1
+                _observe.count("server.shed")
+                raise RejectedError(
+                    "session-queue-full",
+                    f"session {session_id!r} already has {pending} requests "
+                    "queued",
+                    retry_after=self.config.budget.deadline_seconds,
+                    scope=session_id,
+                )
+            self._pending[session_id] = pending + 1
+            try:
+                lock = self._locks.setdefault(session_id, asyncio.Lock())
+                async with lock:
                     outcome, retries = await self._run_with_retries(
-                        session, source, budget
+                        session, source
                     )
-        finally:
-            remaining = self._pending.get(session_id, 1) - 1
-            if remaining:
-                self._pending[session_id] = remaining
-            else:
-                self._pending.pop(session_id, None)
+            finally:
+                remaining = self._pending.get(session_id, 1) - 1
+                if remaining:
+                    self._pending[session_id] = remaining
+                else:
+                    self._pending.pop(session_id, None)
+        except BaseException:
+            # rejected (or crashed, or cancelled) before the breakers could
+            # see an outcome: any half-open probe slot this request holds
+            # must be handed back, or the scope stays locked out forever
+            for breaker in probes:
+                breaker.abandon_probe()
+            raise
 
         latency = self.clock() - start
         # aborts are client-initiated, not server failures: they complete
@@ -250,15 +270,23 @@ class EngineServer:
             retries=retries, latency_seconds=latency,
         )
 
-    async def _run_with_retries(self, session: Session, source: str,
-                                budget: RequestBudget):
+    async def _run_with_retries(self, session: Session, source: str):
         policy = self.config.retry
         loop = asyncio.get_running_loop()
         attempt = 1
         while True:
-            outcome = await loop.run_in_executor(
-                self._pool(), session.execute, source, budget
-            )
+            # the admission slot is held only while the attempt actually
+            # runs: a backoff sleep must not pin a worker slot during
+            # exactly the overload that made the attempt fail.  Each
+            # attempt re-reads the pressure controls, so a retry admitted
+            # into a degraded server gets the degraded budget.
+            async with self.admission.slot():
+                control = self.degrade.evaluate(self.sessions)
+                self._apply_evictions(control["evict"], keep=session.id)
+                budget = self.config.budget.scaled(control["budget_scale"])
+                outcome = await loop.run_in_executor(
+                    self._pool(), session.execute, source, budget
+                )
             retryable = (
                 not outcome.ok
                 and not outcome.aborted
@@ -341,11 +369,17 @@ class EngineServer:
 
     def abort_session(self, session_id: str) -> bool:
         """Request a mid-evaluation abort of the session's running request
-        (the server-side F3); thread-safe, returns whether the id exists."""
+        (the server-side F3); thread-safe, returns whether the id exists.
+
+        An abort only makes sense against a *running* evaluation: setting
+        the flag on an idle session would linger until its next request
+        starts and spuriously abort that unrelated work, so it is dropped.
+        """
         session = self.sessions.get(session_id)
         if session is None:
             return False
-        session.evaluator.request_abort()
+        if session.state is SessionState.RUNNING:
+            session.evaluator.request_abort()
         return True
 
     # -- reporting ----------------------------------------------------------

@@ -168,6 +168,42 @@ class TestRequestBreaker:
         breaker.record_failure("Timeout")  # the first two aged out
         assert breaker.state == "closed"
 
+    def test_admit_reports_probe_and_abandon_releases_it(self):
+        breaker, clock = self.make()
+        assert breaker.admit() is False  # closed: no probe involved
+        for _ in range(3):
+            breaker.record_failure("Timeout")
+        clock.advance(1.5)
+        assert breaker.admit() is True  # this caller is the probe
+        assert breaker.state == "half-open"
+        breaker.abandon_probe()
+        # the slot is free again: the next caller becomes the probe instead
+        assert breaker.admit() is True
+        breaker.record_success()
+        assert breaker.state == "closed"
+        breaker.abandon_probe()  # no probe held: a no-op, never an error
+        assert breaker.state == "closed"
+
+    def test_tenant_probe_released_when_session_breaker_rejects(self):
+        clock = FakeClock()
+        board = BreakerBoard(session_threshold=1, tenant_threshold=1,
+                             cooldown=1.0, clock=clock)
+        board.record("b", "acme", ok=False, kind="Timeout")  # trips both
+        clock.advance(2.0)  # tenant cooldown elapsed...
+        board.record("a", None, ok=False, kind="Timeout")  # session a opens
+        # tenant grants its half-open probe, then session a refuses: the
+        # tenant probe must be handed back, not leak in flight forever
+        with pytest.raises(RejectedError) as excinfo:
+            board.admit("a", "acme")
+        assert excinfo.value.reason == "session-breaker-open"
+        assert board.tenant("acme").state == "half-open"
+        clock.advance(1.5)  # session a's cooldown elapses too
+        probes = board.admit("a", "acme")  # would raise before the fix
+        assert {probe.kind for probe in probes} == {"session", "tenant"}
+        board.record("a", "acme", ok=True)
+        assert board.tenant("acme").state == "closed"
+        assert board.session("a").state == "closed"
+
     def test_board_scopes_session_and_tenant(self):
         clock = FakeClock()
         board = BreakerBoard(session_threshold=2, tenant_threshold=4,
@@ -387,6 +423,48 @@ class TestEngineServer:
         assert response.error["reason"] == "session-breaker-open"
         assert response.retry_after > 0
 
+    def test_probe_released_when_rejected_downstream(self):
+        # the review scenario: breaker opens, cooldown elapses while the
+        # session queue is still full, the half-open probe is shed — the
+        # probe slot must come back, or the session is locked out forever
+        clock = FakeClock()
+        config = ServerConfig(breaker_threshold=1, breaker_cooldown=1.0)
+        server = EngineServer(config=config, clock=clock)
+
+        async def scenario():
+            tripped = await server.submit("oops[", session_id="a")
+            assert not tripped.ok
+            clock.advance(2.0)  # cooldown elapsed: next admit is the probe
+            server._pending["a"] = config.session_queue_limit  # queue full
+            shed = await server.submit("1", session_id="a")
+            assert shed.rejected
+            assert shed.error["reason"] == "session-queue-full"
+            server._pending.pop("a")  # the queue drains
+            return await server.submit("1 + 1", session_id="a")
+
+        recovered = run_async(scenario())
+        assert recovered.ok and recovered.result == "2"
+        assert server.breakers.session("a").state == "closed"
+
+    def test_probe_released_when_tenant_mismatch_rejects(self):
+        clock = FakeClock()
+        config = ServerConfig(breaker_threshold=1, breaker_cooldown=1.0)
+        server = EngineServer(config=config, clock=clock)
+
+        async def scenario():
+            await server.submit("1", session_id="a", tenant="t1")
+            tripped = await server.submit("oops[", session_id="a",
+                                          tenant="t1")
+            assert not tripped.ok
+            clock.advance(2.0)
+            # the probe is admitted, then rejected by the tenant check
+            mismatch = await server.submit("1", session_id="a", tenant="t2")
+            assert mismatch.error["reason"] == "tenant-mismatch"
+            return await server.submit("1 + 1", session_id="a", tenant="t1")
+
+        recovered = run_async(scenario())
+        assert recovered.ok and recovered.result == "2"
+
     def test_transient_failures_retry_until_success(self, monkeypatch):
         server = self.make()
         server.config.retry = RetryPolicy(attempts=3, base_delay=0.001,
@@ -425,6 +503,62 @@ class TestEngineServer:
     async def _prime(self, server):
         await server.submit("1 + 1", session_id="a")
         return server.sessions["a"]
+
+    def test_retry_backoff_does_not_hold_admission_slot(self, monkeypatch):
+        server = self.make()
+        server.config.retry = RetryPolicy(attempts=3, base_delay=0.001,
+                                          max_delay=0.002)
+        session = run_async(self._prime(server))
+        outcomes = [
+            Outcome(ok=False, error_kind="Transient", error_message="blip",
+                    transient=True),
+            Outcome(ok=False, error_kind="Transient", error_message="blip",
+                    transient=True),
+            Outcome(ok=True, value="42"),
+        ]
+        monkeypatch.setattr(type(session), "execute",
+                            lambda self, source, budget: outcomes.pop(0))
+        real_sleep = asyncio.sleep
+        slots_held_during_backoff = []
+
+        async def spying_sleep(delay, *args, **kwargs):
+            slots_held_during_backoff.append(server.admission.running)
+            await real_sleep(0)
+
+        monkeypatch.setattr(asyncio, "sleep", spying_sleep)
+        response = run_async(server.submit("whatever", session_id="a"))
+        assert response.ok and response.retries == 2
+        # both backoff sleeps ran with zero worker slots pinned
+        assert slots_held_during_backoff == [0, 0]
+
+    def test_abort_on_idle_session_does_not_poison_next_request(self):
+        server = self.make()
+        run_async(server.submit("1 + 1", session_id="a"))
+        # the session is idle: the abort targets nothing and must be
+        # dropped, not left armed for the next unrelated request
+        assert server.abort_session("a") is True
+        assert server.abort_session("missing") is False
+        response = run_async(server.submit("double[3]", session_id="a"))
+        assert response.ok and response.result == "6"
+        assert server.sessions["a"].stats.aborted == 0
+
+    def test_submit_never_raises_on_internal_error(self, monkeypatch):
+        server = self.make()
+        session = run_async(self._prime(server))
+
+        def explode(self, source, budget):
+            raise RuntimeError("cannot schedule new futures after shutdown")
+
+        monkeypatch.setattr(type(session), "execute", explode)
+        response = run_async(server.submit("1", session_id="a"))
+        assert not response.ok
+        assert response.error["kind"] == "InternalError"
+        assert "RuntimeError" in response.error["message"]
+        assert server.totals["failed"] == 1
+        # the protocol boundary stayed intact: the next request still works
+        monkeypatch.undo()
+        healthy = run_async(server.submit("double[4]", session_id="a"))
+        assert healthy.ok and healthy.result == "8"
 
     def test_guard_trips_never_retry(self):
         server = self.make()

@@ -189,6 +189,54 @@ class TestHotspotTableThreads:
         assert profiler.promoted == {}
         assert profiler.max_tier is Tier.INTERPRETER
 
+    def test_promotion_install_rechecks_cap_lowered_mid_compile(self,
+                                                                monkeypatch):
+        """A promotion compiling while ``demote_all`` lowers the cap must
+        not install an over-cap artifact: ``demote_all`` only withdraws
+        entries already in the table, so a late install would stick until
+        the *next* cap change."""
+        from repro.runtime.hotspot import HotspotProfiler, _Plan
+
+        class _Definition:
+            down_values: list = []
+
+        class _State:
+            state_version = 0
+
+        class _Evaluator:
+            state = _State()
+
+        def scenario(lower_cap_mid_compile: bool) -> HotspotProfiler:
+            profiler = HotspotProfiler(threshold=5)
+            plan = _Plan(parameters=("x",), kinds=("i",), gate_types=(int,),
+                         body=None, recursive=False)
+            monkeypatch.setattr(
+                profiler, "_synthesize",
+                lambda name, definition, expression: plan,
+            )
+
+            def compile_plan(evaluator, name, the_plan):
+                if lower_cap_mid_compile:
+                    profiler.demote_all(Tier.BYTECODE, reason="pressure")
+                return _entry(name, Tier.COMPILED).artifact, "compiled"
+
+            monkeypatch.setattr(profiler, "_compile_plan", compile_plan)
+            profiler.counts["f"] = 5
+            profiler._attempt_promotion_inner(
+                _Evaluator(), "f", _Definition(), None
+            )
+            return profiler
+
+        # sanity: without the concurrent demotion the entry installs
+        untouched = scenario(lower_cap_mid_compile=False)
+        assert "f" in untouched.promoted
+
+        raced = scenario(lower_cap_mid_compile=True)
+        assert "f" not in raced.promoted
+        blocked = [event for event in raced.events
+                   if event.action == "blocked"]
+        assert blocked and "cap lowered" in blocked[0].detail
+
     def test_demote_all_reports_withdrawn_count(self):
         profiler = self._profiler()
         for name, tier in (("a", Tier.COMPILED), ("b", Tier.BYTECODE)):

@@ -1,0 +1,103 @@
+"""Template-JIT baseline tier: microsecond compile latency (the tier's
+entire reason to exist) and steady-state code quality.
+
+Two hard CI gates ride with the timings:
+
+* **compile latency**: stitching a kernel must be at least 10x faster than
+  running the full ``FunctionCompile`` pipeline on the same kernel — the
+  copy-and-patch tradeoff (no optimization pipeline, no regalloc beyond
+  slot numbering) has to actually buy its latency;
+* **code quality floor**: the stitched code must beat the bytecode
+  interpreter on the Figure-2 kernels it covers, with identical answers —
+  a baseline tier slower than the tier below it would be pure overhead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchsuite import data as workloads
+from repro.benchsuite import programs
+from repro.bytecode import compile_function
+from repro.compiler import FunctionCompile
+from repro.mexpr import parse
+from repro.perflab import stats
+from repro.template_jit import compile_template_function
+
+#: the ISSUE's acceptance floor: template compile >= 10x below full pipeline
+LATENCY_FLOOR = 10.0
+
+KERNELS = ("fnv1a", "mandelbrot", "histogram", "blur")
+
+
+def _sources(name: str):
+    specs = parse(getattr(programs, f"BYTECODE_{name.upper()}_SPECS"))
+    body = parse(getattr(programs, f"BYTECODE_{name.upper()}_BODY"))
+    return specs, body, getattr(programs, f"NEW_{name.upper()}")
+
+
+@pytest.mark.parametrize("name", KERNELS)
+def test_template_stitch_time(benchmark, name):
+    specs, body, _ = _sources(name)
+    artifact = benchmark(lambda: compile_template_function(specs, body))
+    assert artifact is not None
+
+
+@pytest.mark.parametrize("name", KERNELS)
+def test_template_latency_gate(name):
+    """Stitching must be >= 10x faster than the optimizing pipeline."""
+    specs, body, new_source = _sources(name)
+    s_template, _ = stats.measure(compile_template_function, specs, body,
+                                  repeats=3, warmup=1, inner=5)
+    s_full, _ = stats.measure(FunctionCompile, new_source,
+                              repeats=3, warmup=0)
+    ratio = s_full.best / s_template.best
+    assert ratio >= LATENCY_FLOOR, (
+        f"{name}: template stitch only {ratio:.1f}x faster than the full "
+        f"pipeline (floor {LATENCY_FLOOR}x): "
+        f"{s_template.best * 1e6:.0f}us vs {s_full.best * 1e3:.1f}ms"
+    )
+
+
+def test_template_beats_bytecode_interpreter(sizes):
+    """Steady state: stitched code outruns the VM on every covered kernel,
+    with identical answers."""
+    codes = list(workloads.fnv_string(sizes.fnv_length).encode("utf-8"))
+    histogram = workloads.histogram_data(sizes.histogram_length)
+    points = workloads.mandelbrot_points(sizes.mandel_resolution)
+    arms = {
+        "fnv1a": lambda kernel: kernel(codes),
+        "histogram": lambda kernel: kernel(histogram),
+        "mandelbrot": lambda kernel: sum(kernel(p) for p in points),
+    }
+    for name, drive in arms.items():
+        specs, body, _ = _sources(name)
+        template = compile_template_function(specs, body)
+        bytecode = compile_function(specs, body)
+        assert drive(template) == drive(bytecode), name
+        t_template = stats.best_of(drive, template, repeats=3, warmup=1)
+        t_bytecode = stats.best_of(drive, bytecode, repeats=3, warmup=1)
+        assert t_template < t_bytecode, (
+            f"{name}: stitched code ({t_template * 1e3:.2f}ms) does not "
+            f"beat the bytecode VM ({t_bytecode * 1e3:.2f}ms)"
+        )
+
+
+def test_template_compile_report(capsys):
+    """Prints the per-kernel stitch/pipeline latency table (CI artifact)."""
+    rows = []
+    for name in KERNELS:
+        specs, body, new_source = _sources(name)
+        s_template, _ = stats.measure(compile_template_function, specs,
+                                      body, repeats=3, warmup=1, inner=5)
+        s_full, _ = stats.measure(FunctionCompile, new_source,
+                                  repeats=3, warmup=0)
+        rows.append((name, s_template.best, s_full.best,
+                     s_full.best / s_template.best))
+    with capsys.disabled():
+        print("\nTier-up latency (template stitch vs full pipeline):")
+        print(f"  {'kernel':<12} {'template':>10} {'full':>10} {'ratio':>8}")
+        for name, t_tpl, t_full, ratio in rows:
+            print(f"  {name:<12} {t_tpl * 1e6:>8.0f}us "
+                  f"{t_full * 1e3:>8.1f}ms {ratio:>7.1f}x")
+    assert all(ratio >= LATENCY_FLOOR for *_rest, ratio in rows)

@@ -89,6 +89,14 @@ def _print_session_stats(session, out) -> None:
             out.write(
                 f"{name:<20} {count:>12} {status:<20} {tier:<12} {hits:>9}\n"
             )
+        compile_times = hotspot.compile_time_table()
+        if compile_times:
+            out.write("compile time by tier:\n")
+            for tier_kind, promotions, seconds in compile_times:
+                out.write(
+                    f"  {tier_kind:<10} {promotions:>3} promotion(s) "
+                    f"{seconds * 1000:>10.2f} ms total\n"
+                )
     out.write("\n-- guarded execution statistics --\n")
     compiled = session.extensions.get(_ENGINE_TABLE_KEY, {})
     bytecode = session.extensions.get("bytecode_compiled_functions", {})

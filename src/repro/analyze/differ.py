@@ -1,17 +1,18 @@
-"""Differential-testing oracle: three tiers, one answer (``pytest -m differential``).
+"""Differential-testing oracle: four tiers, one answer (``pytest -m differential``).
 
-The reproduction has three ways to run a program — the interpreter
+The reproduction has four ways to run a program — the interpreter
 (:class:`~repro.engine.Evaluator`), the legacy bytecode VM
-(:func:`repro.bytecode.compile_function`), and the new compiler
-(:func:`repro.compiler.FunctionCompile`).  §2.2's compatibility constraint
-says they must agree wherever their subsets overlap.  This module checks
-that mechanically:
+(:func:`repro.bytecode.compile_function`), the template-JIT baseline
+(:func:`repro.template_jit.compile_template_function`), and the new
+compiler (:func:`repro.compiler.FunctionCompile`).  §2.2's compatibility
+constraint says they must agree wherever their subsets overlap.  This
+module checks that mechanically:
 
 * a **seeded generator** (plain :mod:`random`, no external dependency)
   builds terminating statement programs over the common compilable subset —
   integer kernels (arithmetic, ``Mod``/``Abs``/``Min``/``Max``, bounded
   ``While``, ``If``) and real kernels (``Sin``/``Cos`` keep values bounded);
-* each program runs on **all three tiers** with the same argument;
+* each program runs on **all four tiers** with the same argument;
 * results are compared exactly for integers and with an
   :func:`math.isclose` tolerance for reals (the tiers may legitimately
   differ in float summation order);
@@ -38,7 +39,7 @@ from typing import Optional
 #: re-association across tiers, tight enough to catch real bugs
 REAL_TOLERANCE = 1e-8
 
-_TIERS = ("interpreter", "bytecode", "compiled")
+_TIERS = ("interpreter", "bytecode", "template", "compiled")
 
 
 # -- program specs -----------------------------------------------------------
@@ -301,6 +302,17 @@ class DifferentialOracle:
         pattern = "_Integer" if kind == "integer" else "_Real"
         compiled = compile_function(
             parse(f"{{{{x, {pattern}}}}}"), parse(body), self._evaluator
+        )
+        return compiled(argument)
+
+    def _run_template(self, kind: str, body: str, argument):
+        from repro.mexpr import parse
+        from repro.template_jit import compile_template_function
+
+        pattern = "_Integer" if kind == "integer" else "_Real"
+        compiled = compile_template_function(
+            parse(f"{{{{x, {pattern}}}}}"), parse(body),
+            evaluator=self._evaluator,
         )
         return compiled(argument)
 

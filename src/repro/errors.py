@@ -185,6 +185,16 @@ class BytecodeCompilerError(CompilerError):
     """
 
 
+class TemplateCompilerError(CompilerError):
+    """The template-JIT baseline tier could not stitch the program.
+
+    Deliberately common: the tier trades coverage for microsecond compile
+    latency, so anything outside its stencil table (function values,
+    strings, higher-order iteration constructs) raises this and the caller
+    falls through to the full pipeline or the interpreter.
+    """
+
+
 class MacroExpansionError(CompilerError):
     """A macro rule failed to apply or expansion did not terminate."""
 

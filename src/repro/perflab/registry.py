@@ -502,6 +502,131 @@ def _compile_time_probe(config: RunConfig) -> None:
     FunctionCompile(programs.NEW_FNV1A)  # pipeline.pass.<name> histograms
 
 
+# -- template-JIT baseline: tier-up latency and steady state -----------------
+
+
+#: Figure-2 kernels with a constant-free bytecode lowering — the common
+#: subset all three compilers accept from the same specs/body pair
+_TEMPLATE_KERNELS = ("fnv1a", "mandelbrot", "histogram", "blur")
+
+
+def _template_sources(name: str):
+    from repro.benchsuite import programs
+    from repro.mexpr import parse
+
+    specs = parse(getattr(programs, f"BYTECODE_{name.upper()}_SPECS"))
+    body = parse(getattr(programs, f"BYTECODE_{name.upper()}_BODY"))
+    return specs, body, getattr(programs, f"NEW_{name.upper()}")
+
+
+def _template_latency_run(config: RunConfig) -> SpecResult:
+    """Tier-up latency: the template stitcher's single linear pass vs the
+    full ``FunctionCompile`` pipeline, per kernel.  ``verified`` asserts
+    the baseline tier's whole reason to exist — compile latency at least
+    10x below the optimizing pipeline on every kernel."""
+    from repro.compiler import FunctionCompile
+    from repro.template_jit import compile_template_function
+
+    measurements: dict = {}
+    ratios: dict = {}
+    for name in _TEMPLATE_KERNELS:
+        specs, body, new_source = _template_sources(name)
+        s_template, artifact = stats.measure(
+            compile_template_function, specs, body,
+            repeats=config.repeats, warmup=1, inner=5,
+        )
+        s_full, compiled = stats.measure(
+            FunctionCompile, new_source,
+            repeats=config.repeats, warmup=0,
+        )
+        assert artifact is not None and compiled is not None
+        measurements[f"{name}_template_seconds"] = (
+            s_template.as_measurement()
+        )
+        full = s_full.as_measurement()
+        full["gate"] = False  # compiler.compile_time owns this trajectory
+        measurements[f"{name}_full_seconds"] = full
+        ratio = stats.ratio_sample(s_full, s_template).as_measurement(
+            direction="higher")
+        ratio["gate"] = False  # the quotient of two gated arms
+        measurements[f"{name}_latency_ratio"] = ratio
+        ratios[name] = s_full.best / s_template.best
+    return SpecResult(
+        measurements,
+        meta={
+            "kernels": list(_TEMPLATE_KERNELS),
+            "latency_ratios": {k: round(v, 1) for k, v in ratios.items()},
+            "gate": "template compile latency >= 10x below full pipeline",
+        },
+        verified=all(value >= 10.0 for value in ratios.values()),
+    )
+
+
+def _template_latency_probe(config: RunConfig) -> None:
+    from repro.template_jit import compile_template_function
+
+    specs, body, _ = _template_sources("fnv1a")
+    compile_template_function(specs, body)  # template.compile span
+
+
+def _template_throughput_run(config: RunConfig) -> SpecResult:
+    """Steady-state quality of the stitched code: the template tier must
+    beat the bytecode interpreter on the Figure-2 kernels it covers (the
+    rung would be pointless below it), while agreeing on every answer."""
+    from repro.benchsuite import data as workloads
+    from repro.bytecode import compile_function
+    from repro.template_jit import compile_template_function
+
+    sizes = workloads.figure2_sizes(config.scale)
+    codes = list(workloads.fnv_string(sizes.fnv_length).encode("utf-8"))
+    histogram = workloads.histogram_data(sizes.histogram_length)
+    points = workloads.mandelbrot_points(sizes.mandel_resolution)
+
+    def drive_mandelbrot(kernel):
+        return sum(kernel(point) for point in points)
+
+    arms = {
+        "fnv1a": lambda kernel: kernel(codes),
+        "histogram": lambda kernel: kernel(histogram),
+        "mandelbrot": drive_mandelbrot,
+    }
+    measurements: dict = {}
+    verified = True
+    speedups: dict = {}
+    for name, drive in arms.items():
+        specs, body, _ = _template_sources(name)
+        template = compile_template_function(specs, body)
+        bytecode = compile_function(specs, body)
+        verified = verified and drive(template) == drive(bytecode)
+        s_template, _ = stats.measure(drive, template,
+                                      repeats=config.repeats,
+                                      warmup=config.warmup)
+        s_bytecode, _ = stats.measure(drive, bytecode,
+                                      repeats=config.repeats,
+                                      warmup=config.warmup)
+        measurements[f"{name}_template_seconds"] = (
+            s_template.as_measurement()
+        )
+        bc = s_bytecode.as_measurement()
+        bc["gate"] = False  # figure2.<name> owns the VM trajectory
+        measurements[f"{name}_bytecode_seconds"] = bc
+        factor = stats.ratio_sample(s_bytecode, s_template).as_measurement(
+            direction="higher")
+        factor["gate"] = False
+        measurements[f"{name}_speedup_over_vm"] = factor
+        speedups[name] = s_bytecode.best / s_template.best
+        verified = verified and speedups[name] > 1.0
+    return SpecResult(
+        measurements,
+        meta={
+            "speedups_over_vm": {k: round(v, 2)
+                                 for k, v in speedups.items()},
+            "gate": "stitched code beats the bytecode interpreter",
+        },
+        verified=verified,
+    )
+
+
 # -- the engine server under load --------------------------------------------
 
 
@@ -613,6 +738,15 @@ def _specs() -> tuple:
         BenchSpec("compiler.compile_time", "compiler", "compiler",
                   "compile time per Figure-2 program (§5)",
                   _compile_time_run, _compile_time_probe, smoke=True),
+        BenchSpec("compiler.template_latency", "compiler", "compiler",
+                  "tier-up latency: template stitch vs full pipeline "
+                  "(gate: >=10x faster)",
+                  _template_latency_run, _template_latency_probe,
+                  smoke=True),
+        BenchSpec("compiler.template_throughput", "compiler", "compiler",
+                  "steady-state template code vs the bytecode VM "
+                  "(Figure-2 kernels)",
+                  _template_throughput_run, smoke=True),
         BenchSpec("server.loadgen", "server", "server",
                   "multi-session server under load (p50/p99, shed rate)",
                   _server_load_run, _server_load_probe),

@@ -254,16 +254,29 @@ def charge_memory(nbytes: int) -> None:
 
 
 class Tier(Enum):
-    """The three execution tiers, fastest first."""
+    """The execution tiers, fastest first.
+
+    ``TEMPLATE`` is the baseline-compiler rung introduced by the hotspot
+    ladder (copy-and-patch stitched Python, microsecond compile latency):
+    faster than the bytecode VM at steady state, far cheaper than the full
+    pipeline at compile time.  Standalone ``FunctionCompile`` artifacts
+    never occupy it — they still demote compiled → bytecode directly.
+    """
 
     COMPILED = "compiled"
+    TEMPLATE = "template"
     BYTECODE = "bytecode"
     INTERPRETER = "interpreter"
 
 
-#: where a tripped tier demotes to
+#: where a tripped tier demotes to.  The compiled tier skips the template
+#: rung on demotion: a template artifact is a *promotion* product (built
+#: from a hotspot plan), not a fallback a failing compiled artifact could
+#: synthesize mid-call, and the bytecode artifact it already carries shares
+#: the interpreter-exact semantics the soft-failure contract wants.
 DEMOTION: dict[Tier, Tier] = {
     Tier.COMPILED: Tier.BYTECODE,
+    Tier.TEMPLATE: Tier.BYTECODE,
     Tier.BYTECODE: Tier.INTERPRETER,
 }
 

@@ -1,22 +1,34 @@
-"""Profile-guided tier-up: promote hot DownValue functions to faster tiers.
+"""Profile-guided tier-up: promote hot DownValue functions up a tier ladder.
 
 PR 1 shipped the *demotion* half of tier governance — the
 :class:`~repro.runtime.guard.CircuitBreaker` walks a failing function down
-``compiled → bytecode → interpreter``.  This module is the symmetric
-*promotion* half (Titzer 2023: a tiered runtime needs both directions): a
-lightweight profiler counts DownValue applications per symbol, and once a
-symbol crosses the hotness threshold — and its definition passes the
-compilability gate derived from :mod:`repro.bytecode.supported` — its rules
-are synthesized into a typed function and compiled, preferring the compiled
-(generated-code) tier via ``FunctionCompile`` and falling back to the
-bytecode VM.  Subsequent calls whose arguments pass the type gate dispatch
-straight to the promoted artifact.
+the ladder.  This module is the symmetric *promotion* half (Titzer 2023: a
+tiered runtime needs both directions), now a **three-rung ladder**:
+
+1. **interpreter** — every symbol starts here; a lightweight profiler
+   counts DownValue applications per symbol;
+2. **template JIT** (``REPRO_TEMPLATE_THRESHOLD``, default 2): at the low
+   threshold the definition is synthesized into a typed plan and stitched
+   by :mod:`repro.template_jit` — microsecond compile latency, so a
+   just-became-hot function gets decent code almost immediately instead of
+   stalling on the full pipeline (the copy-and-patch tradeoff, Xu &
+   Kjolstad 2021);
+3. **full pipeline** (``REPRO_HOTSPOT_THRESHOLD``, default 16): functions
+   that *stay* hot tier up again — the same plan is compiled through
+   ``FunctionCompile`` and the template entry is replaced.  If the
+   compiled tier is unavailable the function simply keeps its template
+   artifact (which already beats the bytecode VM).
+
+With the template rung disabled (``REPRO_TEMPLATE_JIT=0``) the ladder
+degenerates to the PR 2 behaviour: one promotion at the full threshold,
+preferring ``FunctionCompile`` and falling back to the bytecode VM.
 
 Governance invariants:
 
 * a promoted artifact keeps its own ``CircuitBreaker`` (renamed to the
   symbol for attribution), so soft failures demote it exactly as PR 1
-  specified; when the breaker reaches the interpreter tier the promotion is
+  specified — a template artifact walks template → bytecode → interpreter;
+  when the breaker reaches the interpreter tier the promotion is
   withdrawn entirely and re-promotion is blocked until the definition
   changes;
 * any change to the symbol's rules — ``Set``, ``Clear``, ``Block`` restore —
@@ -25,19 +37,24 @@ Governance invariants:
   call falls through to ordinary rule dispatch;
 * argument gating is exact: a call whose arguments do not match the
   promoted signature (class and int64 range) is evaluated interpretively,
-  never coerced.
-
-The hotness threshold is ``REPRO_HOTSPOT_THRESHOLD`` (default 16).
+  never coerced;
+* the server's degradation cap (:meth:`HotspotProfiler.demote_all`) ranks
+  the rungs compiled > template > bytecode > interpreter and both
+  promotion paths re-check it before installing an artifact.
 
 Event vocabulary (emitted through :mod:`repro.observe` when tracing is
 enabled; every event carries ``symbol=<name>``):
 
 ``hotspot.promote`` (span)
     one promotion attempt — synthesis, compilability gating, and tier
-    compilation — timed end to end;
+    compilation — timed end to end (tier-up attempts add ``upgrade``);
+``template.compile`` (span)
+    the stitch+compile of one template artifact (emitted by
+    :mod:`repro.template_jit.compiler`);
 ``tier.promote``
-    promotion succeeded; args add ``tier`` ("compiled" | "bytecode") and
-    ``applications`` (the profile count that triggered it);
+    promotion succeeded; args add ``tier`` ("compiled" | "template" |
+    "bytecode") and ``applications`` (the profile count that triggered
+    it); tier-ups from the template rung add ``upgraded_from``;
 ``tier.demote``
     a promoted artifact's breaker exhausted all tiers and the promotion
     was withdrawn; args add ``from``/``to`` tier names (per-failure breaker
@@ -57,6 +74,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -69,6 +87,12 @@ from repro.runtime.guard import Tier
 
 DEFAULT_THRESHOLD = 16
 _ENV_KNOB = "REPRO_HOTSPOT_THRESHOLD"
+
+#: the template rung fires almost immediately — its compile is microseconds
+DEFAULT_TEMPLATE_THRESHOLD = 2
+_TEMPLATE_KNOB = "REPRO_TEMPLATE_THRESHOLD"
+#: set to ``0``/``off``/``false`` to disable the template rung entirely
+_TEMPLATE_ENABLE_KNOB = "REPRO_TEMPLATE_JIT"
 
 #: pattern-construct heads (mirrors ``engine.definitions._PATTERN_HEADS``)
 _PATTERN_HEADS = frozenset({
@@ -102,13 +126,30 @@ def threshold_from_environment() -> int:
         return DEFAULT_THRESHOLD
 
 
+def template_threshold_from_environment() -> int:
+    raw = os.environ.get(_TEMPLATE_KNOB)
+    if raw is None:
+        return DEFAULT_TEMPLATE_THRESHOLD
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return DEFAULT_TEMPLATE_THRESHOLD
+
+
+def template_enabled_from_environment() -> bool:
+    raw = os.environ.get(_TEMPLATE_ENABLE_KNOB)
+    if raw is None:
+        return True
+    return raw.strip().lower() not in ("0", "off", "false", "no")
+
+
 @dataclass
 class PromotedFunction:
     """One symbol's live promotion: artifact + validity + type gate."""
 
     name: str
     artifact: object
-    tier_kind: str  # "compiled" | "bytecode"
+    tier_kind: str  # "compiled" | "template" | "bytecode"
     gate_types: tuple[type, ...]
     kinds: tuple[str, ...]
     #: kernel version the entry was last validated against
@@ -117,6 +158,11 @@ class PromotedFunction:
     rules_list: list
     rules: tuple
     hits: int = 0
+    #: the synthesized plan, kept on template entries so the tier-up to the
+    #: full pipeline skips re-synthesis
+    plan: Optional[object] = None
+    #: set when a tier-up attempt failed; the entry stays template for good
+    upgrade_blocked: bool = False
 
     def artifact_tier(self) -> Tier:
         breaker = getattr(self.artifact, "_breaker", None)
@@ -147,7 +193,12 @@ class _Plan:
 
 
 #: tier ordering for the degradation cap, hottest highest
-_TIER_RANK = {Tier.COMPILED: 2, Tier.BYTECODE: 1, Tier.INTERPRETER: 0}
+_TIER_RANK = {
+    Tier.COMPILED: 3,
+    Tier.TEMPLATE: 2,
+    Tier.BYTECODE: 1,
+    Tier.INTERPRETER: 0,
+}
 
 
 class HotspotProfiler:
@@ -160,19 +211,39 @@ class HotspotProfiler:
     shifts promotion by one application.
     """
 
-    def __init__(self, threshold: Optional[int] = None):
+    def __init__(
+        self,
+        threshold: Optional[int] = None,
+        template_threshold: Optional[int] = None,
+        template_enabled: Optional[bool] = None,
+    ):
         self.threshold = (
             threshold if threshold is not None else threshold_from_environment()
+        )
+        self.template_threshold = (
+            template_threshold if template_threshold is not None
+            else template_threshold_from_environment()
+        )
+        self.template_enabled = (
+            template_enabled if template_enabled is not None
+            else template_enabled_from_environment()
         )
         self.counts: dict[str, int] = {}
         self.promoted: dict[str, PromotedFunction] = {}
         self.events: list[PromotionEvent] = []
+        #: cumulative wall-clock compile cost and promotion count per tier
+        #: (surfaced by the ``--stats`` hot-function report)
+        self.compile_seconds: dict[str, float] = {}
+        self.compile_count: dict[str, int] = {}
         #: the hottest tier promotion may target; lowered by the server's
         #: graceful-degradation path (see :meth:`demote_all`)
         self.max_tier: Tier = Tier.COMPILED
         #: definitions that failed the gate, keyed to the exact rule tuple
         #: that failed — redefinition clears the block
         self._blocked: dict[str, tuple] = {}
+        #: definitions the template stitcher declined (keyed like
+        #: ``_blocked``): they stay interpreted until the full-pipeline rung
+        self._template_blocked: dict[str, tuple] = {}
         self._in_progress: set[str] = set()
         self._lock = threading.RLock()
 
@@ -205,6 +276,16 @@ class HotspotProfiler:
                     **{"from": entry.tier_kind, "to": Tier.INTERPRETER.value},
                 )
                 return None
+        # rung 3: a template entry that *stays* hot tiers up to the full
+        # pipeline once total applications reach the high threshold
+        if (
+            entry.tier_kind == "template"
+            and not entry.upgrade_blocked
+            and self.counts.get(name, 0) + entry.hits + 1 >= self.threshold
+        ):
+            upgraded = self._attempt_upgrade(evaluator, name, entry)
+            if upgraded is not None:
+                entry = upgraded
         # the type gate and the artifact call run outside the lock: the
         # artifact is where the time goes, and it never mutates the table
         arguments = expression.args
@@ -227,21 +308,39 @@ class HotspotProfiler:
         return to_mexpr(result)
 
     def record(self, evaluator, name, definition, expression) -> None:
-        """Count one interpreted rule application; maybe promote."""
+        """Count one interpreted rule application; maybe promote.
+
+        Two trigger points implement the ladder's promotion side: the low
+        template threshold stitches a baseline artifact (rung 2), the high
+        threshold runs the full pipeline directly (rung 1 → 3 when the
+        template rung is disabled, declined the definition, or raced).
+        """
         count = self.counts.get(name, 0) + 1
         self.counts[name] = count
-        if count < self.threshold or name in self.promoted:
+        if name in self.promoted:
+            return
+        full = count >= self.threshold
+        if not full and not (
+            self.template_enabled and count >= self.template_threshold
+        ):
             return
         if self.max_tier is Tier.INTERPRETER:
             return  # degraded to the floor: promotion disabled outright
+        if not full and self.max_tier in (Tier.BYTECODE,):
+            return  # cap below the template rung: wait for the high rung
         with self._lock:
             if name in self.promoted or name in self._in_progress:
                 return
-            if self._blocked.get(name) == tuple(definition.down_values):
+            rules = tuple(definition.down_values)
+            if self._blocked.get(name) == rules:
                 return
+            if not full and self._template_blocked.get(name) == rules:
+                return  # the stitcher declined: hold for the full pipeline
             self._in_progress.add(name)
         try:
-            self._attempt_promotion(evaluator, name, definition, expression)
+            self._attempt_promotion(
+                evaluator, name, definition, expression, full
+            )
         finally:
             self._in_progress.discard(name)
 
@@ -261,6 +360,7 @@ class HotspotProfiler:
         del self.promoted[name]
         self.counts[name] = 0
         self._blocked.pop(name, None)
+        self._template_blocked.pop(name, None)
         self.events.append(
             PromotionEvent(name, "invalidated", entry.tier_kind,
                            "definition changed")
@@ -328,25 +428,68 @@ class HotspotProfiler:
             rows.append((name, count, status, tier, hits))
         return rows
 
+    def compile_time_table(self) -> list[tuple[str, int, float]]:
+        """``(tier, promotions, cumulative compile seconds)`` rows for the
+        ``--stats`` report, hottest tier first."""
+        order = {"compiled": 0, "template": 1, "bytecode": 2}
+        tiers = set(self.compile_count) | set(self.compile_seconds)
+        return [
+            (
+                tier_kind,
+                self.compile_count.get(tier_kind, 0),
+                self.compile_seconds.get(tier_kind, 0.0),
+            )
+            for tier_kind in sorted(tiers, key=lambda t: order.get(t, 9))
+        ]
+
     # -- promotion -----------------------------------------------------------
 
-    def _attempt_promotion(self, evaluator, name, definition, expression):
-        with _observe.span("hotspot.promote", "hotspot", symbol=name):
+    def _attempt_promotion(self, evaluator, name, definition, expression,
+                           full: bool):
+        with _observe.span("hotspot.promote", "hotspot", symbol=name,
+                           rung="full" if full else "template"):
             self._attempt_promotion_inner(
-                evaluator, name, definition, expression
+                evaluator, name, definition, expression, full
             )
 
     def _attempt_promotion_inner(self, evaluator, name, definition,
-                                 expression):
+                                 expression, full: bool):
         plan = self._synthesize(name, definition, expression)
         if plan is None:
             self._block(name, definition, "definition is not promotable")
             return
         if plan is _RETRY_LATER:
             # e.g. symbolic arguments this call: stay hot, try again next time
-            self.counts[name] = self.threshold - 1
+            trigger = self.threshold if full else self.template_threshold
+            self.counts[name] = trigger - 1
             return
-        artifact, tier_kind = self._compile_plan(evaluator, name, plan)
+        started = time.perf_counter()
+        if full:
+            artifact, tier_kind = self._compile_plan(evaluator, name, plan)
+        else:
+            artifact = self._compile_template(evaluator, name, plan)
+            tier_kind = "template" if artifact is not None else ""
+            if artifact is None:
+                # the stitcher declined; not fatal — the definition stays
+                # interpreted until the full-pipeline rung takes over
+                with self._lock:
+                    self._template_blocked[name] = tuple(
+                        definition.down_values
+                    )
+                    self.events.append(
+                        PromotionEvent(
+                            name, "blocked", Tier.TEMPLATE.value,
+                            "template stitch declined; deferred to the "
+                            "full pipeline",
+                        )
+                    )
+                _observe.event(
+                    "tier.blocked", "hotspot", symbol=name,
+                    tier=Tier.TEMPLATE.value,
+                    reason="template stitch declined",
+                )
+                return
+        elapsed = time.perf_counter() - started
         if artifact is None:
             self._block(name, definition, "no tier accepted the definition")
             return
@@ -373,13 +516,85 @@ class HotspotProfiler:
                 state_version=evaluator.state.state_version,
                 rules_list=definition.down_values,
                 rules=tuple(definition.down_values),
+                plan=plan,
             )
+            self._charge_compile(tier_kind, elapsed)
             self.events.append(
                 PromotionEvent(name, "promoted", tier_kind,
                                f"after {self.counts[name]} applications")
             )
         _observe.event("tier.promote", "hotspot", symbol=name,
                        tier=tier_kind, applications=self.counts[name])
+
+    def _attempt_upgrade(self, evaluator, name, entry):
+        """Tier-up a template entry to the full pipeline (rung 2 → 3).
+
+        Only the compiled tier counts as an upgrade — the bytecode VM ranks
+        *below* the template artifact, so if ``FunctionCompile`` declines
+        the entry is marked ``upgrade_blocked`` and keeps its template
+        artifact for good.  Returns the new entry, or ``None``.
+        """
+        with self._lock:
+            if self.promoted.get(name) is not entry \
+                    or name in self._in_progress:
+                return None
+            if self.max_tier is not Tier.COMPILED:
+                return None  # capped below the compiled rung: stay template
+            self._in_progress.add(name)
+        try:
+            with _observe.span("hotspot.promote", "hotspot", symbol=name,
+                               rung="full", upgrade=True):
+                started = time.perf_counter()
+                artifact = self._compile_compiled_tier(
+                    evaluator, name, entry.plan
+                )
+                elapsed = time.perf_counter() - started
+                if artifact is None:
+                    entry.upgrade_blocked = True
+                    return None
+                with self._lock:
+                    if self.promoted.get(name) is not entry:
+                        return None  # invalidated/withdrawn while compiling
+                    if self.max_tier is not Tier.COMPILED:
+                        entry.upgrade_blocked = True
+                        return None  # cap lowered during the compile
+                    upgraded = PromotedFunction(
+                        name=name,
+                        artifact=artifact,
+                        tier_kind="compiled",
+                        gate_types=entry.gate_types,
+                        kinds=entry.kinds,
+                        state_version=entry.state_version,
+                        rules_list=entry.rules_list,
+                        rules=entry.rules,
+                        hits=entry.hits,
+                        plan=entry.plan,
+                    )
+                    self.promoted[name] = upgraded
+                    self._charge_compile("compiled", elapsed)
+                    applications = self.counts.get(name, 0) + entry.hits
+                    self.events.append(
+                        PromotionEvent(
+                            name, "promoted", "compiled",
+                            f"tier-up from template after {applications} "
+                            "applications",
+                        )
+                    )
+            _observe.event(
+                "tier.promote", "hotspot", symbol=name, tier="compiled",
+                applications=applications, upgraded_from="template",
+            )
+            return upgraded
+        finally:
+            self._in_progress.discard(name)
+
+    def _charge_compile(self, tier_kind: str, seconds: float) -> None:
+        self.compile_seconds[tier_kind] = (
+            self.compile_seconds.get(tier_kind, 0.0) + seconds
+        )
+        self.compile_count[tier_kind] = (
+            self.compile_count.get(tier_kind, 0) + 1
+        )
 
     def _block(self, name, definition, reason: str) -> None:
         with self._lock:
@@ -391,26 +606,10 @@ class HotspotProfiler:
         _observe.event("tier.blocked", "hotspot", symbol=name, reason=reason)
 
     def _compile_plan(self, evaluator, name, plan):
-        typed_params = [
-            MExprNormal(S.Typed, [MSymbol(p), to_mexpr(_TYPE_NAMES[k])])
-            for p, k in zip(plan.parameters, plan.kinds)
-        ]
-        function = MExprNormal(
-            S.Function, [MExprNormal(S.List, list(typed_params)), plan.body]
-        )
         if self.max_tier is Tier.COMPILED:
-            try:
-                from repro.compiler.api import FunctionCompile
-
-                artifact = FunctionCompile(function, evaluator=evaluator)
-                # attribute breaker records to the engine-level symbol, so
-                # failure_records() reads naturally in --stats
-                artifact._breaker.function = name
+            artifact = self._compile_compiled_tier(evaluator, name, plan)
+            if artifact is not None:
                 return artifact, "compiled"
-            except WolframAbort:
-                raise
-            except Exception:
-                pass
         if plan.recursive:
             # the VM has no direct self-call; recursion would bounce through
             # the interpreter escape on every frame
@@ -434,6 +633,41 @@ class HotspotProfiler:
             raise
         except Exception:
             return None, ""
+
+    def _compile_compiled_tier(self, evaluator, name, plan):
+        typed_params = [
+            MExprNormal(S.Typed, [MSymbol(p), to_mexpr(_TYPE_NAMES[k])])
+            for p, k in zip(plan.parameters, plan.kinds)
+        ]
+        function = MExprNormal(
+            S.Function, [MExprNormal(S.List, list(typed_params)), plan.body]
+        )
+        try:
+            from repro.compiler.api import FunctionCompile
+
+            artifact = FunctionCompile(function, evaluator=evaluator)
+            # attribute breaker records to the engine-level symbol, so
+            # failure_records() reads naturally in --stats
+            artifact._breaker.function = name
+            return artifact
+        except WolframAbort:
+            raise
+        except Exception:
+            return None
+
+    def _compile_template(self, evaluator, name, plan):
+        """Stitch the plan on the baseline tier; ``None`` when declined."""
+        try:
+            from repro.template_jit import compile_template
+
+            return compile_template(
+                plan.parameters, plan.kinds, plan.body,
+                evaluator=evaluator, name=name,
+            )
+        except WolframAbort:
+            raise
+        except Exception:
+            return None
 
     # -- plan synthesis ------------------------------------------------------
 
@@ -650,10 +884,19 @@ def _calls_symbol(body: MExpr, name: str) -> bool:
     return False
 
 
-def enable_hotspot(evaluator, threshold: Optional[int] = None):
+def enable_hotspot(
+    evaluator,
+    threshold: Optional[int] = None,
+    template_threshold: Optional[int] = None,
+    template_enabled: Optional[bool] = None,
+):
     """Attach a profiler to an engine session (idempotent)."""
     if getattr(evaluator, "hotspot", None) is None:
-        evaluator.hotspot = HotspotProfiler(threshold=threshold)
+        evaluator.hotspot = HotspotProfiler(
+            threshold=threshold,
+            template_threshold=template_threshold,
+            template_enabled=template_enabled,
+        )
     return evaluator.hotspot
 
 

@@ -42,12 +42,9 @@ class PackedArray:
             dims.append(len(probe))
             probe = probe[0] if probe else None
         flat: list = []
-        _flatten_into(nested, len(dims), flat)
-        expected = 1
-        for d in dims:
-            expected *= d
-        if len(flat) != expected:
-            raise WolframRuntimeError("RaggedArray", "array is not rectangular")
+        # validate per level, not just the flat count: compensating ragged
+        # rows like [[1,2],[3],[4,5,6]] multiply out to the right total
+        _flatten_into(nested, dims, 0, flat)
         return cls(flat, tuple(dims), element_type)
 
     @classmethod
@@ -130,17 +127,26 @@ class PackedArray:
         self.data[self.part_index(i, rows) * cols + self.part_index(j, cols)] = value
 
 
-def _flatten_into(nested, depth: int, out: list) -> None:
-    if depth == 0:
+def _flatten_into(nested, dims: list, level: int, out: list) -> None:
+    if level == len(dims):
+        if isinstance(nested, (list, tuple)):
+            raise WolframRuntimeError(
+                "RaggedArray", "array is not rectangular"
+            )
         out.append(nested)
         return
-    if not isinstance(nested, (list, tuple)):
+    if not isinstance(nested, (list, tuple)) or len(nested) != dims[level]:
         raise WolframRuntimeError("RaggedArray", "array is not rectangular")
-    if depth == 1:
+    if level == len(dims) - 1:
+        for item in nested:
+            if isinstance(item, (list, tuple)):
+                raise WolframRuntimeError(
+                    "RaggedArray", "array is not rectangular"
+                )
         out.extend(nested)
         return
     for item in nested:
-        _flatten_into(item, depth - 1, out)
+        _flatten_into(item, dims, level + 1, out)
 
 
 def packed_from_iterable(items: Iterable, element_type: str) -> PackedArray:

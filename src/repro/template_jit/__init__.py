@@ -1,0 +1,32 @@
+"""Template-JIT baseline tier: copy-and-patch stitching for hotspot tier-up.
+
+The compile-speed/code-quality tradeoff (Titzer 2023) made concrete: this
+package compiles a typed function body in *microseconds* by stitching
+pre-generated Python source templates — one per bytecode instruction /
+typed-IR op — in a single linear pass, with no optimization pipeline and
+no register allocation beyond slot numbering (Xu & Kjolstad's
+copy-and-patch, transposed to Python source stencils).
+
+The hotspot ladder (``repro.runtime.hotspot``) promotes hot functions
+here first, at a low threshold, so they get decent code almost
+immediately; the full ``FunctionCompile`` pipeline only runs if they stay
+hot.  See ``compile_template`` / ``compile_template_function`` for the
+direct API and :class:`TemplateCompiledFunction` for the artifact
+contract.
+"""
+
+from repro.template_jit.artifact import TemplateCompiledFunction
+from repro.template_jit.compiler import (
+    TemplateCompiler,
+    compile_template,
+    compile_template_function,
+)
+from repro.template_jit.templates import SUPPORTED_HEADS
+
+__all__ = [
+    "TemplateCompiledFunction",
+    "TemplateCompiler",
+    "compile_template",
+    "compile_template_function",
+    "SUPPORTED_HEADS",
+]

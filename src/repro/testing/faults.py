@@ -14,6 +14,10 @@ site                   fired from
                        prologues, §4.5) and the VM's backward-jump polls
 ``guard.checkpoint``   every guard checkpoint, including standalone
                        exported code's ``_check_abort`` (§4.6)
+``template.call``      entry of a :class:`~repro.template_jit.artifact.
+                       TemplateCompiledFunction` — drives the baseline
+                       tier's demotion ladder (template → bytecode →
+                       interpreter) deterministically
 ``runtime.<name>``     the runtime-library primitive ``<name>``; the
                        injector wraps the shared ``RUNTIME`` table entry
                        for the scope of the context manager

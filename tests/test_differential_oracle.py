@@ -61,7 +61,7 @@ class TestOracle:
         payload = report.to_dict()
         assert payload["seed"] == 2
         assert payload["attempted"] == 3
-        assert "agree across 3 tiers" in report.summary()
+        assert "agree across 4 tiers" in report.summary()
 
 
 class _BrokenCompiledTier(DifferentialOracle):
@@ -105,7 +105,7 @@ class TestShrinking:
 @pytest.mark.differential
 class TestCiSmoke:
     """The CI ``static-analysis`` job's budgeted fuzz: ≥200 seeded programs
-    across all three tiers with zero mismatches (``pytest -m differential``)."""
+    across all four tiers with zero mismatches (``pytest -m differential``)."""
 
     def test_two_hundred_programs_agree(self):
         report = run_differential(count=200, seed=0, time_budget=60.0)

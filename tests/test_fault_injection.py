@@ -327,6 +327,80 @@ class TestPromotedFunctionFaults:
         assert promoted.run("dbl[2]").to_python() == 4
 
 
+class TestTemplateTierFaults:
+    """The baseline tier's demotion ladder, driven by the ``template.call``
+    site: template → (lazy) bytecode → interpreter, one shared breaker."""
+
+    @pytest.fixture()
+    def template_promoted(self, hosted):
+        # a threshold too high to reach keeps the entry on the template rung
+        hosted.hotspot.threshold = 1000
+        hosted.hotspot.template_threshold = 2
+        hosted.run("tpl[n_] := n + n")
+        for _ in range(4):
+            assert hosted.run("tpl[3]").to_python() == 6
+        assert hosted.hotspot.promoted["tpl"].tier_kind == "template"
+        return hosted
+
+    def test_three_injected_failures_demote_to_bytecode(
+        self, template_promoted
+    ):
+        with inject_faults(Fault("template.call", "runtime", times=3)):
+            for _ in range(3):
+                # each call soft-fails at the stitched entry; the
+                # interpreter fallback still answers
+                assert template_promoted.run("tpl[10]").to_python() == 20
+        entry = template_promoted.hotspot.promoted["tpl"]
+        assert entry.artifact_tier() is Tier.BYTECODE
+        assert [t.transition for t in failure_transitions("tpl")] == [
+            (Tier.TEMPLATE, Tier.BYTECODE)
+        ]
+        # the lazily-compiled bytecode fallback keeps serving the dispatch
+        assert template_promoted.run("tpl[21]").to_python() == 42
+        assert "tpl" in template_promoted.hotspot.promoted
+
+    def test_full_ladder_ends_with_withdrawal(self, template_promoted):
+        with inject_faults(Fault("template.call", "runtime", times=3)):
+            for _ in range(3):
+                template_promoted.run("tpl[10]")
+        with inject_faults(Fault("vm.instruction", "runtime", times=3)):
+            for _ in range(3):
+                assert template_promoted.run("tpl[10]").to_python() == 20
+        # bottomed out at the interpreter: the next dispatch withdraws
+        assert template_promoted.run("tpl[4]").to_python() == 8
+        assert "tpl" not in template_promoted.hotspot.promoted
+        assert [t.transition for t in failure_transitions("tpl")] == [
+            (Tier.TEMPLATE, Tier.BYTECODE),
+            (Tier.BYTECODE, Tier.INTERPRETER),
+        ]
+        # redefinition lifts the block and re-promotes on the template rung
+        template_promoted.run("tpl[n_] := n * 2")
+        for _ in range(4):
+            assert template_promoted.run("tpl[5]").to_python() == 10
+        assert "tpl" in template_promoted.hotspot.promoted
+
+    def test_injected_abort_unwinds_cleanly(self, template_promoted):
+        with inject_faults(Fault("template.call", "abort")):
+            result = template_promoted.evaluate_protected(parse("tpl[10]"))
+        assert full_form(result) == "$Aborted"
+        assert not template_promoted.abort_pending()
+        # no breaker damage: aborts are not soft failures
+        entry = template_promoted.hotspot.promoted["tpl"]
+        assert entry.artifact_tier() is Tier.TEMPLATE
+        assert template_promoted.run("tpl[6]").to_python() == 12
+
+    def test_injected_timeout_is_recorded_but_never_retried(
+        self, template_promoted
+    ):
+        artifact = template_promoted.hotspot.promoted["tpl"].artifact
+        with inject_faults(Fault("template.call", "timeout")):
+            with pytest.raises(WolframTimeoutError):
+                artifact(10)
+        # a guard expiry does not trip the breaker
+        assert artifact.breaker.tier is Tier.TEMPLATE
+        assert artifact(10) == 20
+
+
 class TestCorruptIrFaults:
     """The ``corrupt-ir`` fault class: a deliberately broken pass must be
     caught by the verify-each sanitizer and attributed *by name*."""

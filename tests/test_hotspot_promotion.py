@@ -224,7 +224,7 @@ class TestDemotion:
             hosted.run("p[1]")
         assert "p" in hosted.hotspot.promoted
 
-    def test_bytecode_tier_promotion_when_compiled_tier_unavailable(
+    def test_template_tier_kept_when_compiled_tier_unavailable(
         self, hosted, monkeypatch
     ):
         from repro.errors import CompilerError
@@ -236,11 +236,15 @@ class TestDemotion:
         hosted.run("q[n_] := n * 3")
         for _ in range(6):
             assert hosted.run("q[2]").to_python() == 6
+        # the template rung promoted early; the tier-up to compiled was
+        # refused, so the entry keeps its template artifact permanently
         assert "q" in hosted.hotspot.promoted
-        assert hosted.hotspot.promoted["q"].tier_kind == "bytecode"
+        entry = hosted.hotspot.promoted["q"]
+        assert entry.tier_kind == "template"
+        assert entry.upgrade_blocked
         assert hosted.run("q[14]").to_python() == 42
 
-    def test_recursive_definition_needs_the_compiled_tier(
+    def test_bytecode_tier_promotion_when_template_rung_disabled(
         self, hosted, monkeypatch
     ):
         from repro.errors import CompilerError
@@ -249,6 +253,41 @@ class TestDemotion:
             raise CompilerError("compiled tier unavailable in this test")
 
         monkeypatch.setattr("repro.compiler.api.FunctionCompile", refuse)
+        hosted.hotspot.template_enabled = False
+        hosted.run("q[n_] := n * 3")
+        for _ in range(6):
+            assert hosted.run("q[2]").to_python() == 6
+        assert "q" in hosted.hotspot.promoted
+        assert hosted.hotspot.promoted["q"].tier_kind == "bytecode"
+        assert hosted.run("q[14]").to_python() == 42
+
+    def test_recursive_definition_promotes_on_the_template_rung(
+        self, hosted, monkeypatch
+    ):
+        from repro.errors import CompilerError
+
+        def refuse(*args, **kwargs):
+            raise CompilerError("compiled tier unavailable in this test")
+
+        monkeypatch.setattr("repro.compiler.api.FunctionCompile", refuse)
+        _define_fib(hosted)
+        assert hosted.run("fib[15]").to_python() == 610
+        # unlike the VM, the stitched tier supports direct self-calls, so
+        # recursion still gets a (template) promotion without FunctionCompile
+        assert "fib" in hosted.hotspot.promoted
+        assert hosted.hotspot.promoted["fib"].tier_kind == "template"
+        assert hosted.run("fib[20]").to_python() == 6765
+
+    def test_recursive_definition_needs_a_self_calling_tier(
+        self, hosted, monkeypatch
+    ):
+        from repro.errors import CompilerError
+
+        def refuse(*args, **kwargs):
+            raise CompilerError("compiled tier unavailable in this test")
+
+        monkeypatch.setattr("repro.compiler.api.FunctionCompile", refuse)
+        hosted.hotspot.template_enabled = False
         _define_fib(hosted)
         assert hosted.run("fib[15]").to_python() == 610
         # the VM has no self-call: recursion is not promoted to bytecode
@@ -274,6 +313,7 @@ class TestThresholdKnob:
         session = Evaluator()
         install_engine_support(session)
         session.hotspot.threshold = 1000
+        session.hotspot.template_enabled = False
         session.run("r[n_] := n + 1")
         for _ in range(20):
             session.run("r[1]")

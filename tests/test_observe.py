@@ -167,9 +167,11 @@ class TestTierEvents:
         with with_tracing() as tracer:
             session.run("fib[12]")
         assert "fib" in session.hotspot.promoted
-        (promote,) = tracer.instants("tier.promote")
-        assert promote.args["symbol"] == "fib"
-        assert promote.args["tier"] in ("compiled", "bytecode")
+        # the ladder promotes twice: template rung first, then the tier-up
+        promotes = tracer.instants("tier.promote")
+        assert [p.args["tier"] for p in promotes] == ["template", "compiled"]
+        assert all(p.args["symbol"] == "fib" for p in promotes)
+        assert promotes[-1].args["upgraded_from"] == "template"
         assert tracer.spans("hotspot.promote")  # the attempt span wraps it
 
     def test_breaker_demotion_emits_tier_demote_with_symbol(self):
@@ -263,6 +265,9 @@ class TestCLI:
         trace_path = tmp_path / "out.json"
         metrics_path = tmp_path / "metrics.json"
         out = io.StringIO()
+        # enough repeat calls to climb the whole ladder: the template rung
+        # promotes almost immediately, the full pipeline at the threshold
+        calls = [arg for _ in range(16) for arg in ("-e", "fib[19]")]
         status = main(
             [
                 "--trace", str(trace_path),
@@ -270,7 +275,7 @@ class TestCLI:
                 "-e", "fib[0] = 0",
                 "-e", "fib[1] = 1",
                 "-e", "fib[n_] := fib[n-1] + fib[n-2]",
-                "-e", "fib[19]",
+                *calls,
             ],
             output=out,
         )
@@ -278,8 +283,12 @@ class TestCLI:
         assert "Out[4]= 4181" in out.getvalue()
         events = json.load(open(trace_path))
         categories = {e["cat"] for e in events}
-        assert {"evaluator", "pipeline", "hotspot"} <= categories
-        assert any(e["name"] == "tier.promote" for e in events)
+        assert {"evaluator", "pipeline", "hotspot",
+                "template_jit"} <= categories
+        promotes = [e for e in events if e["name"] == "tier.promote"]
+        assert [p["args"]["tier"] for p in promotes] == [
+            "template", "compiled"
+        ]
         metrics = json.load(open(metrics_path))
         assert metrics["counters"]["eval.rule_applications"] >= 1
 

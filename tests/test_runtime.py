@@ -69,6 +69,21 @@ class TestPackedArray:
         with pytest.raises(WolframRuntimeError):
             PackedArray.from_nested([[1, 2], [3]], "Integer64")
 
+    def test_compensating_ragged_rejected(self):
+        """Row lengths that multiply out to the right flat total must still
+        be rejected — the old flat-count check accepted this shape."""
+        with pytest.raises(WolframRuntimeError):
+            PackedArray.from_nested([[1, 2], [3], [4, 5, 6]], "Integer64")
+        with pytest.raises(WolframRuntimeError):
+            PackedArray.from_nested(
+                [[[1], [2]], [[3, 4], []]], "Integer64"
+            )
+        # depth raggedness: a scalar where a row is expected, and vice versa
+        with pytest.raises(WolframRuntimeError):
+            PackedArray.from_nested([[1, 2], 3, [4, 5, 6]], "Integer64")
+        with pytest.raises(WolframRuntimeError):
+            PackedArray.from_nested([[1, [2]], [3, 4]], "Integer64")
+
     def test_one_based_indexing(self):
         array = PackedArray.from_nested([10, 20, 30], "Integer64")
         assert array.get1(1) == 10

@@ -1,0 +1,457 @@
+"""The template-JIT baseline tier (`repro.template_jit`).
+
+Covers the three layers of the tentpole:
+
+* **the stitcher** — stencil correctness against the bytecode VM on real
+  kernels, the stitched source's shape (slot numbering, checkpoint
+  cadence), checked-integer semantics, and the deliberate coverage holes
+  (:class:`TemplateCompilerError`);
+* **the artifact** — boundary type gates, copy-on-read tensors, the
+  soft-failure ladder template → lazy bytecode → interpreter behind one
+  shared breaker, abort/guard contract parity;
+* **the ladder** — three-rung promotion ordering, tier-up at the full
+  threshold, redefinition invalidation at the template rung, and the
+  environment knobs.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.compiler import install_engine_support
+from repro.engine import Evaluator
+from repro.errors import (
+    TemplateCompilerError,
+    WolframAbort,
+    WolframBudgetError,
+    WolframRuntimeError,
+)
+from repro.mexpr import parse
+from repro.runtime.guard import Tier, guard_scope
+from repro.template_jit import (
+    SUPPORTED_HEADS,
+    compile_template,
+    compile_template_function,
+)
+
+
+@pytest.fixture()
+def hosted():
+    session = Evaluator(recursion_limit=8192)
+    install_engine_support(session)
+    session.hotspot.threshold = 6
+    session.hotspot.template_threshold = 2
+    return session
+
+
+def _stitch(source_specs: str, source_body: str, evaluator=None,
+            name: str = "tpl"):
+    return compile_template_function(
+        parse(source_specs), parse(source_body), evaluator=evaluator,
+        name=name,
+    )
+
+
+# -- the stitcher ------------------------------------------------------------
+
+
+class TestStitcher:
+    def test_scalar_arithmetic_matches_vm(self):
+        from repro.bytecode import compile_function
+
+        specs, body = "{{n, _Integer}}", (
+            "Module[{a = 0, i = 1},"
+            " While[i <= n, a = a + i*i; i = i + 1]; a]"
+        )
+        template = _stitch(specs, body)
+        bytecode = compile_function(parse(specs), parse(body))
+        for n in (0, 1, 7, 100):
+            assert template(n) == bytecode(n)
+
+    def test_figure2_kernels_match_vm(self):
+        from repro.benchsuite import data as workloads
+        from repro.benchsuite import programs
+        from repro.bytecode import compile_function
+
+        cases = {
+            "fnv1a": (list(b"Hello, template tier"),),
+            "histogram": (workloads.histogram_data(500),),
+            "mandelbrot": (complex(-0.5, 0.35),),
+        }
+        for name, arguments in cases.items():
+            specs = parse(getattr(programs, f"BYTECODE_{name.upper()}_SPECS"))
+            body = parse(getattr(programs, f"BYTECODE_{name.upper()}_BODY"))
+            template = compile_template_function(specs, body)
+            bytecode = compile_function(specs, body)
+            assert template(*arguments) == bytecode(*arguments), name
+
+    def test_stitched_source_shape(self):
+        artifact = _stitch(
+            "{{n, _Integer}}",
+            "Module[{a = 0, i = 1}, While[i <= n, a = a + i; i = i + 1]; a]",
+        )
+        source = artifact.source
+        # slot numbering is the only register allocation
+        assert "_s0" in source and "_s1" in source
+        # the abort/guard cadence: prologue plus every loop header
+        assert source.count("_checkpoint()") >= 2
+        lines = source.splitlines()
+        assert lines[0].startswith("def _tpl(")
+        assert artifact(10) == 55
+
+    def test_checked_integer_overflow(self):
+        artifact = _stitch("{{n, _Integer}}", "n * n", evaluator=None)
+        with pytest.raises(WolframRuntimeError) as info:
+            artifact(2 ** 62)
+        assert info.value.kind == "IntegerOverflow"
+
+    def test_real_arithmetic_not_overflow_checked(self):
+        artifact = _stitch("{{x, _Real}}", "x * x + 0.5")
+        assert artifact(3.0) == 9.5
+
+    def test_divide_is_real_division(self):
+        artifact = _stitch("{{n, _Integer}}", "n / 2")
+        assert artifact(5) == 2.5
+
+    def test_divide_by_zero_is_soft(self):
+        # the explicit head (infix / parses into Times[.., Power[.., -1]])
+        artifact = _stitch("{{n, _Integer}}", "Divide[1, n]")
+        with pytest.raises(WolframRuntimeError) as info:
+            artifact(0)
+        assert info.value.kind == "DivideByZero"
+
+    def test_part_is_one_based_and_range_checked(self):
+        artifact = _stitch("{{data, _Integer, 1}, {i, _Integer}}",
+                           "Part[data, i]")
+        assert artifact([10, 20, 30], 1) == 10
+        assert artifact([10, 20, 30], -1) == 30
+        with pytest.raises(WolframRuntimeError) as info:
+            artifact([10, 20, 30], 4)
+        assert info.value.kind == "PartOutOfRange"
+
+    def test_direct_recursion_stitches_self_call(self):
+        artifact = _stitch(
+            "{{n, _Integer}}",
+            "If[n < 2, n, tpl[n - 1] + tpl[n - 2]]",
+        )
+        assert artifact.recursive
+        assert "_self(" in artifact.source
+        assert artifact(20) == 6765
+
+    def test_unsupported_head_raises(self):
+        with pytest.raises(TemplateCompilerError):
+            _stitch("{{n, _Integer}}", 'StringJoin["a", "b"]')
+
+    def test_unbound_symbol_raises(self):
+        with pytest.raises(TemplateCompilerError):
+            _stitch("{{n, _Integer}}", "n + mystery")
+
+    def test_supported_heads_is_a_frozen_surface(self):
+        assert "Plus" in SUPPORTED_HEADS
+        assert "While" in SUPPORTED_HEADS
+        assert "StringJoin" not in SUPPORTED_HEADS
+
+    def test_compile_seconds_recorded(self):
+        artifact = _stitch("{{n, _Integer}}", "n + 1")
+        assert artifact.compile_seconds > 0.0
+
+
+# -- the artifact boundary ---------------------------------------------------
+
+
+class TestArtifactBoundary:
+    def test_argument_count_gate(self):
+        artifact = _stitch("{{n, _Integer}}", "n + 1")
+        with pytest.raises(WolframRuntimeError) as info:
+            artifact(1, 2)
+        assert info.value.kind == "ArgumentCount"
+
+    def test_integer_gate_rejects_bool_and_float(self):
+        artifact = _stitch("{{n, _Integer}}", "n + 1")
+        for bad in (True, 1.5, "x"):
+            with pytest.raises(WolframRuntimeError) as info:
+                artifact(bad)
+            assert info.value.kind == "TypeMismatch"
+
+    def test_real_gate_accepts_int(self):
+        artifact = _stitch("{{x, _Real}}", "x * 2.0")
+        assert artifact(3) == 6.0
+
+    def test_tensor_copy_on_read(self):
+        artifact = _stitch(
+            "{{data, _Integer, 1}}",
+            "Module[{i = 1},"
+            " While[i <= Length[data], data[[i]] = 0; i = i + 1];"
+            " Total[data]]",
+        )
+        data = [1, 2, 3]
+        assert artifact(data) == 0
+        assert data == [1, 2, 3]  # F5: the caller's list is untouched
+
+    def test_unhosted_runtime_error_propagates(self):
+        artifact = _stitch("{{n, _Integer}}", "1 / n")
+        # no evaluator: nothing to fall back to, the soft error surfaces
+        with pytest.raises(WolframRuntimeError):
+            artifact(0)
+
+
+# -- the demotion ladder -----------------------------------------------------
+
+
+class TestDemotionLadder:
+    def test_soft_failures_demote_to_lazy_bytecode(self, hosted):
+        artifact = _stitch("{{n, _Integer}}", "1 / n", evaluator=hosted)
+        for _ in range(3):
+            artifact(0)  # hosted: each soft failure re-runs interpreted
+        assert artifact.breaker.tier is Tier.BYTECODE
+        # the demoted rung still answers, through the lazily-built VM tier
+        assert artifact(2) == 0.5
+        assert artifact._bytecode is not None
+
+    def test_bytecode_fallback_shares_the_breaker(self, hosted):
+        artifact = _stitch("{{n, _Integer}}", "1 / n", evaluator=hosted)
+        for _ in range(3):
+            artifact(0)
+        inner = artifact._build_bytecode()
+        assert inner is not None
+        assert inner.breaker is artifact.breaker
+        assert inner.fallback_stats is artifact.fallback_stats
+
+    def test_recursive_artifact_skips_the_bytecode_rung(self, hosted):
+        hosted.run("tpl[0] = 0")
+        hosted.run("tpl[1] = 1")
+        hosted.run("tpl[n_] := tpl[n-1] + tpl[n-2]")
+        artifact = _stitch(
+            "{{n, _Integer}}",
+            "If[n < 2, n, tpl[n - 1] + tpl[n - 2]]",
+            evaluator=hosted,
+        )
+        breaker = artifact.breaker
+        for _ in range(3):
+            breaker.record_failure(Tier.TEMPLATE, "TemplateRuntime", "x")
+        assert breaker.tier is Tier.BYTECODE
+        # first demoted call discovers there is no VM lowering for
+        # recursion and walks on to the interpreter
+        assert artifact(10) == 55
+        assert breaker.tier is Tier.INTERPRETER
+
+    def test_interpreter_tier_without_host_raises(self):
+        artifact = _stitch("{{n, _Integer}}", "n + 1")
+        artifact.breaker.tier = Tier.INTERPRETER
+        with pytest.raises(WolframRuntimeError) as info:
+            artifact(1)
+        assert info.value.kind == "NoInterpreter"
+
+
+# -- abort and guard contract ------------------------------------------------
+
+
+class TestAbortAndGuards:
+    def test_abort_delivered_at_loop_header(self, hosted):
+        # the stitched _checkpoint captures abort_pending at compile time,
+        # so install the probe before stitching
+        calls = {"count": 0}
+
+        def abort_soon():
+            calls["count"] += 1
+            return calls["count"] > 50
+
+        hosted.abort_pending = abort_soon
+        try:
+            artifact = _stitch(
+                "{{n, _Integer}}",
+                "Module[{i = 0}, While[i < n, i = i + 1]; i]",
+                evaluator=hosted,
+            )
+            with pytest.raises(WolframAbort):
+                artifact(10_000)
+        finally:
+            del hosted.abort_pending
+        assert calls["count"] > 50  # delivered at a loop header, not late
+
+    def test_step_budget_expires_inside_stitched_loop(self):
+        artifact = _stitch(
+            "{{n, _Integer}}",
+            "Module[{i = 0}, While[i < n, i = i + 1]; i]",
+        )
+        with guard_scope(step_budget=50):
+            with pytest.raises(WolframBudgetError):
+                artifact(10_000)
+        # outside the guard the same artifact runs to completion
+        assert artifact(100) == 100
+
+    def test_guard_expiry_does_not_trip_the_breaker(self):
+        artifact = _stitch(
+            "{{n, _Integer}}",
+            "Module[{i = 0}, While[i < n, i = i + 1]; i]",
+        )
+        with guard_scope(step_budget=10):
+            with pytest.raises(WolframBudgetError):
+                artifact(10_000)
+        assert artifact.breaker.tier is Tier.TEMPLATE
+
+
+# -- the three-rung ladder in a session --------------------------------------
+
+
+class TestSessionLadder:
+    def test_promotion_order_template_then_compiled(self, hosted):
+        hosted.run("sq[n_] := n*n + 1")
+        for _ in range(12):
+            assert hosted.run("sq[3]").to_python() == 10
+        promotions = [
+            (e.name, e.tier) for e in hosted.hotspot.events
+            if e.action == "promoted"
+        ]
+        assert promotions == [("sq", "template"), ("sq", "compiled")]
+        assert hosted.hotspot.promoted["sq"].tier_kind == "compiled"
+
+    def test_template_rung_respects_low_threshold(self, hosted):
+        hosted.hotspot.threshold = 1000  # never reach the full pipeline
+        hosted.run("inc[n_] := n + 1")
+        for _ in range(3):
+            hosted.run("inc[1]")
+        entry = hosted.hotspot.promoted["inc"]
+        assert entry.tier_kind == "template"
+        assert entry.artifact.compile_seconds < 0.05  # microsecond-class
+
+    def test_redefinition_invalidates_template_promotion(self, hosted):
+        hosted.hotspot.threshold = 1000
+        hosted.run("f[n_] := n + 1")
+        for _ in range(3):
+            assert hosted.run("f[1]").to_python() == 2
+        stale = hosted.hotspot.promoted["f"]
+        assert stale.tier_kind == "template"
+        hosted.run("f[n_] := n + 100")
+        # the very next call sees the new rule, not the stale stitching
+        assert hosted.run("f[1]").to_python() == 101
+        assert hosted.hotspot.promoted.get("f") is not stale
+        assert any(
+            e.name == "f" and e.action == "invalidated"
+            for e in hosted.hotspot.events
+        )
+
+    def test_compile_time_table_accumulates_per_tier(self, hosted):
+        hosted.run("g[n_] := n * 2")
+        for _ in range(12):
+            hosted.run("g[4]")
+        table = {tier: (count, seconds)
+                 for tier, count, seconds in
+                 hosted.hotspot.compile_time_table()}
+        assert table["template"][0] == 1
+        assert table["compiled"][0] == 1
+        assert 0 < table["template"][1] < table["compiled"][1]
+
+    def test_template_disabled_goes_straight_to_full_pipeline(self, hosted):
+        hosted.hotspot.template_enabled = False
+        hosted.run("h[n_] := n - 1")
+        for _ in range(3):
+            hosted.run("h[1]")
+        assert "h" not in hosted.hotspot.promoted  # below the full threshold
+        for _ in range(5):
+            hosted.run("h[1]")
+        assert hosted.hotspot.promoted["h"].tier_kind == "compiled"
+
+    def test_stitch_decline_defers_to_full_pipeline(self, hosted):
+        # Range has a bytecode lowering but no template stencil: the
+        # stitcher declines at the low threshold and the definition waits,
+        # interpreted, for the full-pipeline rung
+        hosted.run("s[n_] := Total[Range[n]]")
+        for _ in range(3):
+            assert hosted.run("s[4]").to_python() == 10
+        assert "s" not in hosted.hotspot.promoted
+        assert any(
+            e.name == "s" and e.action == "blocked"
+            and e.tier == Tier.TEMPLATE.value
+            for e in hosted.hotspot.events
+        )
+        for _ in range(5):
+            hosted.run("s[4]")
+        assert hosted.hotspot.promoted["s"].tier_kind == "compiled"
+
+
+# -- knobs -------------------------------------------------------------------
+
+
+class TestKnobs:
+    def test_template_threshold_environment(self, monkeypatch):
+        from repro.runtime.hotspot import (
+            DEFAULT_TEMPLATE_THRESHOLD,
+            HotspotProfiler,
+            template_threshold_from_environment,
+        )
+
+        monkeypatch.delenv("REPRO_TEMPLATE_THRESHOLD", raising=False)
+        assert (template_threshold_from_environment()
+                == DEFAULT_TEMPLATE_THRESHOLD)
+        monkeypatch.setenv("REPRO_TEMPLATE_THRESHOLD", "5")
+        assert template_threshold_from_environment() == 5
+        assert HotspotProfiler().template_threshold == 5
+        monkeypatch.setenv("REPRO_TEMPLATE_THRESHOLD", "garbage")
+        assert (template_threshold_from_environment()
+                == DEFAULT_TEMPLATE_THRESHOLD)
+
+    def test_template_enable_knob(self, monkeypatch):
+        from repro.runtime.hotspot import (
+            HotspotProfiler,
+            template_enabled_from_environment,
+        )
+
+        monkeypatch.delenv("REPRO_TEMPLATE_JIT", raising=False)
+        assert template_enabled_from_environment() is True
+        for off in ("0", "off", "false", "no"):
+            monkeypatch.setenv("REPRO_TEMPLATE_JIT", off)
+            assert template_enabled_from_environment() is False
+        monkeypatch.setenv("REPRO_TEMPLATE_JIT", "1")
+        assert HotspotProfiler().template_enabled is True
+
+
+# -- concurrency -------------------------------------------------------------
+
+
+class TestTemplateThreads:
+    def test_concurrent_calls_during_demotion(self):
+        """Many threads drive one artifact while its breaker demotes: the
+        lazy bytecode build must happen exactly once and no call may
+        crash or return a wrong answer."""
+        artifact = _stitch("{{n, _Integer}}", "n * 3")
+        barrier = threading.Barrier(8)
+        errors: list = []
+        builds: list = []
+
+        original_build = artifact._build_bytecode
+
+        def counting_build():
+            inner = original_build()
+            builds.append(inner)
+            return inner
+
+        artifact._build_bytecode = counting_build
+
+        def worker(index: int) -> None:
+            barrier.wait()
+            try:
+                for round_number in range(50):
+                    if index == 0 and round_number == 10:
+                        for _ in range(3):
+                            artifact.breaker.record_failure(
+                                Tier.TEMPLATE, "TemplateRuntime", "x"
+                            )
+                    value = artifact(7)
+                    if value != 21:
+                        raise AssertionError(f"wrong answer {value}")
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        pool = [threading.Thread(target=worker, args=(i,))
+                for i in range(8)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert errors == []
+        assert artifact.breaker.tier is Tier.BYTECODE
+        # every build call returned the same compiled instance
+        assert len({id(b) for b in builds if b is not None}) <= 1

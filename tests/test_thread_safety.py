@@ -223,7 +223,7 @@ class TestHotspotTableThreads:
             monkeypatch.setattr(profiler, "_compile_plan", compile_plan)
             profiler.counts["f"] = 5
             profiler._attempt_promotion_inner(
-                _Evaluator(), "f", _Definition(), None
+                _Evaluator(), "f", _Definition(), None, full=True
             )
             return profiler
 
@@ -236,6 +236,33 @@ class TestHotspotTableThreads:
         blocked = [event for event in raced.events
                    if event.action == "blocked"]
         assert blocked and "cap lowered" in blocked[0].detail
+
+    def test_concurrent_template_rung_promotions(self):
+        """Many threads drive the same symbol through ``record``: at most
+        one template promotion installs (``_in_progress`` gate), the table
+        never tears, and the tier-up path stays consistent."""
+        from repro.compiler import install_engine_support
+        from repro.engine import Evaluator
+        from repro.mexpr import parse
+
+        session = Evaluator()
+        install_engine_support(session)
+        session.hotspot.threshold = 10_000  # stay on the template rung
+        session.hotspot.template_threshold = 2
+        session.run("tw[n_] := n * 2 + 1")
+        expression = parse("tw[21]")
+
+        def worker(index: int) -> None:
+            for _ in range(50):
+                assert session.evaluate(expression).to_python() == 43
+
+        hammer(worker)
+        entry = session.hotspot.promoted["tw"]
+        assert entry.tier_kind == "template"
+        promotions = [event for event in session.hotspot.events
+                      if event.action == "promoted"]
+        assert len(promotions) == 1
+        assert session.hotspot.compile_count["template"] == 1
 
     def test_demote_all_reports_withdrawn_count(self):
         profiler = self._profiler()

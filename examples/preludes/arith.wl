@@ -1,0 +1,8 @@
+# A small shared prelude for the multi-tenant server: integer-typed
+# DownValue definitions the AOT builder can warm ahead of time.
+# Build:  python -m repro aot --prelude examples/preludes/arith.wl --out arith-image.json
+# Serve:  python -m repro serve --image arith-image.json
+fib[n_Integer] := If[n < 2, n, fib[n - 1] + fib[n - 2]]
+tri[n_Integer] := Quotient[n * (n + 1), 2]
+sq[x_Integer] := x * x
+hyp[a_Real, b_Real] := Sqrt[a * a + b * b]

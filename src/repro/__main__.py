@@ -4,8 +4,9 @@ Run:  python -m repro [--stats [DUMP]] [--trace FILE] [--metrics [FILE]]
                       [-e EXPR]...
       python -m repro bench [--suite S] [--filter NAME] [--compare]
                             [--report FILE] [--trace-dir DIR]
-      python -m repro serve [--port N] [--loadgen | --chaos]
+      python -m repro serve [--port N] [--image IMG] [--loadgen | --chaos]
                             [--dump-stats PATH]
+      python -m repro aot [--prelude FILE] [--out IMG] [--boot IMG]
 
 Each input gets an ``In[n]``/``Out[n]`` pair; ``FunctionCompile`` and
 ``Compile`` are available (F1), aborts are Ctrl-C (F3), and the session
@@ -58,6 +59,13 @@ Subcommands
     control with load shedding, circuit breakers, and graceful
     degradation; ``--loadgen``/``--chaos`` drive it in-process.  See
     ``python -m repro serve --help`` and DESIGN.md §10.
+
+``aot``
+    Ahead-of-time warm images (:mod:`repro.artifacts.aot`): warm a
+    prelude's hot definitions through the compiler, emit a self-contained
+    image manifest, and boot servers from it with ``repro serve --image``
+    — warm boots promote from the artifact cache with zero pipeline
+    passes.  See ``python -m repro aot --help`` and DESIGN.md §11.
 """
 
 from __future__ import annotations
@@ -340,6 +348,10 @@ def main(argv=None, input_stream=None, output=None) -> int:
         from repro.server.cli import main as serve_main
 
         return serve_main(arguments[1:])
+    if arguments and arguments[0] == "aot":
+        from repro.artifacts.aot import main as aot_main
+
+        return aot_main(arguments[1:], output=output)
     try:
         args = _parser().parse_args(arguments)
     except SystemExit as error:  # argparse exits; the CLI returns codes

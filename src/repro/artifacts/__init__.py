@@ -1,0 +1,65 @@
+"""``repro.artifacts`` — the persistent, content-addressed artifact cache
+and the AOT warm-image mode (ROADMAP: "Persistent content-addressed
+artifact cache + AOT specialization").
+
+Why it exists
+-------------
+
+Every process restart re-pays JIT warmup: the server's base image, the
+hotspot ladder's full-pipeline rung, and every ``FunctionCompile`` all
+run the same multi-pass pipeline over the same definitions, per process.
+This package makes the *expensive* rung's results durable (Titzer's
+baseline-compiler argument: the µs template rung stays cache-free — it
+is already cheaper than a cache probe) and, via the AOT mode, specializes
+the engine to a fixed definition set ahead of time — the first Futamura
+projection reading of ``repro serve``'s warm boot.
+
+Layout
+------
+
+* :mod:`repro.artifacts.keys` — canonical SHA-256 keys over the source
+  function's wire form, the semantic compiler options, the backend, the
+  runtime-library fingerprint, and the package version, so semantically
+  identical compiles hit across processes;
+* :mod:`repro.artifacts.store` — the on-disk object tree
+  (``$REPRO_ARTIFACT_CACHE`` or ``~/.cache/repro``): atomic
+  write-rename, LRU size cap (``REPRO_ARTIFACT_CACHE_MAX``),
+  corruption-tolerant loads, ``artifact.cache`` spans and counters;
+* :mod:`repro.artifacts.aot` — ``python -m repro aot``: warm a
+  definition set, emit a manifest-driven self-contained image, and boot
+  a server :class:`~repro.server.base.BaseImage` from it.
+
+On-disk format and compatibility policy: see
+:mod:`repro.artifacts.store` — in short, entries are schema-versioned
+JSON objects named by their own key; any version or format skew makes
+old entries unreachable misses (reclaimed by the LRU sweep), and a
+corrupt entry is evicted and recompiled, never raised.
+"""
+
+from repro.artifacts.keys import (
+    bytecode_key,
+    canonical_options,
+    function_key,
+    runtime_fingerprint,
+    type_from_wire,
+    type_to_wire,
+)
+from repro.artifacts.store import (
+    ArtifactStore,
+    cache_enabled,
+    cache_root_from_environment,
+    get_store,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "bytecode_key",
+    "cache_enabled",
+    "cache_root_from_environment",
+    "canonical_options",
+    "function_key",
+    "get_store",
+    "runtime_fingerprint",
+    "type_from_wire",
+    "type_to_wire",
+]

@@ -1,0 +1,186 @@
+"""Canonical content-addressed keys for compiled artifacts.
+
+A cache that stores compiler *output* is only sound if its key captures
+every compiler *input*.  The digest built here covers, in one canonical
+JSON payload hashed with SHA-256:
+
+* the **source function** — the macro-expanded ``Function[...]`` MExpr in
+  its tagged wire form (:mod:`repro.mexpr.serialize`), which is exactly
+  the tree the pipeline lowers, so alpha-identical re-parses of the same
+  source text produce the same key across processes and machines
+  (``PYTHONHASHSEED`` never leaks in: the payload is sorted-key JSON);
+* the **semantic compiler options** — every :class:`CompilerOptions`
+  field that changes generated code (optimization level, inlining,
+  abort handling, memory management, ...).  Non-semantic fields are
+  deliberately excluded: ``pass_logger`` is a side channel and
+  ``verify_ir`` is a diagnostic mode (compiles with the sanitizer on
+  bypass the cache entirely rather than key on it);
+* the **backend** the artifact was generated for (``python`` for the
+  generated-Python JIT tier, ``bytecode`` for the WVM tier);
+* the **runtime-library fingerprint** — a content hash over the source
+  of every module that generated code calls back into (the runtime
+  primitive table, the Python backend itself, checked arithmetic, packed
+  arrays, the WVM).  Editing any of those invalidates every cached
+  artifact, because the stored source may embed assumptions about them;
+* the **repro package version** and any caller-supplied extra versions
+  (e.g. ``CompiledCodeFunction.COMPILER_VERSION``).
+
+The typed-IR digest of the *output* program is recorded inside stored
+entries for integrity checks and tooling, but it is not part of the
+lookup key — hashing the TWIR would require running the very pipeline the
+cache exists to skip.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Optional
+
+from repro.mexpr.expr import MExpr
+from repro.mexpr.serialize import to_wire
+
+#: schema version of the key payload; bump to invalidate every entry
+KEY_SCHEMA = 1
+
+#: CompilerOptions fields that change generated code, in canonical order
+_SEMANTIC_OPTION_FIELDS = (
+    "optimization_level",
+    "abort_handling",
+    "inline_policy",
+    "memory_management",
+    "copy_insertion",
+    "index_check_elision",
+    "constant_array_handling",
+    "profile",
+    "target_system",
+    "lazy_jit",
+    "argument_alias",
+)
+
+#: modules whose source the generated code (or the VM) depends on; their
+#: content hash is folded into every key
+_RUNTIME_FINGERPRINT_MODULES = (
+    "repro.compiler.runtime_library",
+    "repro.compiler.codegen.python_backend",
+    "repro.runtime.abort",
+    "repro.runtime.checked",
+    "repro.runtime.memory",
+    "repro.runtime.packed",
+    "repro.bytecode.compiler",
+    "repro.bytecode.instructions",
+    "repro.bytecode.vm",
+)
+
+_fingerprint_cache: Optional[str] = None
+
+
+def runtime_fingerprint() -> str:
+    """SHA-256 over the source of every runtime module generated code
+    links against; computed once per process."""
+    global _fingerprint_cache
+    if _fingerprint_cache is None:
+        import importlib
+
+        digest = hashlib.sha256()
+        for module_name in _RUNTIME_FINGERPRINT_MODULES:
+            module = importlib.import_module(module_name)
+            digest.update(module_name.encode("utf-8"))
+            with open(module.__file__, "rb") as handle:
+                digest.update(handle.read())
+        _fingerprint_cache = digest.hexdigest()
+    return _fingerprint_cache
+
+
+def canonical_options(options) -> dict:
+    """The semantic-field projection of a :class:`CompilerOptions`."""
+    return {
+        name: getattr(options, name) for name in _SEMANTIC_OPTION_FIELDS
+    }
+
+
+def digest_payload(payload: dict) -> str:
+    """SHA-256 of the canonical (sorted-key, compact) JSON rendering."""
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def function_key(
+    source_function: MExpr,
+    options,
+    backend: str,
+    extra: Optional[dict] = None,
+) -> str:
+    """The lookup key for one compile of ``source_function``."""
+    from repro import __version__
+
+    payload: dict[str, Any] = {
+        "schema": KEY_SCHEMA,
+        "function": to_wire(source_function),
+        "options": canonical_options(options),
+        "backend": backend,
+        "runtime": runtime_fingerprint(),
+        "repro": __version__,
+    }
+    if extra:
+        payload["extra"] = extra
+    return digest_payload(payload)
+
+
+def bytecode_key(specs: MExpr, body: MExpr, versions) -> str:
+    """The lookup key for one bytecode-tier (WVM) compile."""
+    from repro import __version__
+
+    payload = {
+        "schema": KEY_SCHEMA,
+        "specs": to_wire(specs),
+        "body": to_wire(body),
+        "backend": "bytecode",
+        "versions": list(versions),
+        "runtime": runtime_fingerprint(),
+        "repro": __version__,
+    }
+    return digest_payload(payload)
+
+
+# -- type wire form (signatures stored inside entries) -----------------------
+
+
+def type_to_wire(type_) -> dict:
+    """Serialize a signature type (atomic / compound / literal)."""
+    from repro.compiler.types.specifier import (
+        AtomicType,
+        CompoundType,
+        TypeLiteral,
+    )
+
+    if isinstance(type_, AtomicType):
+        return {"a": type_.name}
+    if isinstance(type_, TypeLiteral):
+        return {"l": type_.value, "t": type_.of_type}
+    if isinstance(type_, CompoundType):
+        return {
+            "c": type_.constructor,
+            "p": [type_to_wire(p) for p in type_.params],
+        }
+    raise TypeError(f"cannot serialize signature type {type_!r}")
+
+
+def type_from_wire(payload: dict):
+    """Rebuild a signature type from :func:`type_to_wire` output."""
+    from repro.compiler.types.specifier import (
+        AtomicType,
+        CompoundType,
+        TypeLiteral,
+    )
+
+    if "a" in payload:
+        return AtomicType(payload["a"])
+    if "l" in payload:
+        return TypeLiteral(payload["l"], payload.get("t", "Integer64"))
+    if "c" in payload:
+        return CompoundType(
+            payload["c"],
+            tuple(type_from_wire(p) for p in payload["p"]),
+        )
+    raise ValueError(f"unknown type wire payload {payload!r}")

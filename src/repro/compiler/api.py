@@ -14,6 +14,18 @@ unpack/check/pack (§4.5 boxing), abortable execution when hosted (F3), and
 the soft numeric failure path — on a runtime error it prints the paper's
 warning and re-evaluates through the interpreter with arbitrary precision
 (F2, the ``cfib[200]`` transcript).
+
+:func:`FunctionCompile` consults the persistent artifact cache
+(:mod:`repro.artifacts`, DESIGN.md §11) before running the pipeline: a
+hit re-execs the stored generated module — constant pool, kernel-escape
+expressions, and signature included — with **zero pipeline passes**, and
+a fresh compile stores its artifact for every later process.  Compiles
+that depend on process-local state (embedded ``constants=``, user passes,
+custom type/macro environments, a pass logger, or the verify-each
+sanitizer) bypass the cache.  A cache-restored function carries a
+:class:`_CachedProgram` placeholder instead of a TWIR module; the real
+module is recompiled lazily iff the circuit breaker ever demotes it to
+the bytecode tier.
 """
 
 from __future__ import annotations
@@ -167,6 +179,18 @@ def _pipeline(type_environment, macro_environment, option_rules,
         options=options,
         user_passes=user_passes,
     )
+
+
+class _CachedProgram:
+    """Placeholder for :class:`ProgramModule` on a cache-restored function.
+
+    Carries only the main-function name; the full TWIR module is
+    recompiled from the stored source function on first demand — bytecode
+    demotion is the only consumer, and demotion is rare."""
+
+    def __init__(self, main: str):
+        self.main = main
+        self.metadata: dict = {"restoredFromCache": True}
 
 
 class CompiledCodeFunction:
@@ -381,13 +405,21 @@ class CompiledCodeFunction:
             self._note_failure(Tier.BYTECODE, error)
             return self._soft_failure(arguments, error)
 
+    def _materialized_program(self) -> ProgramModule:
+        """The full TWIR module; a cache-restored function recompiles it
+        from the stored source function on first demand."""
+        if isinstance(self.program, _CachedProgram):
+            pipeline = CompilerPipeline(options=self.options)
+            self.program = pipeline.compile_program(self.source_function)
+        return self.program
+
     def _bytecode_artifact(self):
         if self._bytecode_tier is _UNSET:
             from repro.compiler.codegen.wvm_backend import WVMBackend
 
             try:
                 self._bytecode_tier = WVMBackend(
-                    self.program, self.options
+                    self._materialized_program(), self.options
                 ).compile_main()
                 self._bytecode_tier.evaluator = self.evaluator
             except CompilerError as error:
@@ -550,6 +582,129 @@ def _repack(result):
     return result
 
 
+# -- persistent artifact cache codec (DESIGN.md §11) ------------------------
+
+
+def _cacheable(options, constants, user_passes, type_environment,
+               macro_environment) -> bool:
+    """Only compiles fully described by (function, options) are cached.
+
+    Embedded constants, user passes, and custom type/macro environments
+    are process-local objects the key cannot capture; a pass logger is a
+    side channel; verify-each exists to *run* the pipeline."""
+    return (
+        options.target_system == "Python"
+        and not constants
+        and not user_passes
+        and type_environment is None
+        and macro_environment is None
+        and options.pass_logger is None
+        and options.verify_ir == "off"
+    )
+
+
+def _const_to_wire(value):
+    from repro.mexpr.serialize import to_wire
+
+    if isinstance(value, PackedArray):
+        return {"pa": {"e": value.element_type, "d": list(value.dims),
+                       "v": list(value.data)}}
+    if isinstance(value, MExpr):
+        return {"x": to_wire(value)}
+    raise TypeError(f"uncacheable constant {type(value).__name__}")
+
+
+def _const_from_wire(payload):
+    from repro.mexpr.serialize import from_wire
+
+    if "pa" in payload:
+        spec = payload["pa"]
+        return PackedArray(list(spec["v"]), tuple(spec["d"]), spec["e"])
+    return from_wire(payload["x"])
+
+
+def _cache_payload(cache_key, program, compiled, backend) -> Optional[dict]:
+    """Serialize one fresh compile into a store entry; ``None`` when any
+    piece (an exotic constant, a polymorphic type) resists the wire form."""
+    import hashlib
+
+    from repro.artifacts import type_to_wire
+    from repro.mexpr.serialize import to_wire
+
+    try:
+        kexprs = []
+        for expression, names, result_type in backend.kernel_expressions:
+            kexprs.append({
+                "e": to_wire(expression),
+                "v": list(names),
+                "t": type_to_wire(result_type)
+                if result_type is not None else None,
+            })
+        return {
+            "kind": "python",
+            "main": program.main,
+            "source": compiled.generated_source,
+            "params": [type_to_wire(t) for t in compiled.signature.params],
+            "result": type_to_wire(compiled.signature.result),
+            "consts": [_const_to_wire(c) for c in backend.constants],
+            "kexprs": kexprs,
+            "twir": hashlib.sha256(
+                program.to_string().encode("utf-8")
+            ).hexdigest(),
+        }
+    except (TypeError, ValueError):
+        return None
+
+
+def _restore_cached(entry, source_function, evaluator, options,
+                    store, cache_key) -> Optional[CompiledCodeFunction]:
+    """Rebuild a :class:`CompiledCodeFunction` from a store entry by
+    re-execing the stored module — no pipeline passes run.  A payload
+    that fails to decode is evicted and reported as a miss (``None``)."""
+    from repro.artifacts import type_from_wire
+    from repro.compiler.codegen.python_backend import execute_module
+    from repro.mexpr.serialize import from_wire
+
+    try:
+        if entry.get("kind") != "python":
+            raise ValueError(f"unexpected entry kind {entry.get('kind')!r}")
+        main = entry["main"]
+        constants = [_const_from_wire(c) for c in entry["consts"]]
+        kernel_expressions = [
+            (from_wire(k["e"]), list(k["v"]),
+             type_from_wire(k["t"]) if k["t"] is not None else None)
+            for k in entry["kexprs"]
+        ]
+        signature = FunctionType(
+            tuple(type_from_wire(p) for p in entry["params"]),
+            type_from_wire(entry["result"]),
+        )
+        compiled_holder: dict[str, CompiledCodeFunction] = {}
+
+        def kernel_call(expression_spec, argument_values):
+            return compiled_holder["fn"]._kernel_call(
+                expression_spec, argument_values
+            )
+
+        namespace = execute_module(
+            entry["source"], main, kernel_call,
+            constants, kernel_expressions,
+        )
+        compiled = CompiledCodeFunction(
+            program=_CachedProgram(main),
+            namespace=namespace,
+            signature=signature,
+            source_function=source_function,
+            evaluator=evaluator,
+            options=options,
+        )
+        compiled_holder["fn"] = compiled
+        return compiled
+    except Exception:
+        store.evict(cache_key)
+        return None
+
+
 def FunctionCompile(
     function: FunctionLike,
     evaluator=None,
@@ -561,7 +716,12 @@ def FunctionCompile(
     bind: Optional[str] = None,
     **option_rules,
 ) -> CompiledCodeFunction:
-    """Compile a function to native (generated-Python) code (§4.1)."""
+    """Compile a function to native (generated-Python) code (§4.1).
+
+    When the persistent artifact cache is enabled (it is by default; see
+    :mod:`repro.artifacts`), a previously compiled function — in this or
+    any earlier process — is restored from the store without running a
+    single pipeline pass."""
     if options is not None and option_rules:
         raise CompilerError("pass either options= or WL-style option rules")
     pipeline = _pipeline(
@@ -570,6 +730,31 @@ def FunctionCompile(
         user_passes=user_passes,
     )
     source_function = _as_function(function)
+
+    store = cache_key = None
+    if _cacheable(pipeline.options, constants, user_passes,
+                  type_environment, macro_environment):
+        from repro.artifacts import function_key, get_store
+
+        store = get_store()
+        if store is not None:
+            cache_key = function_key(
+                source_function, pipeline.options, backend="python",
+                extra={"compiler": CompiledCodeFunction.COMPILER_VERSION},
+            )
+            entry = store.get(cache_key)
+            if entry is not None:
+                restored = _restore_cached(
+                    entry, source_function, evaluator, pipeline.options,
+                    store, cache_key,
+                )
+                if restored is not None:
+                    if bind is not None:
+                        if evaluator is None:
+                            raise CompilerError("bind= requires an evaluator")
+                        restored.install(evaluator, bind)
+                    return restored
+
     program = pipeline.compile_program(source_function, constants=constants)
 
     if pipeline.options.target_system == "WVM":
@@ -602,6 +787,10 @@ def FunctionCompile(
         options=pipeline.options,
     )
     compiled_holder["fn"] = compiled
+    if store is not None and cache_key is not None:
+        payload = _cache_payload(cache_key, program, compiled, backend)
+        if payload is not None:
+            store.put(cache_key, payload)
     if bind is not None:
         if evaluator is None:
             raise CompilerError("bind= requires an evaluator")

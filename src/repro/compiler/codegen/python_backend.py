@@ -77,6 +77,55 @@ def sanitize(name: str) -> str:
     return out or "_fn"
 
 
+def runtime_globals(kernel_call, constants, kernel_expressions) -> dict:
+    """The exec namespace generated (non-standalone) modules run in.
+
+    Module-level so a cache-restored artifact (repro.artifacts) can
+    re-exec its stored source with a rebuilt constant pool, without a
+    live backend or :class:`ProgramModule`.
+    """
+    import cmath as _cmath
+    import math as _math
+
+    from repro.compiler.runtime_library import RUNTIME
+    from repro.errors import IntegerOverflowError, WolframRuntimeError
+    from repro.runtime.abort import runtime_check_abort
+    from repro.runtime.memory import memory_acquire, memory_release
+    from repro.runtime.packed import PackedArray
+
+    def _no_kernel(expression, arguments):  # standalone behaviour (§4.6)
+        raise WolframRuntimeError(
+            "NoKernel", "interpreter escape without a host engine"
+        )
+
+    return {
+        "_prof": {},
+        "_math": _math,
+        "_cmath": _cmath,
+        "_rt": RUNTIME,
+        "PackedArray": PackedArray,
+        "IntegerOverflowError": IntegerOverflowError,
+        "WolframRuntimeError": WolframRuntimeError,
+        "_check_abort": runtime_check_abort,
+        "_mem_acquire": memory_acquire,
+        "_mem_release": memory_release,
+        "_consts": constants,
+        "_kexprs": kernel_expressions,
+        "_kernel": kernel_call or _no_kernel,
+    }
+
+
+def execute_module(source: str, name: str, kernel_call,
+                   constants, kernel_expressions) -> dict:
+    """Exec one generated module (fresh or cache-restored) and return its
+    namespace, with ``__wolfram_source__`` attached."""
+    namespace = runtime_globals(kernel_call, constants, kernel_expressions)
+    code = compile(source, f"<wolfram-compiled:{name}>", "exec")
+    exec(code, namespace)
+    namespace["__wolfram_source__"] = source
+    return namespace
+
+
 class PythonBackend:
     """Generates one Python module for a :class:`ProgramModule`."""
 
@@ -112,42 +161,15 @@ class PythonBackend:
     def compile(self, kernel_call=None) -> dict:
         """Exec the generated module; returns its namespace."""
         source = self.generate_source(standalone=False)
-        namespace = self._runtime_globals(kernel_call)
-        code = compile(source, f"<wolfram-compiled:{self.program.name}>", "exec")
-        exec(code, namespace)
-        namespace["__wolfram_source__"] = source
-        return namespace
+        return execute_module(
+            source, self.program.name, kernel_call,
+            self.constants, self.kernel_expressions,
+        )
 
     def _runtime_globals(self, kernel_call) -> dict:
-        import cmath as _cmath
-        import math as _math
-
-        from repro.compiler.runtime_library import RUNTIME
-        from repro.errors import IntegerOverflowError, WolframRuntimeError
-        from repro.runtime.abort import runtime_check_abort
-        from repro.runtime.memory import memory_acquire, memory_release
-        from repro.runtime.packed import PackedArray
-
-        def _no_kernel(expression, arguments):  # standalone behaviour (§4.6)
-            raise WolframRuntimeError(
-                "NoKernel", "interpreter escape without a host engine"
-            )
-
-        return {
-            "_prof": {},
-            "_math": _math,
-            "_cmath": _cmath,
-            "_rt": RUNTIME,
-            "PackedArray": PackedArray,
-            "IntegerOverflowError": IntegerOverflowError,
-            "WolframRuntimeError": WolframRuntimeError,
-            "_check_abort": runtime_check_abort,
-            "_mem_acquire": memory_acquire,
-            "_mem_release": memory_release,
-            "_consts": self.constants,
-            "_kexprs": self.kernel_expressions,
-            "_kernel": kernel_call or _no_kernel,
-        }
+        return runtime_globals(
+            kernel_call, self.constants, self.kernel_expressions
+        )
 
     def _emit_prelude(self, standalone: bool) -> None:
         self._line(f"# generated by the Wolfram compiler Python backend")

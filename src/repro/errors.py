@@ -177,6 +177,18 @@ class CompilerError(ReproError):
     """Base class for errors raised by either compiler."""
 
 
+class ArtifactError(ReproError):
+    """Base class for persistent-artifact-cache errors (repro.artifacts)."""
+
+
+class ArtifactCorruptError(ArtifactError):
+    """A stored artifact entry failed to read, parse, or validate.
+
+    Always handled inside :class:`repro.artifacts.ArtifactStore` — a
+    corrupt entry is evicted and reported as a miss; this exception never
+    escapes to a compile."""
+
+
 class BytecodeCompilerError(CompilerError):
     """The legacy bytecode compiler could not translate the program.
 

@@ -25,6 +25,11 @@ event / metric                  emitted by
 ``tier.invalidate``             promotion dropped on redefinition (instant)
 ``tier.blocked``                definition failed the promotion gate (instant)
 ``guard.trip``                  deadline/step/memory budget expiry (instant)
+``artifact.cache`` (span)       one persistent-cache lookup or store
+                                (``op=`` get/put, ``key=`` digest prefix)
+``artifact.cache.hits``         persistent-cache outcomes (counters);
+                                ``.misses``, ``.stores``, ``.evictions``,
+                                ``.corrupt`` alongside
 ``server.request`` (span)       one engine-server request, ``session=``,
                                 ``tenant=``
 ``server.requests``             requests received (counter); ``server.ok``,

@@ -15,6 +15,7 @@ the CI perf job relies on exactly this contract.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.benchsuite.data import bench_scale
@@ -80,6 +81,12 @@ def _parser() -> argparse.ArgumentParser:
 
 def main(argv=None, output=None) -> int:
     out = output or sys.stdout
+    # Compile-time measurements must time the *pipeline*, not a cache
+    # probe: a warm persistent artifact cache would silently turn
+    # compiler.compile_time (and every compile inside a timed region)
+    # into microsecond lookups.  Specs that measure the cache, like
+    # aot.warm_boot, manage their own isolated stores.
+    os.environ["REPRO_ARTIFACT_CACHE"] = "off"
     try:
         args = _parser().parse_args(
             list(sys.argv[2:] if argv is None else argv))

@@ -627,6 +627,88 @@ def _template_throughput_run(config: RunConfig) -> SpecResult:
     )
 
 
+# -- AOT warm images: cold vs warm server boot --------------------------------
+
+
+#: the measured prelude — mirrors examples/preludes/arith.wl, inlined so
+#: the spec does not depend on the working directory
+_AOT_PRELUDE = (
+    "fib[n_Integer] := If[n < 2, n, fib[n - 1] + fib[n - 2]]",
+    "tri[n_Integer] := Quotient[n * (n + 1), 2]",
+    "sq[x_Integer] := x * x",
+    "hyp[a_Real, b_Real] := Sqrt[a * a + b * b]",
+)
+
+
+def _aot_warm_boot_run(config: RunConfig) -> SpecResult:
+    """Cold vs warm server boot: building a base image and promoting the
+    prelude's definitions to the compiled tier, with (warm) and without
+    (cold) the AOT image's embedded artifacts.  ``verified`` asserts the
+    whole point of the tentpole — a warm boot must beat a cold one — and
+    that both boots compute identical answers from the compiled tier."""
+    from repro.artifacts import aot
+    from repro.artifacts.store import activate_store, active_override
+    from repro.mexpr import parse
+
+    entry_store = active_override()
+    try:
+        manifest = aot.build_image(_AOT_PRELUDE)
+
+        def boot_cold():
+            _, evaluator = aot.boot_cold(manifest)
+            return evaluator
+
+        def boot_warm():
+            _, evaluator = aot.boot_warm(manifest)
+            return evaluator
+
+        s_cold, cold_evaluator = stats.measure(
+            boot_cold, repeats=config.repeats, warmup=0)
+        s_warm, warm_evaluator = stats.measure(
+            boot_warm, repeats=config.repeats, warmup=1)
+        call = parse("fib[18]")
+        verified = (
+            len(manifest["preload"]) == len(_AOT_PRELUDE)
+            and cold_evaluator.evaluate(call).to_python() == 2584
+            and warm_evaluator.evaluate(call).to_python() == 2584
+            and warm_evaluator.hotspot.promoted["fib"].tier_kind
+            == "compiled"
+            and s_warm.best < s_cold.best
+        )
+    finally:
+        activate_store(entry_store)
+    speedup = stats.ratio_sample(s_cold, s_warm).as_measurement(
+        direction="higher")
+    speedup["gate"] = False  # the quotient of two gated arms
+    return SpecResult(
+        {
+            "cold_boot_seconds": s_cold.as_measurement(),
+            "warm_boot_seconds": s_warm.as_measurement(),
+            "warm_speedup": speedup,
+        },
+        meta={
+            "definitions": len(_AOT_PRELUDE),
+            "preloaded": manifest["preload"],
+            "image_objects": len(manifest["objects"]),
+            "gate": "warm boot strictly beats cold boot",
+        },
+        verified=verified,
+    )
+
+
+def _aot_warm_boot_probe(config: RunConfig) -> None:
+    from repro.artifacts import aot
+    from repro.artifacts.store import activate_store, active_override
+
+    entry_store = active_override()
+    try:
+        # artifact.cache get/put spans and counters under the tracer
+        manifest = aot.build_image(_AOT_PRELUDE[:1])
+        aot.boot_warm(manifest)
+    finally:
+        activate_store(entry_store)
+
+
 # -- the engine server under load --------------------------------------------
 
 
@@ -747,6 +829,10 @@ def _specs() -> tuple:
                   "steady-state template code vs the bytecode VM "
                   "(Figure-2 kernels)",
                   _template_throughput_run, smoke=True),
+        BenchSpec("aot.warm_boot", "compiler", "compiler",
+                  "AOT warm image: cold vs warm server boot "
+                  "(gate: warm < cold)",
+                  _aot_warm_boot_run, _aot_warm_boot_probe, smoke=True),
         BenchSpec("server.loadgen", "server", "server",
                   "multi-session server under load (p50/p99, shed rate)",
                   _server_load_run, _server_load_probe),

@@ -23,6 +23,15 @@ With the template rung disabled (``REPRO_TEMPLATE_JIT=0``) the ladder
 degenerates to the PR 2 behaviour: one promotion at the full threshold,
 preferring ``FunctionCompile`` and falling back to the bytecode VM.
 
+The expensive rung is durable: ``FunctionCompile`` (and the bytecode
+tier's ``compile_function``) consult the persistent artifact cache
+(:mod:`repro.artifacts`), so a function promoted in one process promotes
+from a cache hit in the next — no pipeline passes run.  The template rung
+deliberately stays cache-free: its stitch is microseconds, cheaper than a
+cache probe.  :meth:`HotspotProfiler.preload` is the AOT entry point —
+a warm image's manifest replays hot definitions through the full-pipeline
+rung at boot, before any call is dispatched.
+
 Governance invariants:
 
 * a promoted artifact keeps its own ``CircuitBreaker`` (renamed to the
@@ -341,6 +350,64 @@ class HotspotProfiler:
             self._attempt_promotion(
                 evaluator, name, definition, expression, full
             )
+        finally:
+            self._in_progress.discard(name)
+
+    def preload(self, evaluator, name: str) -> bool:
+        """AOT warm boot: promote ``name`` straight to the compiled tier
+        before any call is ever dispatched.
+
+        The manifest of a warm image (:mod:`repro.artifacts.aot`) lists the
+        definitions that were hot when the image was built; at boot the
+        server replays them through this method.  The plan synthesis and
+        the compiled-tier gate are exactly the runtime promotion path —
+        ``FunctionCompile`` inside :meth:`_compile_compiled_tier` hits the
+        persistent artifact cache, so a warm preload costs a cache probe
+        instead of a pipeline run.  Definitions that synthesis cannot type
+        without an observed call (undeclared argument positions) are left
+        to runtime profiling; returns ``True`` only when an artifact was
+        installed.
+        """
+        definition = evaluator.state.lookup(name)
+        if definition is None or not definition.down_values:
+            return False
+        if self.max_tier is not Tier.COMPILED:
+            return False
+        with self._lock:
+            if name in self.promoted or name in self._in_progress:
+                return False
+            self._in_progress.add(name)
+        try:
+            with _observe.span("hotspot.promote", "hotspot", symbol=name,
+                               rung="full", preload=True):
+                plan = self._synthesize(name, definition, None)
+                if plan is None or plan is _RETRY_LATER:
+                    return False
+                started = time.perf_counter()
+                artifact = self._compile_compiled_tier(evaluator, name, plan)
+                elapsed = time.perf_counter() - started
+                if artifact is None:
+                    return False
+                with self._lock:
+                    self.promoted[name] = PromotedFunction(
+                        name=name,
+                        artifact=artifact,
+                        tier_kind="compiled",
+                        gate_types=plan.gate_types,
+                        kinds=plan.kinds,
+                        state_version=evaluator.state.state_version,
+                        rules_list=definition.down_values,
+                        rules=tuple(definition.down_values),
+                        plan=plan,
+                    )
+                    self._charge_compile("compiled", elapsed)
+                    self.events.append(
+                        PromotionEvent(name, "promoted", "compiled",
+                                       "AOT preload")
+                    )
+            _observe.event("tier.promote", "hotspot", symbol=name,
+                           tier="compiled", applications=0, preload=True)
+            return True
         finally:
             self._in_progress.discard(name)
 
@@ -724,13 +791,17 @@ class HotspotProfiler:
                     return None
 
         # undeclared positions take the class observed on the hot call;
-        # non-numeric arguments mean "not now", not "never"
+        # non-numeric arguments mean "not now", not "never".  AOT preload
+        # has no observed call (``expression is None``), so a definition
+        # with any undeclared position is deferred to runtime profiling.
         gate_types: list[type] = [None] * arity  # type: ignore[list-item]
         for position in range(arity):
             if kinds[position] == "i":
                 gate_types[position] = MInteger
             elif kinds[position] == "r":
                 gate_types[position] = MReal
+            elif expression is None:
+                return _RETRY_LATER
             else:
                 observed = expression.args[position]
                 if type(observed) is MInteger:

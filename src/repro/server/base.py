@@ -14,6 +14,11 @@ writes is ever observable from another session.
 This is the Futamura-projection reading of the server tier (PAPERS.md,
 Williams & Perugini): the frozen image is the engine *specialized* to a
 fixed definition set, paid for once at boot instead of once per session.
+The projection goes one step further with an AOT **warm image**
+(:mod:`repro.artifacts.aot`): :meth:`BaseImage.from_image` boots from a
+manifest that embeds the compiled artifacts of the prelude's hot
+definitions, so every session's tier-up to compiled code is a cache probe
+instead of a pipeline run.
 """
 
 from __future__ import annotations
@@ -31,10 +36,19 @@ class BaseImageError(ReproError):
 
 class BaseImage:
     """An immutable, shared ``name -> Definition`` layer plus a factory
-    for session evaluators layered over it."""
+    for session evaluators layered over it.
 
-    def __init__(self, prelude: Iterable[str] = ()):
+    ``preload`` names prelude definitions every session evaluator promotes
+    straight to the compiled tier at creation
+    (:meth:`~repro.runtime.hotspot.HotspotProfiler.preload`); it is
+    normally supplied by a warm image's manifest, where the promotion is
+    backed by embedded artifacts.
+    """
+
+    def __init__(self, prelude: Iterable[str] = (),
+                 preload: Iterable[str] = ()):
         self.prelude = tuple(prelude)
+        self.preload = tuple(preload)
         warmer = Evaluator()
         for source in self.prelude:
             try:
@@ -52,6 +66,24 @@ class BaseImage:
         self.definitions: Mapping[str, Definition] = warmer.state.freeze()
         # the warming evaluator is discarded here — nothing holds a mutable
         # handle to the frozen definitions
+
+    @classmethod
+    def from_image(cls, image) -> "BaseImage":
+        """Boot from an AOT warm image (a manifest path or dict).
+
+        Seeds the process artifact store with the image's embedded
+        compiled artifacts, then warms the prelude exactly as a cold boot
+        would — the difference is that every session's preload of the
+        manifest's hot definitions resolves from the cache with zero
+        pipeline passes.  See :mod:`repro.artifacts.aot`.
+        """
+        from repro.artifacts import aot
+
+        manifest = aot.load_image(image) if isinstance(image, str) else image
+        aot.validate_manifest(manifest)
+        aot.seed_store(manifest)
+        return cls(prelude=manifest.get("prelude", ()),
+                   preload=manifest.get("preload", ()))
 
     def __len__(self) -> int:
         return len(self.definitions)
@@ -81,4 +113,12 @@ class BaseImage:
             if hotspot_threshold is not None:
                 evaluator.hotspot = None
                 enable_hotspot(evaluator, threshold=hotspot_threshold)
+            profiler = getattr(evaluator, "hotspot", None)
+            if profiler is not None:
+                # AOT preload: promote the manifest's hot definitions to
+                # the compiled tier before the session's first dispatch;
+                # with the image's artifacts seeded this is a cache probe
+                # per symbol, not a pipeline run
+                for name in self.preload:
+                    profiler.preload(evaluator, name)
         return evaluator

@@ -46,6 +46,10 @@ def build_parser(parser: Optional[argparse.ArgumentParser] = None
     parser.add_argument("--prelude", metavar="FILE", default=None,
                         help="file of definitions warmed into the shared "
                         "base image (one expression per line)")
+    parser.add_argument("--image", metavar="IMAGE", default=None,
+                        help="boot the base image from an AOT warm image "
+                        "built by 'python -m repro aot' (overrides "
+                        "--prelude)")
     parser.add_argument("--max-concurrent", type=int, default=4)
     parser.add_argument("--queue-limit", type=int, default=32)
     parser.add_argument("--deadline", type=float, default=1.0,
@@ -75,6 +79,7 @@ def config_from_args(args: argparse.Namespace) -> ServerConfig:
             )
     config = ServerConfig(
         prelude=prelude,
+        image_path=args.image,
         max_concurrent=args.max_concurrent,
         queue_limit=args.queue_limit,
     )

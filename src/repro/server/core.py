@@ -67,6 +67,10 @@ class ServerConfig:
     max_sessions: int = 256
     session_queue_limit: int = 8
     prelude: tuple = ()
+    #: path to an AOT warm image (``python -m repro aot``); when set, the
+    #: base image boots from it — prelude and artifacts come from the
+    #: manifest and ``prelude`` above is ignored
+    image_path: Optional[str] = None
     recursion_limit: int = 1024
     iteration_limit: int = 4096
     compile_support: bool = True
@@ -129,10 +133,12 @@ class EngineServer:
                  base_image: Optional[BaseImage] = None,
                  memory_probe=None, clock=time.monotonic):
         self.config = config if config is not None else ServerConfig()
-        self.base_image = (
-            base_image if base_image is not None
-            else BaseImage(prelude=self.config.prelude)
-        )
+        if base_image is not None:
+            self.base_image = base_image
+        elif self.config.image_path:
+            self.base_image = BaseImage.from_image(self.config.image_path)
+        else:
+            self.base_image = BaseImage(prelude=self.config.prelude)
         self.clock = clock
         self.sessions: dict[str, Session] = {}
         self.admission = AdmissionController(

@@ -4,12 +4,17 @@
 robustness suite uses to prove every fallback path unwinds cleanly.
 :mod:`repro.testing.corrupt` is the ``corrupt-ir`` fault class: deliberately
 broken pipeline passes that the verify-each sanitizer must catch and
-attribute by name.
+attribute by name.  It also carries the ``artifact.corrupt`` fault class:
+mutators that damage persistent artifact-cache entries on disk so the
+store's bad-entry recovery (miss + evict, never a crash) is provable per
+corruption shape.
 """
 
 from repro.testing.corrupt import (
+    ARTIFACT_CORRUPTIONS,
     CORRUPTIONS,
     CorruptionUnapplicable,
+    corrupt_artifact,
     corrupt_ir_pass,
 )
 from repro.testing.faults import (
@@ -21,10 +26,12 @@ from repro.testing.faults import (
 )
 
 __all__ = [
+    "ARTIFACT_CORRUPTIONS",
     "CORRUPTIONS",
     "CorruptionUnapplicable",
     "Fault",
     "FaultInjector",
+    "corrupt_artifact",
     "corrupt_ir_pass",
     "fire",
     "inject_faults",

@@ -158,3 +158,78 @@ def corrupt_ir_pass(corruption: str = "drop-terminator",
             mutator(subject)
 
     return UserPass(stage=stage, run=run, name=f"corrupt-ir[{corruption}]")
+
+
+# -- the ``artifact.corrupt`` fault class ------------------------------------
+#
+# The persistent artifact cache (repro.artifacts) promises that a bad
+# entry is a miss, never a crash.  These mutators damage a stored entry
+# file in a specific way so the recovery path — evict + recompile — can
+# be asserted per failure shape.  The injectable counterpart is
+# ``Fault("artifact.load", "corrupt")``, which raises inside the store's
+# read path without touching the file.
+
+
+def _artifact_truncate(path: str) -> None:
+    with open(path, "r+b") as handle:
+        size = handle.seek(0, 2)
+        handle.truncate(max(0, size // 2))
+
+
+def _artifact_garbage(path: str) -> None:
+    with open(path, "wb") as handle:
+        handle.write(b"\x00\xffnot json at all\x00")
+
+
+def _artifact_bad_json(path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write('{"schema": 1, "key": ')  # unterminated document
+
+
+def _artifact_wrong_schema(path: str) -> None:
+    import json
+
+    with open(path, "r", encoding="utf-8") as handle:
+        entry = json.load(handle)
+    entry["schema"] = -1
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(entry, handle)
+
+
+def _artifact_key_mismatch(path: str) -> None:
+    import json
+
+    with open(path, "r", encoding="utf-8") as handle:
+        entry = json.load(handle)
+    entry["key"] = "0" * 64
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(entry, handle)
+
+
+#: corruption name -> mutator over a stored artifact entry file
+ARTIFACT_CORRUPTIONS = {
+    "truncate": _artifact_truncate,
+    "garbage": _artifact_garbage,
+    "bad-json": _artifact_bad_json,
+    "wrong-schema": _artifact_wrong_schema,
+    "key-mismatch": _artifact_key_mismatch,
+}
+
+
+def corrupt_artifact(store, digest: str, corruption: str = "garbage") -> str:
+    """Damage the stored entry for ``digest`` in place; returns the path.
+
+    The entry must exist (a missing entry is a test-setup bug)."""
+    import os
+
+    mutator = ARTIFACT_CORRUPTIONS.get(corruption)
+    if mutator is None:
+        raise ValueError(
+            f"unknown artifact corruption {corruption!r}; "
+            f"choose from {sorted(ARTIFACT_CORRUPTIONS)}"
+        )
+    path = store._object_path(digest)
+    if not os.path.exists(path):
+        raise CorruptionUnapplicable(f"no stored entry for {digest[:12]}")
+    mutator(path)
+    return path

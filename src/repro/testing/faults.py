@@ -18,6 +18,11 @@ site                   fired from
                        TemplateCompiledFunction` — drives the baseline
                        tier's demotion ladder (template → bytecode →
                        interpreter) deterministically
+``artifact.load``      :meth:`~repro.artifacts.ArtifactStore.get`, after
+                       the entry file is found but before it is parsed —
+                       with the ``corrupt`` kind this drives the
+                       artifact cache's bad-entry recovery (miss + evict,
+                       never a crash)
 ``runtime.<name>``     the runtime-library primitive ``<name>``; the
                        injector wraps the shared ``RUNTIME`` table entry
                        for the scope of the context manager
@@ -44,6 +49,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
 
 from repro.errors import (
+    ArtifactCorruptError,
     IntegerOverflowError,
     WolframAbort,
     WolframBudgetError,
@@ -60,6 +66,8 @@ _FAULT_KINDS: dict[str, Callable[[], BaseException]] = {
     "runtime": lambda: WolframRuntimeError("Injected", "injected runtime error"),
     # a backend/programming error that must NOT ride the soft-failure channel
     "backend-raise": lambda: AttributeError("injected backend failure"),
+    # artifact-cache entry corruption; the store must recover (miss + evict)
+    "corrupt": lambda: ArtifactCorruptError("injected artifact corruption"),
 }
 
 

@@ -2,9 +2,26 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
-from repro.engine import Evaluator
+# Hermetic tests: the persistent artifact cache (repro.artifacts) must
+# neither leak compiles between tests nor touch ~/.cache on CI runners.
+# Cache-specific tests repoint this at a tmp_path with monkeypatch.
+os.environ["REPRO_ARTIFACT_CACHE"] = "off"
+
+from repro.engine import Evaluator  # noqa: E402
+
+
+@pytest.fixture()
+def artifact_cache(tmp_path, monkeypatch):
+    """An enabled, isolated artifact store rooted in ``tmp_path``."""
+    from repro.artifacts import get_store
+
+    monkeypatch.setenv("REPRO_ARTIFACT_CACHE", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_ARTIFACT_CACHE_MAX", raising=False)
+    return get_store()
 
 
 @pytest.fixture()

@@ -114,13 +114,18 @@ def test_tierup_speedup_factor(capsys):
 
 def measure_trace_overhead(trace_path: str | None = None,
                            reps: int = 5) -> dict:
-    """Traced vs disabled-tracer vs plain interpreted fib, interleaved
-    rep-for-rep.
+    """Traced vs flight-recorded vs disabled-tracer vs plain interpreted
+    fib, interleaved rep-for-rep.
 
-    Interleaving means machine noise hits all arms equally.  Two gates:
+    Interleaving means machine noise hits all arms equally.  Three gates:
 
     * the **traced** arm (tracer active, spans recorded) must stay under
       1.5x the plain arm;
+    * the **recorder** arm (the PR 9 always-on :class:`FlightRecorder`
+      installed process-wide, one request context minted and finished per
+      rep — exactly the server's per-request telemetry path) must stay
+      within the always-on budget: 5%, noise-widened like every perf gate
+      in this repo;
     * the **disabled** arm (``repro.observe`` imported, tracing off — the
       module-level ``TRACER`` guard short-circuits) must stay within the
       measurement's own noise of the plain arm, judged by the
@@ -130,18 +135,23 @@ def measure_trace_overhead(trace_path: str | None = None,
     there for artifact upload.
     """
     from repro.observe import disable_tracing, enable_tracing
+    from repro.observe.context import activate, mint_context
+    from repro.observe.flight import FlightRecorder
 
     plain = dispatch.fib_session(promote=False)
     disabled = dispatch.fib_session(promote=False)
+    recorded = dispatch.fib_session(promote=False)
     instrumented = dispatch.fib_session(promote=False)
     call = parse(FIB_CALL)
-    for session in (plain, disabled, instrumented):
+    for session in (plain, disabled, recorded, instrumented):
         session.evaluate(parse(FIB_WARMUP))
 
     t_plain: list = []
     t_disabled: list = []
+    t_recorded: list = []
     t_traced: list = []
     tracer = None
+    recorder = FlightRecorder()
     import time
     for _ in range(reps):
         # evaluate_protected on all arms: it is the span-emitting entry
@@ -153,6 +163,21 @@ def measure_trace_overhead(trace_path: str | None = None,
         start = time.perf_counter()
         disabled.evaluate_protected(call)
         t_disabled.append(time.perf_counter() - start)
+
+        # the server's always-on path: recorder installed, request minted,
+        # records routed through the per-request buffer, then finished
+        enable_tracing(recorder)
+        try:
+            context = mint_context(session="bench",
+                                   sampled=recorder.sample_next())
+            start = time.perf_counter()
+            with activate(context):
+                recorded.evaluate_protected(call)
+            elapsed = time.perf_counter() - start
+            t_recorded.append(elapsed)
+            recorder.finish_request(context, ok=True, latency=elapsed)
+        finally:
+            disable_tracing()
 
         tracer = enable_tracing(tracer)
         try:
@@ -166,20 +191,27 @@ def measure_trace_overhead(trace_path: str | None = None,
         tracer.write_chrome_trace(trace_path)
     s_plain = stats.Sample(tuple(t_plain))
     s_disabled = stats.Sample(tuple(t_disabled))
+    s_recorded = stats.Sample(tuple(t_recorded))
     s_traced = stats.Sample(tuple(t_traced))
     dispersion = max(s_plain.rel_dispersion, s_disabled.rel_dispersion)
     return {
         "workload": f"interpreted {FIB_CALL}",
         "untraced_seconds": s_plain.best,
         "disabled_seconds": s_disabled.best,
+        "recorder_seconds": s_recorded.best,
         "traced_seconds": s_traced.best,
         "ratio": s_traced.best / s_plain.best,
+        "recorder_ratio": s_recorded.best / s_plain.best,
         "disabled_ratio": s_disabled.best / s_plain.best,
         "rel_dispersion": dispersion,
+        # always-on budget for the recorder arm: 5%, widened to 5x the
+        # interleaved samples' own relative MAD on noisy boxes
+        "recorder_budget": 1.0 + max(0.05, 5.0 * dispersion),
         # within-noise budget for the disabled arm: at least 25%, widened
         # to 5x the interleaved samples' own relative MAD on noisy boxes
         "disabled_budget": 1.0 + max(0.25, 5.0 * dispersion),
         "trace_events": len(tracer.events) if tracer is not None else 0,
+        "recorder_retained": recorder.retained_requests,
     }
 
 
@@ -191,6 +223,17 @@ def test_disabled_tracer_within_noise(capsys):
               f"{result['disabled_ratio']:.3f} "
               f"(budget {result['disabled_budget']:.2f})")
     assert result["disabled_ratio"] < result["disabled_budget"]
+
+
+def test_always_on_recorder_within_budget(capsys):
+    """The PR 9 flight recorder must stay within its always-on budget."""
+    result = measure_trace_overhead(reps=3)
+    with capsys.disabled():
+        print(f"\nalways-on recorder ratio on {result['workload']}: "
+              f"{result['recorder_ratio']:.3f} "
+              f"(budget {result['recorder_budget']:.2f})")
+    assert result["recorder_retained"] == 3  # default sample rate keeps all
+    assert result["recorder_ratio"] < result["recorder_budget"]
 
 
 # -- the trajectory runner ---------------------------------------------------
@@ -213,6 +256,15 @@ def main(argv=None) -> int:
             status = 1
         else:
             print(f"ok: traced/untraced ratio {result['ratio']:.2f} < 1.5x")
+        if result["recorder_ratio"] >= result["recorder_budget"]:
+            print(f"FAIL: always-on recorder ratio "
+                  f"{result['recorder_ratio']:.3f} >= "
+                  f"{result['recorder_budget']:.2f} budget")
+            status = 1
+        else:
+            print(f"ok: always-on recorder ratio "
+                  f"{result['recorder_ratio']:.3f} within budget "
+                  f"({result['recorder_budget']:.2f})")
         if result["disabled_ratio"] >= result["disabled_budget"]:
             print(f"FAIL: disabled-tracer ratio "
                   f"{result['disabled_ratio']:.3f} >= "

@@ -5,7 +5,8 @@ Run:  python -m repro [--stats [DUMP]] [--trace FILE] [--metrics [FILE]]
       python -m repro bench [--suite S] [--filter NAME] [--compare]
                             [--report FILE] [--trace-dir DIR]
       python -m repro serve [--port N] [--image IMG] [--loadgen | --chaos]
-                            [--dump-stats PATH]
+                            [--dump-stats PATH] [--flight-dir DIR]
+      python -m repro top [--host H] [--port N] [--watch] [--json]
       python -m repro aot [--prelude FILE] [--out IMG] [--boot IMG]
 
 Each input gets an ``In[n]``/``Out[n]`` pair; ``FunctionCompile`` and
@@ -59,6 +60,13 @@ Subcommands
     control with load shedding, circuit breakers, and graceful
     degradation; ``--loadgen``/``--chaos`` drive it in-process.  See
     ``python -m repro serve --help`` and DESIGN.md §10.
+
+``top``
+    The live server overview (:mod:`repro.server.top`): one screen of
+    request totals, latency quantiles (from the always-on flight
+    recorder), tier mix, breaker board, cache hit rate, and degradation
+    state, fetched over the serve protocol's ``stats``/``metrics`` ops.
+    ``--watch`` redraws every ``--interval`` seconds.  See DESIGN.md §7.
 
 ``aot``
     Ahead-of-time warm images (:mod:`repro.artifacts.aot`): warm a
@@ -348,6 +356,10 @@ def main(argv=None, input_stream=None, output=None) -> int:
         from repro.server.cli import main as serve_main
 
         return serve_main(arguments[1:])
+    if arguments and arguments[0] == "top":
+        from repro.server.top import main as top_main
+
+        return top_main(arguments[1:])
     if arguments and arguments[0] == "aot":
         from repro.artifacts.aot import main as aot_main
 

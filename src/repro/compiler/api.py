@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from typing import Any, Optional, Union
 
+from repro import observe as _observe
 from repro.compiler.codegen.python_backend import PythonBackend, sanitize
 from repro.compiler.macros import MacroEnvironment
 from repro.compiler.options import CompilerOptions
@@ -722,8 +723,22 @@ def FunctionCompile(
     :mod:`repro.artifacts`), a previously compiled function — in this or
     any earlier process — is restored from the store without running a
     single pipeline pass."""
+    with _observe.span("compile.function", "compiler") as span_record:
+        return _function_compile(
+            function, evaluator, type_environment, macro_environment,
+            constants, user_passes, options, bind, span_record,
+            **option_rules,
+        )
+
+
+def _function_compile(
+    function, evaluator, type_environment, macro_environment,
+    constants, user_passes, options, bind, span_record, **option_rules,
+) -> CompiledCodeFunction:
     if options is not None and option_rules:
         raise CompilerError("pass either options= or WL-style option rules")
+    if span_record is not None:
+        span_record.args["cache"] = "off"
     pipeline = _pipeline(
         type_environment, macro_environment,
         {"options": options} if options is not None else option_rules,
@@ -742,6 +757,8 @@ def FunctionCompile(
                 source_function, pipeline.options, backend="python",
                 extra={"compiler": CompiledCodeFunction.COMPILER_VERSION},
             )
+            if span_record is not None:
+                span_record.args["cache"] = "miss"
             entry = store.get(cache_key)
             if entry is not None:
                 restored = _restore_cached(
@@ -749,6 +766,8 @@ def FunctionCompile(
                     store, cache_key,
                 )
                 if restored is not None:
+                    if span_record is not None:
+                        span_record.args["cache"] = "hit"
                     if bind is not None:
                         if evaluator is None:
                             raise CompilerError("bind= requires an evaluator")

@@ -45,7 +45,24 @@ event / metric                  emitted by
                                 ``from=``, ``to=``, ``used_bytes=``)
 ``server.session``              session lifecycle (instant, ``action=``
                                 created/evicted)
+``server.admit``                admission slot granted (instant,
+                                ``queue_depth=``)
+``server.shed``                 request rejected/shed (instant,
+                                ``reason=``)
+``server.latency_seconds``      end-to-end request latency (quantile
+                                histogram: p50/p95/p99)
+``session.execute``             one request on a session's worker thread
+                                (span, ``session=``, ``tier_cap=``)
+``compile.function``            one ``FunctionCompile`` call (span,
+                                ``cache=`` hit/miss/off)
+``hotspot.promotions.<tier>``   promotions by landing tier (counters)
 ==============================  =================================================
+
+Every record is stamped with the active request context
+(:mod:`repro.observe.context`) when one is set, so the server's flight
+recorder (:mod:`repro.observe.flight`) can reconstruct the full
+per-request timeline — ``{"op": "trace", "request": "req-..."}`` on the
+serve protocol, or ``python -m repro top`` for the live overview.
 
 Usage::
 
@@ -63,6 +80,13 @@ one module-attribute load and a ``None`` test; no event objects, clock
 reads, or metric updates happen at all.
 """
 
+from repro.observe.context import (
+    TraceContext,
+    activate,
+    current_context,
+    mint_context,
+)
+from repro.observe.flight import FlightRecorder, telemetry_enabled
 from repro.observe.metrics import Histogram, MetricsRegistry
 from repro.observe.trace import (
     SpanRecord,
@@ -76,8 +100,10 @@ from repro.observe import trace as _trace
 from contextlib import contextmanager
 
 __all__ = [
-    "Histogram", "MetricsRegistry", "SpanRecord", "Tracer",
-    "active_tracer", "disable_tracing", "enable_tracing", "with_tracing",
+    "FlightRecorder", "Histogram", "MetricsRegistry", "SpanRecord",
+    "TraceContext", "Tracer", "activate", "active_tracer",
+    "current_context", "disable_tracing", "enable_tracing",
+    "mint_context", "telemetry_enabled", "with_tracing",
     "event", "span", "count",
 ]
 

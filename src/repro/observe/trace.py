@@ -39,13 +39,31 @@ microseconds relative to tracer creation.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
+from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
+from repro.observe import context as _context
 from repro.observe.metrics import MetricsRegistry
+
+#: default span-buffer bound — generous (a traced bench run records a few
+#: thousand events), but a *bound*: before PR 9 a long traced session grew
+#: ``Tracer.events`` without limit
+DEFAULT_MAX_SPANS = 100_000
+
+
+def max_spans_from_environment() -> int:
+    """``REPRO_TRACE_MAX_SPANS``, falling back to the default on junk."""
+    raw = os.environ.get("REPRO_TRACE_MAX_SPANS", "")
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_MAX_SPANS
+    return value if value > 0 else DEFAULT_MAX_SPANS
 
 
 @dataclass
@@ -65,22 +83,53 @@ class SpanRecord:
     #: nesting depth at emission time (0 = top level)
     depth: int = 0
     thread: int = 0
+    #: owning request / distributed trace, "" outside any request scope
+    #: (stamped from :mod:`repro.observe.context` at creation time)
+    request: str = ""
+    trace_id: str = ""
 
     def is_span(self) -> bool:
         return self.duration is not None
+
+    def to_dict(self) -> dict:
+        """The wire form the server's ``events``/``trace`` ops return."""
+        payload = {
+            "name": self.name,
+            "category": self.category,
+            "start": self.start,
+            "duration": self.duration,
+            "args": _jsonable(self.args),
+            "thread": self.thread,
+            "depth": self.depth,
+        }
+        if self.request:
+            payload["request"] = self.request
+        if self.trace_id:
+            payload["trace_id"] = self.trace_id
+        return payload
 
 
 class Tracer:
     """Collects spans, instant events, and metrics for one tracing session."""
 
-    def __init__(self, metrics: Optional[MetricsRegistry] = None):
+    #: background tracers (the flight recorder) yield the ``TRACER`` slot
+    #: to an explicit ``with_tracing`` block instead of making it raise
+    background = False
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None,
+                 max_spans: Optional[int] = None):
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self.events: list[SpanRecord] = []
+        #: bounded record stream: deque.append is atomic under the GIL, so
+        #: the hot path takes no lock; eviction past ``max_spans`` runs
+        #: under ``_evict_lock`` so concurrent emitters cannot double-pop
+        self.events: deque[SpanRecord] = deque()
+        self.max_spans = (max_spans if max_spans is not None
+                          else max_spans_from_environment())
+        #: spans evicted oldest-first once the buffer filled
+        self.dropped_spans = 0
+        self._evict_lock = threading.Lock()
         self._origin = time.perf_counter()
         self._tls = threading.local()
-        #: appends come from the session's worker thread *and* the main
-        #: thread (the REPL evaluates off-thread); list.append is atomic
-        #: under the GIL, so no lock is needed for the record stream
 
     # -- clock ---------------------------------------------------------------
 
@@ -98,65 +147,70 @@ class Tracer:
             stack = self._tls.stack = []
         return stack
 
+    def _record(self, name: str, category: str, start: float,
+                duration: Optional[float], args: dict) -> SpanRecord:
+        """Build one record, stamped with the active request context."""
+        stack = self._stack()
+        record = SpanRecord(
+            name=name,
+            category=category,
+            start=start,
+            duration=duration,
+            args=args,
+            parent=stack[-1].name if stack else "",
+            depth=len(stack),
+            thread=threading.get_ident(),
+        )
+        context = _context.CURRENT.get()
+        if context is not None:
+            record.request = context.request_id
+            record.trace_id = context.trace_id
+        return record
+
+    def _emit(self, record: SpanRecord) -> None:
+        """Append one finished record; evict oldest-first past the bound."""
+        events = self.events
+        events.append(record)
+        if len(events) > self.max_spans:
+            with self._evict_lock:
+                while len(events) > self.max_spans:
+                    try:
+                        events.popleft()
+                    except IndexError:  # pragma: no cover - racing eviction
+                        break
+                    self.dropped_spans += 1
+
     # -- spans ---------------------------------------------------------------
 
     @contextmanager
     def span(self, name: str, category: str = "repro", **args) -> Iterator[SpanRecord]:
         """Record a named interval around the block (nesting-aware)."""
+        record = self._record(name, category, self.now(), None, dict(args))
         stack = self._stack()
-        record = SpanRecord(
-            name=name,
-            category=category,
-            start=self.now(),
-            duration=None,
-            args=dict(args),
-            parent=stack[-1].name if stack else "",
-            depth=len(stack),
-            thread=threading.get_ident(),
-        )
         stack.append(record)
         try:
             yield record
         finally:
             stack.pop()
             record.duration = self.now() - record.start
-            self.events.append(record)
+            self._emit(record)
 
     def complete(
         self, name: str, category: str, start: float, **args
     ) -> SpanRecord:
         """Record an already-finished interval begun at ``start`` (a value
         from :meth:`now`); for sites where a ``with`` block is awkward."""
-        stack = self._stack()
-        record = SpanRecord(
-            name=name,
-            category=category,
-            start=start,
-            duration=self.now() - start,
-            args=dict(args),
-            parent=stack[-1].name if stack else "",
-            depth=len(stack),
-            thread=threading.get_ident(),
-        )
-        self.events.append(record)
+        record = self._record(name, category, start,
+                              self.now() - start, dict(args))
+        self._emit(record)
         return record
 
     # -- instants and counters ----------------------------------------------
 
     def event(self, name: str, category: str = "repro", **args) -> SpanRecord:
         """Record an instant event (``tier.promote``, ``guard.trip``, ...)."""
-        stack = self._stack()
-        record = SpanRecord(
-            name=name,
-            category=category,
-            start=self.now(),
-            duration=None,
-            args=dict(args),
-            parent=stack[-1].name if stack else "",
-            depth=len(stack),
-            thread=threading.get_ident(),
-        )
-        self.events.append(record)
+        record = self._record(name, category, self.now(), None, dict(args))
+        self._emit(record)
         return record
 
     def count(self, name: str, delta: int = 1) -> None:
@@ -165,18 +219,24 @@ class Tracer:
     # -- queries -------------------------------------------------------------
 
     def spans(self, name: Optional[str] = None,
-              category: Optional[str] = None) -> list[SpanRecord]:
+              category: Optional[str] = None,
+              request: Optional[str] = None) -> list[SpanRecord]:
         found = [e for e in self.events if e.is_span()]
         if name is not None:
             found = [e for e in found if e.name == name]
         if category is not None:
             found = [e for e in found if e.category == category]
+        if request is not None:
+            found = [e for e in found if e.request == request]
         return found
 
-    def instants(self, name: Optional[str] = None) -> list[SpanRecord]:
+    def instants(self, name: Optional[str] = None,
+                 request: Optional[str] = None) -> list[SpanRecord]:
         found = [e for e in self.events if not e.is_span()]
         if name is not None:
             found = [e for e in found if e.name == name]
+        if request is not None:
+            found = [e for e in found if e.request == request]
         return found
 
     def categories(self) -> set[str]:
@@ -187,14 +247,18 @@ class Tracer:
     def chrome_trace(self) -> list[dict]:
         """The trace-event array (``chrome://tracing`` / Perfetto JSON)."""
         out = []
-        for record in self.events:
+        for record in list(self.events):
+            args = _jsonable(record.args)
+            if record.request:
+                args["request"] = record.request
+                args["trace_id"] = record.trace_id
             entry = {
                 "name": record.name,
                 "cat": record.category,
                 "ts": record.start * 1e6,
                 "pid": 1,
                 "tid": record.thread % 100000,
-                "args": _jsonable(record.args),
+                "args": args,
             }
             if record.is_span():
                 entry["ph"] = "X"
@@ -256,13 +320,17 @@ def with_tracing(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
 
     Not reentrant: nested ``with_tracing`` blocks would silently splice
     streams, so a second activation raises while one is live (mirroring
-    :func:`repro.testing.faults.inject_faults`).
+    :func:`repro.testing.faults.inject_faults`).  The always-on flight
+    recorder is the one exception — a *background* tracer steps aside for
+    the explicit block and is reinstalled afterwards, so ``--trace`` and
+    the recorder coexist.
     """
     global TRACER
-    if TRACER is not None:
+    stashed = TRACER
+    if stashed is not None and not stashed.background:
         raise RuntimeError("tracing is already enabled")
     active = enable_tracing(tracer)
     try:
         yield active
     finally:
-        TRACER = None
+        TRACER = stashed

@@ -723,6 +723,7 @@ def _server_load_run(config: RunConfig) -> SpecResult:
     requests = max(5, int(50 * config.scale))
     spec = LoadSpec(clients=6, requests_per_client=requests, seed=7)
     p50s, p99s, rates = [], [], []
+    hist_p50s, hist_p99s = [], []
     all_ok = True
     for repeat in range(max(1, config.repeats)):
         report, _stats = run_load(config=ServerConfig(), spec=spec)
@@ -730,6 +731,10 @@ def _server_load_run(config: RunConfig) -> SpecResult:
         p50s.append(report.p50)
         p99s.append(report.p99)
         rates.append(report.throughput)
+        if report.hist_p50 is not None:
+            hist_p50s.append(report.hist_p50)
+        if report.hist_p99 is not None:
+            hist_p99s.append(report.hist_p99)
 
     overload = ServerConfig(max_concurrent=1, queue_limit=2)
     overload_report, _stats = run_load(
@@ -746,14 +751,24 @@ def _server_load_run(config: RunConfig) -> SpecResult:
     throughput["gate"] = False  # the reciprocal surface of the latencies
     shed = stats.scalar(overload_report.shed_rate, unit="fraction")
     shed["gate"] = False  # informational: proves shedding engages
+    measurements = {
+        "latency_p50_seconds": stats.Sample(
+            samples=tuple(p50s)).as_measurement(),
+        "latency_p99_seconds": p99,
+        "throughput_rps": throughput,
+        "overload_shed_rate": shed,
+    }
+    # the flight recorder's log-bucket estimates of the same quantiles:
+    # tracked ungated so drift between the histogram and the exact
+    # nearest-rank values is visible in the trajectory, never a CI failure
+    for key, samples in (("latency_hist_p50_seconds", hist_p50s),
+                         ("latency_hist_p99_seconds", hist_p99s)):
+        if samples:
+            row = stats.Sample(samples=tuple(samples)).as_measurement()
+            row["gate"] = False
+            measurements[key] = row
     return SpecResult(
-        {
-            "latency_p50_seconds": stats.Sample(
-                samples=tuple(p50s)).as_measurement(),
-            "latency_p99_seconds": p99,
-            "throughput_rps": throughput,
-            "overload_shed_rate": shed,
-        },
+        measurements,
         meta={
             "clients": spec.clients,
             "requests_per_client": requests,

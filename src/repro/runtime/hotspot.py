@@ -407,6 +407,7 @@ class HotspotProfiler:
                     )
             _observe.event("tier.promote", "hotspot", symbol=name,
                            tier="compiled", applications=0, preload=True)
+            _observe.count("hotspot.promotions.compiled")
             return True
         finally:
             self._in_progress.discard(name)
@@ -592,6 +593,7 @@ class HotspotProfiler:
             )
         _observe.event("tier.promote", "hotspot", symbol=name,
                        tier=tier_kind, applications=self.counts[name])
+        _observe.count(f"hotspot.promotions.{tier_kind}")
 
     def _attempt_upgrade(self, evaluator, name, entry):
         """Tier-up a template entry to the full pipeline (rung 2 → 3).
@@ -651,6 +653,8 @@ class HotspotProfiler:
                 "tier.promote", "hotspot", symbol=name, tier="compiled",
                 applications=applications, upgraded_from="template",
             )
+            if upgraded:
+                _observe.count("hotspot.promotions.compiled")
             return upgraded
         finally:
             self._in_progress.discard(name)

@@ -126,6 +126,8 @@ class AdmissionController:
         self.running += 1
         self.admitted += 1
         _observe.count("server.admitted")
+        _observe.event("server.admit", "server",
+                       queue_depth=self.waiting, running=self.running)
         try:
             yield
         finally:

@@ -195,15 +195,22 @@ async def unleash(server: EngineServer,
 
 
 def run_chaos(config: Optional[ServerConfig] = None,
-              spec: Optional[ChaosSpec] = None):
+              spec: Optional[ChaosSpec] = None,
+              flight_dir: Optional[str] = None):
     """Synchronous wrapper: chaos against a fresh server; returns the
-    :class:`ChaosReport` and the server's final stats dump."""
+    :class:`ChaosReport` and the server's final stats dump.  With
+    ``flight_dir``, the flight recorder's snapshots (auto-frozen on
+    breaker trips and critical pressure during the run) are written
+    there before shutdown — the CI chaos job uploads them as artifacts."""
 
     async def _run():
         server = EngineServer(config=config)
         try:
             report = await unleash(server, spec)
-            return report, server.stats()
+            stats = server.stats()
+            if flight_dir and server.flight is not None:
+                server.flight.write_snapshots(flight_dir)
+            return report, stats
         finally:
             await server.close()
 

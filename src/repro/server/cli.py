@@ -5,8 +5,13 @@ Two modes:
 * **network** (default): a newline-delimited-JSON TCP protocol.  Each
   request line is ``{"expr": "...", "session": "...", "tenant": "..."}``
   (``session`` defaults to one id per connection); special ops are
-  ``{"op": "stats"}``, ``{"op": "abort", "session": "..."}`` and
-  ``{"op": "ping"}``.  Each response line is the structured
+  ``{"op": "stats"}``, ``{"op": "abort", "session": "..."}``,
+  ``{"op": "ping"}``, and the PR 9 introspection ops —
+  ``{"op": "metrics"}`` (counters + quantile histograms),
+  ``{"op": "events", "limit": N}`` (newest retained flight-recorder
+  records), ``{"op": "trace", "request_id": "req-..."}`` (one request's
+  full timeline, the id every eval response returns as
+  ``request_id``).  Each response line is the structured
   :class:`~repro.server.core.Response` envelope.
 * **--loadgen / --chaos**: spin up an in-process server, drive it with
   the load generator or the chaos harness, print the report, and (with
@@ -56,6 +61,9 @@ def build_parser(parser: Optional[argparse.ArgumentParser] = None
                         help="per-request deadline budget, seconds")
     parser.add_argument("--dump-stats", metavar="PATH", default=None,
                         help="write the server stats dump here on exit")
+    parser.add_argument("--flight-dir", metavar="DIR", default=None,
+                        help="write flight-recorder snapshots (Chrome-trace "
+                        "JSON) into this directory on exit")
     parser.add_argument("--loadgen", action="store_true",
                         help="run the load generator in-process and exit")
     parser.add_argument("--chaos", action="store_true",
@@ -121,11 +129,28 @@ async def handle_connection(server: EngineServer,
                     request.get("session", default_session)
                 )
                 await reply({"ok": found})
+            elif op == "metrics":
+                await reply({"ok": True, "metrics": server.metrics_dict()})
+            elif op == "events":
+                try:
+                    limit = int(request.get("limit", 50))
+                except (TypeError, ValueError):
+                    limit = 50
+                await reply({"ok": True,
+                             "events": server.recent_events(limit)})
+            elif op == "trace":
+                request_id = str(request.get("request_id")
+                                 or request.get("request", ""))
+                timeline = server.timeline(request_id)
+                await reply({"ok": bool(timeline),
+                             "request": request_id,
+                             "timeline": timeline})
             elif op == "eval":
                 response = await server.submit(
                     str(request.get("expr", "")),
                     session_id=request.get("session", default_session),
                     tenant=request.get("tenant"),
+                    trace_id=request.get("trace_id"),
                 )
                 await reply(response.to_dict())
             else:
@@ -139,7 +164,8 @@ async def handle_connection(server: EngineServer,
 
 
 async def serve(config: ServerConfig, host: str, port: int,
-                dump_stats: Optional[str] = None) -> None:
+                dump_stats: Optional[str] = None,
+                flight_dir: Optional[str] = None) -> None:
     engine = EngineServer(config=config)
     tcp = await asyncio.start_server(
         lambda r, w: handle_connection(engine, r, w), host, port
@@ -153,6 +179,8 @@ async def serve(config: ServerConfig, host: str, port: int,
     finally:
         if dump_stats:
             engine.dump_stats(dump_stats)
+        if flight_dir and engine.flight is not None:
+            engine.flight.write_snapshots(flight_dir)
         await engine.close()
 
 
@@ -171,14 +199,16 @@ def main(argv: Optional[list] = None) -> int:
     if args.loadgen:
         spec = LoadSpec(clients=args.clients,
                         requests_per_client=args.requests, seed=args.seed)
-        report, stats = run_load(config=config, spec=spec)
+        report, stats = run_load(config=config, spec=spec,
+                                 flight_dir=args.flight_dir)
         _print_report("load generator report:", report.to_dict())
         if args.dump_stats:
             _write_stats(args.dump_stats, stats)
         return 0
     if args.chaos:
         spec = ChaosSpec(requests_per_client=args.requests, seed=args.seed)
-        report, stats = run_chaos(config=config, spec=spec)
+        report, stats = run_chaos(config=config, spec=spec,
+                                  flight_dir=args.flight_dir)
         _print_report("chaos report:", report.to_dict())
         if args.dump_stats:
             _write_stats(args.dump_stats, stats)
@@ -187,7 +217,8 @@ def main(argv: Optional[list] = None) -> int:
         return 1 if crashed else 0
     try:
         asyncio.run(serve(config, args.host, args.port,
-                          dump_stats=args.dump_stats))
+                          dump_stats=args.dump_stats,
+                          flight_dir=args.flight_dir))
     except KeyboardInterrupt:
         print("server stopped", file=sys.stderr)
     return 0

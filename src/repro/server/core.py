@@ -41,6 +41,7 @@ Failure isolation invariants the chaos suite pins:
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import json
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -48,6 +49,9 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro import observe as _observe
+from repro.observe import context as _obs_context
+from repro.observe import trace as _obs_trace
+from repro.observe.flight import FlightRecorder, telemetry_enabled
 from repro.errors import RejectedError
 from repro.server.admission import AdmissionController, RequestBudget
 from repro.server.base import BaseImage
@@ -91,6 +95,13 @@ class ServerConfig:
     soft_limit_bytes: int = 256 * 1024 * 1024
     hard_limit_bytes: int = 512 * 1024 * 1024
     idle_ttl: float = 60.0
+    # telemetry — the always-on flight recorder (DESIGN.md §7.5).  None
+    #: defers to the environment: ``REPRO_TELEMETRY`` (master switch),
+    #: ``REPRO_TELEMETRY_SAMPLE``, ``REPRO_FLIGHT_*`` knobs
+    telemetry: Optional[bool] = None
+    telemetry_sample: Optional[float] = None
+    flight_max_events: Optional[int] = None
+    slow_request_seconds: Optional[float] = None
 
 
 @dataclass
@@ -106,6 +117,9 @@ class Response:
     retry_after: Optional[float] = None
     retries: int = 0
     latency_seconds: float = 0.0
+    #: telemetry identity — the key ``{"op": "trace"}`` timelines hang off
+    request_id: str = ""
+    trace_id: str = ""
 
     def to_dict(self) -> dict:
         payload = {
@@ -113,6 +127,8 @@ class Response:
             "session": self.session,
             "tenant": self.tenant,
             "latency_seconds": self.latency_seconds,
+            "request_id": self.request_id,
+            "trace_id": self.trace_id,
         }
         if self.ok:
             payload["result"] = self.result
@@ -166,6 +182,35 @@ class EngineServer:
         self._pending: dict[str, int] = {}
         self._evicted_ids: list[str] = []
         self._executor: Optional[ThreadPoolExecutor] = None
+        # the always-on flight recorder: installed as the process tracer
+        # unless telemetry is off or an explicit tracer is already active
+        # (--trace, with_tracing, a perflab probe) — explicit tracing wins
+        # and still records every server event, just unbounded/unsampled
+        self.flight: Optional[FlightRecorder] = None
+        self._owns_flight = False
+        use_telemetry = (self.config.telemetry
+                         if self.config.telemetry is not None
+                         else telemetry_enabled())
+        active = _obs_trace.TRACER
+        if use_telemetry and active is None:
+            self.flight = FlightRecorder(
+                max_events=self.config.flight_max_events,
+                sample=self.config.telemetry_sample,
+                slow_seconds=self._slow_threshold(),
+            )
+            _obs_trace.enable_tracing(self.flight)
+            self._owns_flight = True
+        elif isinstance(active, FlightRecorder):
+            self.flight = active
+
+    def _slow_threshold(self) -> Optional[float]:
+        """Tail-retention slow bound: explicit, or half the deadline."""
+        if self.config.slow_request_seconds is not None:
+            return self.config.slow_request_seconds
+        deadline = self.config.budget.deadline_seconds
+        if deadline is not None:
+            return max(0.05, 0.5 * deadline)
+        return None
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -181,39 +226,71 @@ class EngineServer:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._owns_flight and _obs_trace.TRACER is self.flight:
+            _obs_trace.disable_tracing()
+            self._owns_flight = False
 
     # -- the request path ---------------------------------------------------
 
     async def submit(self, source: str, session_id: str = "default",
-                     tenant: Optional[str] = None) -> Response:
+                     tenant: Optional[str] = None,
+                     trace_id: Optional[str] = None) -> Response:
         """Admit, queue, evaluate (with retries), respond.  Never raises."""
         start = self.clock()
         self.totals["requests"] += 1
         _observe.count("server.requests")
-        with _observe.span("server.request", "server",
-                           session=session_id, tenant=tenant or ""):
-            try:
-                return await self._submit_inner(
-                    source, session_id, tenant, start
-                )
-            except RejectedError as rejection:
-                return self._rejected(rejection, session_id, tenant, start)
-            except asyncio.CancelledError:
-                raise
-            except Exception as error:
-                # the no-crash invariant holds at the protocol boundary even
-                # for faults the request path never classifies — e.g.
-                # ``run_in_executor`` racing ``close()``
-                self.totals["failed"] += 1
-                _observe.count("server.failures")
-                return Response(
-                    ok=False, session=session_id, tenant=tenant,
-                    error={
-                        "kind": "InternalError",
-                        "message": f"{type(error).__name__}: {error}",
-                    },
-                    latency_seconds=self.clock() - start,
-                )
+        flight = self.flight
+        ctx = _obs_context.mint_context(
+            session=session_id, tenant=tenant or "", trace_id=trace_id,
+            sampled=flight.sample_next() if flight is not None else True,
+        )
+        # every span/instant emitted below this point — admission, session
+        # execution, tier events, cache lookups — is stamped with this
+        # request's identity via the contextvar, reconstructable later as
+        # one timeline under ``{"op": "trace", "request": ctx.request_id}``
+        token = _obs_context.CURRENT.set(ctx)
+        try:
+            with _observe.span("server.request", "server",
+                               session=session_id, tenant=tenant or ""):
+                try:
+                    response = await self._submit_inner(
+                        source, session_id, tenant, start
+                    )
+                except RejectedError as rejection:
+                    response = self._rejected(
+                        rejection, session_id, tenant, start
+                    )
+                except asyncio.CancelledError:
+                    raise
+                except Exception as error:
+                    # the no-crash invariant holds at the protocol boundary
+                    # even for faults the request path never classifies —
+                    # e.g. ``run_in_executor`` racing ``close()``
+                    self.totals["failed"] += 1
+                    _observe.count("server.failures")
+                    response = Response(
+                        ok=False, session=session_id, tenant=tenant,
+                        error={
+                            "kind": "InternalError",
+                            "message": f"{type(error).__name__}: {error}",
+                        },
+                        latency_seconds=self.clock() - start,
+                    )
+        finally:
+            _obs_context.CURRENT.reset(token)
+        response.request_id = ctx.request_id
+        response.trace_id = ctx.trace_id
+        tracer = _obs_trace.TRACER
+        if tracer is not None:
+            tracer.metrics.observe(
+                "server.latency_seconds", response.latency_seconds
+            )
+        if flight is not None:
+            flight.finish_request(
+                ctx, ok=response.ok, rejected=response.rejected,
+                retries=response.retries, latency=response.latency_seconds,
+            )
+        return response
 
     async def _submit_inner(self, source: str, session_id: str,
                             tenant: Optional[str], start: float) -> Response:
@@ -290,8 +367,14 @@ class EngineServer:
                 control = self.degrade.evaluate(self.sessions)
                 self._apply_evictions(control["evict"], keep=session.id)
                 budget = self.config.budget.scaled(control["budget_scale"])
+                # asyncio does not propagate contextvars into executor
+                # threads; carry the request context across explicitly so
+                # worker-side spans (session.execute, vm.run, tier events)
+                # are stamped with the owning request
+                run_context = contextvars.copy_context()
                 outcome = await loop.run_in_executor(
-                    self._pool(), session.execute, source, budget
+                    self._pool(), run_context.run,
+                    session.execute, source, budget,
                 )
             retryable = (
                 not outcome.ok
@@ -318,6 +401,8 @@ class EngineServer:
         session = self.sessions.get(session_id)
         if session is not None:
             session.stats.rejected += 1
+        _observe.event("server.shed", "server", session=session_id,
+                       reason=rejection.reason, scope=rejection.scope)
         return Response(
             ok=False, session=session_id, tenant=tenant,
             error=rejection.to_dict(), rejected=True,
@@ -410,7 +495,29 @@ class EngineServer:
             },
             "evicted_sessions": list(self._evicted_ids),
             "base_image_definitions": len(self.base_image),
+            "telemetry": self.flight.stats() if self.flight else {},
         }
+
+    # -- live introspection (the ``metrics``/``events``/``trace`` ops) ------
+
+    def timeline(self, request_id: str) -> list:
+        """The retained per-request timeline, as wire-ready dicts."""
+        if self.flight is None:
+            return []
+        return self.flight.timeline_dict(request_id)
+
+    def recent_events(self, limit: int = 50) -> list:
+        """The newest retained records across all requests."""
+        if self.flight is None:
+            return []
+        return [record.to_dict() for record in self.flight.recent(limit)]
+
+    def metrics_dict(self) -> dict:
+        """Counters and quantile histograms from the active recorder."""
+        tracer = _obs_trace.TRACER if self.flight is None else self.flight
+        if tracer is None:
+            return {"counters": {}, "histograms": {}}
+        return tracer.metrics.as_dict()
 
     def dump_stats(self, path: str) -> None:
         with open(path, "w", encoding="utf-8") as handle:

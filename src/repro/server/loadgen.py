@@ -70,6 +70,12 @@ class LoadReport:
     retries: int = 0
     duration_seconds: float = 0.0
     latencies: list = field(default_factory=list)
+    #: quantiles read back from the flight recorder's
+    #: ``server.latency_seconds`` log-bucket histogram — the estimates the
+    #: ``metrics`` op serves in production, cross-checkable here against
+    #: the exact nearest-rank ``p50``/``p99`` from the raw sample
+    hist_p50: Optional[float] = None
+    hist_p99: Optional[float] = None
 
     @property
     def p50(self) -> float:
@@ -90,7 +96,7 @@ class LoadReport:
         return self.shed / self.requests if self.requests else 0.0
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "requests": self.requests,
             "ok": self.ok,
             "failed": self.failed,
@@ -102,6 +108,11 @@ class LoadReport:
             "latency_p99_seconds": self.p99,
             "shed_rate": self.shed_rate,
         }
+        if self.hist_p50 is not None:
+            payload["latency_hist_p50_seconds"] = self.hist_p50
+        if self.hist_p99 is not None:
+            payload["latency_hist_p99_seconds"] = self.hist_p99
+        return payload
 
 
 async def generate(server: EngineServer,
@@ -136,16 +147,34 @@ async def generate(server: EngineServer,
     return report
 
 
+def attach_hist_quantiles(report: LoadReport, server: EngineServer) -> None:
+    """Copy the recorder's latency-histogram quantiles onto the report."""
+    flight = server.flight
+    if flight is None:
+        return
+    histogram = flight.metrics.histogram("server.latency_seconds")
+    if histogram is not None:
+        report.hist_p50 = histogram.p50
+        report.hist_p99 = histogram.p99
+
+
 def run_load(config: Optional[ServerConfig] = None,
-             spec: Optional[LoadSpec] = None):
+             spec: Optional[LoadSpec] = None,
+             flight_dir: Optional[str] = None):
     """Synchronous wrapper: build a server, run the load, return both
-    the :class:`LoadReport` and the server's final stats dump."""
+    the :class:`LoadReport` and the server's final stats dump.  With
+    ``flight_dir``, the flight recorder's snapshots and ring are written
+    there before shutdown."""
 
     async def _run():
         server = EngineServer(config=config)
         try:
             report = await generate(server, spec)
-            return report, server.stats()
+            attach_hist_quantiles(report, server)
+            stats = server.stats()
+            if flight_dir and server.flight is not None:
+                server.flight.write_snapshots(flight_dir)
+            return report, stats
         finally:
             await server.close()
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Optional
 
+from repro import observe as _observe
 from repro.engine.evaluator import Evaluator
 from repro.errors import (
     GUARD_EXCEPTIONS,
@@ -107,6 +108,11 @@ class Session:
         self.state = SessionState.RUNNING
         self.stats.requests += 1
         guard = budget.make_guard(label=f"session:{self.id}")
+        with _observe.span("session.execute", "server", session=self.id,
+                           tier_cap=self.tier_cap.value):
+            return self._execute_guarded(source, guard)
+
+    def _execute_guarded(self, source: str, guard) -> Outcome:
         try:
             expression = parse(source)
             with guard_scope(guard):

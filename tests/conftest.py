@@ -14,6 +14,21 @@ os.environ["REPRO_ARTIFACT_CACHE"] = "off"
 from repro.engine import Evaluator  # noqa: E402
 
 
+@pytest.fixture(autouse=True)
+def _uninstall_leaked_flight_recorder():
+    """A server constructed without ``close()`` leaves its auto-installed
+    FlightRecorder as the process tracer; sweep *background* tracers so
+    telemetry state never leaks between tests.  Explicitly-installed
+    (foreground) tracers are a test's own responsibility and still fail
+    the test_observe/test_telemetry leak assertions."""
+    yield
+    from repro.observe import trace as _trace
+
+    tracer = _trace.TRACER
+    if tracer is not None and getattr(tracer, "background", False):
+        _trace.TRACER = None
+
+
 @pytest.fixture()
 def artifact_cache(tmp_path, monkeypatch):
     """An enabled, isolated artifact store rooted in ``tmp_path``."""

@@ -121,7 +121,7 @@ class TestDisabledPath:
         sentinel = Tracer()  # never installed
         session = _fib_session()
         session.run("fib[12]")
-        assert sentinel.events == []
+        assert list(sentinel.events) == []
         assert sentinel.metrics.as_dict() == {"counters": {}, "histograms": {}}
         assert trace_module.TRACER is None
 

@@ -179,3 +179,139 @@ class TestChaosContainment:
         second, _, _ = run_chaos_round(seed=3)
         assert first.behaviour_counts == second.behaviour_counts
         assert first.adversary_requests == second.adversary_requests
+
+
+class TestChaosTelemetry:
+    """PR 9: the flight recorder under adversarial traffic — every shed,
+    retried, or demoted request reconstructs as one coherent timeline
+    under its request id, and breaker trips / critical pressure freeze
+    auto-snapshots without any test-side plumbing."""
+
+    def test_chaos_round_yields_coherent_timelines_and_snapshots(self):
+        async def scenario():
+            server = EngineServer(config=chaos_config())
+            try:
+                await unleash(server, ChaosSpec(
+                    adversaries=3, healthy_clients=3,
+                    requests_per_client=4, seed=1,
+                ))
+                flight = server.flight
+                stats = server.stats()
+                by_request: dict = {}
+                for record in list(flight.events):
+                    if record.request:
+                        by_request.setdefault(
+                            record.request, set()
+                        ).add(record.trace_id)
+                timelines = {
+                    request_id: flight.timeline_dict(request_id)
+                    for request_id in list(by_request)[:10]
+                }
+                snapshots = [s["reason"] for s in flight.snapshots]
+                return stats, by_request, timelines, snapshots
+            finally:
+                await server.close()
+
+        stats, by_request, timelines, snapshots = asyncio.run(scenario())
+
+        # breakers opened during the round, and each opening froze a
+        # snapshot from inside the event stream
+        opened = [sid for sid, info in stats["breakers"]["sessions"].items()
+                  if info["times_opened"] > 0]
+        assert opened
+        assert any(reason.startswith("breaker-open:")
+                   for reason in snapshots)
+        assert stats["telemetry"]["retained_requests"] > 0
+
+        # one trace id per request id, everywhere in the ring
+        assert by_request
+        assert all(len(traces) == 1 for traces in by_request.values())
+
+        # each retained request reconstructs as an ordered timeline
+        # rooted in the server.request span
+        for request_id, timeline in timelines.items():
+            assert timeline, request_id
+            names = [entry["name"] for entry in timeline]
+            assert "server.request" in names
+            starts = [entry["start"] for entry in timeline]
+            assert starts == sorted(starts)
+            assert all(entry.get("request") == request_id
+                       for entry in timeline)
+
+    def test_retried_request_timeline_records_every_attempt(self,
+                                                            monkeypatch):
+        from repro.server.session import Outcome
+
+        async def scenario():
+            config = chaos_config()
+            config.telemetry_sample = 0.0  # tail retention must carry it
+            config.retry = RetryPolicy(attempts=3, base_delay=0.001,
+                                       max_delay=0.002)
+            server = EngineServer(config=config)
+            try:
+                await server.submit("1 + 1", session_id="flaky")
+                session = server.sessions["flaky"]
+                outcomes = [
+                    Outcome(ok=False, error_kind="Transient",
+                            error_message="blip", transient=True),
+                    Outcome(ok=False, error_kind="Transient",
+                            error_message="blip", transient=True),
+                    Outcome(ok=True, value="42"),
+                ]
+                monkeypatch.setattr(
+                    type(session), "execute",
+                    lambda self, source, budget: outcomes.pop(0),
+                )
+                response = await server.submit("whatever",
+                                               session_id="flaky")
+                return response, server.timeline(response.request_id)
+            finally:
+                await server.close()
+
+        response, timeline = asyncio.run(scenario())
+        assert response.ok and response.retries == 2
+        retries = [entry for entry in timeline
+                   if entry["name"] == "server.retry"]
+        assert len(retries) == 2
+        assert [entry["args"]["attempt"] for entry in retries] == [1, 2]
+        # three admissions: the original attempt plus both retries
+        admits = [entry for entry in timeline
+                  if entry["name"] == "server.admit"]
+        assert len(admits) == 3
+
+    def test_critical_pressure_snapshots_and_stamps_demotions(self):
+        async def scenario():
+            reading = {"bytes": 0}
+            config = chaos_config()
+            config.soft_limit_bytes = 1000
+            config.hard_limit_bytes = 2000
+            config.idle_ttl = 1e9  # demote, don't evict
+            server = EngineServer(config=config,
+                                  memory_probe=lambda: reading["bytes"])
+            try:
+                # promote something so CRITICAL has a tier to withdraw
+                await server.submit(
+                    "hot[n_] := If[n < 2, n, hot[n-1] + hot[n-2]]", "s1"
+                )
+                await server.submit("hot[10]", session_id="s1")
+                reading["bytes"] = 5000  # past the hard limit
+                squeezed = await server.submit("hot[5]", session_id="s1")
+                flight = server.flight
+                snapshots = [s["reason"] for s in flight.snapshots]
+                return (squeezed, server.timeline(squeezed.request_id),
+                        snapshots, server.stats())
+            finally:
+                await server.close()
+
+        squeezed, timeline, snapshots, stats = asyncio.run(scenario())
+        assert stats["pressure"]["level"] == "CRITICAL"
+        assert "pressure-critical" in snapshots
+        names = [entry["name"] for entry in timeline]
+        # the pressure transition and the demotions it forced are stamped
+        # with the request that tripped them
+        assert "server.pressure" in names
+        assert "tier.demote" in names
+        pressure = next(entry for entry in timeline
+                        if entry["name"] == "server.pressure")
+        assert pressure["args"]["to"] == "CRITICAL"
+        assert stats["sessions"]["s1"]["tier_cap"] == "interpreter"

@@ -275,6 +275,145 @@ class TestHotspotTableThreads:
         assert profiler.promoted == {}
 
 
+class TestMetricsRegistryThreads:
+    """PR 9: the worker pool counts and observes on one shared registry;
+    per-thread counter shards and the histogram lock must reconcile to
+    exact totals with no torn increments."""
+
+    def test_concurrent_counts_reconcile_exactly(self):
+        from repro.observe import MetricsRegistry
+
+        registry = MetricsRegistry()
+
+        def worker(index: int) -> None:
+            for round_number in range(ROUNDS):
+                registry.count("shared")
+                registry.count(f"per-thread.{index}")
+                if round_number % 50 == 0:
+                    # merged reads interleave with shard writes
+                    assert registry.counter("shared") >= 0
+                    registry.as_dict()
+
+        hammer(worker)
+        assert registry.counter("shared") == THREADS * ROUNDS
+        for index in range(THREADS):
+            assert registry.counter(f"per-thread.{index}") == ROUNDS
+        merged = registry.as_dict()["counters"]
+        assert merged["shared"] == THREADS * ROUNDS
+
+    def test_concurrent_observes_reconcile_exactly(self):
+        from repro.observe import MetricsRegistry
+
+        registry = MetricsRegistry()
+
+        def worker(index: int) -> None:
+            for round_number in range(ROUNDS):
+                registry.observe("latency", 0.001 * (round_number + 1))
+
+        hammer(worker)
+        hist = registry.histogram("latency")
+        assert hist.count == THREADS * ROUNDS
+        assert hist.minimum == pytest.approx(0.001)
+        assert hist.maximum == pytest.approx(0.001 * ROUNDS)
+        # the bucketed mass matches the count: no torn bucket updates
+        snapshot = hist.snapshot()
+        assert sum(snapshot["buckets"].values()) == THREADS * ROUNDS
+        assert hist.p50 is not None and hist.p99 is not None
+
+    def test_snapshot_under_write_load_is_consistent(self):
+        from repro.observe import Histogram, MetricsRegistry
+
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        snapshots: list = []
+
+        def reader() -> None:
+            while not stop.is_set():
+                snap = registry.as_dict()
+                for payload in snap["histograms"].values():
+                    clone = Histogram.from_snapshot(payload)
+                    # invariant at every instant: bucket mass == count
+                    assert sum(clone.buckets.values()) == clone.count
+                snapshots.append(snap)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            def worker(index: int) -> None:
+                for _ in range(ROUNDS):
+                    registry.observe("hammered", 0.5)
+
+            hammer(worker)
+        finally:
+            stop.set()
+            thread.join()
+        assert registry.histogram("hammered").count == THREADS * ROUNDS
+        assert snapshots  # the reader actually ran
+
+
+class TestTracerThreads:
+    """PR 9: spans and instants from many threads land in one bounded
+    ring; emitted == retained + dropped, always."""
+
+    def test_bounded_ring_accounts_for_every_emission(self):
+        from repro.observe import Tracer
+
+        tracer = Tracer(max_spans=256)
+        emitted = THREADS * ROUNDS * 2  # one span + one instant per round
+
+        def worker(index: int) -> None:
+            for round_number in range(ROUNDS):
+                with tracer.span("work", "test", thread=index):
+                    tracer.event("tick", "test", round=round_number)
+
+        hammer(worker)
+        assert len(tracer.events) == 256
+        assert len(tracer.events) + tracer.dropped_spans == emitted
+        # the export path stays coherent over the survivors
+        assert len(tracer.chrome_trace()) == 256
+
+    def test_unbounded_ring_loses_nothing(self):
+        from repro.observe import Tracer
+
+        tracer = Tracer(max_spans=THREADS * ROUNDS * 2 + 10)
+
+        def worker(index: int) -> None:
+            for _ in range(ROUNDS):
+                with tracer.span("work", "test"):
+                    tracer.event("tick", "test")
+                tracer.metrics.count("emissions", 2)
+
+        hammer(worker)
+        assert tracer.dropped_spans == 0
+        assert len(tracer.events) == THREADS * ROUNDS * 2
+        assert tracer.metrics.counter("emissions") == THREADS * ROUNDS * 2
+
+    def test_flight_recorder_routes_under_contention(self):
+        """Threads emit under distinct request contexts concurrently; every
+        finished request retains its own records and nothing leaks across
+        request buffers."""
+        from repro.observe import FlightRecorder, mint_context
+        from repro.observe.context import activate
+
+        recorder = FlightRecorder(sample=1.0, max_events=10_000)
+        contexts = [mint_context(session=f"s{i}") for i in range(THREADS)]
+
+        def worker(index: int) -> None:
+            with activate(contexts[index]):
+                for round_number in range(ROUNDS):
+                    with recorder.span("work", "test"):
+                        recorder.event("tick", "test", round=round_number)
+
+        hammer(worker)
+        for index, context in enumerate(contexts):
+            recorder.finish_request(context, ok=False, rejected=False,
+                                    retries=0, latency=0.0)
+            timeline = recorder.timeline(context.request_id)
+            assert len(timeline) == ROUNDS * 2
+            assert all(record.request == context.request_id
+                       for record in timeline)
+
+
 @pytest.mark.slow
 class TestGuardedSessionThreads:
     def test_parallel_sessions_share_one_base(self):

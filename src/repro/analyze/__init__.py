@@ -31,9 +31,12 @@ from repro.analyze.diagnostics import (
     worst_severity,
 )
 from repro.analyze.differ import (
+    BoundaryReport,
     DifferentialOracle,
+    ElisionOracle,
     Mismatch,
     OracleReport,
+    run_boundary_differential,
     run_differential,
 )
 from repro.analyze.lint import lint_program, lint_text
@@ -45,8 +48,10 @@ from repro.analyze.verify import (
 from repro.errors import SourceLintError, StaticAnalysisError, VerificationError
 
 __all__ = [
+    "BoundaryReport",
     "Diagnostic",
     "DifferentialOracle",
+    "ElisionOracle",
     "Mismatch",
     "OracleReport",
     "SourceLintError",
@@ -57,6 +62,7 @@ __all__ = [
     "lint_program",
     "lint_text",
     "raise_on_errors",
+    "run_boundary_differential",
     "run_differential",
     "verify_function",
     "verify_program",

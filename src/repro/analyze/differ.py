@@ -23,6 +23,18 @@ Seeds make every run reproducible: ``run_differential(count, seed=...)``
 with the same arguments generates the same programs.  CI runs a budgeted
 smoke (``REPRO_DIFF_COUNT`` / ``REPRO_DIFF_BUDGET``) and uploads shrunk
 reproducers written to ``REPRO_DIFF_ARTIFACTS``.
+
+A second, **boundary-value mode** targets the dataflow check-elision
+passes (DESIGN.md §12): :class:`_BoundaryGenerator` biases programs
+toward the exact inputs where an unsound elision would diverge —
+``INT64_MAX±1`` constants feeding checked arithmetic, empty and
+short arrays, off-by-one ``Part`` indices, and statically bounded
+loops (the checkpoint-coalescing shape).  :class:`ElisionOracle`
+compiles each program twice — ``ElideChecks -> True`` vs ``False`` —
+and demands bit-identical results *including the error class*: a
+trapped overflow on the checked side must still trap (or be provably
+absent) on the elided side.  ``run_boundary_differential`` is the CI
+entry point; zero divergences is the acceptance bar.
 """
 
 from __future__ import annotations
@@ -458,13 +470,304 @@ def run_differential(
         artifacts_dir = os.environ.get("REPRO_DIFF_ARTIFACTS") or None
     oracle = DifferentialOracle(seed=seed)
     report = oracle.run(count=count, time_budget=time_budget)
-    if artifacts_dir and report.mismatches:
-        os.makedirs(artifacts_dir, exist_ok=True)
-        for mismatch in report.mismatches:
-            path = os.path.join(
-                artifacts_dir,
-                f"mismatch-seed{seed}-{mismatch.index}.json",
+    _write_artifacts(report, artifacts_dir, prefix="mismatch")
+    return report
+
+
+def _write_artifacts(report, artifacts_dir, prefix: str) -> None:
+    if not artifacts_dir or not report.mismatches:
+        return
+    os.makedirs(artifacts_dir, exist_ok=True)
+    for mismatch in report.mismatches:
+        path = os.path.join(
+            artifacts_dir,
+            f"{prefix}-seed{report.seed}-{mismatch.index}.json",
+        )
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(mismatch.to_dict(), handle, indent=2)
+
+
+# -- boundary mode: check elision on vs off ----------------------------------
+
+
+INT64_MAX = 2**63 - 1
+INT64_MIN = -(2**63)
+
+#: the values an unsound interval analysis is most likely to mishandle
+BOUNDARY_INTEGERS = (
+    INT64_MAX, INT64_MAX - 1, INT64_MIN, INT64_MIN + 1,
+    INT64_MAX // 2, -(INT64_MAX // 2), -1, 0, 1, 2,
+)
+
+
+@dataclass
+class _BoundarySpec:
+    """A boundary-biased program: ``Module[{a = seed, v = {...}}, ...]``."""
+
+    seed_value: int
+    values: list[int]
+    statements: list[str]
+
+    def body(self) -> str:
+        vector = "{" + ", ".join(str(v) for v in self.values) + "}"
+        statements = [*self.statements, "a"]
+        return (
+            f"Module[{{a = {self.seed_value}, v = {vector}}}, "
+            + "; ".join(statements) + "]"
+        )
+
+    def statement_count(self) -> int:
+        return len(self.statements)
+
+
+class _BoundaryGenerator:
+    """Seeded programs biased toward elision-breaking inputs.
+
+    Every shape targets one of the three fact-driven deletions: checked
+    arithmetic fed ``INT64_MAX±1`` (overflow elision), ``Part`` with
+    off-by-one and empty-array indices (bounds elision), and statically
+    bounded ``Do`` loops (checkpoint coalescing).
+    """
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+
+    def spec(self) -> _BoundarySpec:
+        length = self.rng.choice([0, 1, 2, 3, 5])
+        values = [
+            self.rng.choice(BOUNDARY_INTEGERS)
+            if self.rng.random() < 0.4 else self.rng.randint(-9, 9)
+            for _ in range(length)
+        ]
+        statements = [
+            self._statement(length)
+            for _ in range(self.rng.randint(1, 4))
+        ]
+        return _BoundarySpec(
+            seed_value=self._boundary_or_small(),
+            values=values,
+            statements=statements,
+        )
+
+    def argument(self) -> int:
+        if self.rng.random() < 0.3:
+            return self.rng.choice(BOUNDARY_INTEGERS)
+        return self.rng.randint(-4, 4)
+
+    def _boundary_or_small(self) -> int:
+        if self.rng.random() < 0.5:
+            return self.rng.choice(BOUNDARY_INTEGERS)
+        return self.rng.randint(-9, 9)
+
+    def _index(self, length: int) -> str:
+        """Off-by-one biased: 0, 1, length, length±1, or the argument."""
+        pick = self.rng.randrange(6)
+        if pick == 0:
+            return "0"
+        if pick == 1:
+            return "1"
+        if pick == 2:
+            return str(length)
+        if pick == 3:
+            return str(length + 1)
+        if pick == 4:
+            return str(max(length - 1, 0))
+        return "x"
+
+    def _statement(self, length: int) -> str:
+        pick = self.rng.randrange(7)
+        if pick == 0:  # overflow-probing checked arithmetic
+            operator = self.rng.choice(["+", "-", "*"])
+            return f"a = a {operator} {self._boundary_or_small()}"
+        if pick == 1:  # argument-dependent arithmetic (unknown interval)
+            operator = self.rng.choice(["+", "-"])
+            return f"a = a {operator} x"
+        if pick == 2:  # Part read, off-by-one biased
+            return f"a = a + v[[{self._index(length)}]]"
+        if pick == 3:  # Part write, off-by-one biased
+            return f"v[[{self._index(length)}]] = a"
+        if pick == 4:  # statically bounded loop over the array
+            bound = self.rng.choice([length, length + 1, max(length - 1, 1)])
+            return f"Do[a = a + v[[j]], {{j, {bound}}}]"
+        if pick == 5:  # statically bounded scalar loop (coalescing shape)
+            trips = self.rng.randint(1, 8)
+            return f"Do[a = a + j, {{j, {trips}}}]"
+        # boundary comparison steering an If — unreachable-branch facts
+        return (
+            f"If[a > {self._boundary_or_small()}, "
+            f"a = a - 1, a = a + 1]"
+        )
+
+
+class _ElisionError(_TierError):
+    """Error sentinel comparing the Wolfram error *kind* too.
+
+    For the on-vs-off pair the bar is stricter than cross-tier
+    agreement: deleting a check must not change ``IntegerOverflow``
+    into ``PartBounds`` (or into success), so two errors agree only
+    when both the exception class and the classified kind match.
+    """
+
+    def __init__(self, error: BaseException):
+        super().__init__(error)
+        self.wolfram_kind = getattr(error, "kind", "")
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, _ElisionError)
+            and other.kind == self.kind
+            and other.wolfram_kind == self.wolfram_kind
+        )
+
+    def __repr__(self) -> str:
+        detail = f" [{self.wolfram_kind}]" if self.wolfram_kind else ""
+        return f"<{self.kind}{detail}: {self.message}>"
+
+
+class BoundaryReport(OracleReport):
+    def summary(self) -> str:
+        return (
+            f"boundary differential: {self.agreed}/{self.attempted} "
+            f"programs agree with checks elided vs kept "
+            f"({len(self.mismatches)} divergence(s), "
+            f"{self.elapsed:.1f}s, seed={self.seed})"
+        )
+
+
+class ElisionOracle:
+    """Compile boundary programs twice — checks elided vs kept — and diff.
+
+    Both compiles run the full pipeline; the only difference is
+    ``ElideChecks``.  Any divergence (value, error class, or error
+    kind) is an unsound fact: the elided binary skipped a check that
+    the program needed.
+    """
+
+    MAX_SHRINK_RUNS = 80
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.generator = _BoundaryGenerator(random.Random(seed))
+
+    # -- execution ----------------------------------------------------------
+
+    def run_pair(self, body: str, argument: int) -> dict:
+        """``{"elided": result, "checked": result}`` for one program."""
+        return {
+            "elided": self._run_variant(body, argument, elide=True),
+            "checked": self._run_variant(body, argument, elide=False),
+        }
+
+    def _run_variant(self, body: str, argument: int, elide: bool):
+        from repro.compiler import FunctionCompile
+        from repro.compiler.options import CompilerOptions
+
+        options = CompilerOptions(
+            dataflow=True,
+            elide_checks=elide,
+            index_check_elision=elide,
+        )
+        try:
+            compiled = FunctionCompile(
+                f'Function[{{Typed[x, "MachineInteger"]}}, {body}]',
+                options=options,
             )
-            with open(path, "w", encoding="utf-8") as handle:
-                json.dump(mismatch.to_dict(), handle, indent=2)
+            return compiled(argument)
+        except Exception as error:  # noqa: BLE001 — recorded, compared
+            return _ElisionError(error)
+
+    def consistent(self, results: dict) -> bool:
+        return DifferentialOracle.agree(
+            results["elided"], results["checked"]
+        )
+
+    # -- shrinking ----------------------------------------------------------
+
+    def shrink(self, spec: _BoundarySpec, argument: int) -> tuple[str, dict]:
+        """Delete statements and array elements while the pair diverges."""
+        runs = 0
+        best = spec
+        best_results = self.run_pair(spec.body(), argument)
+
+        def still_fails(candidate: _BoundarySpec):
+            nonlocal runs
+            runs += 1
+            results = self.run_pair(candidate.body(), argument)
+            return (not self.consistent(results)), results
+
+        improved = True
+        while improved and runs < self.MAX_SHRINK_RUNS:
+            improved = False
+            for section in ("statements", "values"):
+                entries = getattr(best, section)
+                for index in range(len(entries)):
+                    reduced = _BoundarySpec(**vars(best))
+                    reduced_entries = list(entries)
+                    del reduced_entries[index]
+                    setattr(reduced, section, reduced_entries)
+                    fails, results = still_fails(reduced)
+                    if fails:
+                        best, best_results = reduced, results
+                        improved = True
+                        break
+                if improved or runs >= self.MAX_SHRINK_RUNS:
+                    break
+        return best.body(), best_results
+
+    # -- the main loop ------------------------------------------------------
+
+    def run(self, count: int = 50, time_budget: Optional[float] = None,
+            shrink: bool = True, progress=None) -> BoundaryReport:
+        report = BoundaryReport(seed=self.seed)
+        start = time.perf_counter()
+        for index in range(count):
+            if (
+                time_budget is not None
+                and time.perf_counter() - start > time_budget
+            ):
+                break
+            spec = self.generator.spec()
+            argument = self.generator.argument()
+            body = spec.body()
+            results = self.run_pair(body, argument)
+            report.attempted += 1
+            if self.consistent(results):
+                report.agreed += 1
+            else:
+                mismatch = Mismatch(
+                    seed=self.seed, index=index, kind="boundary",
+                    argument=argument, body=body, results=results,
+                )
+                if shrink:
+                    mismatch.shrunk_body, mismatch.shrunk_results = (
+                        self.shrink(spec, argument)
+                    )
+                report.mismatches.append(mismatch)
+            if progress is not None and (index + 1) % 25 == 0:
+                progress(index + 1, count)
+        report.elapsed = time.perf_counter() - start
+        return report
+
+
+def run_boundary_differential(
+    count: Optional[int] = None,
+    seed: Optional[int] = None,
+    time_budget: Optional[float] = None,
+    artifacts_dir: Optional[str] = None,
+) -> BoundaryReport:
+    """Boundary-mode entry point; same environment knobs as
+    :func:`run_differential` (``REPRO_DIFF_COUNT`` / ``REPRO_DIFF_SEED`` /
+    ``REPRO_DIFF_BUDGET`` / ``REPRO_DIFF_ARTIFACTS``)."""
+    if count is None:
+        count = int(os.environ.get("REPRO_DIFF_COUNT", "50"))
+    if seed is None:
+        seed = int(os.environ.get("REPRO_DIFF_SEED", "0"))
+    if time_budget is None:
+        raw = os.environ.get("REPRO_DIFF_BUDGET", "")
+        time_budget = float(raw) if raw else None
+    if artifacts_dir is None:
+        artifacts_dir = os.environ.get("REPRO_DIFF_ARTIFACTS") or None
+    oracle = ElisionOracle(seed=seed)
+    report = oracle.run(count=count, time_budget=time_budget)
+    _write_artifacts(report, artifacts_dir, prefix="boundary")
     return report

@@ -23,7 +23,22 @@ source positions:
   with the tier the call will fall back to (``bytecode`` when the legacy
   compiler's table covers it, else ``interpreter``);
 * ``lint.unknown-head`` — a head no tier knows at all;
-* ``lint.type-spec`` — a malformed ``Typed``/``TypeSpecifier`` annotation.
+* ``lint.type-spec`` — a malformed ``Typed``/``TypeSpecifier`` annotation;
+* ``lint.overflow`` — integer arithmetic whose *exact* result provably
+  lies outside the Integer64 range on every execution, by the same
+  :class:`~repro.analyze.dataflow.Interval` arithmetic the compiler's
+  check-elision pass uses (compiled code traps here; error);
+* ``lint.part-bounds`` — a ``Part`` index provably outside the bounds of
+  its (literal or constant-bound) list on every execution (error);
+* ``lint.unreachable-branch`` also fires when a comparison is *decided*
+  by interval facts — e.g. an ``If`` whose condition compares two
+  constants or bounded iterators (warning);
+* ``lint.dead-store`` — a ``Module``-local assignment whose value is
+  overwritten or never read before scope exit, from the backward
+  liveness walk (:func:`~repro.analyze.dataflow.dead_assignments`;
+  warning);
+* ``lint.unused-variable`` — a ``Module`` local that is never read
+  anywhere in the body (warning).
 
 Positions: MExpr nodes carry no source offsets (only lexer tokens do), so
 the linter re-locates each symbol sighting by scanning the source text for
@@ -40,7 +55,7 @@ from typing import Optional
 
 from repro.analyze.diagnostics import Diagnostic, position_to_line_column
 from repro.errors import ReproError
-from repro.mexpr.atoms import MSymbol
+from repro.mexpr.atoms import MInteger, MSymbol
 from repro.mexpr.expr import MExpr
 from repro.mexpr.parser import parse
 from repro.mexpr.symbols import head_name, is_head
@@ -138,13 +153,20 @@ def _capabilities() -> tuple[set, set, set, object, set]:
 
 
 class _Scope:
-    """A chained set of bound names (Function params, Module locals...)."""
+    """A chained set of bound names (Function params, Module locals...).
 
-    __slots__ = ("parent", "names")
+    ``intervals`` carries the known value range of constant-valued
+    bindings (``With`` constants, never-reassigned ``Module``
+    initializers, bounded iterators) for the interval-backed checks.
+    """
+
+    __slots__ = ("parent", "names", "intervals", "lists")
 
     def __init__(self, parent: Optional["_Scope"] = None):
         self.parent = parent
         self.names: set[str] = set()
+        self.intervals: dict[str, object] = {}
+        self.lists: dict[str, int] = {}
 
     def bound(self, name: str) -> bool:
         scope: Optional[_Scope] = self
@@ -153,6 +175,26 @@ class _Scope:
                 return True
             scope = scope.parent
         return False
+
+    def interval(self, name: str):
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.intervals:
+                return scope.intervals[name]
+            if name in scope.names:
+                return None  # bound here with an unknown value: stop
+            scope = scope.parent
+        return None
+
+    def list_length(self, name: str) -> Optional[int]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.lists:
+                return scope.lists[name]
+            if name in scope.names:
+                return None
+            scope = scope.parent
+        return None
 
     def child(self) -> "_Scope":
         return _Scope(self)
@@ -192,12 +234,32 @@ class _Locator:
             return spots[index]
         return spots[-1] if spots else None
 
+    def peek(self, name: str) -> Optional[int]:
+        """The next occurrence without consuming it (for diagnostics that
+        anchor on a symbol the regular walk will locate later)."""
+        if not self.text:
+            return None
+        if name not in self._occurrences:
+            pattern = _WORD.format(re.escape(name))
+            self._occurrences[name] = [
+                m.start() for m in re.finditer(pattern, self.text)
+            ]
+            self._cursor[name] = 0
+        spots = self._occurrences[name]
+        index = self._cursor[name]
+        if index < len(spots):
+            return spots[index]
+        return spots[-1] if spots else None
+
 
 class _Linter:
     def __init__(self, source_text: Optional[str], name: str):
         self.source_name = name
         self.locator = _Locator(source_text)
         self.diagnostics: list[Diagnostic] = []
+        #: id(Set node) -> source position of its target, recorded during
+        #: the walk so the liveness report can anchor dead stores
+        self._set_positions: dict[int, Optional[int]] = {}
 
     # -- reporting ----------------------------------------------------------
 
@@ -275,6 +337,8 @@ class _Linter:
     def _check_head(self, hname: str, node: MExpr,
                     position: Optional[int], scope: _Scope) -> None:
         nargs = len(node.args)
+        if hname in ("Plus", "Subtract", "Times", "Minus"):
+            self._check_overflow(node, position, scope)
         if hname in STRUCTURAL_ARITIES:
             low, high = STRUCTURAL_ARITIES[hname]
             if nargs < low or (high is not None and nargs > high):
@@ -288,7 +352,7 @@ class _Linter:
                     f"{hname} takes {expected} argument(s), got {nargs}",
                     position=position, head=hname, count=nargs,
                 )
-            self._check_unreachable(hname, node, position)
+            self._check_unreachable(hname, node, position, scope)
             return
         if scope.bound(hname):
             return  # a local variable applied as a function: assume ok
@@ -327,7 +391,8 @@ class _Linter:
         )
 
     def _check_unreachable(self, hname: str, node: MExpr,
-                           position: Optional[int]) -> None:
+                           position: Optional[int],
+                           scope: _Scope) -> None:
         args = node.args
         if hname == "If" and args:
             condition = args[0]
@@ -345,12 +410,107 @@ class _Linter:
                     "unreachable",
                     severity="warning", position=position, branch="then",
                 )
-        elif hname == "While" and args and _is_symbol(args[0], "False"):
-            self.report(
-                "lint.unreachable-branch",
-                "While condition is literally False; the body never runs",
-                severity="warning", position=position, branch="body",
-            )
+            else:
+                decided = _decide_comparison(condition, scope)
+                if decided is True and len(args) >= 3:
+                    self.report(
+                        "lint.unreachable-branch",
+                        "If condition is provably True by interval "
+                        "analysis; the else-branch is unreachable",
+                        severity="warning", position=position, branch="else",
+                    )
+                elif decided is False and len(args) >= 2:
+                    self.report(
+                        "lint.unreachable-branch",
+                        "If condition is provably False by interval "
+                        "analysis; the then-branch is unreachable",
+                        severity="warning", position=position, branch="then",
+                    )
+        elif hname == "While" and args:
+            if _is_symbol(args[0], "False"):
+                self.report(
+                    "lint.unreachable-branch",
+                    "While condition is literally False; the body never runs",
+                    severity="warning", position=position, branch="body",
+                )
+            elif _decide_comparison(args[0], scope) is False:
+                self.report(
+                    "lint.unreachable-branch",
+                    "While condition is provably False by interval "
+                    "analysis; the body never runs",
+                    severity="warning", position=position, branch="body",
+                )
+
+    def _check_overflow(self, node: MExpr, position: Optional[int],
+                        scope: _Scope) -> None:
+        """Exact arithmetic provably outside Integer64 on every execution."""
+        from repro.analyze.dataflow import INT64_MAX, INT64_MIN
+
+        result = _interval_of(node, scope)
+        if result is None:
+            return
+        lo, hi = result.lo, result.hi
+        if not (
+            (lo is not None and lo > INT64_MAX)
+            or (hi is not None and hi < INT64_MIN)
+        ):
+            return
+        if position is None:  # operator sugar: anchor on an operand
+            for arg in node.args:
+                if isinstance(arg, MInteger):
+                    position = self.locator.peek(str(arg.value))
+                    break
+                if isinstance(arg, MSymbol):
+                    position = self.locator.peek(arg.name)
+                    break
+        self.report(
+            "lint.overflow",
+            f"{head_name(node)} provably overflows Integer64: the exact "
+            f"result is {_format_interval(result)}",
+            position=position, range=_format_interval(result),
+        )
+
+    def _walk_Part(self, node: MExpr, scope: _Scope,
+                   position: Optional[int]) -> None:
+        target = node.args[0] if node.args else None
+        anchor = position
+        if anchor is None and isinstance(target, MSymbol):
+            anchor = self.locator.peek(target.name)
+        for arg in node.args:
+            self._walk(arg, scope)
+        if target is None:
+            return
+        length = len(target.args) if is_head(target, "List") else None
+        if length is None and isinstance(target, MSymbol):
+            length = scope.list_length(target.name)
+        for which, index_node in enumerate(node.args[1:]):
+            index = _interval_of(index_node, scope)
+            if index is None:
+                continue
+            if anchor is None and isinstance(index_node, MInteger):
+                anchor = self.locator.peek(str(index_node.value))
+            bound = length if which == 0 else None  # length covers dim 1
+            out = index.is_constant and index.lo == 0
+            if bound is not None:
+                if index.lo is not None and index.lo > bound:
+                    out = True
+                if index.hi is not None and index.hi < -bound:
+                    out = True
+                if index.is_constant and not (
+                    1 <= index.lo <= bound or -bound <= index.lo <= -1
+                ):
+                    out = True
+            if out:
+                described = (
+                    f" of a length-{bound} list" if bound is not None else ""
+                )
+                self.report(
+                    "lint.part-bounds",
+                    f"Part index {_format_interval(index)} is provably "
+                    f"out of bounds{described}",
+                    position=anchor, index=_format_interval(index),
+                    length=bound,
+                )
 
     # -- scoping constructs -------------------------------------------------
 
@@ -392,11 +552,12 @@ class _Linter:
         try:
             parse_type_specifier(spec)
         except ReproError as error:
+            hname = head_name(spec) if not spec.is_atom() else None
             self.report(
                 "lint.type-spec",
                 f"malformed type specifier: {error}",
-                position=self.locator.next(head_name(spec))
-                if not spec.is_atom() else None,
+                position=self.locator.next(hname)
+                if hname is not None else None,
             )
 
     def _walk_Typed(self, node: MExpr, scope: _Scope,
@@ -408,7 +569,8 @@ class _Linter:
             for arg in node.args:
                 self._walk(arg, scope)
 
-    def _walk_scoping(self, node: MExpr, scope: _Scope) -> None:
+    def _walk_scoping(self, node: MExpr, scope: _Scope,
+                      hname: str = "Module") -> None:
         """Module/Block/With: ``{v, w = init, ...}`` then the body."""
         args = node.args
         if not args:
@@ -418,9 +580,14 @@ class _Linter:
         entries = declarations.args if is_head(declarations, "List") else ()
         if is_head(declarations, "List"):
             self.locator.next("List")
+        declared: dict[str, Optional[int]] = {}
+        assigned_in_body: set[str] = set()
+        if hname == "Module":
+            for body in args[1:]:
+                assigned_in_body |= _assigned_names(body)
         for entry in entries:
             if isinstance(entry, MSymbol):
-                self.locator.next(entry.name)
+                declared[entry.name] = self.locator.next(entry.name)
                 inner.names.add(entry.name)
             elif is_head(entry, "Set") and len(entry.args) == 2:
                 self.locator.next("Set")
@@ -428,18 +595,97 @@ class _Linter:
                 # initializers see the outer scope plus earlier locals
                 self._walk(init, inner)
                 if isinstance(target, MSymbol):
-                    self.locator.next(target.name)
+                    declared[target.name] = self.locator.next(target.name)
                     inner.names.add(target.name)
+                    # a With constant (never assignable) or a Module
+                    # local the body never reassigns keeps its
+                    # initializer's range for the interval checks
+                    if hname == "With" or (
+                        hname == "Module"
+                        and target.name not in assigned_in_body
+                    ):
+                        value = _interval_of(init, inner)
+                        if value is not None:
+                            inner.intervals[target.name] = value
+                        elif is_head(init, "List"):
+                            inner.lists[target.name] = len(init.args)
                 else:
                     self._walk(target, inner)
             else:
                 self._walk(entry, inner)
         for body in args[1:]:
             self._walk(body, inner)
+        if hname == "Module" and declared:
+            self._lint_module_liveness(node, declared)
 
-    _walk_Module = _walk_Block = _walk_With = (
-        lambda self, node, scope, position: self._walk_scoping(node, scope)
-    )
+    _walk_Module = (lambda self, node, scope, position:
+                    self._walk_scoping(node, scope, "Module"))
+    _walk_Block = (lambda self, node, scope, position:
+                   self._walk_scoping(node, scope, "Block"))
+    _walk_With = (lambda self, node, scope, position:
+                  self._walk_scoping(node, scope, "With"))
+
+    def _lint_module_liveness(self, node: MExpr,
+                              declared: dict[str, Optional[int]]) -> None:
+        """Dead stores and never-read locals over the Module body.
+
+        The body's top-level statement list feeds the backward liveness
+        walk (:func:`repro.analyze.dataflow.dead_assignments`); nested
+        control flow is summarized conservatively as reading every symbol
+        it mentions, so a warning here is a certainty, never a guess.
+        """
+        from repro.analyze.dataflow import dead_assignments
+
+        body = node.args[1] if len(node.args) >= 2 else None
+        if body is None:
+            return
+        statements = (
+            list(body.args) if is_head(body, "CompoundExpression")
+            else [body]
+        )
+        pairs: list[tuple[Optional[str], set[str]]] = []
+        for statement in statements:
+            if (
+                is_head(statement, "Set")
+                and len(statement.args) == 2
+                and isinstance(statement.args[0], MSymbol)
+                and statement.args[0].name in declared
+            ):
+                pairs.append((
+                    statement.args[0].name,
+                    _free_symbols(statement.args[1]),
+                ))
+            else:
+                pairs.append((None, _free_symbols(statement)))
+        dead, _live_in = dead_assignments(pairs)
+        reads: set[str] = set()
+        for _written, read in pairs:
+            reads |= read
+        # a later local's initializer may read an earlier local
+        declarations = node.args[0]
+        if is_head(declarations, "List"):
+            for entry in declarations.args:
+                if is_head(entry, "Set") and len(entry.args) == 2:
+                    reads |= _free_symbols(entry.args[1])
+        for name, position in declared.items():
+            if name not in reads:
+                self.report(
+                    "lint.unused-variable",
+                    f"Module variable '{name}' is never read",
+                    severity="warning", position=position, symbol=name,
+                )
+        for index in dead:
+            name = pairs[index][0]
+            if name is None or name not in reads:
+                continue  # a never-read local is already reported above
+            self.report(
+                "lint.dead-store",
+                f"value assigned to '{name}' is never read before being "
+                f"overwritten or leaving scope",
+                severity="warning",
+                position=self._set_positions.get(id(statements[index])),
+                symbol=name,
+            )
 
     def _walk_iteration(self, node: MExpr, scope: _Scope) -> None:
         """Table/Do/Sum/Product: body first, then iterator specs."""
@@ -456,6 +702,9 @@ class _Linter:
                 if isinstance(iterator, MSymbol):
                     self.locator.next(iterator.name)
                     inner.names.add(iterator.name)
+                    value = _iterator_interval(spec.args[1:], scope)
+                    if value is not None:
+                        inner.intervals[iterator.name] = value
                 else:
                     self._walk(iterator, scope)
             else:
@@ -491,7 +740,9 @@ class _Linter:
             self.locator.next(hname)
             target, value = statement.args
             if isinstance(target, MSymbol):
-                self.locator.next(target.name)
+                self._set_positions[id(statement)] = (
+                    self.locator.next(target.name)
+                )
                 if hname == "Set":
                     self._walk(value, scope)
                 else:
@@ -520,7 +771,9 @@ class _Linter:
         if len(node.args) == 2:
             target, value = node.args
             if isinstance(target, MSymbol):
-                self.locator.next(target.name)
+                self._set_positions[id(node)] = (
+                    self.locator.next(target.name)
+                )
                 self._walk(value, scope)
                 scope.names.add(target.name)
                 return
@@ -538,6 +791,160 @@ class _Linter:
 
 def _is_symbol(node: MExpr, name: str) -> bool:
     return isinstance(node, MSymbol) and node.name == name
+
+
+# -- interval facts over literal/constant source expressions ----------------
+
+
+def _interval_of(node: MExpr, scope: _Scope, depth: int = 8):
+    """Exact integer range of a constant-valued expression, else ``None``.
+
+    Reuses the compiler's :class:`~repro.analyze.dataflow.Interval`
+    arithmetic so the lint's overflow/bounds verdicts agree with what the
+    check-elision pass would conclude over the lowered IR.
+    """
+    from repro.analyze.dataflow import Interval
+
+    if depth <= 0:
+        return None
+    if isinstance(node, MInteger):
+        return Interval.const(node.value)
+    if isinstance(node, MSymbol):
+        return scope.interval(node.name)
+    if node.is_atom():
+        return None
+    hname = head_name(node)
+    if hname in ("Plus", "Times") and node.args:
+        result = _interval_of(node.args[0], scope, depth - 1)
+        for arg in node.args[1:]:
+            if result is None:
+                return None
+            other = _interval_of(arg, scope, depth - 1)
+            if other is None:
+                return None
+            result = (result.add(other) if hname == "Plus"
+                      else result.multiply(other))
+        return result
+    if hname == "Subtract" and len(node.args) == 2:
+        a = _interval_of(node.args[0], scope, depth - 1)
+        b = _interval_of(node.args[1], scope, depth - 1)
+        if a is not None and b is not None:
+            return a.subtract(b)
+        return None
+    if hname == "Minus" and len(node.args) == 1:
+        a = _interval_of(node.args[0], scope, depth - 1)
+        return a.negate() if a is not None else None
+    if (
+        hname == "Length"
+        and len(node.args) == 1
+        and isinstance(node.args[0], MSymbol)
+    ):
+        length = scope.list_length(node.args[0].name)
+        if length is not None:
+            return Interval.const(length)
+    return None
+
+
+def _iterator_interval(bounds: tuple, scope: _Scope):
+    """The range of ``{i, ...}`` iterator specs: ``{i, n}`` is [1, n],
+    ``{i, a, b}`` is [a, b]; explicit-step specs stay unknown."""
+    from repro.analyze.dataflow import Interval
+
+    if len(bounds) == 1:
+        limit = _interval_of(bounds[0], scope)
+        return Interval(1, limit.hi if limit is not None else None)
+    if len(bounds) == 2:
+        low = _interval_of(bounds[0], scope)
+        high = _interval_of(bounds[1], scope)
+        if low is not None and high is not None:
+            return Interval(low.lo, high.hi)
+    return None
+
+
+_COMPARISON_HEADS = frozenset({
+    "Less", "LessEqual", "Greater", "GreaterEqual", "Equal", "Unequal",
+})
+
+
+def _decide_comparison(node: MExpr, scope: _Scope) -> Optional[bool]:
+    """True/False when interval facts decide the comparison, else None."""
+    if node.is_atom():
+        return None
+    hname = head_name(node)
+    if hname not in _COMPARISON_HEADS or len(node.args) != 2:
+        return None
+    a = _interval_of(node.args[0], scope)
+    b = _interval_of(node.args[1], scope)
+    if a is None or b is None:
+        return None
+    if hname in ("Greater", "GreaterEqual"):
+        a, b = b, a
+        hname = "Less" if hname == "Greater" else "LessEqual"
+    if hname == "Less":
+        if a.hi is not None and b.lo is not None and a.hi < b.lo:
+            return True
+        if a.lo is not None and b.hi is not None and a.lo >= b.hi:
+            return False
+        return None
+    if hname == "LessEqual":
+        if a.hi is not None and b.lo is not None and a.hi <= b.lo:
+            return True
+        if a.lo is not None and b.hi is not None and a.lo > b.hi:
+            return False
+        return None
+    equal: Optional[bool] = None
+    if a.is_constant and b.is_constant:
+        equal = a.lo == b.lo
+    elif a.intersect(b).is_empty:
+        equal = False
+    if equal is None:
+        return None
+    return equal if hname == "Equal" else not equal
+
+
+def _format_interval(interval) -> str:
+    if interval.is_constant:
+        return str(interval.lo)
+    lo = "-inf" if interval.lo is None else str(interval.lo)
+    hi = "inf" if interval.hi is None else str(interval.hi)
+    return f"[{lo}, {hi}]"
+
+
+def _free_symbols(node: MExpr) -> set[str]:
+    """Every symbol mentioned under ``node`` (conservative read set)."""
+    names: set[str] = set()
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, MSymbol):
+            names.add(current.name)
+        elif not current.is_atom():
+            stack.append(current.head)
+            stack.extend(current.args)
+    return names
+
+
+#: heads whose first argument is mutated in place
+_MUTATING_HEADS = frozenset({
+    "Set", "SetDelayed", "Increment", "Decrement", "PreIncrement",
+    "PreDecrement", "AddTo", "SubtractFrom", "TimesBy", "DivideBy",
+})
+
+
+def _assigned_names(node: MExpr) -> set[str]:
+    """Symbols assigned anywhere under ``node`` (including nested flow)."""
+    names: set[str] = set()
+    if node.is_atom():
+        return names
+    if (
+        head_name(node) in _MUTATING_HEADS
+        and node.args
+        and isinstance(node.args[0], MSymbol)
+    ):
+        names.add(node.args[0].name)
+    for arg in node.args:
+        names |= _assigned_names(arg)
+    return names
 
 
 def _pattern_names(node: MExpr) -> set[str]:

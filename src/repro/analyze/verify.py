@@ -34,10 +34,21 @@ objects rather than bare asserts:
 
 **TWIR semantic-stage invariants** (gated on the pass having run)
     abort checkpoints present at every loop header and in the prologue when
-    abort handling is on (``twir.abort``, per :mod:`repro.compiler.twir.abort`);
-    memory ops well-paired — every ``MemoryRelease`` names a value some
-    ``MemoryAcquire`` acquired and every acquire names an allocating
-    definition (``twir.memory``, per :mod:`repro.compiler.twir.memory`).
+    abort handling is on (``twir.abort``, per :mod:`repro.compiler.twir.abort`)
+    — headers listed in ``CoalescedHeaders`` are exempt, their checkpoint was
+    deliberately coalesced; memory ops well-paired — every ``MemoryRelease``
+    names a value some ``MemoryAcquire`` acquired and every acquire names an
+    allocating definition (``twir.memory``, per :mod:`repro.compiler.twir.memory`).
+
+**Fact consistency** (gated on elided checks being present)
+    every unchecked primitive must carry the ``elided_check`` justification
+    the elision pass stamped, and an *independently recomputed* dataflow
+    analysis (:mod:`repro.analyze.dataflow`) must re-prove it — the exact
+    abstract result of an unchecked arithmetic op fits Integer64, Part
+    indices are in the justified range, coalesced checkpoint headers still
+    have a bounded/innermost/effect-local trip proof (``analysis.fact``).
+    A pass that plants a wrong fact (see the ``analysis.bad_fact`` fault
+    class in :mod:`repro.testing`) is caught here and attributed by name.
 
 Use :func:`verify_function` / :func:`verify_program` to collect
 diagnostics, or :func:`raise_on_errors` to turn error-severity findings
@@ -59,6 +70,7 @@ from repro.compiler.wir.instructions import (
     BranchInstr,
     CheckAbortInstr,
     CallFunctionInstr,
+    CallPrimitiveInstr,
     CopyInstr,
     MemoryAcquireInstr,
     MemoryReleaseInstr,
@@ -112,6 +124,7 @@ def verify_function(
         _check_types(function, diagnostics)
     _check_abort_checkpoints(function, diagnostics)
     _check_memory_pairing(function, diagnostics)
+    _check_fact_consistency(function, diagnostics)
     return diagnostics
 
 
@@ -440,7 +453,10 @@ def _check_abort_checkpoints(
         return
     if "GuardCheckpoints" not in information:
         return  # the insertion pass has not run yet for this function
+    coalesced = information.get("CoalescedHeaders", {})
     for name in loop_headers(function):
+        if name in coalesced:
+            continue  # deliberately removed; analysis.fact re-proves it
         block = function.blocks.get(name)
         if block is None:
             continue
@@ -519,3 +535,105 @@ def _check_memory_pairing(
                               f"value %{value_id} released in both {first} "
                               f"and {second}, which lie on one path",
                               function, block=second)
+
+
+# -- fact consistency: elided checks must stay provable ----------------------------
+
+#: unchecked Integer64 arithmetic -> the Interval method that re-proves it
+_UNCHECKED_ARITH = {
+    "plus_unchecked_Integer64": "add",
+    "subtract_unchecked_Integer64": "subtract",
+    "times_unchecked_Integer64": "multiply",
+}
+
+#: unchecked Part primitives -> their index operand slice
+_UNCHECKED_PARTS = {
+    "tensor_part1_unchecked": slice(1, 2),
+    "tensor_part1_set_unchecked": slice(1, 2),
+    "tensor_part2_unchecked": slice(1, 3),
+    "tensor_part2_set_unchecked": slice(1, 3),
+}
+
+
+def _check_fact_consistency(
+    function: FunctionModule, diagnostics: list
+) -> None:
+    """Every elided check must be re-provable from *recomputed* facts.
+
+    The elision pass stamps each swapped primitive with an
+    ``elided_check`` justification; this rule recomputes the dataflow
+    analysis from scratch and re-derives the proof, so a pass that plants
+    a wrong fact (or a later pass that invalidates one) is caught rather
+    than miscompiled.  Skipped entirely when the function contains no
+    unchecked primitives and no coalesced checkpoints — the worklist
+    recompute is not free and verify-each runs this after every pass.
+    """
+    sites: list[tuple] = []
+    for block in function.ordered_blocks():
+        for instruction in block.instructions:
+            if not isinstance(instruction, CallPrimitiveInstr):
+                continue
+            name = instruction.primitive.runtime_name
+            if name in _UNCHECKED_ARITH or name in _UNCHECKED_PARTS:
+                sites.append((block, instruction))
+    coalesced = function.information.get("CoalescedHeaders", {})
+    if not sites and not coalesced:
+        return
+    from repro.analyze.dataflow import (
+        COALESCE_TRIP_LIMIT,
+        analyze_function,
+    )
+
+    facts = analyze_function(function)
+    for block, instruction in sites:
+        name = instruction.primitive.runtime_name
+        justification = instruction.properties.get("elided_check")
+        if justification is None:
+            _diag(diagnostics, "analysis.fact",
+                  f"unchecked primitive {name} carries no elided_check "
+                  f"justification", function, block=block.name,
+                  instruction=instruction)
+            continue
+        method = _UNCHECKED_ARITH.get(name)
+        if method is not None:
+            a = facts.interval_at(instruction.operands[0], block.name)
+            b = facts.interval_at(instruction.operands[1], block.name)
+            if not getattr(a, method)(b).fits_int64():
+                _diag(diagnostics, "analysis.fact",
+                      f"elided overflow check on {name} is not justified: "
+                      f"recomputed intervals {a} {method} {b} can exceed "
+                      f"Integer64", function, block=block.name,
+                      instruction=instruction, justification=justification)
+            continue
+        index_slice = _UNCHECKED_PARTS[name]
+        tensor = instruction.operands[0]
+        indices = instruction.operands[index_slice]
+        if justification == "part-bounds":
+            proven = all(
+                facts.proves_part_in_range(index, tensor, block.name)
+                for index in indices
+            )
+        else:  # "part-positive" or anything unknown: the weaker criterion
+            proven = all(
+                facts.proves_positive_index(index, block.name)
+                for index in indices
+            )
+        if not proven:
+            _diag(diagnostics, "analysis.fact",
+                  f"elided bounds check on {name} is not justified by the "
+                  f"recomputed facts ({justification})", function,
+                  block=block.name, instruction=instruction,
+                  justification=justification)
+    for header, bound in coalesced.items():
+        loop = facts.loops.get(header)
+        if (
+            loop is None
+            or loop.trip_bound is None
+            or loop.trip_bound > COALESCE_TRIP_LIMIT
+            or not loop.innermost
+            or not loop.effect_local
+        ):
+            _diag(diagnostics, "analysis.fact",
+                  f"coalesced checkpoint at {header} (recorded trip bound "
+                  f"{bound}) is no longer provably bounded, innermost and "
+                  f"effect-local", function, block=header)

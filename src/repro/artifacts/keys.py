@@ -51,6 +51,8 @@ _SEMANTIC_OPTION_FIELDS = (
     "memory_management",
     "copy_insertion",
     "index_check_elision",
+    "dataflow",
+    "elide_checks",
     "constant_array_handling",
     "profile",
     "target_system",

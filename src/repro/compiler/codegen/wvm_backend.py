@@ -40,6 +40,8 @@ _BINARY = {
     "plus_unchecked_Integer64": Op.ADD,
     "binary_plus_Real64": Op.ADD,
     "binary_plus_ComplexReal64": Op.ADD,
+    "subtract_unchecked_Integer64": Op.SUB,
+    "times_unchecked_Integer64": Op.MUL,
     "checked_binary_subtract_Integer64_Integer64": Op.SUB,
     "binary_subtract_Real64": Op.SUB,
     "binary_subtract_ComplexReal64": Op.SUB,

@@ -29,8 +29,11 @@ from repro.compiler.macros import (
 )
 from repro.compiler.options import CompilerOptions
 from repro.compiler.twir.abort import insert_abort_checks, strip_abort_checks
+from repro.compiler.twir.check_elision import (
+    coalesce_checkpoints,
+    elide_redundant_checks,
+)
 from repro.compiler.twir.copy_insert import insert_copies
-from repro.compiler.twir.index_elision import elide_index_checks
 from repro.compiler.twir.memory import insert_memory_management
 from repro.compiler.twir.passes import (
     common_subexpression_elimination,
@@ -426,24 +429,48 @@ class CompilerPipeline:
             self._run_user_passes("twir", function_module)
 
     def _semantic_passes(self, program: ProgramModule) -> None:
-        for function_module in program.functions.values():
-            if self.options.index_check_elision and (
-                self.options.optimization_level >= 1
-            ):
-                self._timed(
-                    "index-check-elision",
-                    lambda f=function_module: elide_index_checks(f),
-                    subject=function_module,
-                )
-                from repro.compiler.twir.overflow_elision import (
-                    elide_counter_overflow_checks,
-                )
+        from repro import observe
 
-                self._timed(
-                    "counter-overflow-elision",
-                    lambda f=function_module: elide_counter_overflow_checks(f),
+        fact_map = None
+        if self.options.dataflow and self.options.optimization_level >= 1:
+            from repro.analyze.dataflow import FactMap
+
+            fact_map = FactMap()
+        for function_module in program.functions.values():
+            facts = None
+            if fact_map is not None:
+                from repro.analyze.dataflow import analyze_function
+
+                facts = self._timed(
+                    "dataflow",
+                    lambda f=function_module: analyze_function(f),
                     subject=function_module,
                 )
+                fact_map[function_module.name] = facts
+                total = self.pass_totals["dataflow"]
+                total["facts"] = total.get("facts", 0) + sum(
+                    facts.fact_counts().values()
+                )
+            elide = (
+                facts is not None
+                and self.options.index_check_elision
+                and self.options.elide_checks
+            )
+            if elide:
+                counts = self._timed(
+                    "check-elision",
+                    lambda f=function_module, facts=facts:
+                        elide_redundant_checks(f, facts),
+                    subject=function_module,
+                )
+                total = self.pass_totals["check-elision"]
+                total["elided"] = total.get("elided", 0) + sum(
+                    counts.values()
+                )
+                observe.count("analysis.checks_elided.int64",
+                              counts["int64"])
+                observe.count("analysis.checks_elided.bounds",
+                              counts["bounds"])
             if self.options.copy_insertion:
                 self._timed(
                     "copy-insertion",
@@ -466,6 +493,17 @@ class CompilerPipeline:
                     lambda f=function_module: insert_abort_checks(f),
                     subject=function_module,
                 )
+                if elide:
+                    coalesced = self._timed(
+                        "checkpoint-coalescing",
+                        lambda f=function_module: coalesce_checkpoints(f),
+                        subject=function_module,
+                    )
+                    if coalesced:
+                        total = self.pass_totals["checkpoint-coalescing"]
+                        total["elided"] = total.get("elided", 0) + coalesced
+                        observe.count("analysis.checks_elided.checkpoints",
+                                      coalesced)
             else:
                 strip_abort_checks(function_module)
             if self.options.memory_management:
@@ -474,6 +512,8 @@ class CompilerPipeline:
                     lambda f=function_module: insert_memory_management(f),
                     subject=function_module,
                 )
+        if fact_map is not None:
+            program.metadata["dataflow"] = fact_map
 
 
 def _prune_unreachable_functions(program: ProgramModule) -> None:

@@ -80,6 +80,8 @@ for _name, _func in {
     "binary_mod_Real64": lambda a, b: a - b * math.floor(a / b),
     "identity": lambda a: a,
     "plus_unchecked_Integer64": lambda a, b: a + b,
+    "subtract_unchecked_Integer64": lambda a, b: a - b,
+    "times_unchecked_Integer64": lambda a, b: a * b,
     "binary_min": min,
     "binary_max": max,
     "binary_atan2_Real64": math.atan2,

@@ -170,9 +170,14 @@ for _fname in ("sin", "cos", "tan", "exp", "sqrt", "log"):
           f"{{out}} = c{_fname}({{a0}});")
 
 _impl("identity", "{out} = {a0}", "{out} = {a0};")
-# unchecked add used only where the overflow-elision pass proves safety
+# unchecked Integer64 arithmetic, used only where the dataflow interval
+# analysis proves the checked guard can never fire (check elision)
 _impl("plus_unchecked_Integer64", "{out} = {a0} + {a1}",
       "{out} = {a0} + {a1};")
+_impl("subtract_unchecked_Integer64", "{out} = {a0} - {a1}",
+      "{out} = {a0} - {a1};")
+_impl("times_unchecked_Integer64", "{out} = {a0} * {a1}",
+      "{out} = {a0} * {a1};")
 
 # unsigned-64 wrapping arithmetic (C-style modular semantics; FNV1a, §6)
 _U64_MASK = "18446744073709551615"

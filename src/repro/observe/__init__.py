@@ -18,6 +18,10 @@ event / metric                  emitted by
 ``pipeline.pass`` (spans)       ``CompilerPipeline._timed`` — one span per pass,
                                 named ``pass:<name>``, with IR node-count deltas
 ``pipeline.pass.<name>``        per-pass wall time (histogram, seconds)
+``analysis.checks_elided.int64``  overflow guards deleted by dataflow facts
+                                (counter); ``.bounds`` for Part bounds
+                                checks, ``.checkpoints`` for coalesced
+                                loop abort checkpoints alongside
 ``hotspot.promote`` (span)      one promotion attempt
 ``tier.promote``                successful promotion (instant, ``symbol=``)
 ``tier.demote``                 breaker demotion / promotion withdrawal

@@ -307,6 +307,78 @@ def _soft_failure_run(config: RunConfig) -> SpecResult:
     )
 
 
+def _elision_speedup_run(config: RunConfig) -> SpecResult:
+    """Dataflow check elision A/B (DESIGN.md §12): the same Figure-2 loop
+    kernels compiled with ``ElideChecks`` on (default) vs off, on ≥2
+    kernels.  The elided build drops overflow guards on proven counter
+    arithmetic, bounds predicates on proven Part accesses, and abort
+    checkpoints in bounded loops."""
+    from repro.benchsuite import data as workloads
+    from repro.benchsuite import programs
+    from repro.compiler import FunctionCompile
+
+    sizes = workloads.figure2_sizes(config.scale)
+    kernels = {
+        "histogram": (
+            programs.NEW_HISTOGRAM,
+            workloads.histogram_data(sizes.histogram_length),
+        ),
+        "blur": (
+            programs.NEW_BLUR,
+            workloads.blur_image_nested(sizes.blur_side),
+        ),
+    }
+    measurements: dict = {}
+    speedups: dict = {}
+    verified_kernels = 0
+    for name, (source, argument) in kernels.items():
+        elided = FunctionCompile(source)
+        checked = FunctionCompile(
+            source, ElideChecks=False, IndexCheckElision=False,
+        )
+        info = next(iter(elided.program.functions.values())).information
+        elided_count = (
+            info.get("OverflowChecksElided", 0)
+            + info.get("IndexChecksElided", 0)
+            + info.get("CheckpointsCoalesced", 0)
+        )
+        same = elided(argument).data == checked(argument).data
+        s_elided, _ = stats.measure(elided, argument,
+                                    repeats=config.repeats,
+                                    warmup=config.warmup)
+        s_checked, _ = stats.measure(checked, argument,
+                                     repeats=config.repeats,
+                                     warmup=config.warmup)
+        speedup = stats.ratio_sample(s_checked, s_elided).as_measurement(
+            direction="higher")
+        # best-of ratios still swing with machine load; each arm gates on
+        # its own seconds, the ratio is informational
+        speedup["gate"] = False
+        measurements[f"{name}_elided_seconds"] = s_elided.as_measurement()
+        measurements[f"{name}_checked_seconds"] = s_checked.as_measurement()
+        measurements[f"{name}_speedup"] = speedup
+        speedups[name] = s_checked.best / s_elided.best
+        if same and elided_count > 0 and speedups[name] > 1.0:
+            verified_kernels += 1
+    return SpecResult(
+        measurements,
+        meta={
+            "speedups": speedups,
+            "kernels_faster_when_elided": verified_kernels,
+        },
+        verified=verified_kernels >= 2,
+    )
+
+
+def _elision_speedup_probe(config: RunConfig) -> None:
+    from repro.benchsuite import data as workloads
+    from repro.benchsuite import programs
+    from repro.compiler import FunctionCompile
+
+    kernel = FunctionCompile(programs.NEW_HISTOGRAM)
+    kernel(workloads.histogram_data(10_000))
+
+
 def _soft_failure_probe(config: RunConfig) -> None:
     from repro.benchsuite import programs
     from repro.compiler import FunctionCompile
@@ -832,6 +904,10 @@ def _specs() -> tuple:
         BenchSpec("ablation.copy", "ablations", "compiler",
                   "mutability-copy ablation (QSort, §6)",
                   _copy_run),
+        BenchSpec("analysis.elision_speedup", "compiler", "compiler",
+                  "dataflow check-elision A/B on Figure-2 loop kernels "
+                  "(gate: faster when elided on >=2 kernels)",
+                  _elision_speedup_run, _elision_speedup_probe, smoke=True),
         BenchSpec("compiler.compile_time", "compiler", "compiler",
                   "compile time per Figure-2 program (§5)",
                   _compile_time_run, _compile_time_probe, smoke=True),

@@ -39,6 +39,7 @@ from repro import observe as _observe
 from repro.errors import TemplateCompilerError
 from repro.mexpr.atoms import MComplex, MInteger, MReal, MSymbol
 from repro.mexpr.expr import MExpr, MExprNormal
+from repro.template_jit import analysis as _analysis
 from repro.template_jit import templates as _t
 from repro.template_jit.artifact import TemplateCompiledFunction
 
@@ -72,7 +73,8 @@ def _head_name(node: MExpr) -> Optional[str]:
 class TemplateCompiler:
     """Stitches one function body; single use, single pass."""
 
-    def __init__(self, name: str, parameters, type_chars, body: MExpr):
+    def __init__(self, name: str, parameters, type_chars, body: MExpr,
+                 unchecked: Optional[_analysis.UncheckedMask] = None):
         self.name = name
         self.parameters = list(parameters)
         self.type_chars = list(type_chars)
@@ -81,6 +83,8 @@ class TemplateCompiler:
         self._scopes: list[dict[str, str]] = [{}]
         self._slot_kinds: dict[str, str] = {}
         self._lines: list[str] = []
+        #: interval-proven overflow-free ops (checked/unchecked mask)
+        self._unchecked = unchecked or _analysis.EMPTY_MASK
 
     # -- slots and scopes --------------------------------------------------
 
@@ -176,7 +180,7 @@ class TemplateCompiler:
             for argument in arguments[1:]:
                 operand, operand_kind = self.expr(argument)
                 kinds = (kind, operand_kind)
-                code = self._binary(head, code, operand, kinds)
+                code = self._binary(head, code, operand, kinds, node)
                 kind = self._result_kind(head, kinds)
             return code, kind
         if head in _t.BINARY_TEMPLATES and len(arguments) == 2:
@@ -184,7 +188,7 @@ class TemplateCompiler:
             right, right_kind = self.expr(arguments[1])
             kinds = (left_kind, right_kind)
             return (
-                self._binary(head, left, right, kinds),
+                self._binary(head, left, right, kinds, node),
                 self._result_kind(head, kinds),
             )
         if head in _t.UNARY_TEMPLATES and len(arguments) == 1:
@@ -198,8 +202,13 @@ class TemplateCompiler:
             return f"(-{operand})", operand_kind
         raise TemplateCompilerError(f"no template for {head}")
 
-    def _binary(self, head: str, left: str, right: str, kinds) -> str:
+    def _binary(self, head: str, left: str, right: str, kinds,
+                node: Optional[MExpr] = None) -> str:
         if head in _t.INT_CHECKED_TEMPLATES and all(k == "i" for k in kinds):
+            # the interval pre-pass proved the exact result fits
+            # Integer64: the overflow trap can never fire
+            if node is not None and node in self._unchecked:
+                return _t.BINARY_TEMPLATES[head].format(left, right)
             return _t.INT_CHECKED_TEMPLATES[head].format(left, right)
         return _t.BINARY_TEMPLATES[head].format(left, right)
 
@@ -422,7 +431,12 @@ def compile_template(
     """
     started = time.perf_counter()
     with _observe.span("template.compile", "template_jit", symbol=name):
-        compiler = TemplateCompiler(name, parameters, type_chars, body)
+        mask = (
+            _analysis.unchecked_mask(body)
+            if _analysis.elision_enabled() else _analysis.EMPTY_MASK
+        )
+        compiler = TemplateCompiler(name, parameters, type_chars, body,
+                                    unchecked=mask)
         source = compiler.compile_source()
         code = compile(source, f"<template:{name}>", "exec")
         namespace = dict(_t.RUNTIME_GLOBALS)
@@ -441,6 +455,8 @@ def compile_template(
             recursive=_calls_self(body, name),
         )
     artifact.compile_seconds = time.perf_counter() - started
+    artifact.unchecked_bitmask = mask.bits
+    artifact.unchecked_ops = len(mask)
     return artifact
 
 

@@ -18,6 +18,9 @@ corruption             mutation                                    invariant hit
 ``dangling-operand``   swaps an operand for an undefined value     ``ssa.dominance``
 ``phi-edge``           adds a phi edge from a non-predecessor      ``phi.edges``
 ``type-mismatch``      forces a non-Boolean branch condition type  ``type.branch``
+``analysis.bad_fact``  unsoundly elides an overflow check by       ``analysis.fact``
+                       planting an interval fact the dataflow
+                       analysis cannot re-derive
 =====================  ==========================================  ==============
 
 Usage (the robustness suite's pattern)::
@@ -115,6 +118,40 @@ def _phi_edge(subject) -> None:
     raise CorruptionUnapplicable("no phi to corrupt (function has no loops)")
 
 
+def _bad_fact(subject) -> None:
+    """Swap a checked arithmetic op to unchecked with a *planted* fact.
+
+    Targets a site whose recomputed intervals can exceed Integer64 — a
+    correct elision would be invisible to the verifier by construction —
+    so the ``analysis.fact`` recompute must refuse the justification.
+    """
+    from repro.analyze.dataflow import analyze_function
+    from repro.compiler.twir.check_elision import CHECKED_ARITH
+    from repro.compiler.types.builtin_env import PRIMITIVE_IMPLS
+    from repro.compiler.wir.instructions import CallPrimitiveInstr
+
+    function = _first_function(subject)
+    facts = analyze_function(function)
+    for block in function.ordered_blocks():
+        for instruction in block.instructions:
+            if not isinstance(instruction, CallPrimitiveInstr):
+                continue
+            arith = CHECKED_ARITH.get(instruction.primitive.runtime_name)
+            if arith is None:
+                continue
+            unchecked_name, method = arith
+            a = facts.interval_at(instruction.operands[0], block.name)
+            b = facts.interval_at(instruction.operands[1], block.name)
+            if getattr(a, method)(b).fits_int64():
+                continue  # genuinely safe: eliding it would be sound
+            instruction.primitive = PRIMITIVE_IMPLS[unchecked_name]
+            instruction.properties["elided_check"] = "int64-overflow"
+            return
+    raise CorruptionUnapplicable(
+        "no checked arithmetic whose guard the facts cannot discharge"
+    )
+
+
 def _type_mismatch(subject) -> None:
     from repro.compiler.wir.instructions import BranchInstr
 
@@ -135,6 +172,7 @@ CORRUPTIONS = {
     "dangling-operand": _dangling_operand,
     "phi-edge": _phi_edge,
     "type-mismatch": _type_mismatch,
+    "analysis.bad_fact": _bad_fact,
 }
 
 

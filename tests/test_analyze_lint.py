@@ -109,6 +109,98 @@ class TestUnreachable:
         assert found["lint.unreachable-branch"][0].data["branch"] == "body"
 
 
+class TestIntervalLint:
+    """Interval-powered provable-error rules (DESIGN.md §12): guaranteed
+    overflow, out-of-bounds Part, and interval-decided dead branches."""
+
+    def test_guaranteed_overflow_is_an_error(self):
+        found = findings(
+            'Function[{x}, Module[{a = 9223372036854775806}, a + 5]]'
+        )
+        [diagnostic] = found["lint.overflow"]
+        assert diagnostic.severity == "error"
+        assert "overflow" in diagnostic.message
+        assert diagnostic.line == 1 and diagnostic.column is not None
+
+    def test_possible_overflow_stays_silent(self):
+        # x is unbounded: the sum *may* overflow, which is a runtime
+        # trap, not a provable error — lint only reports certainties
+        assert "lint.overflow" not in findings(
+            'Function[{x}, Module[{}, x + 5]]'
+        )
+
+    def test_part_index_above_known_length(self):
+        found = findings(
+            'Function[{x}, Module[{v = {1, 2, 3}}, v[[5]]]]'
+        )
+        [diagnostic] = found["lint.part-bounds"]
+        assert diagnostic.severity == "error"
+        assert "length-3" in diagnostic.message
+
+    def test_part_index_zero(self):
+        found = findings(
+            'Function[{x}, Module[{v = {1, 2, 3}}, v[[0]]]]'
+        )
+        assert found["lint.part-bounds"][0].column is not None
+
+    def test_in_range_iteration_stays_silent(self):
+        # j in [1, 4] over a length-3 list is not *provably* wrong on
+        # every execution — the runtime check handles the overshoot
+        assert "lint.part-bounds" not in findings(
+            'Function[{x}, Module[{v = {1, 2, 3}, a = 0},'
+            ' Do[a = a + v[[j]], {j, 3}]; a]]'
+        )
+
+    def test_interval_decided_if_branch(self):
+        found = findings(
+            'Function[{x}, Module[{a = 1}, If[a > 5, x, x + 1]]]'
+        )
+        [diagnostic] = found["lint.unreachable-branch"]
+        assert diagnostic.severity == "warning"
+        assert "interval" in diagnostic.message
+
+    def test_interval_decided_while(self):
+        found = findings(
+            'Function[{x}, Module[{n = 3}, While[n < 2, x]; x]]'
+        )
+        assert "never runs" in found["lint.unreachable-branch"][0].message
+
+
+class TestLiveness:
+    """Dead stores and never-read Module locals via the dataflow
+    liveness walk (``dead_assignments``)."""
+
+    def test_unused_module_variable(self):
+        found = findings(
+            'Function[{x}, Module[{a = 0, b = 1}, a = x; a + x]]'
+        )
+        [diagnostic] = found["lint.unused-variable"]
+        assert diagnostic.severity == "warning"
+        assert "'b'" in diagnostic.message
+
+    def test_dead_store_overwritten_before_read(self):
+        found = findings(
+            'Function[{x}, Module[{a = 0}, a = 1; a = 2; a]]'
+        )
+        [diagnostic] = found["lint.dead-store"]
+        assert diagnostic.severity == "warning"
+        assert "'a'" in diagnostic.message
+
+    def test_read_between_stores_is_live(self):
+        assert "lint.dead-store" not in findings(
+            'Function[{x}, Module[{a = 0}, a = 1; x = x + a; a = 2; a]]'
+        )
+
+    def test_loop_carried_variable_not_flagged(self):
+        # writes inside control flow are summarized conservatively:
+        # warnings must be certainties
+        assert findings(
+            'Function[{Typed[x, "MachineInteger"]},'
+            ' Module[{a = 0, i = 1}, While[i <= x, a = a + i; i = i + 1];'
+            ' a]]'
+        ) == {}
+
+
 class TestUnsupported:
     def test_interpreter_fallback_annotated(self):
         found = findings('Function[{x}, Append[{1, 2}, x]]')
@@ -177,3 +269,15 @@ class TestCli:
         source = "Function[{x}, If[True, x, x + 1]]"
         assert run_lint_cli(["-e", source], output=out) == 0
         assert run_lint_cli(["--strict", "-e", source], output=out) == 1
+
+    def test_provable_errors_exit_nonzero_with_position(self, tmp_path):
+        path = tmp_path / "program.wl"
+        path.write_text(
+            'Function[{x},\n  Module[{v = {1, 2, 3}},\n    v[[5]]]]\n'
+        )
+        out = io.StringIO()
+        status = run_lint_cli([str(path)], output=out)
+        assert status == 1
+        text = out.getvalue()
+        assert "lint.part-bounds" in text
+        assert f"{path}:3:" in text

@@ -1,0 +1,359 @@
+"""Dataflow abstract interpretation and check elision (DESIGN.md §12).
+
+Covers the tentpole end to end: the interval domain's transfer
+functions, the worklist engine's facts on real compiled kernels
+(trip bounds, shapes, refinements), the three fact-driven deletions
+(int64 overflow guards, Part bounds predicates, abort-checkpoint
+coalescing), the pipeline gating knobs, the verifier's
+``analysis.fact`` consistency rules with the ``analysis.bad_fact``
+corruption, the template-JIT unchecked-op mask, and the ``--stats``
+"checks elided" one-liner.
+"""
+
+import io
+
+import pytest
+
+from repro.analyze.dataflow import (
+    COALESCE_TRIP_LIMIT,
+    INT64_MAX,
+    INT64_MIN,
+    FactMap,
+    Interval,
+    analyze_function,
+    dead_assignments,
+)
+from repro.compiler.options import CompilerOptions
+from repro.compiler.pipeline import CompilerPipeline
+from repro.mexpr import parse
+
+
+@pytest.fixture(autouse=True)
+def _no_cache(monkeypatch):
+    """Every test compiles fresh — never through the artifact cache."""
+    monkeypatch.setenv("REPRO_ARTIFACT_CACHE", "off")
+
+
+#: Figure-2-style loop kernels: a bounded accumulation (counter-increment
+#: overflow guard + abort checkpoint elide) and a bounded array sweep
+#: (Part bounds predicate elides too)
+OVERFLOW_KERNEL = (
+    'Function[{Typed[x, "MachineInteger"]},'
+    ' Module[{a = 0}, Do[a = a + j, {j, 100}]; a]]'
+)
+BOUNDS_KERNEL = (
+    'Function[{Typed[x, "MachineInteger"]},'
+    ' Module[{v = {1, 2, 3, 4, 5}, a = 0},'
+    ' Do[a = a + v[[j]], {j, 5}]; a]]'
+)
+
+
+def compile_kernel(source: str, **changes):
+    options = CompilerOptions(
+        dataflow=True, elide_checks=True, index_check_elision=True,
+    ).with_(**changes)
+    pipeline = CompilerPipeline(options=options)
+    program = pipeline.compile_program(parse(source))
+    return pipeline, program
+
+
+def main_function(program):
+    return program.functions[program.main]
+
+
+class TestIntervalDomain:
+    def test_constants_and_membership(self):
+        three = Interval.const(3)
+        assert three.is_constant and three.contains(3)
+        assert not three.contains(4)
+        assert Interval.top().is_top
+        assert Interval(5, 2).is_empty
+
+    def test_add_subtract(self):
+        a, b = Interval(1, 4), Interval(10, 20)
+        assert (a.add(b).lo, a.add(b).hi) == (11, 24)
+        assert (b.subtract(a).lo, b.subtract(a).hi) == (6, 19)
+        unbounded = Interval(0, None).add(a)
+        assert unbounded.lo == 1 and unbounded.hi is None
+
+    def test_multiply_tracks_sign_corners(self):
+        a, b = Interval(-3, 2), Interval(-5, 7)
+        product = a.multiply(b)
+        corners = [x * y for x in (-3, 2) for y in (-5, 7)]
+        assert product.lo == min(corners) and product.hi == max(corners)
+
+    def test_fits_and_clamp(self):
+        assert Interval(INT64_MIN, INT64_MAX).fits_int64()
+        assert not Interval(0, INT64_MAX + 1).fits_int64()
+        assert not Interval(0, None).fits_int64()
+        clamped = Interval(None, INT64_MAX + 9).clamp_int64()
+        assert clamped.lo == INT64_MIN and clamped.hi == INT64_MAX
+
+    def test_widen_jumps_to_unbounded(self):
+        grown = Interval(0, 5).widen(Interval(0, 6))
+        assert grown.lo == 0 and grown.hi is None
+        stable = Interval(0, 5).widen(Interval(1, 5))
+        assert (stable.lo, stable.hi) == (0, 5)  # no growth, no widening
+
+    def test_union_intersect(self):
+        union = Interval(0, 3).union(Interval(10, 12))
+        assert (union.lo, union.hi) == (0, 12)
+        meet = Interval(0, 10).intersect(Interval(5, 99))
+        assert (meet.lo, meet.hi) == (5, 10)
+
+
+class TestEngineFacts:
+    def test_bounded_loop_facts(self):
+        _, program = compile_kernel(OVERFLOW_KERNEL, elide_checks=False)
+        facts = analyze_function(main_function(program))
+        bounds = [
+            loop.trip_bound for loop in facts.loops.values()
+            if loop.trip_bound is not None
+        ]
+        assert 100 in bounds
+        counts = facts.fact_counts()
+        assert counts["intervals"] > 0
+        assert counts["bounded_loops"] >= 1
+
+    def test_shape_facts_for_literal_tensor(self):
+        _, program = compile_kernel(BOUNDS_KERNEL, elide_checks=False)
+        facts = analyze_function(main_function(program))
+        lengths = [shape.length() for shape in facts.shapes.values()]
+        assert 5 in lengths
+
+    def test_fact_map_attached_to_metadata(self):
+        _, program = compile_kernel(OVERFLOW_KERNEL)
+        fact_map = program.metadata["dataflow"]
+        assert isinstance(fact_map, FactMap)
+        summary = fact_map.summary()
+        assert summary  # one entry per function
+        assert all("intervals" in counts for counts in summary.values())
+
+    def test_o0_skips_dataflow_entirely(self):
+        pipeline, program = compile_kernel(
+            OVERFLOW_KERNEL, optimization_level=0,
+        )
+        assert "dataflow" not in program.metadata
+        assert "dataflow" not in pipeline.pass_report()
+
+    def test_dataflow_off_knob(self):
+        pipeline, program = compile_kernel(OVERFLOW_KERNEL, dataflow=False)
+        assert "dataflow" not in program.metadata
+        info = main_function(program).information
+        assert "OverflowChecksElided" not in info
+
+
+class TestCheckElision:
+    def test_overflow_guard_elided_in_bounded_loop(self):
+        _, program = compile_kernel(OVERFLOW_KERNEL)
+        info = main_function(program).information
+        assert info["OverflowChecksElided"] >= 1
+
+    def test_part_bounds_elided_with_proven_range(self):
+        _, program = compile_kernel(BOUNDS_KERNEL)
+        info = main_function(program).information
+        assert info["IndexChecksElided"] >= 1
+
+    def test_checkpoint_coalesced_in_bounded_loop(self):
+        _, program = compile_kernel(OVERFLOW_KERNEL)
+        info = main_function(program).information
+        assert info["CheckpointsCoalesced"] == 1
+        (bound,) = info["CoalescedHeaders"].values()
+        assert bound == 100
+        assert bound <= COALESCE_TRIP_LIMIT
+
+    def test_elide_off_keeps_every_check(self):
+        _, program = compile_kernel(OVERFLOW_KERNEL, elide_checks=False)
+        info = main_function(program).information
+        assert "OverflowChecksElided" not in info
+        assert "CoalescedHeaders" not in info
+
+    def test_elided_sites_carry_justification(self):
+        from repro.compiler.wir.instructions import CallPrimitiveInstr
+
+        _, program = compile_kernel(BOUNDS_KERNEL)
+        justifications = set()
+        for block in main_function(program).blocks.values():
+            for instruction in block.instructions:
+                if isinstance(instruction, CallPrimitiveInstr):
+                    mark = instruction.properties.get("elided_check")
+                    if mark:
+                        justifications.add(mark)
+        assert "int64-overflow" in justifications
+        assert {"part-bounds", "part-positive"} & justifications
+
+    def test_results_identical_with_and_without_elision(self):
+        from repro.compiler import FunctionCompile
+
+        for kernel, expected in (
+            (OVERFLOW_KERNEL, 5050), (BOUNDS_KERNEL, 15),
+        ):
+            for elide in (True, False):
+                options = CompilerOptions(
+                    dataflow=True, elide_checks=elide,
+                    index_check_elision=elide,
+                )
+                assert FunctionCompile(kernel, options=options)(0) == expected
+
+    def test_pass_report_counts_elisions(self):
+        pipeline, _ = compile_kernel(BOUNDS_KERNEL)
+        report = pipeline.pass_report()
+        assert report["dataflow"]["facts"] > 0
+        assert report["check-elision"]["elided"] >= 2
+        assert report["checkpoint-coalescing"]["elided"] == 1
+
+    def test_observe_counters_emitted(self):
+        from repro.observe import with_tracing
+
+        with with_tracing() as tracer:
+            compile_kernel(BOUNDS_KERNEL)
+        counters = tracer.metrics.as_dict()["counters"]
+        assert counters["analysis.checks_elided.int64"] >= 1
+        assert counters["analysis.checks_elided.bounds"] >= 1
+        assert counters["analysis.checks_elided.checkpoints"] == 1
+
+
+class TestFactConsistency:
+    """The verifier's ``analysis.fact`` rules: every elided check must be
+    independently re-provable; a planted fake fact is caught by name."""
+
+    def test_real_elided_function_verifies_cleanly(self):
+        from repro.analyze import verify_function
+
+        _, program = compile_kernel(BOUNDS_KERNEL)
+        assert verify_function(main_function(program)) == []
+
+    def test_unchecked_without_justification_flagged(self):
+        from repro.analyze import verify_function
+        from repro.compiler.wir.instructions import CallPrimitiveInstr
+
+        _, program = compile_kernel(BOUNDS_KERNEL)
+        function = main_function(program)
+        for block in function.blocks.values():
+            for instruction in block.instructions:
+                if isinstance(instruction, CallPrimitiveInstr) and (
+                    instruction.properties.get("elided_check")
+                ):
+                    del instruction.properties["elided_check"]
+        found = verify_function(function)
+        assert any(d.invariant == "analysis.fact" for d in found)
+
+    def test_phantom_coalesced_header_flagged(self):
+        from repro.analyze import verify_function
+
+        _, program = compile_kernel(OVERFLOW_KERNEL)
+        function = main_function(program)
+        headers = dict(function.information["CoalescedHeaders"])
+        headers["no_such_block(9)"] = 4
+        function.information["CoalescedHeaders"] = headers
+        found = verify_function(function)
+        assert any(d.invariant == "analysis.fact" for d in found)
+
+    def test_bad_fact_corruption_caught_and_attributed(self):
+        """``analysis.bad_fact`` swaps a checked op the facts do *not*
+        justify and plants a fake justification; verify-each must blame
+        the corrupting pass by name."""
+        from repro.errors import VerificationError
+        from repro.testing import corrupt_ir_pass
+
+        source = (
+            'Function[{Typed[x, "MachineInteger"]},'
+            ' Module[{a = 0, i = 1},'
+            ' While[i <= x, a = a + i; i = i + 1]; a]]'
+        )
+        pipeline = CompilerPipeline(
+            options=CompilerOptions(verify_ir="each"),
+            user_passes=[corrupt_ir_pass("analysis.bad_fact", stage="twir")],
+        )
+        with pytest.raises(VerificationError) as failure:
+            pipeline.compile_program(parse(source))
+        assert failure.value.pass_name == (
+            "user:corrupt-ir[analysis.bad_fact]"
+        )
+        assert any(
+            d.invariant == "analysis.fact"
+            for d in failure.value.diagnostics
+        ), failure.value.diagnostics
+
+    def test_verify_each_passes_on_honest_pipeline(self):
+        compile_kernel(BOUNDS_KERNEL, verify_ir="each")
+
+
+class TestTemplateMask:
+    BODY = "Module[{a = 0}, Do[a = a + i*i, {i, 100}]; a]"
+
+    def test_mask_marks_bounded_multiply(self):
+        from repro.template_jit.analysis import unchecked_mask
+
+        mask = unchecked_mask(parse(self.BODY))
+        assert mask.total >= 2  # the multiply and the accumulator add
+        assert len(mask) >= 1  # i*i with i in [1,100] is provably safe
+        assert mask.bits != 0
+        assert len(mask) < mask.total  # the accumulator stays checked
+
+    def test_reassigned_local_stays_unknown(self):
+        from repro.template_jit.analysis import unchecked_mask
+
+        body = "Module[{a = 1}, a = a * a; a + a]"
+        assert len(unchecked_mask(parse(body))) == 0
+
+    def test_knob_gates_the_stitcher(self, monkeypatch):
+        from repro.template_jit import compile_template_function
+
+        specs = parse("{{x, _Integer}}")
+        body = parse(self.BODY)
+        monkeypatch.setenv("REPRO_ELIDE_CHECKS", "1")
+        elided = compile_template_function(specs, body)
+        monkeypatch.setenv("REPRO_ELIDE_CHECKS", "0")
+        checked = compile_template_function(specs, body)
+        assert elided.unchecked_ops >= 1
+        assert checked.unchecked_ops == 0 and checked.unchecked_bitmask == 0
+        assert elided.source.count("_ci(") < checked.source.count("_ci(")
+        # both stitches compute the same sum of squares
+        assert elided(0) == checked(0) == sum(i * i for i in range(1, 101))
+
+
+class TestLivenessHelper:
+    def test_dead_store_found(self):
+        statements = [
+            ("a", set()),          # a = <literal>     — dead, rewritten below
+            ("a", set()),          # a = <literal>
+            ("b", {"a"}),          # b = a
+            (None, {"b"}),         # use b
+        ]
+        dead, live_in = dead_assignments(statements)
+        assert dead == [0]
+        assert "b" not in live_in
+
+    def test_final_store_dead_when_never_read(self):
+        statements = [("a", set()), (None, {"a"}), ("a", {"a"})]
+        dead, _ = dead_assignments(statements)
+        assert dead == [2]
+
+    def test_live_after_keeps_trailing_store(self):
+        statements = [("a", set())]
+        dead, _ = dead_assignments(statements, live_after={"a"})
+        assert dead == []
+
+
+class TestStatsOneLiner:
+    def test_cli_reports_elision_totals(self):
+        from repro.__main__ import main
+
+        out = io.StringIO()
+        status = main(
+            [
+                "--stats",
+                "-e",
+                "f = FunctionCompile[Function[{Typed[x, "
+                '"MachineInteger"]}, Module[{a = 0},'
+                " Do[a = a + j, {j, 50}]; a]]]",
+                "-e", "f[0]",
+            ],
+            output=out,
+        )
+        assert status == 0
+        text = out.getvalue()
+        assert "Out[2]= 1275" in text
+        assert "checks elided:" in text
+        assert "int64" in text and "checkpoints" in text

@@ -1,10 +1,23 @@
 """The differential oracle (repro.analyze.differ): generator determinism,
-three-tier agreement, mismatch shrinking, and the CI smoke entry point."""
+three-tier agreement, mismatch shrinking, the boundary-value elision
+mode (checks elided vs kept), and the CI smoke entry points."""
 
 import pytest
 
-from repro.analyze import DifferentialOracle, run_differential
-from repro.analyze.differ import _Generator, _TierError
+from repro.analyze import (
+    DifferentialOracle,
+    ElisionOracle,
+    run_boundary_differential,
+    run_differential,
+)
+from repro.analyze.differ import (
+    _BoundaryGenerator,
+    _ElisionError,
+    _Generator,
+    _TierError,
+    BOUNDARY_INTEGERS,
+    INT64_MAX,
+)
 import random
 
 
@@ -102,6 +115,106 @@ class TestShrinking:
             assert len(files) == len(report.mismatches)
 
 
+@pytest.fixture()
+def _no_cache(monkeypatch):
+    """Keep oracle compiles out of the persistent artifact cache."""
+    monkeypatch.setenv("REPRO_ARTIFACT_CACHE", "off")
+
+
+class TestBoundaryGenerator:
+    def test_same_seed_same_programs(self):
+        generator_a = _BoundaryGenerator(random.Random(9))
+        generator_b = _BoundaryGenerator(random.Random(9))
+        for _ in range(10):
+            assert generator_a.spec().body() == generator_b.spec().body()
+            assert generator_a.argument() == generator_b.argument()
+
+    def test_programs_hit_the_boundaries(self):
+        """Across a batch, the generator must actually emit INT64 edges,
+        empty arrays, and off-by-one indices — the mode's whole point."""
+        generator = _BoundaryGenerator(random.Random(0))
+        bodies = [generator.spec().body() for _ in range(60)]
+        text = "\n".join(bodies)
+        assert str(INT64_MAX) in text or str(INT64_MAX - 1) in text
+        assert "v = {}" in text  # empty arrays appear
+        assert "[[0]]" in text  # below-range index appears
+
+    def test_arguments_are_boundary_biased(self):
+        generator = _BoundaryGenerator(random.Random(1))
+        arguments = {generator.argument() for _ in range(80)}
+        assert arguments & set(BOUNDARY_INTEGERS)
+
+
+class TestElisionErrors:
+    def test_same_class_same_kind_agree(self):
+        from repro.errors import WolframRuntimeError
+
+        left = _ElisionError(WolframRuntimeError("PartOutOfRange", "x"))
+        right = _ElisionError(WolframRuntimeError("PartOutOfRange", "y"))
+        assert left == right
+
+    def test_kind_difference_diverges(self):
+        """Stricter than cross-tier agreement: the *classified kind* must
+        survive elision, not just the exception class."""
+        from repro.errors import WolframRuntimeError
+
+        left = _ElisionError(WolframRuntimeError("PartOutOfRange", "x"))
+        right = _ElisionError(WolframRuntimeError("IntegerOverflow", "y"))
+        assert left != right
+        assert left != _TierError(WolframRuntimeError("PartOutOfRange", "x"))
+
+
+class _UnsoundProver:
+    """Context manager: every interval claims to fit Integer64."""
+
+    def __enter__(self):
+        from unittest import mock
+
+        from repro.analyze.dataflow import Interval
+
+        self._patch = mock.patch.object(
+            Interval, "fits_int64", lambda self: True
+        )
+        self._patch.__enter__()
+        return self
+
+    def __exit__(self, *exc_info):
+        return self._patch.__exit__(*exc_info)
+
+
+@pytest.mark.usefixtures("_no_cache")
+class TestElisionOracle:
+    def test_boundary_programs_agree(self):
+        report = ElisionOracle(seed=13).run(count=25)
+        assert report.ok(), [m.to_dict() for m in report.mismatches]
+        assert report.attempted == 25
+        assert "checks elided vs kept" in report.summary()
+
+    def test_unsound_prover_is_detected_and_shrunk(self):
+        """The sensitivity bar: force ``fits_int64`` to lie and the oracle
+        must observe divergence — elided bignum vs trapped overflow."""
+        with _UnsoundProver():
+            report = ElisionOracle(seed=0).run(count=60)
+        assert report.mismatches, "unsound elision went unnoticed"
+        mismatch = report.mismatches[0]
+        assert mismatch.shrunk_body is not None
+        assert len(mismatch.shrunk_body) <= len(mismatch.body)
+        with _UnsoundProver():
+            oracle = ElisionOracle(seed=0)
+            assert not oracle.consistent(
+                oracle.run_pair(mismatch.reproducer(), mismatch.argument)
+            )
+
+    def test_artifacts_written(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_DIFF_ARTIFACTS", str(tmp_path))
+        monkeypatch.setenv("REPRO_DIFF_COUNT", "40")
+        with _UnsoundProver():
+            report = run_boundary_differential(seed=0)
+        assert report.mismatches
+        files = list(tmp_path.glob("boundary-seed0-*.json"))
+        assert len(files) == len(report.mismatches)
+
+
 @pytest.mark.differential
 class TestCiSmoke:
     """The CI ``static-analysis`` job's budgeted fuzz: ≥200 seeded programs
@@ -114,4 +227,27 @@ class TestCiSmoke:
 
     def test_alternate_seed_agrees(self):
         report = run_differential(count=100, seed=20260806, time_budget=30.0)
+        assert report.ok(), [m.to_dict() for m in report.mismatches]
+
+
+@pytest.mark.differential
+@pytest.mark.usefixtures("_no_cache")
+class TestBoundaryCiSmoke:
+    """The static-analysis acceptance bar: ≥200 boundary-biased programs,
+    elision forced on, zero divergences against the checks-kept build."""
+
+    def test_two_hundred_boundary_programs_agree(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ELIDE_CHECKS", "1")
+        monkeypatch.setenv("REPRO_DATAFLOW", "1")
+        report = run_boundary_differential(
+            count=200, seed=0, time_budget=120.0
+        )
+        assert report.ok(), [m.to_dict() for m in report.mismatches]
+        assert report.attempted >= 200
+
+    def test_alternate_seed_agrees(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ELIDE_CHECKS", "1")
+        report = run_boundary_differential(
+            count=100, seed=20260808, time_budget=60.0
+        )
         assert report.ok(), [m.to_dict() for m in report.mismatches]

@@ -1,0 +1,115 @@
+"""Property tests: interval arithmetic vs concrete int64 semantics.
+
+The soundness of every elided check reduces to one algebraic claim: the
+abstract transfer functions over-approximate the concrete operations.
+Hypothesis drives that claim with boundary-biased integers (int64 edges
+get extra weight).  The suite is skipped gracefully where hypothesis is
+not installed (the CI image has it; the baked toolchain may not).
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.analyze.dataflow import INT64_MAX, INT64_MIN, Interval  # noqa: E402
+
+#: concrete values with the int64 boundary over-represented
+boundary_ints = st.one_of(
+    st.sampled_from([
+        INT64_MAX, INT64_MAX - 1, INT64_MIN, INT64_MIN + 1, -1, 0, 1,
+    ]),
+    st.integers(min_value=INT64_MIN * 2, max_value=INT64_MAX * 2),
+)
+
+
+@st.composite
+def interval_with_member(draw):
+    """A (possibly half-unbounded) interval plus one value inside it."""
+    value = draw(boundary_ints)
+    lo_slack = draw(st.integers(min_value=0, max_value=1 << 70))
+    hi_slack = draw(st.integers(min_value=0, max_value=1 << 70))
+    lo = None if draw(st.booleans()) else value - lo_slack
+    hi = None if draw(st.booleans()) else value + hi_slack
+    return Interval(lo, hi), value
+
+
+@settings(max_examples=300, deadline=None)
+@given(interval_with_member(), interval_with_member())
+def test_add_over_approximates(left, right):
+    (a, x), (b, y) = left, right
+    assert a.add(b).contains(x + y)
+
+
+@settings(max_examples=300, deadline=None)
+@given(interval_with_member(), interval_with_member())
+def test_subtract_over_approximates(left, right):
+    (a, x), (b, y) = left, right
+    assert a.subtract(b).contains(x - y)
+
+
+@settings(max_examples=300, deadline=None)
+@given(interval_with_member(), interval_with_member())
+def test_multiply_over_approximates(left, right):
+    (a, x), (b, y) = left, right
+    assert a.multiply(b).contains(x * y)
+
+
+@settings(max_examples=300, deadline=None)
+@given(interval_with_member())
+def test_negate_over_approximates(pair):
+    a, x = pair
+    assert a.negate().contains(-x)
+
+
+@settings(max_examples=300, deadline=None)
+@given(interval_with_member(), interval_with_member())
+def test_fits_int64_is_a_proof(left, right):
+    """The elision criterion itself: when the abstract sum claims to fit,
+    the concrete sum must be a legal int64 — no overflow trap possible."""
+    (a, x), (b, y) = left, right
+    if a.add(b).fits_int64():
+        assert INT64_MIN <= x + y <= INT64_MAX
+    if a.multiply(b).fits_int64():
+        assert INT64_MIN <= x * y <= INT64_MAX
+
+
+@settings(max_examples=300, deadline=None)
+@given(interval_with_member(), interval_with_member())
+def test_union_and_widen_contain_both(left, right):
+    (a, x), (b, y) = left, right
+    union = a.union(b)
+    assert union.contains(x) and union.contains(y)
+    widened = a.widen(b)
+    assert widened.contains(x) and widened.contains(y)
+
+
+@settings(max_examples=300, deadline=None)
+@given(interval_with_member())
+def test_widen_reaches_fixpoint(pair):
+    """Widening is ascending and idempotent once a bound escapes —
+    the termination argument for the worklist loop."""
+    a, _ = pair
+    grown = a.widen(Interval(None, None))
+    assert grown.is_top
+    assert grown.widen(grown).is_top
+
+
+@settings(max_examples=300, deadline=None)
+@given(interval_with_member(), interval_with_member())
+def test_intersect_is_exact_meet(left, right):
+    (a, x), (b, _) = left, right
+    meet = a.intersect(b)
+    assert meet.contains(x) == (a.contains(x) and b.contains(x))
+
+
+@settings(max_examples=300, deadline=None)
+@given(interval_with_member())
+def test_clamp_result_fits(pair):
+    a, x = pair
+    clamped = a.clamp_int64()
+    assert clamped.fits_int64() or clamped.is_empty
+    if INT64_MIN <= x <= INT64_MAX:
+        assert clamped.contains(x)

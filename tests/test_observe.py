@@ -253,8 +253,10 @@ class TestPipelineReport:
             parse('Function[{Typed[x, "MachineInteger"]}, x + 1]')
         )
         report = program.metadata["passReport"]
-        assert all(set(v) == {"calls", "seconds"} for v in report.values())
+        assert all({"calls", "seconds"} <= set(v) for v in report.values())
         assert sum(v["calls"] for v in report.values()) >= len(report)
+        # analysis passes surface their fact counts alongside the timings
+        assert report["dataflow"]["facts"] > 0
 
 
 class TestCLI:
